@@ -1,0 +1,110 @@
+//! Named engine presets for the paper's Gumbo-side strategies.
+
+use gumbo_core::{EvalOptions, Grouping, GumboEngine, SortStrategy};
+use gumbo_mr::EngineConfig;
+
+/// GREEDY (§5.2, Figure 3): the 2-round strategy with `Greedy-BSGF` —
+/// all queries of a (flat) set planned as *one* basic MR program (§4.5),
+/// guard references on, no 1-ROUND fusion (that is its own strategy line).
+///
+/// Uses the level sort so that independent queries land in one group; for
+/// flat BSGF sets this is a single group, i.e. exactly the paper's basic
+/// MR program.
+pub fn greedy_engine(config: EngineConfig) -> GumboEngine {
+    GumboEngine::new(
+        config,
+        EvalOptions {
+            grouping: Grouping::Greedy,
+            sort: SortStrategy::Levels,
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// PAR (§5.2): every semi-join in its own job, no grouping.
+pub fn par_engine(config: EngineConfig) -> GumboEngine {
+    GumboEngine::new(
+        config,
+        EvalOptions {
+            grouping: Grouping::Singletons,
+            sort: SortStrategy::Levels,
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// 1-ROUND (§5.1 (4)): fused MSJ+EVAL where applicable, greedy otherwise.
+pub fn one_round_engine(config: EngineConfig) -> GumboEngine {
+    GumboEngine::new(
+        config,
+        EvalOptions {
+            grouping: Grouping::Greedy,
+            sort: SortStrategy::GreedySgf,
+            enable_one_round: true,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// SEQUNIT (§5.3): one BSGF per round in definition order, semi-joins
+/// ungrouped.
+pub fn sequnit_engine(config: EngineConfig) -> GumboEngine {
+    GumboEngine::new(
+        config,
+        EvalOptions {
+            grouping: Grouping::Singletons,
+            sort: SortStrategy::Sequential,
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// PARUNIT (§5.3): level-by-level evaluation, queries on the same level in
+/// parallel, semi-joins ungrouped.
+pub fn parunit_engine(config: EngineConfig) -> GumboEngine {
+    GumboEngine::new(
+        config,
+        EvalOptions {
+            grouping: Grouping::Singletons,
+            sort: SortStrategy::Levels,
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// GREEDY-SGF (§5.3): `Greedy-SGF` ordering *with* `Greedy-BSGF` grouping —
+/// the paper's headline SGF strategy.
+pub fn greedy_sgf_engine(config: EngineConfig) -> GumboEngine {
+    GumboEngine::new(
+        config,
+        EvalOptions {
+            grouping: Grouping::Greedy,
+            sort: SortStrategy::GreedySgf,
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gumbo_core::PayloadMode;
+
+    #[test]
+    fn presets_have_expected_options() {
+        let cfg = EngineConfig::default();
+        assert_eq!(greedy_engine(cfg).options.grouping, Grouping::Greedy);
+        assert!(!greedy_engine(cfg).options.enable_one_round);
+        assert_eq!(par_engine(cfg).options.grouping, Grouping::Singletons);
+        assert!(one_round_engine(cfg).options.enable_one_round);
+        assert_eq!(sequnit_engine(cfg).options.sort, SortStrategy::Sequential);
+        assert_eq!(parunit_engine(cfg).options.sort, SortStrategy::Levels);
+        // All Gumbo presets keep the reference optimization on.
+        assert_eq!(greedy_engine(cfg).options.mode, PayloadMode::Reference);
+    }
+}

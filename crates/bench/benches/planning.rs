@@ -1,0 +1,123 @@
+//! Criterion micro-benchmarks for the planning layer: parsing, cost
+//! estimation, `Greedy-BSGF` and `Greedy-SGF` (the §5.3 claim that plan
+//! computation overhead is negligible next to execution savings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gumbo_core::planner::{greedy_partition, greedy_sgf_sort, optimal_partition};
+use gumbo_core::{Estimator, PayloadMode, QueryContext};
+use gumbo_datagen::queries;
+use gumbo_mr::{CostConstants, CostModelKind, JobConfig};
+use gumbo_sgf::parse_program;
+use gumbo_storage::SimDfs;
+
+fn parser(c: &mut Criterion) {
+    let b1 = queries::b1().query.to_string();
+    let c3 = queries::c3().query.to_string();
+    let mut group = c.benchmark_group("parser");
+    group.bench_function("b1_16_atoms", |b| {
+        b.iter(|| parse_program(&b1).unwrap());
+    });
+    group.bench_function("c3_nested", |b| {
+        b.iter(|| parse_program(&c3).unwrap());
+    });
+    group.finish();
+}
+
+fn greedy_bsgf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_bsgf");
+    for k in [4usize, 8, 16] {
+        let w = queries::a3_family(k).with_tuples(2_000);
+        let db = w.spec.database(1);
+        let dfs = SimDfs::from_database(&db);
+        let ctx = QueryContext::new(w.query.queries().to_vec()).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let est = Estimator::new(
+                    &dfs,
+                    5_000,
+                    CostConstants::default(),
+                    CostModelKind::Gumbo,
+                    64,
+                    1,
+                );
+                let cfg = JobConfig::default();
+                let mut cost = |s: &std::collections::BTreeSet<usize>| {
+                    let ids: Vec<usize> = s.iter().copied().collect();
+                    est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+                };
+                greedy_partition(k, &mut cost)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn greedy_vs_bruteforce(c: &mut Criterion) {
+    let w = queries::a1().with_tuples(2_000);
+    let db = w.spec.database(1);
+    let dfs = SimDfs::from_database(&db);
+    let ctx = QueryContext::new(w.query.queries().to_vec()).unwrap();
+    let est =
+        Estimator::new(&dfs, 5_000, CostConstants::default(), CostModelKind::Gumbo, 64, 1);
+    let cfg = JobConfig::default();
+
+    let mut group = c.benchmark_group("partitioner_a1");
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let mut cost = |s: &std::collections::BTreeSet<usize>| {
+                let ids: Vec<usize> = s.iter().copied().collect();
+                est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+            };
+            greedy_partition(4, &mut cost)
+        });
+    });
+    group.bench_function("bruteforce", |b| {
+        b.iter(|| {
+            let mut cost = |s: &std::collections::BTreeSet<usize>| {
+                let ids: Vec<usize> = s.iter().copied().collect();
+                est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+            };
+            optimal_partition(4, &mut cost)
+        });
+    });
+    group.finish();
+}
+
+fn greedy_sgf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_sgf_sort");
+    for w in queries::figure6() {
+        group.bench_function(&w.name, |b| {
+            b.iter(|| greedy_sgf_sort(&w.query));
+        });
+    }
+    group.finish();
+}
+
+fn estimator_sampling(c: &mut Criterion) {
+    let w = queries::b1().with_tuples(5_000);
+    let db = w.spec.database(1);
+    let dfs = SimDfs::from_database(&db);
+    let ctx = QueryContext::new(w.query.queries().to_vec()).unwrap();
+    c.bench_function("estimate_b1_full_group", |b| {
+        b.iter(|| {
+            let est = Estimator::new(
+                &dfs,
+                5_000,
+                CostConstants::default(),
+                CostModelKind::Gumbo,
+                64,
+                1,
+            );
+            let all: Vec<usize> = (0..ctx.semijoins().len()).collect();
+            est.msj_cost(&ctx, &all, PayloadMode::Reference, &JobConfig::default()).unwrap()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = parser, greedy_bsgf, greedy_vs_bruteforce, greedy_sgf, estimator_sampling
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment driver: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation>
+//!             [--tuples N] [--scale N] [--nodes N] [--seed N] [--no-verify]
+//! ```
+
+use gumbo_bench::experiments;
+use gumbo_bench::RunConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let mut cfg = RunConfig::default();
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tuples" => {
+                cfg.tuples = args[i + 1].parse().expect("--tuples N");
+                i += 2;
+            }
+            "--scale" => {
+                cfg.scale = args[i + 1].parse().expect("--scale N");
+                i += 2;
+            }
+            "--nodes" => {
+                cfg.nodes = args[i + 1].parse().expect("--nodes N");
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args[i + 1].parse().expect("--seed N");
+                i += 2;
+            }
+            "--no-verify" => {
+                cfg.verify = false;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "config: {} real tuples x scale {} = {}M-equivalent tuples, {} nodes, selectivity {}, verify={}",
+        cfg.tuples,
+        cfg.scale,
+        cfg.equivalent_tuples() / 1_000_000,
+        cfg.nodes,
+        cfg.selectivity,
+        cfg.verify
+    );
+
+    let result = match command {
+        "all" => experiments::all(&cfg),
+        "fig3" => experiments::fig3(&cfg).map(|_| ()),
+        "fig4" => experiments::fig4(&cfg).map(|_| ()),
+        "fig5" => experiments::fig5(&cfg).map(|_| ()),
+        "fig7a" => experiments::fig7a(&cfg).map(|_| ()),
+        "fig7b" => experiments::fig7b(&cfg).map(|_| ()),
+        "fig7c" => experiments::fig7c(&cfg).map(|_| ()),
+        "fig8" => experiments::fig8(&cfg).map(|_| ()),
+        "table3" => experiments::table3(&cfg),
+        "costmodel" => experiments::costmodel(&cfg),
+        "optimality" => experiments::optimality(&cfg),
+        "ablation" => experiments::ablation(&cfg),
+        "structures" => experiments::structures(),
+        other => {
+            eprintln!("unknown experiment {other}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("experiment failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types shared across the gumbo crates.
+
+use std::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T, E = GumboError> = std::result::Result<T, E>;
+
+/// Errors produced by the data model, query language and engine layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GumboError {
+    /// A tuple's arity did not match its relation's declared arity.
+    ArityMismatch {
+        /// Relation whose schema was violated.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A relation symbol was referenced but not present in the database/DFS.
+    UnknownRelation(String),
+    /// A query failed guardedness or scoping validation.
+    InvalidQuery(String),
+    /// The SQL-like query text could not be parsed.
+    Parse {
+        /// Human-readable description of the failure.
+        message: String,
+        /// Byte offset in the input where the failure was detected.
+        offset: usize,
+    },
+    /// An SGF program's dependency graph contains a cycle.
+    CyclicDependency(String),
+    /// A MapReduce job or plan was internally inconsistent.
+    Plan(String),
+    /// Simulated storage failure (e.g. writing over an existing file).
+    Storage(String),
+}
+
+impl fmt::Display for GumboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GumboError::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "arity mismatch for relation {relation}: expected {expected}, got {got}"
+            ),
+            GumboError::UnknownRelation(name) => write!(f, "unknown relation: {name}"),
+            GumboError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            GumboError::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            GumboError::CyclicDependency(msg) => write!(f, "cyclic dependency: {msg}"),
+            GumboError::Plan(msg) => write!(f, "plan error: {msg}"),
+            GumboError::Storage(msg) => write!(f, "storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GumboError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = GumboError::ArityMismatch { relation: "R".into(), expected: 2, got: 3 };
+        assert_eq!(e.to_string(), "arity mismatch for relation R: expected 2, got 3");
+        let e = GumboError::Parse { message: "expected FROM".into(), offset: 17 };
+        assert!(e.to_string().contains("byte 17"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GumboError::UnknownRelation("R".into()));
+    }
+}

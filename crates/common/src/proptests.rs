@@ -1,0 +1,102 @@
+//! Property-based tests for the data-model laws the engine relies on.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::{ByteSize, Database, Fact, Relation, Tuple, Value};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,12}".prop_map(Value::str),
+    ]
+}
+
+fn arb_tuple(max_arity: usize) -> impl Strategy<Value = Tuple> {
+    proptest::collection::vec(arb_value(), 0..=max_arity).prop_map(Tuple::new)
+}
+
+proptest! {
+    /// Projection onto all positions is the identity.
+    #[test]
+    fn full_projection_is_identity(t in arb_tuple(6)) {
+        let all: Vec<usize> = (0..t.arity()).collect();
+        prop_assert_eq!(t.project(&all), t);
+    }
+
+    /// Projection composes: projecting twice equals projecting the
+    /// composed position list.
+    #[test]
+    fn projection_composes(t in arb_tuple(6), seed in any::<u64>()) {
+        if t.arity() == 0 { return Ok(()); }
+        let p1: Vec<usize> = (0..t.arity()).filter(|i| (seed >> i) & 1 == 1).collect();
+        if p1.is_empty() { return Ok(()); }
+        let p2: Vec<usize> = (0..p1.len()).rev().collect();
+        let composed: Vec<usize> = p2.iter().map(|&i| p1[i]).collect();
+        prop_assert_eq!(t.project(&p1).project(&p2), t.project(&composed));
+    }
+
+    /// Byte size of a tuple is the sum of its values' sizes and is
+    /// invariant under projection permutations.
+    #[test]
+    fn tuple_bytes_additive(t in arb_tuple(6)) {
+        let total: u64 = t.values().iter().map(Value::estimated_bytes).sum();
+        prop_assert_eq!(t.estimated_bytes(), total);
+        let rev: Vec<usize> = (0..t.arity()).rev().collect();
+        prop_assert_eq!(t.project(&rev).estimated_bytes(), total);
+    }
+
+    /// Relations are sets: inserting the same tuples in any order yields
+    /// equal relations with deterministic iteration order.
+    #[test]
+    fn relation_insertion_order_irrelevant(
+        tuples in proptest::collection::vec(proptest::collection::vec(any::<i64>(), 2), 0..20),
+    ) {
+        let mut forward = Relation::new("R", 2);
+        for t in &tuples {
+            forward.insert(Tuple::from_ints(t)).unwrap();
+        }
+        let mut backward = Relation::new("R", 2);
+        for t in tuples.iter().rev() {
+            backward.insert(Tuple::from_ints(t)).unwrap();
+        }
+        prop_assert_eq!(&forward, &backward);
+        let order: Vec<Tuple> = forward.iter().cloned().collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        prop_assert_eq!(order, sorted);
+    }
+
+    /// Database fact counting is consistent with relation sizes, and
+    /// membership reflects insertion.
+    #[test]
+    fn database_fact_accounting(
+        facts in proptest::collection::vec((0..3u8, proptest::collection::vec(any::<i64>(), 2)), 0..30),
+    ) {
+        let mut db = Database::new();
+        for (r, t) in &facts {
+            let name = ["A", "B", "C"][*r as usize];
+            db.insert_fact(Fact::new(name, Tuple::from_ints(t))).unwrap();
+        }
+        let total: usize = db.relations().map(Relation::len).sum();
+        prop_assert_eq!(db.fact_count(), total);
+        for (r, t) in &facts {
+            let name = ["A", "B", "C"][*r as usize];
+            prop_assert!(db.contains_fact(&name.into(), &Tuple::from_ints(t)));
+        }
+    }
+
+    /// ByteSize arithmetic is associative/commutative where it should be
+    /// and MB conversion is consistent.
+    #[test]
+    fn bytesize_laws(a in 0u64..1 << 40, b in 0u64..1 << 40, k in 1u64..1000) {
+        let (x, y) = (ByteSize::bytes(a), ByteSize::bytes(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y).as_bytes(), a + b);
+        prop_assert_eq!(x.scaled(k).as_bytes(), a * k);
+        prop_assert!((ByteSize::bytes(a).as_mb() - a as f64 / 1e6).abs() < 1e-9);
+        prop_assert_eq!(x.saturating_sub(y) + y.saturating_sub(x),
+                        ByteSize::bytes(a.abs_diff(b)));
+    }
+}

@@ -1,0 +1,13 @@
+//! Plan optimization: the NP-hard problems `BSGF-Opt` (Theorem 1) and
+//! `SGF-Opt` (Theorem 2) with their greedy heuristics and brute-force
+//! reference solvers.
+
+pub mod bruteforce;
+pub mod greedy_bsgf;
+pub mod greedy_sgf;
+pub mod optimal_sgf;
+
+pub use bruteforce::optimal_partition;
+pub use greedy_bsgf::greedy_partition;
+pub use greedy_sgf::greedy_sgf_sort;
+pub use optimal_sgf::optimal_sgf_sort;

@@ -1,0 +1,136 @@
+//! Brute-force `BSGF-Opt`: exact minimum-cost partition by exhaustive
+//! enumeration of set partitions.
+//!
+//! The decision variant is NP-complete (Theorem 1), so this is exponential
+//! (Bell numbers): usable for the small queries of the optimality
+//! experiments ("for small queries the optimal solution can be found using
+//! a brute-force search", §4.4) and as ground truth for `Greedy-BSGF`.
+
+use std::collections::BTreeSet;
+
+use super::greedy_bsgf::Block;
+
+/// Maximum n before enumeration is refused (B(12) ≈ 4.2M partitions).
+const MAX_N: usize = 12;
+
+/// Exhaustively find the minimum-cost partition of `0..n`.
+///
+/// # Panics
+/// Panics if `n > 12` (Bell-number blow-up guard).
+pub fn optimal_partition(
+    n: usize,
+    cost: &mut dyn FnMut(&Block) -> f64,
+) -> (Vec<Block>, f64) {
+    assert!(n <= MAX_N, "optimal_partition is exponential; n = {n} too large");
+    let mut memo: std::collections::HashMap<Block, f64> = std::collections::HashMap::new();
+    let mut priced = |set: &Block, cost: &mut dyn FnMut(&Block) -> f64| -> f64 {
+        if let Some(c) = memo.get(set) {
+            return *c;
+        }
+        let c = cost(set);
+        memo.insert(set.clone(), c);
+        c
+    };
+
+    let mut best: Option<(Vec<Block>, f64)> = None;
+    let mut current: Vec<Block> = Vec::new();
+    enumerate(0, n, &mut current, &mut |partition| {
+        let total: f64 = partition.iter().map(|b| priced(b, cost)).sum();
+        if best.as_ref().is_none_or(|(_, c)| total < *c) {
+            best = Some((partition.to_vec(), total));
+        }
+    });
+    match best {
+        Some((mut blocks, total)) => {
+            blocks.sort_by_key(|b| *b.iter().next().expect("non-empty"));
+            (blocks, total)
+        }
+        None => (Vec::new(), 0.0),
+    }
+}
+
+/// Enumerate all partitions of `0..n` by assigning each element either to an
+/// existing block or to a fresh one (restricted-growth strings).
+fn enumerate(i: usize, n: usize, current: &mut Vec<Block>, visit: &mut impl FnMut(&[Block])) {
+    if i == n {
+        if !current.is_empty() || n == 0 {
+            visit(current);
+        }
+        return;
+    }
+    for b in 0..current.len() {
+        current[b].insert(i);
+        enumerate(i + 1, n, current, visit);
+        current[b].remove(&i);
+    }
+    current.push(BTreeSet::from([i]));
+    enumerate(i + 1, n, current, visit);
+    current.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::greedy_bsgf::greedy_partition;
+    use super::*;
+
+    #[test]
+    fn enumerates_bell_number_of_partitions() {
+        // B(4) = 15.
+        let mut count = 0usize;
+        let mut current = Vec::new();
+        enumerate(0, 4, &mut current, &mut |_| count += 1);
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn finds_exact_optimum_greedy_misses() {
+        // Same adversarial cost as the greedy test: optimal is one block.
+        let mut cost = |s: &Block| match s.len() {
+            1 => 1.0,
+            2 => 2.5,
+            3 => 0.5,
+            _ => 99.0,
+        };
+        let (blocks, total) = optimal_partition(3, &mut cost);
+        assert_eq!(blocks.len(), 1);
+        assert!((total - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_never_exceeds_greedy() {
+        // Pseudo-random subadditive-ish cost; check OPT ≤ GOPT over several
+        // deterministic instances.
+        for seed in 0..20u64 {
+            let f = move |s: &Block| {
+                let mut h = seed.wrapping_mul(0x9e37_79b9);
+                for &x in s {
+                    h = h.wrapping_mul(31).wrapping_add(x as u64);
+                }
+                5.0 + (h % 100) as f64 / 10.0 + s.len() as f64
+            };
+            let mut c1 = f;
+            let mut c2 = f;
+            let (_, opt) = optimal_partition(5, &mut c1);
+            let (_, gopt) = greedy_partition(5, &mut c2);
+            assert!(opt <= gopt + 1e-9, "seed {seed}: opt {opt} > greedy {gopt}");
+        }
+    }
+
+    #[test]
+    fn singleton_and_empty_cases() {
+        let mut cost = |_: &Block| 2.0;
+        let (blocks, total) = optimal_partition(1, &mut cost);
+        assert_eq!(blocks.len(), 1);
+        assert!((total - 2.0).abs() < 1e-12);
+        let (blocks0, total0) = optimal_partition(0, &mut cost);
+        assert!(blocks0.is_empty());
+        assert_eq!(total0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn refuses_large_inputs() {
+        let mut cost = |_: &Block| 0.0;
+        optimal_partition(13, &mut cost);
+    }
+}

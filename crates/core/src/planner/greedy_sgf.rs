@@ -1,0 +1,196 @@
+//! `Greedy-SGF` (§4.6): greedy multiway topological sort maximizing
+//! relation overlap.
+//!
+//! The algorithm colors all dependency-graph vertices blue, then repeatedly:
+//!
+//! 1. lets `D` be the blue vertices with no blue predecessors;
+//! 2. seeks a pair `(u, Fᵢ)` with `u ∈ D` such that inserting `u` into the
+//!    existing group `Fᵢ` keeps the sequence a topological sort and
+//!    `overlap(u, Fᵢ) > 0`;
+//! 3. if such pairs exist, applies the one with maximal overlap; otherwise
+//!    appends `{u}` as a new group;
+//! 4. colors `u` red.
+//!
+//! `overlap(Q, F)` counts the relations occurring in `Q` that also occur in
+//! `F` (input relations, cf. the paper's Example 5 where
+//! `overlap(Q₂, {Q₁, Q₃, Q₄, Q₅}) = 1` via the shared relation `T`).
+//! Runs in `O(n³)`.
+
+use std::collections::BTreeSet;
+
+use gumbo_common::RelationName;
+use gumbo_sgf::{DependencyGraph, MultiwayTopoSort, SgfQuery};
+
+/// `overlap(Q_u, F)`: number of distinct relations of query `u` that also
+/// occur in the queries of `group`.
+pub fn overlap(query: &SgfQuery, u: usize, group: &[usize]) -> usize {
+    let u_rels = query.queries()[u].mentioned_relations();
+    let group_rels: BTreeSet<RelationName> = group
+        .iter()
+        .flat_map(|&v| query.queries()[v].mentioned_relations())
+        .collect();
+    u_rels.intersection(&group_rels).count()
+}
+
+/// Compute the `Greedy-SGF` multiway topological sort of an SGF query.
+pub fn greedy_sgf_sort(query: &SgfQuery) -> MultiwayTopoSort {
+    let graph = DependencyGraph::new(query);
+    let n = graph.len();
+    let mut blue: BTreeSet<usize> = (0..n).collect();
+    let mut sort: MultiwayTopoSort = Vec::new();
+    // Group index holding each placed (red) vertex.
+    let mut group_of: Vec<Option<usize>> = vec![None; n];
+
+    while !blue.is_empty() {
+        // D: blue vertices whose predecessors are all red.
+        let available: Vec<usize> = blue
+            .iter()
+            .copied()
+            .filter(|&v| graph.predecessors(v).iter().all(|p| !blue.contains(p)))
+            .collect();
+        debug_assert!(!available.is_empty(), "DAG always has available vertices");
+
+        // Feasibility of inserting u into group i: every predecessor of u
+        // lies in a group strictly before i. (Successors of u are still
+        // blue, so they impose no constraint yet.)
+        let min_group = |u: usize| -> usize {
+            graph
+                .predecessors(u)
+                .iter()
+                .map(|&p| group_of[p].expect("red predecessor") + 1)
+                .max()
+                .unwrap_or(0)
+        };
+
+        let mut best: Option<(usize, usize, usize)> = None; // (u, group, overlap)
+        for &u in &available {
+            let lo = min_group(u);
+            for (i, group) in sort.iter().enumerate().skip(lo) {
+                let ov = overlap(query, u, group);
+                if ov > 0 {
+                    let better = match best {
+                        None => true,
+                        // Maximal overlap; ties broken toward earlier groups
+                        // then smaller vertex ids for determinism.
+                        Some((bu, bi, bov)) => {
+                            ov > bov || (ov == bov && (i, u) < (bi, bu))
+                        }
+                    };
+                    if better {
+                        best = Some((u, i, ov));
+                    }
+                }
+            }
+        }
+
+        let u = match best {
+            Some((u, i, _)) => {
+                sort[i].push(u);
+                group_of[u] = Some(i);
+                u
+            }
+            None => {
+                // No positive-overlap insertion: append the smallest
+                // available vertex as its own group.
+                let u = available[0];
+                sort.push(vec![u]);
+                group_of[u] = Some(sort.len() - 1);
+                u
+            }
+        };
+        blue.remove(&u);
+    }
+    sort
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gumbo_sgf::parse_program;
+
+    #[test]
+    fn overlap_matches_paper_example5() {
+        let q = parse_program(
+            "Z1 := SELECT (x, y) FROM R1(x, y) WHERE S(x);\n\
+             Z2 := SELECT (x, y) FROM Z1(x, y) WHERE T(x);\n\
+             Z3 := SELECT (x, y) FROM Z2(x, y) WHERE U(x);\n\
+             Z4 := SELECT (x, y) FROM R2(x, y) WHERE T(x);\n\
+             Z5 := SELECT (x, y) FROM Z3(x, y) WHERE Z4(x, x);",
+        )
+        .unwrap();
+        // Q2 vs {Q1, Q3, Q4, Q5}: only T is shared -> 1.
+        assert_eq!(overlap(&q, 1, &[0, 2, 3, 4]), 1);
+        // Q2 vs {Q4}: T again.
+        assert_eq!(overlap(&q, 1, &[3]), 1);
+        // Q1 vs {Q3}: nothing shared.
+        assert_eq!(overlap(&q, 0, &[2]), 0);
+    }
+
+    #[test]
+    fn greedy_groups_q4_with_q2_on_example5() {
+        // Q4 reads {R2, T}; T overlaps Q2 ({Z1, T}). Greedy should place
+        // Q4 into Q2's group (both are valid topologically).
+        let q = parse_program(
+            "Z1 := SELECT (x, y) FROM R1(x, y) WHERE S(x);\n\
+             Z2 := SELECT (x, y) FROM Z1(x, y) WHERE T(x);\n\
+             Z3 := SELECT (x, y) FROM Z2(x, y) WHERE U(x);\n\
+             Z4 := SELECT (x, y) FROM R2(x, y) WHERE T(x);\n\
+             Z5 := SELECT (x, y) FROM Z3(x, y) WHERE Z4(x, x);",
+        )
+        .unwrap();
+        let sort = greedy_sgf_sort(&q);
+        DependencyGraph::new(&q).validate_sort(&sort).unwrap();
+        // Find Q4 (index 3) and Q2 (index 1): same group.
+        let g2 = sort.iter().position(|g| g.contains(&1)).unwrap();
+        let g4 = sort.iter().position(|g| g.contains(&3)).unwrap();
+        assert_eq!(g2, g4, "sort was {sort:?}");
+    }
+
+    #[test]
+    fn greedy_sort_is_always_valid() {
+        let q = parse_program(
+            "Z1 := SELECT x FROM R(x) WHERE S(x);\n\
+             Z2 := SELECT x FROM G(x) WHERE S(x);\n\
+             Z3 := SELECT x FROM Z1(x) WHERE Z2(x);\n\
+             Z4 := SELECT x FROM H(x) WHERE T(x);",
+        )
+        .unwrap();
+        let sort = greedy_sgf_sort(&q);
+        DependencyGraph::new(&q).validate_sort(&sort).unwrap();
+        // Z1 and Z2 share S: grouped together.
+        let g1 = sort.iter().position(|g| g.contains(&0)).unwrap();
+        let g2 = sort.iter().position(|g| g.contains(&1)).unwrap();
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn independent_disjoint_queries_stay_separate() {
+        let q = parse_program(
+            "Z1 := SELECT x FROM R(x) WHERE S(x);\n\
+             Z2 := SELECT x FROM G(x) WHERE T(x);",
+        )
+        .unwrap();
+        let sort = greedy_sgf_sort(&q);
+        // No overlap anywhere: each vertex becomes its own group.
+        assert_eq!(sort.len(), 2);
+    }
+
+    #[test]
+    fn single_query_single_group() {
+        let q = parse_program("Z := SELECT x FROM R(x) WHERE S(x);").unwrap();
+        assert_eq!(greedy_sgf_sort(&q), vec![vec![0]]);
+    }
+
+    #[test]
+    fn chain_cannot_be_grouped() {
+        let q = parse_program(
+            "Z1 := SELECT x FROM R(x) WHERE S(x);\n\
+             Z2 := SELECT x FROM Z1(x) WHERE S(x);\n\
+             Z3 := SELECT x FROM Z2(x) WHERE S(x);",
+        )
+        .unwrap();
+        let sort = greedy_sgf_sort(&q);
+        DependencyGraph::new(&q).validate_sort(&sort).unwrap();
+        assert_eq!(sort.len(), 3, "chain forces sequential groups: {sort:?}");
+    }
+}

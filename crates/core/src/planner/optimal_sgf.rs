@@ -1,0 +1,105 @@
+//! Brute-force `SGF-Opt`: exact minimum-cost multiway topological sort.
+//!
+//! The decision variant is NP-complete (Theorem 2, by reduction from
+//! Subset Sum). This solver enumerates every multiway topological sort of
+//! the dependency graph and prices each with a caller-supplied cost
+//! function (`cost(F) = Σᵢ cost(GOPT(Fᵢ))`, Eq. 10) — the paper computes
+//! optimal sorts "through brute-force methods" to validate `Greedy-SGF` on
+//! C1–C4 (§5.3).
+
+use gumbo_common::{GumboError, Result};
+use gumbo_sgf::{DependencyGraph, MultiwayTopoSort, SgfQuery};
+
+/// Find the minimum-cost multiway topological sort.
+///
+/// `sort_cost` prices a full sort; errors propagate. Refuses queries with
+/// more than 12 subqueries (the enumeration is exponential).
+pub fn optimal_sgf_sort(
+    query: &SgfQuery,
+    sort_cost: &mut dyn FnMut(&MultiwayTopoSort) -> Result<f64>,
+) -> Result<(MultiwayTopoSort, f64)> {
+    let graph = DependencyGraph::new(query);
+    if graph.len() > 12 {
+        return Err(GumboError::Plan(format!(
+            "optimal SGF sort is exponential; {} subqueries is too many",
+            graph.len()
+        )));
+    }
+    let mut best: Option<(MultiwayTopoSort, f64)> = None;
+    for sort in graph.all_multiway_sorts() {
+        let c = sort_cost(&sort)?;
+        if best.as_ref().is_none_or(|(_, bc)| c < *bc) {
+            best = Some((sort, c));
+        }
+    }
+    best.ok_or_else(|| GumboError::Plan("no topological sort found".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::greedy_sgf::greedy_sgf_sort;
+    use gumbo_sgf::parse_program;
+
+    fn example5() -> SgfQuery {
+        parse_program(
+            "Z1 := SELECT (x, y) FROM R1(x, y) WHERE S(x);\n\
+             Z2 := SELECT (x, y) FROM Z1(x, y) WHERE T(x);\n\
+             Z3 := SELECT (x, y) FROM Z2(x, y) WHERE U(x);\n\
+             Z4 := SELECT (x, y) FROM R2(x, y) WHERE T(x);\n\
+             Z5 := SELECT (x, y) FROM Z3(x, y) WHERE Z4(x, x);",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fewest_groups_cost_picks_maximal_grouping() {
+        // Cost = number of groups: the optimum merges Q4 into the first
+        // chain slot, giving 4 groups.
+        let q = example5();
+        let (sort, cost) =
+            optimal_sgf_sort(&q, &mut |s: &MultiwayTopoSort| Ok(s.len() as f64)).unwrap();
+        assert_eq!(cost, 4.0);
+        DependencyGraph::new(&q).validate_sort(&sort).unwrap();
+    }
+
+    #[test]
+    fn optimal_never_exceeds_greedy_under_same_cost() {
+        // Price a sort by Σ per-group (overhead + distinct relations),
+        // rewarding grouping queries that share relations.
+        let q = example5();
+        let mut price = |s: &MultiwayTopoSort| -> Result<f64> {
+            let mut total = 0.0;
+            for group in s {
+                let rels: std::collections::BTreeSet<_> = group
+                    .iter()
+                    .flat_map(|&i| q.queries()[i].mentioned_relations())
+                    .collect();
+                total += 10.0 + rels.len() as f64;
+            }
+            Ok(total)
+        };
+        let (_, opt) = optimal_sgf_sort(&q, &mut price).unwrap();
+        let greedy = greedy_sgf_sort(&q);
+        let g_cost = price(&greedy).unwrap();
+        assert!(opt <= g_cost + 1e-9, "opt {opt} > greedy {g_cost}");
+    }
+
+    #[test]
+    fn propagates_cost_errors() {
+        let q = example5();
+        let r = optimal_sgf_sort(&q, &mut |_: &MultiwayTopoSort| {
+            Err(GumboError::Plan("boom".into()))
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn refuses_oversized_queries() {
+        let text: String = (0..13)
+            .map(|i| format!("Z{i} := SELECT x FROM R{i}(x) WHERE S(x);\n"))
+            .collect();
+        let q = parse_program(&text).unwrap();
+        assert!(optimal_sgf_sort(&q, &mut |_| Ok(0.0)).is_err());
+    }
+}

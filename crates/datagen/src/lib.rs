@@ -1,0 +1,21 @@
+//! # gumbo-datagen
+//!
+//! Seeded workload generators reproducing the paper's experimental setup
+//! (§5.1) at configurable scale:
+//!
+//! * guard relations of 4-ary tuples (paper: 100M tuples / 4 GB each);
+//! * conditional relations with the same tuple count (paper: 1 GB each)
+//!   where a configurable fraction of tuples *matches* the guard
+//!   (paper default: 50%; the selectivity experiment sweeps 0.1–0.9);
+//! * the complete query suites of Table 2 (A1–A5, B1, B2), Figure 6
+//!   (C1–C4), the §5.2 cost-model stress query, and the parametric
+//!   families behind Figures 7 and 8.
+
+pub mod gen;
+pub mod queries;
+
+pub use gen::{CondSpec, DataSpec, GuardSpec};
+pub use queries::Workload;
+
+#[cfg(test)]
+mod proptests;

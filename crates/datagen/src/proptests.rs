@@ -1,0 +1,68 @@
+//! Property-based tests for the workload generator.
+
+#![cfg(test)]
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use crate::gen::DataSpec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Selectivity controls the guard-match fraction for any tuple count,
+    /// seed and selectivity.
+    #[test]
+    fn selectivity_is_respected(
+        n in 200usize..2000,
+        sel in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let spec = DataSpec::new(&[("R", 4)], &[("S", 1)])
+            .with_tuples(n)
+            .with_selectivity(sel);
+        let db = spec.database(seed);
+        let r = db.get("R").unwrap();
+        let sv: BTreeSet<i64> = db
+            .get("S")
+            .unwrap()
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        let matched =
+            r.iter().filter(|t| sv.contains(&t.get(0).unwrap().as_int().unwrap())).count();
+        let frac = matched as f64 / r.len() as f64;
+        prop_assert!((frac - sel).abs() < 0.1, "sel {} measured {}", sel, frac);
+    }
+
+    /// Cardinalities are exact: guards have exactly n tuples, conditionals
+    /// exactly cond_tuples (distinctness holds by construction).
+    #[test]
+    fn cardinalities_exact(n in 100usize..1500, mult in 1usize..4, seed in 0u64..100) {
+        let spec = DataSpec::new(&[("R", 4), ("G", 4)], &[("S", 1), ("T", 3)])
+            .with_tuples(n)
+            .with_cond_tuples(n * mult);
+        let db = spec.database(seed);
+        prop_assert_eq!(db.get("R").unwrap().len(), n);
+        prop_assert_eq!(db.get("G").unwrap().len(), n);
+        prop_assert_eq!(db.get("S").unwrap().len(), n * mult);
+        prop_assert_eq!(db.get("T").unwrap().len(), n * mult);
+    }
+
+    /// Distinct guards are genuinely different relations (no accidental
+    /// permutation collisions) while both stay bijective per column.
+    #[test]
+    fn guards_differ(n in 100usize..800) {
+        let spec = DataSpec::new(&[("R", 4), ("G", 4)], &[]).with_tuples(n);
+        let db = spec.database(0);
+        let r = db.get("R").unwrap();
+        let g = db.get("G").unwrap();
+        prop_assert_ne!(r.renamed("X"), g.renamed("X"));
+        for rel in [r, g] {
+            let col0: BTreeSet<i64> =
+                rel.iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
+            prop_assert_eq!(col0.len(), n);
+        }
+    }
+}

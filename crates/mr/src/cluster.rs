@@ -1,0 +1,116 @@
+//! The cluster model: net time as makespan of task waves.
+//!
+//! The paper measures *net time* (query start to end) on a 10-node cluster
+//! with 10-core nodes (§5.1). We model the cluster as `nodes × slots`
+//! parallel task slots per phase and compute the makespan of scheduling a
+//! bag of task durations with LPT (longest processing time first) list
+//! scheduling — the same greedy policy Hadoop's scheduler approximates for
+//! independent tasks.
+
+/// A cluster configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cluster {
+    /// Number of worker nodes.
+    pub nodes: usize,
+    /// Concurrent map tasks per node.
+    pub map_slots_per_node: usize,
+    /// Concurrent reduce tasks per node.
+    pub reduce_slots_per_node: usize,
+}
+
+impl Default for Cluster {
+    /// The paper's setup: 10 nodes, 10 cores each (YARN caps vcores at 10).
+    fn default() -> Self {
+        Cluster { nodes: 10, map_slots_per_node: 10, reduce_slots_per_node: 10 }
+    }
+}
+
+impl Cluster {
+    /// A cluster with `nodes` nodes and the paper's per-node slot counts.
+    pub fn with_nodes(nodes: usize) -> Self {
+        Cluster { nodes, ..Cluster::default() }
+    }
+
+    /// Total map slots.
+    pub fn map_slots(&self) -> usize {
+        (self.nodes * self.map_slots_per_node).max(1)
+    }
+
+    /// Total reduce slots.
+    pub fn reduce_slots(&self) -> usize {
+        (self.nodes * self.reduce_slots_per_node).max(1)
+    }
+}
+
+/// Makespan of scheduling independent tasks onto `slots` identical machines
+/// using LPT list scheduling. Deterministic; ties broken by insertion order.
+pub fn lpt_makespan(durations: &[f64], slots: usize) -> f64 {
+    let slots = slots.max(1);
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = durations.to_vec();
+    // Descending; total order is safe because durations are finite & >= 0.
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite durations"));
+    let mut loads = vec![0.0f64; slots.min(sorted.len())];
+    for d in sorted {
+        // Assign to the least-loaded slot.
+        let (idx, _) = loads
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite loads"))
+            .expect("at least one slot");
+        loads[idx] += d;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bag_has_zero_makespan() {
+        assert_eq!(lpt_makespan(&[], 10), 0.0);
+    }
+
+    #[test]
+    fn single_slot_sums() {
+        assert!((lpt_makespan(&[1.0, 2.0, 3.0], 1) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enough_slots_gives_max() {
+        assert!((lpt_makespan(&[1.0, 2.0, 3.0], 10) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_balances() {
+        // 4 tasks of 1.0 on 2 slots -> 2.0.
+        assert!((lpt_makespan(&[1.0; 4], 2) - 2.0).abs() < 1e-12);
+        // {3,3,2,2,2} on 2 slots: LPT assigns 3|3, 2|2, 2 -> makespan 7
+        // (optimal is 6; LPT is a 7/6-approximation, good enough for the
+        // wave-scheduling model).
+        assert!((lpt_makespan(&[3.0, 3.0, 2.0, 2.0, 2.0], 2) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_monotone_in_slots() {
+        let tasks: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let m5 = lpt_makespan(&tasks, 5);
+        let m10 = lpt_makespan(&tasks, 10);
+        let m40 = lpt_makespan(&tasks, 40);
+        assert!(m5 >= m10);
+        assert!(m10 >= m40);
+        assert!((m40 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_slot_arithmetic() {
+        let c = Cluster::default();
+        assert_eq!(c.map_slots(), 100);
+        assert_eq!(Cluster::with_nodes(5).map_slots(), 50);
+        let tiny = Cluster { nodes: 0, map_slots_per_node: 0, reduce_slots_per_node: 0 };
+        assert_eq!(tiny.map_slots(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! The MapReduce I/O cost model of §3.3.
+//!
+//! For a job with input partitions `I₁ ∪ … ∪ I_k` (sizes `Nᵢ`, map outputs
+//! `Mᵢ`, metadata `M̂ᵢ`, mapper counts `mᵢ`), `M = Σ Mᵢ`, reducer count `r`
+//! and output size `K`:
+//!
+//! ```text
+//! cost_map(Nᵢ, Mᵢ)  = hr·Nᵢ + merge_map(Mᵢ) + lw·Mᵢ
+//! merge_map(Mᵢ)     = (lr+lw) · Mᵢ · log_D ⌈((Mᵢ+M̂ᵢ)/mᵢ) / buf_map⌉
+//! cost_red(M, K)    = t·M + merge_red(M) + hw·K
+//! merge_red(M)      = (lr+lw) · M · log_D ⌈(M/r) / buf_red⌉
+//! total             = cost_h + Σᵢ cost_map(Nᵢ, Mᵢ) + cost_red(M, K)
+//! ```
+//!
+//! The **Gumbo** model (Eq. 2) sums `cost_map` per partition; the **Wang**
+//! model (Eq. 3, Wang & Chan / MRShare) applies `cost_map` once to the
+//! aggregated `(ΣNᵢ, ΣMᵢ)`, which blurs per-input input/output ratios —
+//! the difference §5.2's cost-model experiment measures.
+
+use gumbo_common::ByteSize;
+
+use crate::profile::{InputPartition, JobProfile};
+
+/// The constants of Table 1/Table 5, measured on the paper's cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostConstants {
+    /// `lr`: local disk read cost (per MB).
+    pub lr: f64,
+    /// `lw`: local disk write cost (per MB).
+    pub lw: f64,
+    /// `hr`: HDFS read cost (per MB).
+    pub hr: f64,
+    /// `hw`: HDFS write cost (per MB).
+    pub hw: f64,
+    /// `t`: shuffle transfer cost (per MB).
+    pub transfer: f64,
+    /// `D`: external sort merge factor.
+    pub merge_factor: f64,
+    /// `buf_map`: map task sort buffer limit (MB).
+    pub buf_map_mb: f64,
+    /// `buf_red`: reduce task merge buffer limit (MB).
+    pub buf_red_mb: f64,
+    /// `cost_h`: fixed overhead of starting an MR job (seconds).
+    ///
+    /// The paper leaves the value implicit; Hadoop job startup on its
+    /// cluster is on the order of ten seconds, consistent with the ~10 s
+    /// planning overhead cited in §5.3.
+    pub job_overhead: f64,
+    /// Map-output metadata per record (16 B in Hadoop, §3.3 footnote 2).
+    pub meta_bytes_per_record: u64,
+}
+
+impl Default for CostConstants {
+    /// The measured values of Table 5.
+    fn default() -> Self {
+        CostConstants {
+            lr: 0.03,
+            lw: 0.085,
+            hr: 0.15,
+            hw: 0.25,
+            transfer: 0.017,
+            merge_factor: 10.0,
+            buf_map_mb: 409.0,
+            buf_red_mb: 512.0,
+            job_overhead: 10.0,
+            meta_bytes_per_record: 16,
+        }
+    }
+}
+
+impl CostConstants {
+    /// Constants used by the NP-hardness reduction of Appendix A: all I/O
+    /// costs zero except `hr = 1` (and no job overhead).
+    pub fn appendix_a() -> Self {
+        CostConstants {
+            lr: 0.0,
+            lw: 0.0,
+            hr: 1.0,
+            hw: 0.0,
+            transfer: 0.0,
+            merge_factor: 10.0,
+            buf_map_mb: 409.0,
+            buf_red_mb: 512.0,
+            job_overhead: 0.0,
+            meta_bytes_per_record: 0,
+        }
+    }
+
+    /// Number of merge passes for `data_mb` of data per task with the given
+    /// buffer: `log_D ⌈data/buf⌉`, clamped to ≥ 0.
+    fn merge_passes(&self, data_mb: f64, buf_mb: f64) -> f64 {
+        if data_mb <= 0.0 {
+            return 0.0;
+        }
+        let runs = (data_mb / buf_mb).ceil();
+        if runs <= 1.0 {
+            0.0
+        } else {
+            runs.log(self.merge_factor).max(0.0)
+        }
+    }
+
+    /// `cost_map(Nᵢ, Mᵢ)` for one input partition.
+    pub fn cost_map(&self, p: &InputPartition) -> f64 {
+        let n_mb = p.input.as_mb();
+        let m_mb = p.map_output.as_mb();
+        let meta_mb = p.meta(self.meta_bytes_per_record).as_mb();
+        let mappers = p.mappers.max(1) as f64;
+        let passes = self.merge_passes((m_mb + meta_mb) / mappers, self.buf_map_mb);
+        self.hr * n_mb + (self.lr + self.lw) * m_mb * passes + self.lw * m_mb
+    }
+
+    /// `cost_red(M, K)`.
+    pub fn cost_red(&self, total_map_output: ByteSize, reducers: usize, output: ByteSize) -> f64 {
+        let m_mb = total_map_output.as_mb();
+        let k_mb = output.as_mb();
+        let r = reducers.max(1) as f64;
+        let passes = self.merge_passes(m_mb / r, self.buf_red_mb);
+        self.transfer * m_mb + (self.lr + self.lw) * m_mb * passes + self.hw * k_mb
+    }
+}
+
+/// Which map-cost aggregation to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CostModelKind {
+    /// The paper's per-partition model (`cost_gumbo`, Eq. 2).
+    #[default]
+    Gumbo,
+    /// The aggregated model of Wang & Chan (`cost_wang`, Eq. 3).
+    Wang,
+}
+
+/// Total cost of a job under the chosen model.
+pub fn job_cost(kind: CostModelKind, c: &CostConstants, profile: &JobProfile) -> f64 {
+    let map_cost = match kind {
+        CostModelKind::Gumbo => profile.partitions.iter().map(|p| c.cost_map(p)).sum::<f64>(),
+        CostModelKind::Wang => {
+            // Collapse all partitions into one aggregate partition: the
+            // global-average behaviour the paper criticizes.
+            let agg = InputPartition {
+                label: "aggregate".into(),
+                input: profile.total_input(),
+                map_output: profile.total_map_output(),
+                records_out: profile.total_records_out(),
+                mappers: profile.total_mappers().max(1),
+            };
+            c.cost_map(&agg)
+        }
+    };
+    c.job_overhead
+        + map_cost
+        + c.cost_red(profile.total_map_output(), profile.reducers, profile.output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(label: &str, n_mb: u64, m_mb: u64, records: u64, mappers: usize) -> InputPartition {
+        InputPartition {
+            label: label.into(),
+            input: ByteSize::mb(n_mb),
+            map_output: ByteSize::mb(m_mb),
+            records_out: records,
+            mappers,
+        }
+    }
+
+    #[test]
+    fn no_merge_cost_when_output_fits_buffer() {
+        let c = CostConstants::default();
+        // 100 MB over 1 mapper < 409 MB buffer -> zero merge passes.
+        let p = part("R", 100, 100, 0, 1);
+        let expected = c.hr * 100.0 + c.lw * 100.0;
+        assert!((c.cost_map(&p) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_cost_appears_beyond_buffer() {
+        let c = CostConstants::default();
+        // 5000 MB over 1 mapper: ⌈5000/409⌉ = 13 runs, log10(13) ≈ 1.11 passes.
+        let p = part("R", 5000, 5000, 0, 1);
+        let base = c.hr * 5000.0 + c.lw * 5000.0;
+        assert!(c.cost_map(&p) > base);
+        // With enough mappers the per-task share fits the buffer again.
+        let p_many = part("R", 5000, 5000, 0, 64);
+        let expected = c.hr * 5000.0 + c.lw * 5000.0;
+        assert!((c.cost_map(&p_many) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metadata_contributes_to_merge_threshold() {
+        let c = CostConstants::default();
+        // 400 MB output fits the 409 MB buffer...
+        let without_meta = part("R", 400, 400, 0, 1);
+        assert!((c.cost_map(&without_meta) - (c.hr * 400.0 + c.lw * 400.0)).abs() < 1e-9);
+        // ...but 400 MB + 16 B × 1M records of metadata does not.
+        let with_meta = part("R", 400, 400, 1_000_000, 1);
+        assert!(c.cost_map(&with_meta) > c.cost_map(&without_meta));
+    }
+
+    #[test]
+    fn gumbo_vs_wang_differ_on_skewed_ratios() {
+        // The §3.3 example: R's mapper amplifies output, S's filters. The
+        // aggregate model averages the two, misestimating merge costs.
+        let c = CostConstants::default();
+        let profile = JobProfile {
+            partitions: vec![
+                part("R", 1000, 12000, 0, 8), // 12x amplification: 1500 MB/task
+                part("S", 8000, 80, 0, 64),   // heavy filtering
+            ],
+            reducers: 32,
+            output: ByteSize::mb(500),
+        };
+        let g = job_cost(CostModelKind::Gumbo, &c, &profile);
+        let w = job_cost(CostModelKind::Wang, &c, &profile);
+        // Gumbo sees R's 1500 MB/task (multi-pass merges); Wang sees
+        // (12080/72) ≈ 168 MB/task (no merge) -> Gumbo must price higher.
+        assert!(g > w, "gumbo {g} should exceed wang {w}");
+    }
+
+    #[test]
+    fn models_agree_on_proportional_inputs() {
+        // When every input has the same in/out ratio and per-task share,
+        // Eq. 2 and Eq. 3 coincide (§5.2: "automatically resorts to
+        // cost_wang in the case of an equal contribution").
+        let c = CostConstants::default();
+        let profile = JobProfile {
+            partitions: vec![part("R", 1000, 1000, 0, 8), part("S", 2000, 2000, 0, 16)],
+            reducers: 16,
+            output: ByteSize::mb(100),
+        };
+        let g = job_cost(CostModelKind::Gumbo, &c, &profile);
+        let w = job_cost(CostModelKind::Wang, &c, &profile);
+        assert!((g - w).abs() < 1e-6, "gumbo {g} vs wang {w}");
+    }
+
+    #[test]
+    fn appendix_a_constants_reduce_to_hr_times_input() {
+        let c = CostConstants::appendix_a();
+        let profile = JobProfile {
+            partitions: vec![part("f", 37, 37, 0, 1)],
+            reducers: 1,
+            output: ByteSize::mb(37),
+        };
+        let cost = job_cost(CostModelKind::Gumbo, &c, &profile);
+        assert!((cost - 37.0).abs() < 1e-9, "got {cost}");
+    }
+
+    #[test]
+    fn reduce_cost_components() {
+        let c = CostConstants::default();
+        // Small M: no reduce-side merge.
+        let red = c.cost_red(ByteSize::mb(100), 4, ByteSize::mb(10));
+        let expected = c.transfer * 100.0 + c.hw * 10.0;
+        assert!((red - expected).abs() < 1e-9);
+        // Big M per reducer: merge passes appear.
+        let red_big = c.cost_red(ByteSize::mb(100_000), 4, ByteSize::mb(10));
+        assert!(red_big > c.transfer * 100_000.0 + c.hw * 10.0);
+    }
+
+    #[test]
+    fn zero_sized_job_costs_only_overhead() {
+        let c = CostConstants::default();
+        let profile = JobProfile {
+            partitions: vec![part("e", 0, 0, 0, 1)],
+            reducers: 1,
+            output: ByteSize::ZERO,
+        };
+        let cost = job_cost(CostModelKind::Gumbo, &c, &profile);
+        assert!((cost - c.job_overhead).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,512 @@
+//! The MapReduce engine: real execution with metered simulation.
+
+use std::collections::BTreeMap;
+
+use gumbo_common::{ByteSize, Fact, GumboError, Relation, RelationName, Result, Tuple};
+use gumbo_storage::SimDfs;
+
+use crate::cluster::{lpt_makespan, Cluster};
+use crate::cost::{job_cost, CostConstants, CostModelKind};
+use crate::hash::partition;
+use crate::job::Job;
+use crate::message::Message;
+use crate::metrics::{JobStats, ProgramStats, RoundStats};
+use crate::profile::{InputPartition, JobProfile};
+use crate::program::MrProgram;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Byte scale factor: measured byte/record counts are multiplied by this
+    /// before entering the cost model, mapping laptop-sized relations onto
+    /// the paper's 100M-tuple regime (e.g. 100k real tuples × scale 1000).
+    pub scale: u64,
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Cost-model constants (Table 5).
+    pub constants: CostConstants,
+    /// Cost model used for *measured* accounting. Execution always behaves
+    /// the same; this only affects how observed jobs are priced. The
+    /// planner may use a different model (that mismatch is the §5.2
+    /// cost-model experiment).
+    pub model: CostModelKind,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scale: 1000,
+            cluster: Cluster::default(),
+            constants: CostConstants::default(),
+            model: CostModelKind::Gumbo,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// An unscaled configuration (bytes enter the cost model as measured).
+    pub fn unscaled() -> Self {
+        EngineConfig { scale: 1, ..EngineConfig::default() }
+    }
+}
+
+/// The deterministic MapReduce engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Engine {
+    /// Engine configuration.
+    pub config: EngineConfig,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { config }
+    }
+
+    /// Execute a program round by round against the DFS, returning the
+    /// paper's four metrics plus per-job detail.
+    pub fn execute(&self, dfs: &mut SimDfs, program: &MrProgram) -> Result<ProgramStats> {
+        let mut stats = ProgramStats::default();
+        for (round_idx, round) in program.rounds().iter().enumerate() {
+            let mut round_jobs = Vec::with_capacity(round.len());
+            for job in round {
+                round_jobs.push(self.execute_job(dfs, job, round_idx)?);
+            }
+            let map_tasks: Vec<f64> =
+                round_jobs.iter().flat_map(|j| j.map_task_durations.iter().copied()).collect();
+            let reduce_tasks: Vec<f64> =
+                round_jobs.iter().flat_map(|j| j.reduce_task_durations.iter().copied()).collect();
+            stats.round_stats.push(RoundStats {
+                map_makespan: lpt_makespan(&map_tasks, self.config.cluster.map_slots()),
+                reduce_makespan: lpt_makespan(&reduce_tasks, self.config.cluster.reduce_slots()),
+                overhead: self.config.constants.job_overhead,
+            });
+            stats.jobs.extend(round_jobs);
+        }
+        Ok(stats)
+    }
+
+    /// Execute a single job: map → shuffle → reduce, with full metering.
+    pub fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+        let scale = self.config.scale.max(1);
+        let consts = &self.config.constants;
+
+        // ---- map phase -------------------------------------------------
+        let mut partitions: Vec<InputPartition> = Vec::with_capacity(job.inputs.len());
+        let mut kvs: Vec<(Tuple, Message)> = Vec::new();
+
+        for input_name in &job.inputs {
+            let rel = dfs.read(input_name)?;
+            let real_input = ByteSize::bytes(rel.estimated_bytes());
+            let scaled_input = real_input.scaled(scale);
+            let n_facts = rel.len();
+            // Mapper (split) count from the *scaled* size — the paper's
+            // regime — clamped so every task has at least one real fact.
+            let mut mappers = job.config.mappers_for(scaled_input);
+            if n_facts > 0 {
+                mappers = mappers.min(n_facts);
+            }
+            let chunk = if n_facts == 0 { 1 } else { n_facts.div_ceil(mappers) };
+
+            let mut map_output_bytes: u64 = 0;
+            let mut records_out: u64 = 0;
+
+            // Process facts split by split so packing is per-map-task.
+            let facts: Vec<(u64, Fact)> = rel
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u64, Fact::new(input_name.clone(), t.clone())))
+                .collect();
+            for split in facts.chunks(chunk.max(1)) {
+                let mut emitted: Vec<(Tuple, Message)> = Vec::new();
+                for (index, fact) in split {
+                    job.mapper.map(fact, *index, &mut |k, v| emitted.push((k, v)));
+                }
+                // Byte accounting: with packing, key bytes are charged once
+                // per distinct key within the task; records follow suit.
+                if job.config.packing {
+                    let mut by_key: BTreeMap<&Tuple, u64> = BTreeMap::new();
+                    for (k, v) in &emitted {
+                        *by_key.entry(k).or_insert(0) += v.estimated_bytes();
+                    }
+                    for (k, value_bytes) in &by_key {
+                        map_output_bytes += k.estimated_bytes() + value_bytes;
+                    }
+                    records_out += by_key.len() as u64;
+                } else {
+                    for (k, v) in &emitted {
+                        map_output_bytes += k.estimated_bytes() + v.estimated_bytes();
+                    }
+                    records_out += emitted.len() as u64;
+                }
+                kvs.extend(emitted);
+            }
+
+            partitions.push(InputPartition {
+                label: input_name.to_string(),
+                input: scaled_input,
+                map_output: ByteSize::bytes(map_output_bytes).scaled(scale),
+                records_out: records_out * scale,
+                mappers,
+            });
+        }
+
+        let total_input: ByteSize = partitions.iter().map(|p| p.input).sum();
+        let total_map_output: ByteSize = partitions.iter().map(|p| p.map_output).sum();
+
+        // ---- shuffle ----------------------------------------------------
+        let reducers = job.config.reducer_policy.reducers(total_input, total_map_output);
+        let mut groups: Vec<BTreeMap<Tuple, Vec<Message>>> = vec![BTreeMap::new(); reducers];
+        // Per-reducer byte loads: used to distribute simulated reduce-task
+        // durations, so data skew (heavy keys) shows up in net time.
+        let mut reducer_bytes: Vec<u64> = vec![0; reducers];
+        for (k, v) in kvs {
+            let p = partition(&k, reducers);
+            reducer_bytes[p] += k.estimated_bytes() + v.estimated_bytes();
+            groups[p].entry(k).or_default().push(v);
+        }
+
+        // ---- reduce phase ----------------------------------------------
+        let mut outputs: BTreeMap<RelationName, Relation> = job
+            .outputs
+            .iter()
+            .map(|(name, arity)| (name.clone(), Relation::new(name.clone(), *arity)))
+            .collect();
+        for group in &groups {
+            for (key, values) in group {
+                let mut err: Option<GumboError> = None;
+                job.reducer.reduce(key, values, &mut |rel_name, tuple| {
+                    if err.is_some() {
+                        return;
+                    }
+                    match outputs.get_mut(rel_name) {
+                        Some(rel) => {
+                            if let Err(e) = rel.insert(tuple) {
+                                err = Some(e);
+                            }
+                        }
+                        None => {
+                            err = Some(GumboError::Plan(format!(
+                                "job {} emitted to undeclared output {rel_name}",
+                                job.name
+                            )));
+                        }
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e);
+                }
+            }
+        }
+
+        let mut output_tuples = 0u64;
+        let mut output_bytes = ByteSize::ZERO;
+        for rel in outputs.into_values() {
+            output_tuples += rel.len() as u64;
+            output_bytes += ByteSize::bytes(rel.estimated_bytes()).scaled(scale);
+            dfs.store(rel);
+        }
+
+        // ---- metering ---------------------------------------------------
+        let profile = JobProfile { partitions, reducers, output: output_bytes };
+        let map_cost: f64 = match self.config.model {
+            CostModelKind::Gumbo => profile.partitions.iter().map(|p| consts.cost_map(p)).sum(),
+            CostModelKind::Wang => {
+                job_cost(CostModelKind::Wang, consts, &profile)
+                    - consts.job_overhead
+                    - consts.cost_red(profile.total_map_output(), reducers, output_bytes)
+            }
+        };
+        let reduce_cost = consts.cost_red(profile.total_map_output(), reducers, output_bytes);
+        let total_cost = consts.job_overhead + map_cost + reduce_cost;
+
+        let mut map_task_durations = Vec::new();
+        for p in &profile.partitions {
+            let per_task = consts.cost_map(p) / p.mappers.max(1) as f64;
+            map_task_durations.extend(std::iter::repeat_n(per_task, p.mappers));
+        }
+        // Distribute the (cost-model) reduce cost over tasks proportionally
+        // to their actual byte loads — uniform when there is no data (or no
+        // skew). Totals stay faithful to the paper's cost_red; only the
+        // wall-clock distribution reflects skew.
+        let shuffled: u64 = reducer_bytes.iter().sum();
+        let reduce_task_durations: Vec<f64> = if shuffled == 0 {
+            vec![reduce_cost / reducers.max(1) as f64; reducers]
+        } else {
+            reducer_bytes
+                .iter()
+                .map(|&b| reduce_cost * b as f64 / shuffled as f64)
+                .collect()
+        };
+
+        Ok(JobStats {
+            name: job.name.clone(),
+            round,
+            profile,
+            map_cost,
+            reduce_cost,
+            total_cost,
+            map_task_durations,
+            reduce_task_durations,
+            output_tuples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobConfig, Mapper, Reducer, ReducerPolicy};
+    use crate::message::Payload;
+
+    /// A miniature single-semi-join job (§4.1's repartition join): guard
+    /// R(x, z) requests on key z; conditional S(z, y) asserts on key z.
+    struct SemiJoinMapper;
+    impl Mapper for SemiJoinMapper {
+        fn map(&self, fact: &Fact, _index: u64, emit: &mut dyn FnMut(Tuple, Message)) {
+            let key = Tuple::new(vec![fact.tuple.get(if fact.relation.as_str() == "R" {
+                1
+            } else {
+                0
+            })
+            .unwrap()
+            .clone()]);
+            if fact.relation.as_str() == "R" {
+                let out = Tuple::new(vec![fact.tuple.get(0).unwrap().clone()]);
+                emit(key, Message::Req { cond: 0, payload: Payload::Tuple(out) });
+            } else {
+                emit(key, Message::Assert { cond: 0 });
+            }
+        }
+    }
+
+    struct SemiJoinReducer;
+    impl Reducer for SemiJoinReducer {
+        fn reduce(&self, _key: &Tuple, values: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+            let asserted = values.iter().any(|m| matches!(m, Message::Assert { cond: 0 }));
+            if asserted {
+                for m in values {
+                    if let Message::Req { cond: 0, payload: Payload::Tuple(t) } = m {
+                        emit(&"Z".into(), t.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn semi_join_job() -> Job {
+        Job {
+            name: "MSJ(Z)".into(),
+            inputs: vec!["R".into(), "S".into()],
+            outputs: vec![("Z".into(), 1)],
+            mapper: Box::new(SemiJoinMapper),
+            reducer: Box::new(SemiJoinReducer),
+            config: JobConfig::default(),
+        }
+    }
+
+    fn example3_dfs() -> SimDfs {
+        // Example 3: I = {R(1,2), R(4,5), S(2,3)}.
+        let mut dfs = SimDfs::new();
+        dfs.store(
+            Relation::from_tuples(
+                "R",
+                2,
+                vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[4, 5])],
+            )
+            .unwrap(),
+        );
+        dfs.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[2, 3])]).unwrap());
+        dfs
+    }
+
+    #[test]
+    fn example3_semijoin_executes_correctly() {
+        let mut dfs = example3_dfs();
+        let engine = Engine::new(EngineConfig::unscaled());
+        let mut program = MrProgram::new();
+        program.push_job(semi_join_job());
+        let stats = engine.execute(&mut dfs, &program).unwrap();
+        let z = dfs.peek(&"Z".into()).unwrap();
+        assert_eq!(z.len(), 1);
+        assert!(z.contains(&Tuple::from_ints(&[1])));
+        assert_eq!(stats.jobs[0].output_tuples, 1);
+        assert!(stats.net_time() > 0.0);
+        assert!(stats.total_time() >= stats.net_time() || stats.num_jobs() == 1);
+    }
+
+    #[test]
+    fn per_input_partitions_are_metered_separately() {
+        let mut dfs = example3_dfs();
+        let engine = Engine::new(EngineConfig::unscaled());
+        let stats = engine.execute_job(&mut dfs, &semi_join_job(), 0).unwrap();
+        assert_eq!(stats.profile.partitions.len(), 2);
+        assert_eq!(stats.profile.partitions[0].label, "R");
+        // R has 2 tuples of 20 B; S has 1.
+        assert_eq!(stats.profile.partitions[0].input, ByteSize::bytes(40));
+        assert_eq!(stats.profile.partitions[1].input, ByteSize::bytes(20));
+    }
+
+    #[test]
+    fn scale_multiplies_metrics_but_not_results() {
+        let mut dfs1 = example3_dfs();
+        let mut dfs2 = example3_dfs();
+        let e1 = Engine::new(EngineConfig { scale: 1, ..EngineConfig::default() });
+        let e2 = Engine::new(EngineConfig { scale: 1_000_000, ..EngineConfig::default() });
+        let s1 = e1.execute_job(&mut dfs1, &semi_join_job(), 0).unwrap();
+        let s2 = e2.execute_job(&mut dfs2, &semi_join_job(), 0).unwrap();
+        // Same logical result.
+        assert_eq!(dfs1.peek(&"Z".into()).unwrap(), dfs2.peek(&"Z".into()).unwrap());
+        // Scaled metrics.
+        assert_eq!(s2.input_bytes(), s1.input_bytes().scaled(1_000_000));
+        assert!(s2.total_cost > s1.total_cost);
+    }
+
+    #[test]
+    fn undeclared_output_is_an_error() {
+        struct BadReducer;
+        impl Reducer for BadReducer {
+            fn reduce(&self, _: &Tuple, _: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+                emit(&"Nope".into(), Tuple::from_ints(&[1]));
+            }
+        }
+        let mut dfs = example3_dfs();
+        let job = Job {
+            name: "bad".into(),
+            inputs: vec!["R".into()],
+            outputs: vec![],
+            mapper: Box::new(SemiJoinMapper),
+            reducer: Box::new(BadReducer),
+            config: JobConfig::default(),
+        };
+        let engine = Engine::new(EngineConfig::unscaled());
+        assert!(engine.execute_job(&mut dfs, &job, 0).is_err());
+    }
+
+    #[test]
+    fn declared_outputs_exist_even_when_empty() {
+        let mut dfs = SimDfs::new();
+        dfs.store(Relation::new("R", 2));
+        dfs.store(Relation::new("S", 2));
+        let engine = Engine::new(EngineConfig::unscaled());
+        engine.execute_job(&mut dfs, &semi_join_job(), 0).unwrap();
+        assert!(dfs.exists(&"Z".into()));
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn packing_reduces_shuffle_bytes() {
+        // Many R tuples sharing one join key: packed key bytes counted once.
+        let mut rel = Relation::new("R", 2);
+        for i in 0..100 {
+            rel.insert(Tuple::from_ints(&[i, 7])).unwrap();
+        }
+        let mut dfs_packed = SimDfs::new();
+        dfs_packed.store(rel.clone());
+        dfs_packed.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[7, 0])]).unwrap());
+        let mut dfs_plain = SimDfs::new();
+        dfs_plain.store(rel);
+        dfs_plain.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[7, 0])]).unwrap());
+
+        let engine = Engine::new(EngineConfig::unscaled());
+        let mut packed_job = semi_join_job();
+        packed_job.config.packing = true;
+        let mut plain_job = semi_join_job();
+        plain_job.config.packing = false;
+
+        let packed = engine.execute_job(&mut dfs_packed, &packed_job, 0).unwrap();
+        let plain = engine.execute_job(&mut dfs_plain, &plain_job, 0).unwrap();
+        assert!(packed.communication_bytes() < plain.communication_bytes());
+        // Results identical.
+        assert_eq!(
+            dfs_packed.peek(&"Z".into()).unwrap(),
+            dfs_plain.peek(&"Z".into()).unwrap()
+        );
+    }
+
+    #[test]
+    fn fixed_reducer_policy_is_respected() {
+        let mut dfs = example3_dfs();
+        let mut job = semi_join_job();
+        job.config.reducer_policy = ReducerPolicy::Fixed(7);
+        let engine = Engine::new(EngineConfig::unscaled());
+        let stats = engine.execute_job(&mut dfs, &job, 0).unwrap();
+        assert_eq!(stats.profile.reducers, 7);
+        assert_eq!(stats.reduce_task_durations.len(), 7);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let mut dfs = SimDfs::new();
+        let engine = Engine::new(EngineConfig::unscaled());
+        assert!(engine.execute_job(&mut dfs, &semi_join_job(), 0).is_err());
+    }
+
+    #[test]
+    fn round_concurrency_lowers_net_time() {
+        // Two identical independent jobs: one round of two jobs must have a
+        // lower net time than two rounds of one (same total time).
+        let make_dfs = || {
+            let mut dfs = example3_dfs();
+            dfs.store(
+                Relation::from_tuples(
+                    "R2",
+                    2,
+                    vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[4, 5])],
+                )
+                .unwrap(),
+            );
+            dfs.store(Relation::from_tuples("S2", 2, vec![Tuple::from_ints(&[2, 3])]).unwrap());
+            dfs
+        };
+        let job2 = || Job {
+            name: "MSJ(Z2)".into(),
+            inputs: vec!["R2".into(), "S2".into()],
+            outputs: vec![("Z2".into(), 1)],
+            mapper: Box::new(SemiJoinMapper2),
+            reducer: Box::new(SemiJoinReducer2),
+            config: JobConfig::default(),
+        };
+
+        struct SemiJoinMapper2;
+        impl Mapper for SemiJoinMapper2 {
+            fn map(&self, fact: &Fact, _i: u64, emit: &mut dyn FnMut(Tuple, Message)) {
+                let pos = if fact.relation.as_str() == "R2" { 1 } else { 0 };
+                let key = Tuple::new(vec![fact.tuple.get(pos).unwrap().clone()]);
+                if fact.relation.as_str() == "R2" {
+                    let out = Tuple::new(vec![fact.tuple.get(0).unwrap().clone()]);
+                    emit(key, Message::Req { cond: 0, payload: Payload::Tuple(out) });
+                } else {
+                    emit(key, Message::Assert { cond: 0 });
+                }
+            }
+        }
+        struct SemiJoinReducer2;
+        impl Reducer for SemiJoinReducer2 {
+            fn reduce(&self, _k: &Tuple, values: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+                if values.iter().any(|m| matches!(m, Message::Assert { .. })) {
+                    for m in values {
+                        if let Message::Req { payload: Payload::Tuple(t), .. } = m {
+                            emit(&"Z2".into(), t.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        let engine = Engine::new(EngineConfig::default());
+        let mut parallel = MrProgram::new();
+        parallel.push_round(vec![semi_join_job(), job2()]);
+        let mut sequential = MrProgram::new();
+        sequential.push_job(semi_join_job());
+        sequential.push_job(job2());
+
+        let mut d1 = make_dfs();
+        let p_stats = engine.execute(&mut d1, &parallel).unwrap();
+        let mut d2 = make_dfs();
+        let s_stats = engine.execute(&mut d2, &sequential).unwrap();
+
+        assert!(p_stats.net_time() < s_stats.net_time());
+        assert!((p_stats.total_time() - s_stats.total_time()).abs() < 1e-9);
+    }
+}

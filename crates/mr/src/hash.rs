@@ -1,0 +1,96 @@
+//! Deterministic hashing for reducer partitioning.
+//!
+//! `std`'s default hasher is randomized per process, which would make
+//! simulated schedules (and therefore reported times) non-reproducible.
+//! We use FNV-1a over a canonical byte rendering of the key instead.
+
+use gumbo_common::{Tuple, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Deterministic hash of a key tuple.
+pub fn hash_tuple(tuple: &Tuple) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for v in tuple.values() {
+        match v {
+            Value::Int(i) => {
+                mix(&[0u8]);
+                mix(&i.to_le_bytes());
+            }
+            Value::Str(s) => {
+                mix(&[1u8]);
+                mix(s.as_bytes());
+                mix(&[0xff]);
+            }
+        }
+    }
+    h
+}
+
+/// Reducer index for a key under `r` reducers.
+pub fn partition(tuple: &Tuple, reducers: usize) -> usize {
+    debug_assert!(reducers > 0);
+    (hash_tuple(tuple) % reducers as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let t = Tuple::from_ints(&[1, 2, 3]);
+        assert_eq!(hash_tuple(&t), hash_tuple(&t.clone()));
+    }
+
+    #[test]
+    fn different_tuples_differ() {
+        assert_ne!(hash_tuple(&Tuple::from_ints(&[1])), hash_tuple(&Tuple::from_ints(&[2])));
+        // Int 1 and string "1" must not collide by construction (type tags).
+        assert_ne!(
+            hash_tuple(&Tuple::from_ints(&[1])),
+            hash_tuple(&Tuple::new(vec![Value::str("1")]))
+        );
+    }
+
+    #[test]
+    fn partition_in_range() {
+        for i in 0..100 {
+            let p = partition(&Tuple::from_ints(&[i]), 7);
+            assert!(p < 7);
+        }
+    }
+
+    #[test]
+    fn partition_spreads_keys() {
+        // All 100 keys on one of 10 reducers would indicate a broken hash.
+        let mut counts = [0usize; 10];
+        for i in 0..100 {
+            counts[partition(&Tuple::from_ints(&[i]), 10)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn fnv_known_value() {
+        // FNV-1a of empty input is the offset basis.
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+}

@@ -1,0 +1,50 @@
+//! # gumbo-mr
+//!
+//! A deterministic MapReduce substrate: the execution environment the paper
+//! assumes (Hadoop MR, §3.2) rebuilt as an in-memory engine plus a cluster
+//! simulator, together with the paper's I/O **cost model** (§3.3).
+//!
+//! ## What "executing" means here
+//!
+//! Jobs *really run*: the mapper is applied to every input fact, key-value
+//! pairs are hash-partitioned to reducers, grouped, and reduced — so query
+//! results are real and can be checked against a reference evaluator. At
+//! the same time every stage is *metered*: per-input-partition map output
+//! bytes `Mᵢ`, metadata `M̂ᵢ`, mapper counts `mᵢ`, shuffle volume `M`,
+//! output size `K`. Those measurements feed
+//!
+//! * the cost model (`cost`), yielding the paper's **total time** (aggregate
+//!   cost over all tasks, the pay-as-you-go metric), and
+//! * the cluster simulator (`cluster`), yielding **net time** (wall-clock:
+//!   the makespan of scheduling task waves onto `nodes × slots`).
+//!
+//! A configurable *scale factor* maps laptop-sized relations onto the
+//! paper's 100M-tuple regime: all byte quantities are multiplied by it
+//! before entering the cost model, so merge-pass counts and reducer
+//! allocations match the paper's operating point.
+//!
+//! Both cost models are provided: the paper's per-partition model
+//! ([`cost::CostModelKind::Gumbo`], Eq. 2) and the aggregate model of Wang &
+//! Chan / MRShare it refines ([`cost::CostModelKind::Wang`], Eq. 3).
+
+pub mod cluster;
+pub mod cost;
+pub mod engine;
+pub mod hash;
+pub mod job;
+pub mod message;
+pub mod metrics;
+pub mod profile;
+pub mod program;
+
+pub use cluster::Cluster;
+pub use cost::{job_cost, CostConstants, CostModelKind};
+pub use engine::{Engine, EngineConfig};
+pub use job::{Job, JobConfig, Mapper, Reducer, ReducerPolicy};
+pub use message::{Message, Payload};
+pub use metrics::{JobStats, ProgramStats};
+pub use profile::{InputPartition, JobProfile};
+pub use program::MrProgram;
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,117 @@
+//! Intermediate key-value messages.
+//!
+//! The MSJ and EVAL jobs of the paper exchange a small vocabulary of
+//! messages (§4.1–§4.3):
+//!
+//! * `[Req (κᵢ, i); Out ā]` — a guard fact asks whether a conditional fact
+//!   with its join key exists, and says what to output if so;
+//! * `[Assert κᵢ]` — a conditional fact asserts its existence;
+//! * EVAL's tag messages `⟨ā : i⟩` — "tuple ā belongs to relation Xᵢ";
+//! * guard-tuple messages used when the *reference* optimization (§5.1 (2))
+//!   makes EVAL re-read the guard relation.
+//!
+//! Byte sizes follow the paper's data layout (10 B per value) with a 4-byte
+//! tag per message; a `Ref` payload is a single id value.
+
+use gumbo_common::Tuple;
+
+/// Payload of a request message: what to output when the assert matches.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Payload {
+    /// The projected output tuple itself.
+    Tuple(Tuple),
+    /// A reference `(guard index, tuple id)` to a guard tuple — Gumbo
+    /// optimization (2): emit a tuple id rather than the tuple.
+    Ref {
+        /// Which guard relation (for multi-query EVAL jobs).
+        guard: u32,
+        /// Position of the tuple in the guard relation's canonical order.
+        id: u64,
+    },
+}
+
+impl Payload {
+    /// Estimated wire size in bytes.
+    pub fn estimated_bytes(&self) -> u64 {
+        match self {
+            Payload::Tuple(t) => t.estimated_bytes(),
+            // One id value: matches the paper's "reference" being one field.
+            Payload::Ref { .. } => 10,
+        }
+    }
+}
+
+/// A map-output value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Message {
+    /// `[Assert κᵢ]`: a conditional fact for atom `i` exists with this key.
+    Assert {
+        /// Index of the conditional atom (semi-join) within the job.
+        cond: u32,
+    },
+    /// `[Req (κᵢ, i); Out payload]`: output `payload` into `Xᵢ` if an assert
+    /// for atom `i` arrives at the same key.
+    Req {
+        /// Index of the conditional atom (semi-join) within the job.
+        cond: u32,
+        /// What to emit on success.
+        payload: Payload,
+    },
+    /// EVAL input tag: this key belongs to relation `Xᵢ`.
+    Tag {
+        /// Index of the `X` relation within the EVAL job.
+        rel: u32,
+    },
+    /// EVAL guard re-read: the guard tuple identified by the key.
+    GuardTuple {
+        /// Which guard relation.
+        guard: u32,
+        /// The tuple itself.
+        tuple: Tuple,
+    },
+}
+
+/// Per-message fixed overhead (variant tag + small header), in bytes.
+const MSG_HEADER_BYTES: u64 = 4;
+
+impl Message {
+    /// Estimated wire size in bytes (value part only; key bytes are
+    /// accounted by the engine, once per message or once per packed group).
+    pub fn estimated_bytes(&self) -> u64 {
+        match self {
+            Message::Assert { .. } | Message::Tag { .. } => MSG_HEADER_BYTES,
+            Message::Req { payload, .. } => MSG_HEADER_BYTES + payload.estimated_bytes(),
+            Message::GuardTuple { tuple, .. } => MSG_HEADER_BYTES + tuple.estimated_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_is_small() {
+        assert_eq!(Message::Assert { cond: 3 }.estimated_bytes(), 4);
+        assert_eq!(Message::Tag { rel: 1 }.estimated_bytes(), 4);
+    }
+
+    #[test]
+    fn req_with_tuple_counts_payload() {
+        let m = Message::Req { cond: 0, payload: Payload::Tuple(Tuple::from_ints(&[1, 2])) };
+        assert_eq!(m.estimated_bytes(), 4 + 20);
+    }
+
+    #[test]
+    fn ref_is_cheaper_than_wide_tuple() {
+        let wide = Payload::Tuple(Tuple::from_ints(&[1, 2, 3, 4]));
+        let r = Payload::Ref { guard: 0, id: 17 };
+        assert!(r.estimated_bytes() < wide.estimated_bytes());
+    }
+
+    #[test]
+    fn guard_tuple_counts_tuple() {
+        let m = Message::GuardTuple { guard: 0, tuple: Tuple::from_ints(&[1, 2, 3, 4]) };
+        assert_eq!(m.estimated_bytes(), 44);
+    }
+}

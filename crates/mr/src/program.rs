@@ -1,0 +1,138 @@
+//! MapReduce programs: DAGs of jobs organized into rounds.
+//!
+//! §3.2 defines an MR program as a DAG of jobs; its *rounds* are the levels
+//! of the DAG (longest-path depth). All of the paper's plans are naturally
+//! expressed as an explicit sequence of rounds — e.g. a basic MR program is
+//! round 1 = all `MSJ(Sᵢ)` jobs, round 2 = `EVAL` (§4.4) — so the program
+//! representation stores rounds directly; jobs within one round execute
+//! concurrently on the simulated cluster.
+
+use std::fmt;
+
+use crate::job::Job;
+
+/// A MapReduce program: rounds of concurrently-executing jobs.
+#[derive(Default)]
+pub struct MrProgram {
+    rounds: Vec<Vec<Job>>,
+}
+
+impl MrProgram {
+    /// Create an empty program.
+    pub fn new() -> Self {
+        MrProgram::default()
+    }
+
+    /// Append a round of concurrent jobs. Empty rounds are ignored.
+    pub fn push_round(&mut self, jobs: Vec<Job>) {
+        if !jobs.is_empty() {
+            self.rounds.push(jobs);
+        }
+    }
+
+    /// Append a round consisting of a single job.
+    pub fn push_job(&mut self, job: Job) {
+        self.rounds.push(vec![job]);
+    }
+
+    /// Concatenate another program's rounds after this one's.
+    pub fn extend(&mut self, other: MrProgram) {
+        self.rounds.extend(other.rounds);
+    }
+
+    /// The rounds, in execution order.
+    pub fn rounds(&self) -> &[Vec<Job>] {
+        &self.rounds
+    }
+
+    /// Consume the program, yielding its rounds (used when rebasing jobs
+    /// into another program, e.g. the SEQ baseline's chains).
+    pub fn into_rounds(self) -> Vec<Vec<Job>> {
+        self.rounds
+    }
+
+    /// Number of rounds (the paper's "number of rounds" metric).
+    pub fn num_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total number of jobs across all rounds.
+    pub fn num_jobs(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Debug for MrProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MrProgram [{} rounds, {} jobs]", self.num_rounds(), self.num_jobs())?;
+        for (i, round) in self.rounds.iter().enumerate() {
+            let names: Vec<&str> = round.iter().map(|j| j.name.as_str()).collect();
+            writeln!(f, "  round {}: {}", i + 1, names.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobConfig, Mapper, Reducer};
+    use gumbo_common::{Fact, RelationName, Tuple};
+
+    struct Noop;
+    impl Mapper for Noop {
+        fn map(&self, _: &Fact, _: u64, _: &mut dyn FnMut(Tuple, crate::message::Message)) {}
+    }
+    impl Reducer for Noop {
+        fn reduce(&self, _: &Tuple, _: &[crate::message::Message], _: &mut dyn FnMut(&RelationName, Tuple)) {
+        }
+    }
+
+    fn job(name: &str) -> Job {
+        Job {
+            name: name.into(),
+            inputs: vec![],
+            outputs: vec![],
+            mapper: Box::new(Noop),
+            reducer: Box::new(Noop),
+            config: JobConfig::default(),
+        }
+    }
+
+    #[test]
+    fn rounds_and_jobs_counted() {
+        let mut p = MrProgram::new();
+        p.push_round(vec![job("a"), job("b")]);
+        p.push_job(job("c"));
+        assert_eq!(p.num_rounds(), 2);
+        assert_eq!(p.num_jobs(), 3);
+    }
+
+    #[test]
+    fn empty_rounds_dropped() {
+        let mut p = MrProgram::new();
+        p.push_round(vec![]);
+        assert_eq!(p.num_rounds(), 0);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut p = MrProgram::new();
+        p.push_job(job("a"));
+        let mut q = MrProgram::new();
+        q.push_job(job("b"));
+        p.extend(q);
+        assert_eq!(p.num_rounds(), 2);
+        assert_eq!(p.rounds()[1][0].name, "b");
+    }
+
+    #[test]
+    fn debug_lists_rounds() {
+        let mut p = MrProgram::new();
+        p.push_round(vec![job("MSJ(X1,X2)"), job("MSJ(X3)")]);
+        p.push_job(job("EVAL(R)"));
+        let s = format!("{p:?}");
+        assert!(s.contains("round 1: MSJ(X1,X2) | MSJ(X3)"));
+        assert!(s.contains("round 2: EVAL(R)"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the cost model and the cluster scheduler.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use gumbo_common::ByteSize;
+
+use crate::cluster::lpt_makespan;
+use crate::cost::{job_cost, CostConstants, CostModelKind};
+use crate::profile::{InputPartition, JobProfile};
+
+fn part(n_mb: u64, m_mb: u64, records: u64, mappers: usize) -> InputPartition {
+    InputPartition {
+        label: "p".into(),
+        input: ByteSize::mb(n_mb),
+        map_output: ByteSize::mb(m_mb),
+        records_out: records,
+        mappers: mappers.max(1),
+    }
+}
+
+proptest! {
+    /// Costs are non-negative, finite, and at least the job overhead.
+    #[test]
+    fn cost_is_sane(
+        n in 0u64..100_000, m in 0u64..100_000, r in 1usize..500,
+        k in 0u64..100_000, mappers in 1usize..500,
+    ) {
+        let c = CostConstants::default();
+        let profile = JobProfile {
+            partitions: vec![part(n, m, m * 1000, mappers)],
+            reducers: r,
+            output: ByteSize::mb(k),
+        };
+        for kind in [CostModelKind::Gumbo, CostModelKind::Wang] {
+            let cost = job_cost(kind, &c, &profile);
+            prop_assert!(cost.is_finite());
+            prop_assert!(cost >= c.job_overhead - 1e-9);
+        }
+    }
+
+    /// Cost is monotone in input size, map output, and reduce output.
+    #[test]
+    fn cost_monotone(
+        n in 0u64..50_000, m in 0u64..50_000, k in 0u64..50_000,
+        dn in 0u64..10_000, dm in 0u64..10_000, dk in 0u64..10_000,
+    ) {
+        let c = CostConstants::default();
+        let base = JobProfile {
+            partitions: vec![part(n, m, 0, 8)],
+            reducers: 16,
+            output: ByteSize::mb(k),
+        };
+        let bigger = JobProfile {
+            partitions: vec![part(n + dn, m + dm, 0, 8)],
+            reducers: 16,
+            output: ByteSize::mb(k + dk),
+        };
+        prop_assert!(
+            job_cost(CostModelKind::Gumbo, &c, &bigger)
+                >= job_cost(CostModelKind::Gumbo, &c, &base) - 1e-9
+        );
+    }
+
+    /// More mappers never increase the map cost (per-task shares shrink).
+    #[test]
+    fn more_mappers_never_hurt(m in 1u64..100_000, mappers in 1usize..100) {
+        let c = CostConstants::default();
+        let fewer = part(m, m, 0, mappers);
+        let more = part(m, m, 0, mappers * 2);
+        prop_assert!(c.cost_map(&more) <= c.cost_map(&fewer) + 1e-9);
+    }
+
+    /// With a single input partition the two models coincide exactly.
+    #[test]
+    fn models_coincide_on_single_partition(
+        n in 0u64..50_000, m in 0u64..50_000, records in 0u64..10_000_000,
+        mappers in 1usize..100, r in 1usize..100, k in 0u64..10_000,
+    ) {
+        let c = CostConstants::default();
+        let profile = JobProfile {
+            partitions: vec![part(n, m, records, mappers)],
+            reducers: r,
+            output: ByteSize::mb(k),
+        };
+        let g = job_cost(CostModelKind::Gumbo, &c, &profile);
+        let w = job_cost(CostModelKind::Wang, &c, &profile);
+        prop_assert!((g - w).abs() < 1e-6, "gumbo {} vs wang {}", g, w);
+    }
+
+    /// LPT makespan bounds: max task ≤ makespan ≤ total work, and
+    /// makespan ≥ total/slots (work conservation).
+    #[test]
+    fn lpt_bounds(
+        durations in proptest::collection::vec(0.0f64..100.0, 1..40),
+        slots in 1usize..20,
+    ) {
+        let ms = lpt_makespan(&durations, slots);
+        let total: f64 = durations.iter().sum();
+        let max = durations.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(ms >= max - 1e-9);
+        prop_assert!(ms <= total + 1e-9);
+        prop_assert!(ms >= total / slots as f64 - 1e-9);
+        // LPT is a 4/3-approximation of the optimum, which is itself
+        // >= max(total/slots, max): check the guarantee.
+        let lower = (total / slots as f64).max(max);
+        prop_assert!(ms <= 4.0 / 3.0 * lower + max + 1e-9);
+    }
+
+    /// Makespan is monotone: adding a task never shrinks it.
+    #[test]
+    fn lpt_monotone_in_tasks(
+        durations in proptest::collection::vec(0.0f64..100.0, 1..30),
+        extra in 0.0f64..100.0,
+        slots in 1usize..10,
+    ) {
+        let before = lpt_makespan(&durations, slots);
+        let mut more = durations.clone();
+        more.push(extra);
+        prop_assert!(lpt_makespan(&more, slots) >= before - 1e-9);
+    }
+}

@@ -1,0 +1,285 @@
+//! `WHERE`-clause condition trees and their Boolean-formula abstraction.
+//!
+//! A BSGF `WHERE` clause is a Boolean combination `C` of conditional atoms
+//! (§3.1). Query planning replaces each distinct conditional atom `κᵢ` by a
+//! propositional variable `Xᵢ`, producing the formula `ϕ_C` evaluated by the
+//! `EVAL` job (§4.3/§4.4); [`Condition::to_bool_expr`] performs exactly that
+//! replacement.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::atom::Atom;
+
+/// A Boolean combination of conditional atoms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Condition {
+    /// A conditional atom `κ`.
+    Atom(Atom),
+    /// Negation `NOT C`.
+    Not(Box<Condition>),
+    /// Conjunction `C₁ AND C₂`.
+    And(Box<Condition>, Box<Condition>),
+    /// Disjunction `C₁ OR C₂`.
+    Or(Box<Condition>, Box<Condition>),
+}
+
+impl Condition {
+    /// Build a conjunction of conditions. Panics on an empty list.
+    pub fn and_all(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        Self::fold(conds, |a, b| Condition::And(Box::new(a), Box::new(b)))
+    }
+
+    /// Build a disjunction of conditions. Panics on an empty list.
+    pub fn or_all(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        Self::fold(conds, |a, b| Condition::Or(Box::new(a), Box::new(b)))
+    }
+
+    /// Negate this condition.
+    pub fn negated(self) -> Condition {
+        Condition::Not(Box::new(self))
+    }
+
+    fn fold(
+        conds: impl IntoIterator<Item = Condition>,
+        op: impl Fn(Condition, Condition) -> Condition,
+    ) -> Condition {
+        let mut it = conds.into_iter();
+        let first = it.next().expect("boolean combination of zero conditions");
+        it.fold(first, op)
+    }
+
+    /// The distinct conditional atoms of the condition, in first-appearance
+    /// order (the paper's `κ₁, …, κₙ`; it notes they are implicitly all
+    /// different atoms).
+    pub fn conditional_atoms(&self) -> Vec<&Atom> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        self.walk(&mut |atom| {
+            if seen.insert(atom.clone()) {
+                out.push(atom);
+            }
+        });
+        out
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Atom)) {
+        match self {
+            Condition::Atom(a) => f(a),
+            Condition::Not(c) => c.walk(f),
+            Condition::And(l, r) | Condition::Or(l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+        }
+    }
+
+    /// Replace each conditional atom by its index in `atoms`, yielding the
+    /// propositional formula `ϕ_C` over variables `X₀, …, X_{n−1}`.
+    ///
+    /// # Panics
+    /// Panics if the condition mentions an atom not present in `atoms`.
+    pub fn to_bool_expr(&self, atoms: &[&Atom]) -> BoolExpr {
+        match self {
+            Condition::Atom(a) => {
+                let idx = atoms
+                    .iter()
+                    .position(|x| *x == a)
+                    .unwrap_or_else(|| panic!("atom {a} missing from atom table"));
+                BoolExpr::Var(idx)
+            }
+            Condition::Not(c) => BoolExpr::Not(Box::new(c.to_bool_expr(atoms))),
+            Condition::And(l, r) => {
+                BoolExpr::And(Box::new(l.to_bool_expr(atoms)), Box::new(r.to_bool_expr(atoms)))
+            }
+            Condition::Or(l, r) => {
+                BoolExpr::Or(Box::new(l.to_bool_expr(atoms)), Box::new(r.to_bool_expr(atoms)))
+            }
+        }
+    }
+
+    /// Evaluate the condition given, for each atom, whether its semi-join
+    /// membership test succeeded (a truth assignment keyed by atom).
+    pub fn evaluate(&self, truth: &impl Fn(&Atom) -> bool) -> bool {
+        match self {
+            Condition::Atom(a) => truth(a),
+            Condition::Not(c) => !c.evaluate(truth),
+            Condition::And(l, r) => l.evaluate(truth) && r.evaluate(truth),
+            Condition::Or(l, r) => l.evaluate(truth) || r.evaluate(truth),
+        }
+    }
+
+    /// Whether the condition uses only OR and NOT above its atoms
+    /// (one of the two triggers for the 1-ROUND optimization, §5.1 (4)).
+    pub fn is_disjunctive(&self) -> bool {
+        match self {
+            Condition::Atom(_) => true,
+            Condition::Not(c) => c.is_disjunctive(),
+            Condition::Or(l, r) => l.is_disjunctive() && r.is_disjunctive(),
+            Condition::And(..) => false,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Atom(a) => write!(f, "{a}"),
+            Condition::Not(c) => write!(f, "NOT {}", Paren(c)),
+            Condition::And(l, r) => write!(f, "{} AND {}", Paren(l), Paren(r)),
+            Condition::Or(l, r) => write!(f, "{} OR {}", Paren(l), Paren(r)),
+        }
+    }
+}
+
+/// Helper that parenthesizes non-atomic subconditions so that the printed
+/// form parses back to the same tree.
+struct Paren<'a>(&'a Condition);
+
+impl fmt::Display for Paren<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            Condition::Atom(_) => write!(f, "{}", self.0),
+            _ => write!(f, "({})", self.0),
+        }
+    }
+}
+
+/// A propositional formula over variables identified by index — the `ϕ`
+/// consumed by the `EVAL` job of §4.3.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoolExpr {
+    /// Propositional variable `Xᵢ`.
+    Var(usize),
+    /// Constant truth value.
+    Const(bool),
+    /// Negation.
+    Not(Box<BoolExpr>),
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// Evaluate under the assignment "Xᵢ is true iff `present(i)`".
+    ///
+    /// In the EVAL reducer, `present(i)` is "the group's value set contains
+    /// index `i`", i.e. tuple `ā` belongs to relation `Xᵢ`.
+    pub fn evaluate(&self, present: &impl Fn(usize) -> bool) -> bool {
+        match self {
+            BoolExpr::Var(i) => present(*i),
+            BoolExpr::Const(b) => *b,
+            BoolExpr::Not(e) => !e.evaluate(present),
+            BoolExpr::And(l, r) => l.evaluate(present) && r.evaluate(present),
+            BoolExpr::Or(l, r) => l.evaluate(present) || r.evaluate(present),
+        }
+    }
+
+    /// The set of variable indices mentioned.
+    pub fn vars(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<usize>) {
+        match self {
+            BoolExpr::Var(i) => {
+                out.insert(*i);
+            }
+            BoolExpr::Const(_) => {}
+            BoolExpr::Not(e) => e.collect_vars(out),
+            BoolExpr::And(l, r) | BoolExpr::Or(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+        }
+    }
+
+    /// Shift every variable index by `offset` (used when several queries'
+    /// formulas are packed into one EVAL job, §4.5).
+    pub fn shifted(&self, offset: usize) -> BoolExpr {
+        match self {
+            BoolExpr::Var(i) => BoolExpr::Var(i + offset),
+            BoolExpr::Const(b) => BoolExpr::Const(*b),
+            BoolExpr::Not(e) => BoolExpr::Not(Box::new(e.shifted(offset))),
+            BoolExpr::And(l, r) => {
+                BoolExpr::And(Box::new(l.shifted(offset)), Box::new(r.shifted(offset)))
+            }
+            BoolExpr::Or(l, r) => {
+                BoolExpr::Or(Box::new(l.shifted(offset)), Box::new(r.shifted(offset)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn s(v: &str) -> Condition {
+        Condition::Atom(Atom::new("S", vec![Term::var(v)]))
+    }
+
+    #[test]
+    fn conditional_atoms_dedup_in_order() {
+        // S(x) AND (T(x) OR S(x))
+        let t = Condition::Atom(Atom::new("T", vec![Term::var("x")]));
+        let c = Condition::And(Box::new(s("x")), Box::new(Condition::Or(Box::new(t), Box::new(s("x")))));
+        let atoms = c.conditional_atoms();
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[0].relation().as_str(), "S");
+        assert_eq!(atoms[1].relation().as_str(), "T");
+    }
+
+    #[test]
+    fn bool_expr_replacement_and_evaluation() {
+        // ϕ = X0 AND NOT X1, cf. the EVAL description in §4.3.
+        let c = Condition::And(Box::new(s("x")), Box::new(s("y").negated()));
+        let atoms = c.conditional_atoms();
+        let phi = c.to_bool_expr(&atoms);
+        assert!(phi.evaluate(&|i| i == 0));
+        assert!(!phi.evaluate(&|i| i == 0 || i == 1));
+        assert!(!phi.evaluate(&|_| false));
+    }
+
+    #[test]
+    fn evaluate_matches_bool_expr_semantics() {
+        let c = Condition::Or(Box::new(s("x")), Box::new(s("y")));
+        assert!(c.evaluate(&|a: &Atom| a.var_set().contains(&"y".into())));
+        assert!(!c.evaluate(&|_| false));
+    }
+
+    #[test]
+    fn disjunctive_detection() {
+        assert!(Condition::Or(Box::new(s("x")), Box::new(s("y").negated())).is_disjunctive());
+        assert!(!Condition::And(Box::new(s("x")), Box::new(s("y"))).is_disjunctive());
+        // NOT over OR stays disjunctive; NOT over AND does not.
+        assert!(Condition::Or(Box::new(s("x")), Box::new(s("y"))).negated().is_disjunctive());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let c = Condition::And(
+            Box::new(Condition::Or(Box::new(s("x")), Box::new(s("y")))),
+            Box::new(s("z").negated()),
+        );
+        assert_eq!(c.to_string(), "(S(x) OR S(y)) AND (NOT S(z))");
+    }
+
+    #[test]
+    fn shifted_moves_all_vars() {
+        let e = BoolExpr::And(Box::new(BoolExpr::Var(0)), Box::new(BoolExpr::Var(2)));
+        assert_eq!(e.shifted(3).vars().into_iter().collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    fn and_all_or_all_fold_left() {
+        let c = Condition::and_all(vec![s("a"), s("b"), s("c")]);
+        assert_eq!(c.conditional_atoms().len(), 3);
+        let d = Condition::or_all(vec![s("a"), s("b")]);
+        assert!(matches!(d, Condition::Or(..)));
+    }
+}

@@ -1,0 +1,37 @@
+//! # gumbo-sgf
+//!
+//! The **Strictly Guarded Fragment** query language of the paper
+//! *Parallel Evaluation of Multi-Semi-Joins* (Daenen et al., 2016), §3.1:
+//!
+//! * [`Term`]s, [`Atom`]s and conformance (`f ⊨ α`) with projection
+//!   `π_{α;x̄}(f)` — the notational toolkit of §4;
+//! * [`Condition`] trees: Boolean combinations (AND/OR/NOT) of conditional
+//!   atoms appearing in a `WHERE` clause;
+//! * [`BsgfQuery`]: basic strictly guarded fragment queries
+//!   `Z := SELECT x̄ FROM R(t̄) [WHERE C]`, with guardedness validation;
+//! * [`SgfQuery`]: sequences of BSGF queries `Z₁ := ξ₁; …; Zₙ := ξₙ` where
+//!   later queries may reference earlier output relations;
+//! * a hand-written lexer/parser for the paper's SQL-like syntax and a
+//!   pretty-printer that round-trips through it;
+//! * the dependency graph `G_Q` and *multiway topological sorts* (§4.6);
+//! * a naive reference evaluator implementing the semantics directly —
+//!   the ground truth every MapReduce strategy is tested against.
+
+pub mod atom;
+pub mod condition;
+pub mod depgraph;
+pub mod naive;
+pub mod parser;
+pub mod query;
+pub mod term;
+
+pub use atom::Atom;
+pub use condition::{BoolExpr, Condition};
+pub use depgraph::{DependencyGraph, MultiwayTopoSort};
+pub use naive::NaiveEvaluator;
+pub use parser::{parse_program, parse_query};
+pub use query::{BsgfQuery, SgfQuery};
+pub use term::{Term, Var};
+
+#[cfg(test)]
+mod proptests;

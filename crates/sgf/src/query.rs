@@ -1,0 +1,376 @@
+//! BSGF and SGF queries with guardedness validation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use gumbo_common::{GumboError, RelationName, Result};
+
+use crate::atom::Atom;
+use crate::condition::Condition;
+use crate::term::Var;
+
+/// A basic strictly guarded fragment query (§3.1, Eq. 1):
+///
+/// ```text
+/// Z := SELECT x̄ FROM R(t̄) [ WHERE C ];
+/// ```
+///
+/// Invariants enforced by [`BsgfQuery::new`]:
+/// * every output variable of `x̄` occurs in the guard `R(t̄)`;
+/// * for each pair of *distinct* conditional atoms `S(ū)`, `T(v̄)` in `C`,
+///   every shared variable also occurs in the guard (the guardedness
+///   condition that keeps the query in GF);
+/// * the output relation does not appear as its own guard or conditional
+///   atom (no recursion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BsgfQuery {
+    output: RelationName,
+    output_vars: Vec<Var>,
+    guard: Atom,
+    condition: Option<Condition>,
+}
+
+impl BsgfQuery {
+    /// Construct and validate a BSGF query.
+    pub fn new(
+        output: impl Into<RelationName>,
+        output_vars: Vec<Var>,
+        guard: Atom,
+        condition: Option<Condition>,
+    ) -> Result<Self> {
+        let output = output.into();
+        let guard_vars = guard.var_set();
+        for v in &output_vars {
+            if !guard_vars.contains(v) {
+                return Err(GumboError::InvalidQuery(format!(
+                    "output variable {v} does not occur in guard {guard}"
+                )));
+            }
+        }
+        if let Some(cond) = &condition {
+            let atoms = cond.conditional_atoms();
+            for (i, a) in atoms.iter().enumerate() {
+                if *a.relation() == output {
+                    return Err(GumboError::InvalidQuery(format!(
+                        "conditional atom {a} references the query's own output relation"
+                    )));
+                }
+                for b in atoms.iter().skip(i + 1) {
+                    let shared: BTreeSet<_> =
+                        a.var_set().intersection(&b.var_set()).cloned().collect();
+                    for v in shared {
+                        if !guard_vars.contains(&v) {
+                            return Err(GumboError::InvalidQuery(format!(
+                                "conditional atoms {a} and {b} share variable {v} \
+                                 which does not occur in the guard {guard}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        if *guard.relation() == output {
+            return Err(GumboError::InvalidQuery(format!(
+                "guard {guard} references the query's own output relation"
+            )));
+        }
+        Ok(BsgfQuery { output, output_vars, guard, condition })
+    }
+
+    /// The output relation symbol `Z`.
+    pub fn output(&self) -> &RelationName {
+        &self.output
+    }
+
+    /// The output variables `x̄`.
+    pub fn output_vars(&self) -> &[Var] {
+        &self.output_vars
+    }
+
+    /// The guard atom `R(t̄)`.
+    pub fn guard(&self) -> &Atom {
+        &self.guard
+    }
+
+    /// The `WHERE` condition, if any.
+    pub fn condition(&self) -> Option<&Condition> {
+        self.condition.as_ref()
+    }
+
+    /// The distinct conditional atoms `κ₁, …, κₙ` of the condition.
+    pub fn conditional_atoms(&self) -> Vec<&Atom> {
+        self.condition.as_ref().map(|c| c.conditional_atoms()).unwrap_or_default()
+    }
+
+    /// All relation symbols the query *reads* (guard + conditional atoms).
+    pub fn input_relations(&self) -> BTreeSet<RelationName> {
+        let mut out = BTreeSet::new();
+        out.insert(self.guard.relation().clone());
+        for a in self.conditional_atoms() {
+            out.insert(a.relation().clone());
+        }
+        out
+    }
+
+    /// The paper's `overlap(Q, F)` ingredient: relation symbols occurring in
+    /// the query (inputs; the output name is a fresh symbol by construction).
+    pub fn mentioned_relations(&self) -> BTreeSet<RelationName> {
+        self.input_relations()
+    }
+
+    /// Arity of the output relation.
+    pub fn output_arity(&self) -> usize {
+        self.output_vars.len()
+    }
+}
+
+impl fmt::Display for BsgfQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} := SELECT ", self.output)?;
+        if self.output_vars.len() == 1 {
+            write!(f, "{}", self.output_vars[0])?;
+        } else {
+            write!(f, "(")?;
+            for (i, v) in self.output_vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ")")?;
+        }
+        write!(f, " FROM {}", self.guard)?;
+        if let Some(c) = &self.condition {
+            write!(f, " WHERE {c}")?;
+        }
+        write!(f, ";")
+    }
+}
+
+/// A strictly guarded fragment query: a sequence `Z₁ := ξ₁; …; Zₙ := ξₙ`
+/// where each `ξᵢ` may mention earlier outputs `Z_j` (`j < i`) as guard or
+/// conditional atoms. The final `Zₙ` is the query's output (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SgfQuery {
+    queries: Vec<BsgfQuery>,
+}
+
+impl SgfQuery {
+    /// Construct and validate an SGF query.
+    ///
+    /// Validation ensures output names are pairwise distinct and that every
+    /// reference to a `Z`-relation points to an *earlier* subquery.
+    pub fn new(queries: Vec<BsgfQuery>) -> Result<Self> {
+        if queries.is_empty() {
+            return Err(GumboError::InvalidQuery("SGF query with no subqueries".into()));
+        }
+        let mut defined: BTreeSet<RelationName> = BTreeSet::new();
+        let all_outputs: BTreeSet<RelationName> =
+            queries.iter().map(|q| q.output().clone()).collect();
+        if all_outputs.len() != queries.len() {
+            return Err(GumboError::InvalidQuery(
+                "duplicate output relation names in SGF query".into(),
+            ));
+        }
+        for q in &queries {
+            for r in q.input_relations() {
+                if all_outputs.contains(&r) && !defined.contains(&r) {
+                    return Err(GumboError::InvalidQuery(format!(
+                        "subquery {} references {} before it is defined",
+                        q.output(),
+                        r
+                    )));
+                }
+            }
+            defined.insert(q.output().clone());
+        }
+        Ok(SgfQuery { queries })
+    }
+
+    /// Wrap a single BSGF query.
+    pub fn single(query: BsgfQuery) -> Self {
+        SgfQuery { queries: vec![query] }
+    }
+
+    /// The subqueries, in definition order.
+    pub fn queries(&self) -> &[BsgfQuery] {
+        &self.queries
+    }
+
+    /// Number of subqueries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether there are no subqueries (never true for validated queries).
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The output relation of the whole query (`Zₙ`).
+    pub fn output(&self) -> &RelationName {
+        self.queries.last().expect("validated non-empty").output()
+    }
+
+    /// All output relation names, in order.
+    pub fn output_names(&self) -> Vec<RelationName> {
+        self.queries.iter().map(|q| q.output().clone()).collect()
+    }
+
+    /// The *base* relations: inputs that are not outputs of any subquery.
+    pub fn base_relations(&self) -> BTreeSet<RelationName> {
+        let outputs: BTreeSet<RelationName> = self.output_names().into_iter().collect();
+        self.queries
+            .iter()
+            .flat_map(|q| q.input_relations())
+            .filter(|r| !outputs.contains(r))
+            .collect()
+    }
+
+    /// Subquery by output name.
+    pub fn query_for(&self, name: &RelationName) -> Option<&BsgfQuery> {
+        self.queries.iter().find(|q| q.output() == name)
+    }
+
+    /// Combine several SGF queries into one program over the union of
+    /// their BSGF subqueries (§4.7 of the paper). Output names must be
+    /// globally distinct; evaluation strategies can then exploit overlap
+    /// *between* the original queries.
+    pub fn union(queries: &[SgfQuery]) -> Result<SgfQuery> {
+        let combined: Vec<BsgfQuery> =
+            queries.iter().flat_map(|q| q.queries().iter().cloned()).collect();
+        SgfQuery::new(combined)
+    }
+}
+
+impl fmt::Display for SgfQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, q) in self.queries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{q}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn var(v: &str) -> Var {
+        Var::new(v)
+    }
+
+    fn guard_rxy() -> Atom {
+        Atom::vars("R", &["x", "y"])
+    }
+
+    #[test]
+    fn output_vars_must_be_guarded() {
+        let err = BsgfQuery::new("Z", vec![var("q")], guard_rxy(), None).unwrap_err();
+        assert!(matches!(err, GumboError::InvalidQuery(_)));
+    }
+
+    #[test]
+    fn guardedness_rejects_unguarded_shared_vars() {
+        // S(x, w) and T(y, w) share w, which is not in guard R(x, y).
+        let c = Condition::And(
+            Box::new(Condition::Atom(Atom::vars("S", &["x", "w"]))),
+            Box::new(Condition::Atom(Atom::vars("T", &["y", "w"]))),
+        );
+        let err = BsgfQuery::new("Z", vec![var("x")], guard_rxy(), Some(c)).unwrap_err();
+        assert!(err.to_string().contains('w'));
+    }
+
+    #[test]
+    fn guardedness_allows_local_existentials() {
+        // S(x, z1) AND NOT S(y, z2): z1, z2 are local to their atoms — fine.
+        let c = Condition::And(
+            Box::new(Condition::Atom(Atom::vars("S", &["x", "z1"]))),
+            Box::new(Condition::Atom(Atom::vars("S", &["y", "z2"])).negated()),
+        );
+        assert!(BsgfQuery::new("Z", vec![var("x")], guard_rxy(), Some(c)).is_ok());
+    }
+
+    #[test]
+    fn same_atom_twice_is_one_conditional() {
+        let c = Condition::Or(
+            Box::new(Condition::Atom(Atom::vars("S", &["x", "w"]))),
+            Box::new(Condition::Atom(Atom::vars("S", &["x", "w"]))),
+        );
+        // Identical atoms are the *same* conditional atom, so the pairwise
+        // guardedness check does not apply and w stays local.
+        let q = BsgfQuery::new("Z", vec![var("x")], guard_rxy(), Some(c)).unwrap();
+        assert_eq!(q.conditional_atoms().len(), 1);
+    }
+
+    #[test]
+    fn no_self_reference() {
+        assert!(BsgfQuery::new("R", vec![var("x")], guard_rxy(), None).is_err());
+        let c = Condition::Atom(Atom::vars("Z", &["x"]));
+        assert!(BsgfQuery::new("Z", vec![var("x")], guard_rxy(), Some(c)).is_err());
+    }
+
+    #[test]
+    fn constants_in_guard_ok() {
+        // Z5-style query: guard R(x, y, 4).
+        let g = Atom::new("R", vec![Term::var("x"), Term::var("y"), Term::int(4)]);
+        let q = BsgfQuery::new("Z", vec![var("x"), var("y")], g, None).unwrap();
+        assert_eq!(q.output_arity(), 2);
+    }
+
+    #[test]
+    fn sgf_ordering_validated() {
+        let q1 = BsgfQuery::new(
+            "Z1",
+            vec![var("x")],
+            guard_rxy(),
+            Some(Condition::Atom(Atom::vars("S", &["x"]))),
+        )
+        .unwrap();
+        let q2 = BsgfQuery::new(
+            "Z2",
+            vec![var("x")],
+            Atom::vars("Z1", &["x"]),
+            None,
+        )
+        .unwrap();
+        // Correct order: fine.
+        assert!(SgfQuery::new(vec![q1.clone(), q2.clone()]).is_ok());
+        // Reversed: Z2 references Z1 before definition.
+        assert!(SgfQuery::new(vec![q2, q1]).is_err());
+    }
+
+    #[test]
+    fn duplicate_outputs_rejected() {
+        let q = BsgfQuery::new("Z", vec![var("x")], guard_rxy(), None).unwrap();
+        assert!(SgfQuery::new(vec![q.clone(), q]).is_err());
+    }
+
+    #[test]
+    fn base_relations_exclude_outputs() {
+        let q1 = BsgfQuery::new("Z1", vec![var("x")], guard_rxy(), None).unwrap();
+        let q2 = BsgfQuery::new(
+            "Z2",
+            vec![var("x")],
+            Atom::vars("Z1", &["x"]),
+            Some(Condition::Atom(Atom::vars("T", &["x"]))),
+        )
+        .unwrap();
+        let sgf = SgfQuery::new(vec![q1, q2]).unwrap();
+        let base: Vec<String> = sgf.base_relations().iter().map(|r| r.to_string()).collect();
+        assert_eq!(base, vec!["R", "T"]);
+        assert_eq!(sgf.output().as_str(), "Z2");
+    }
+
+    #[test]
+    fn display_single_and_multi_var() {
+        let q = BsgfQuery::new("Z", vec![var("x")], guard_rxy(), None).unwrap();
+        assert_eq!(q.to_string(), "Z := SELECT x FROM R(x, y);");
+        let q2 = BsgfQuery::new("Z", vec![var("x"), var("y")], guard_rxy(), None).unwrap();
+        assert_eq!(q2.to_string(), "Z := SELECT (x, y) FROM R(x, y);");
+    }
+}

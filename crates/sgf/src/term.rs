@@ -1,0 +1,143 @@
+//! Variables and terms.
+//!
+//! A *term* is either a data value or a variable (§3.1).
+
+use std::fmt;
+use std::sync::Arc;
+
+use gumbo_common::Value;
+
+/// An interned variable name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A term: variable or constant data value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable from **V**.
+    Var(Var),
+    /// A constant from **D**.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// Shorthand for an integer constant term.
+    pub fn int(v: i64) -> Self {
+        Term::Const(Value::Int(v))
+    }
+
+    /// Shorthand for a string constant term.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Term::Const(Value::str(s))
+    }
+
+    /// Return the variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Return the constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+
+    /// Whether this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Value> for Term {
+    fn from(v: Value) -> Self {
+        Term::Const(v)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_accessors() {
+        let t = Term::var("x");
+        assert!(t.is_var());
+        assert_eq!(t.as_var().unwrap().name(), "x");
+        assert!(t.as_const().is_none());
+    }
+
+    #[test]
+    fn const_accessors() {
+        let t = Term::int(4);
+        assert!(!t.is_var());
+        assert_eq!(t.as_const(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::int(4).to_string(), "4");
+        assert_eq!(Term::str("bad").to_string(), "\"bad\"");
+    }
+
+    #[test]
+    fn vars_with_same_name_are_equal() {
+        assert_eq!(Var::new("x"), Var::from("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+}

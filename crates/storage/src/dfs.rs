@@ -1,0 +1,202 @@
+//! The simulated DFS: named relation files with byte accounting.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+
+use gumbo_common::{ByteSize, Database, GumboError, Relation, RelationName, Result};
+
+/// A file in the simulated DFS: one stored relation plus its size.
+#[derive(Debug, Clone)]
+pub struct DfsFile {
+    relation: Relation,
+    bytes: ByteSize,
+}
+
+impl DfsFile {
+    /// The stored relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Logical size of the file.
+    pub fn bytes(&self) -> ByteSize {
+        self.bytes
+    }
+}
+
+/// An in-memory simulated distributed file system.
+///
+/// Files are keyed by relation name (the engine stores each relation —
+/// base input, intermediate `Xᵢ`, or query output — as one file). Reads and
+/// writes bump byte counters that back the paper's *input cost* metric
+/// ("number of bytes read from hdfs over the entire MR plan", §5.1).
+#[derive(Debug, Default)]
+pub struct SimDfs {
+    files: BTreeMap<RelationName, DfsFile>,
+    bytes_read: Cell<u64>,
+    bytes_written: Cell<u64>,
+}
+
+impl SimDfs {
+    /// Create an empty DFS.
+    pub fn new() -> Self {
+        SimDfs::default()
+    }
+
+    /// Create a DFS pre-loaded with every relation of a database.
+    pub fn from_database(db: &Database) -> Self {
+        let mut dfs = SimDfs::new();
+        for rel in db.relations() {
+            dfs.store(rel.clone());
+        }
+        // Loading the initial database is not a metered write.
+        dfs.bytes_written.set(0);
+        dfs
+    }
+
+    /// Store a relation, overwriting any previous file of the same name and
+    /// counting the write.
+    pub fn store(&mut self, relation: Relation) -> ByteSize {
+        let bytes = ByteSize::bytes(relation.estimated_bytes());
+        self.bytes_written.set(self.bytes_written.get() + bytes.as_bytes());
+        self.files.insert(relation.name().clone(), DfsFile { relation, bytes });
+        bytes
+    }
+
+    /// Read a relation, counting the read.
+    pub fn read(&self, name: &RelationName) -> Result<&Relation> {
+        let file = self
+            .files
+            .get(name)
+            .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))?;
+        self.bytes_read.set(self.bytes_read.get() + file.bytes.as_bytes());
+        Ok(&file.relation)
+    }
+
+    /// Inspect a relation *without* counting a read (planner/sampling use).
+    pub fn peek(&self, name: &RelationName) -> Result<&Relation> {
+        self.files
+            .get(name)
+            .map(|f| &f.relation)
+            .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))
+    }
+
+    /// Size of a file without reading it (namenode metadata access).
+    pub fn file_bytes(&self, name: &RelationName) -> Result<ByteSize> {
+        self.files
+            .get(name)
+            .map(|f| f.bytes)
+            .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))
+    }
+
+    /// Whether a file exists.
+    pub fn exists(&self, name: &RelationName) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Delete a file, returning the relation if it was present.
+    pub fn delete(&mut self, name: &RelationName) -> Option<Relation> {
+        self.files.remove(name).map(|f| f.relation)
+    }
+
+    /// Names of all stored files, sorted.
+    pub fn file_names(&self) -> impl Iterator<Item = &RelationName> + '_ {
+        self.files.keys()
+    }
+
+    /// Total bytes read so far (HDFS input-cost counter).
+    pub fn bytes_read(&self) -> ByteSize {
+        ByteSize::bytes(self.bytes_read.get())
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> ByteSize {
+        ByteSize::bytes(self.bytes_written.get())
+    }
+
+    /// Reset the I/O counters (between experiments).
+    pub fn reset_counters(&self) {
+        self.bytes_read.set(0);
+        self.bytes_written.set(0);
+    }
+
+    /// Export the current file set as a [`Database`] (for result checking).
+    pub fn to_database(&self) -> Database {
+        self.files.values().map(|f| f.relation.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gumbo_common::{Fact, Tuple};
+
+    fn rel(name: &str, n: i64) -> Relation {
+        Relation::from_tuples(name, 2, (0..n).map(|i| Tuple::from_ints(&[i, i + 1]))).unwrap()
+    }
+
+    #[test]
+    fn store_and_read_counts_bytes() {
+        let mut dfs = SimDfs::new();
+        let written = dfs.store(rel("R", 5));
+        assert_eq!(written, ByteSize::bytes(5 * 20));
+        assert_eq!(dfs.bytes_written(), written);
+        let r = dfs.read(&"R".into()).unwrap();
+        assert_eq!(r.len(), 5);
+        assert_eq!(dfs.bytes_read(), written);
+        // A second read counts again.
+        dfs.read(&"R".into()).unwrap();
+        assert_eq!(dfs.bytes_read(), written * 2);
+    }
+
+    #[test]
+    fn peek_is_free() {
+        let mut dfs = SimDfs::new();
+        dfs.store(rel("R", 3));
+        dfs.peek(&"R".into()).unwrap();
+        assert_eq!(dfs.bytes_read(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let dfs = SimDfs::new();
+        assert!(dfs.read(&"Q".into()).is_err());
+        assert!(dfs.file_bytes(&"Q".into()).is_err());
+    }
+
+    #[test]
+    fn from_database_does_not_count_initial_load() {
+        let mut db = Database::new();
+        db.insert_fact(Fact::new("R", Tuple::from_ints(&[1, 2]))).unwrap();
+        let dfs = SimDfs::from_database(&db);
+        assert_eq!(dfs.bytes_written(), ByteSize::ZERO);
+        assert!(dfs.exists(&"R".into()));
+    }
+
+    #[test]
+    fn delete_removes() {
+        let mut dfs = SimDfs::new();
+        dfs.store(rel("R", 1));
+        assert!(dfs.delete(&"R".into()).is_some());
+        assert!(!dfs.exists(&"R".into()));
+        assert!(dfs.delete(&"R".into()).is_none());
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let mut dfs = SimDfs::new();
+        dfs.store(rel("R", 5));
+        dfs.store(rel("R", 2));
+        assert_eq!(dfs.peek(&"R".into()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn to_database_round_trip() {
+        let mut dfs = SimDfs::new();
+        dfs.store(rel("A", 2));
+        dfs.store(rel("B", 3));
+        let db = dfs.to_database();
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.get("B").unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,16 @@
+//! # gumbo-storage
+//!
+//! A simulated distributed file system standing in for HDFS.
+//!
+//! The paper's algorithms interact with HDFS only through a narrow
+//! interface: reading relation files (at `hr` cost/MB), writing outputs (at
+//! `hw` cost/MB), the split structure that determines mapper counts, and
+//! **sampling** input relations to estimate map-output sizes (Gumbo
+//! optimization (3), §5.1). [`SimDfs`] implements exactly that interface
+//! over in-memory relations with deterministic byte accounting.
+
+pub mod dfs;
+pub mod sample;
+
+pub use dfs::{DfsFile, SimDfs};
+pub use sample::reservoir_sample;

@@ -1,0 +1,80 @@
+//! The book-retailer scenario of Example 2: nested SGF with negation.
+//!
+//! ```text
+//! cargo run --example bookstore_audit
+//! ```
+//!
+//! `Amaz`, `BN` and `BD` hold `(title, author, rating)` rows from three
+//! retailers; `Upcoming` holds `(newtitle, author)` announcements. The
+//! query selects upcoming books by authors who have *not* received a "bad"
+//! rating for the same title at all three retailers — a two-level SGF
+//! query whose inner subquery `Z1` must be evaluated first (it shares the
+//! `ttl` variable across atoms, so it cannot be folded into one BSGF).
+
+use gumbo::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new();
+
+    // (title, author, rating); rating 0 = "bad".
+    let catalog: &[(&str, i64, i64, i64)] = &[
+        // author 1's title 10 is rated bad everywhere -> blacklisted
+        ("Amaz", 10, 1, 0),
+        ("BN", 10, 1, 0),
+        ("BD", 10, 1, 0),
+        // author 2's title 11 is bad at two retailers only -> fine
+        ("Amaz", 11, 2, 0),
+        ("BN", 11, 2, 0),
+        ("BD", 11, 2, 5),
+        // author 3 has great ratings -> fine
+        ("Amaz", 12, 3, 9),
+        ("BN", 12, 3, 8),
+        ("BD", 12, 3, 9),
+    ];
+    for &(rel, ttl, aut, rating) in catalog {
+        db.insert_fact(Fact::new(rel, Tuple::from_ints(&[ttl, aut, rating])))?;
+    }
+    for &(new, aut) in &[(100i64, 1i64), (101, 2), (102, 3)] {
+        db.insert_fact(Fact::new("Upcoming", Tuple::from_ints(&[new, aut])))?;
+    }
+
+    // Example 2, with "bad" encoded as rating constant 0.
+    let query = parse_program(
+        "Z1 := SELECT aut FROM Amaz(ttl, aut, 0) \
+               WHERE BN(ttl, aut, 0) AND BD(ttl, aut, 0);\n\
+         Z2 := SELECT (new, aut) FROM Upcoming(new, aut) WHERE NOT Z1(aut);",
+    )?;
+    println!("query:\n{query}\n");
+
+    // The dependency graph has two levels: Z1 then Z2.
+    let graph = DependencyGraph::new(&query);
+    println!("dependency levels: {:?}\n", graph.level_sort());
+
+    let engine = GumboEngine::with_defaults();
+    let mut dfs = SimDfs::from_database(&db);
+    let (stats, releases) = engine.evaluate_with_output(&mut dfs, &query)?;
+
+    println!("safe upcoming releases (newtitle, author):");
+    for t in releases.iter() {
+        println!("  {t}");
+    }
+    assert_eq!(releases.len(), 2); // authors 2 and 3
+
+    // The blacklist itself is available as the intermediate Z1.
+    let blacklist = dfs.peek(&"Z1".into())?;
+    println!("\nblacklisted authors: {:?}", blacklist.iter().collect::<Vec<_>>());
+    assert_eq!(blacklist.len(), 1);
+
+    println!(
+        "\nplan: {} jobs in {} rounds, net {:.1}s, total {:.1}s",
+        stats.num_jobs(),
+        stats.num_rounds(),
+        stats.net_time(),
+        stats.total_time()
+    );
+
+    let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db)?;
+    assert_eq!(releases, expected);
+    println!("verified against the naive evaluator ✓");
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! `gumbo-cli` — run SGF queries over TSV relations from the command line.
+//!
+//! ```text
+//! gumbo-cli --data DIR --query FILE
+//!           [--strategy greedy|par|sequnit|parunit|one-round|dynamic]
+//!           [--scale N] [--nodes N] [--out DIR] [--explain]
+//! ```
+//!
+//! `DIR` holds one `Name.tsv` per relation (tab-separated, integers or
+//! strings); `FILE` holds an SGF program in the paper's SQL-like syntax.
+//! Every output relation (final and intermediate `Z`s) is written back to
+//! `--out` (if given) as TSV, and the paper's four metrics are printed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gumbo::prelude::*;
+
+struct Args {
+    data: PathBuf,
+    query: PathBuf,
+    strategy: String,
+    scale: u64,
+    nodes: usize,
+    out: Option<PathBuf>,
+    explain: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        data: PathBuf::new(),
+        query: PathBuf::new(),
+        strategy: "greedy".into(),
+        scale: 1,
+        nodes: 10,
+        out: None,
+        explain: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |i: &mut usize, argv: &[String]| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--data" => args.data = PathBuf::from(need(&mut i, &argv)?),
+            "--query" => args.query = PathBuf::from(need(&mut i, &argv)?),
+            "--strategy" => args.strategy = need(&mut i, &argv)?,
+            "--scale" => {
+                args.scale = need(&mut i, &argv)?.parse().map_err(|e| format!("--scale: {e}"))?
+            }
+            "--nodes" => {
+                args.nodes = need(&mut i, &argv)?.parse().map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--out" => args.out = Some(PathBuf::from(need(&mut i, &argv)?)),
+            "--explain" => args.explain = true,
+            "--help" | "-h" => {
+                return Err("usage: gumbo-cli --data DIR --query FILE \
+                            [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
+                            [--scale N] [--nodes N] [--out DIR] [--explain]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if args.data.as_os_str().is_empty() || args.query.as_os_str().is_empty() {
+        return Err("both --data and --query are required (try --help)".into());
+    }
+    Ok(args)
+}
+
+fn options_for(strategy: &str) -> Result<EvalOptions, String> {
+    use gumbo::core::SortStrategy;
+    let base = EvalOptions::default();
+    Ok(match strategy {
+        "greedy" => EvalOptions { enable_one_round: false, ..base },
+        "one-round" => base,
+        "par" => EvalOptions {
+            grouping: Grouping::Singletons,
+            sort: SortStrategy::Levels,
+            enable_one_round: false,
+            ..base
+        },
+        "sequnit" => EvalOptions {
+            grouping: Grouping::Singletons,
+            sort: SortStrategy::Sequential,
+            enable_one_round: false,
+            ..base
+        },
+        "parunit" => EvalOptions {
+            grouping: Grouping::Singletons,
+            sort: SortStrategy::Levels,
+            enable_one_round: false,
+            ..base
+        },
+        "dynamic" => EvalOptions { sort: SortStrategy::DynamicGreedy, ..base },
+        other => return Err(format!("unknown strategy {other}")),
+    })
+}
+
+fn run(args: Args) -> Result<(), String> {
+    // Load relations.
+    let relations =
+        gumbo::common::io::read_tsv_dir(&args.data).map_err(|e| e.to_string())?;
+    if relations.is_empty() {
+        return Err(format!("no .tsv relations found in {:?}", args.data));
+    }
+    let mut db = Database::new();
+    for rel in relations {
+        eprintln!("loaded {:<16} {:>8} tuples (arity {})", rel.name(), rel.len(), rel.arity());
+        db.add_relation(rel);
+    }
+
+    // Parse the program.
+    let text = std::fs::read_to_string(&args.query)
+        .map_err(|e| format!("reading {:?}: {e}", args.query))?;
+    let query = parse_program(&text).map_err(|e| e.to_string())?;
+    eprintln!("\nquery:\n{query}\n");
+
+    // Plan + run.
+    let options = options_for(&args.strategy)?;
+    let engine = GumboEngine::new(
+        EngineConfig {
+            scale: args.scale,
+            cluster: Cluster::with_nodes(args.nodes),
+            ..EngineConfig::default()
+        },
+        options,
+    );
+    let mut dfs = SimDfs::from_database(&db);
+
+    if args.explain {
+        let sort = engine.sort_for(&dfs, &query).map_err(|e| e.to_string())?;
+        eprintln!("multiway topological sort: {sort:?}");
+        let cost = engine.sort_cost(&dfs, &query, &sort).map_err(|e| e.to_string())?;
+        eprintln!("estimated plan cost      : {cost:.1}\n");
+    }
+
+    let stats = engine.evaluate(&mut dfs, &query).map_err(|e| e.to_string())?;
+
+    // Verify against the reference evaluator (cheap at CLI scales).
+    let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db).map_err(|e| e.to_string())?;
+    let got = dfs.peek(query.output()).map_err(|e| e.to_string())?;
+    if got != &expected {
+        return Err("internal error: MapReduce result differs from reference evaluator".into());
+    }
+
+    println!("{stats}");
+    println!("output {} has {} tuples", query.output(), got.len());
+
+    if let Some(out_dir) = args.out {
+        std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir:?}: {e}"))?;
+        for name in query.output_names() {
+            let rel = dfs.peek(&name).map_err(|e| e.to_string())?;
+            let path = out_dir.join(format!("{name}.tsv"));
+            gumbo::common::io::write_tsv_file(rel, &path).map_err(|e| e.to_string())?;
+            println!("wrote {path:?} ({} tuples)", rel.len());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args().and_then(run) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! # gumbo — Parallel Evaluation of Multi-Semi-Joins
+//!
+//! A Rust reproduction of *Parallel Evaluation of Multi-Semi-Joins*
+//! (Daenen, Neven, Tan, Vansummeren, 2016): evaluation of Strictly Guarded
+//! Fragment (SGF) queries on a MapReduce substrate using the multi-semi-join
+//! operator `MSJ(S)`, the `EVAL` job for Boolean combinations, and the
+//! cost-model-driven `Greedy-BSGF` / `Greedy-SGF` planners, together with
+//! the baselines (SEQ, PAR, simulated Pig/Hive) the paper compares against.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gumbo::prelude::*;
+//!
+//! // A database: R(x, y) with conditional relations S and T.
+//! let mut db = Database::new();
+//! for (rel, tuple) in [
+//!     ("R", vec![1i64, 10]),
+//!     ("R", vec![2, 20]),
+//!     ("R", vec![3, 30]),
+//!     ("S", vec![1]),
+//!     ("S", vec![2]),
+//!     ("T", vec![20]),
+//! ] {
+//!     db.insert_fact(Fact::new(rel, Tuple::from_ints(&tuple))).unwrap();
+//! }
+//!
+//! // The paper's SQL-like SGF syntax.
+//! let query = parse_program(
+//!     "Answer := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);",
+//! ).unwrap();
+//!
+//! // Plan + execute on the simulated MapReduce cluster.
+//! let engine = GumboEngine::with_defaults();
+//! let mut dfs = SimDfs::from_database(&db);
+//! let (stats, answer) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
+//!
+//! assert_eq!(answer.len(), 1); // only R(1, 10) survives
+//! assert!(stats.net_time() > 0.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`gumbo_common`] | values, tuples, facts, relations, databases |
+//! | [`gumbo_sgf`] | SGF/BSGF ASTs, parser, dependency graphs, naive evaluator |
+//! | [`gumbo_storage`] | simulated DFS with byte accounting and sampling |
+//! | [`gumbo_mr`] | MapReduce engine, cluster simulator, cost models |
+//! | [`gumbo_core`] | MSJ, EVAL, 1-ROUND fusion, plans, greedy + optimal planners |
+//! | [`gumbo_baselines`] | SEQ chains, PAR presets, Pig/Hive simulators |
+//! | [`gumbo_datagen`] | the paper's workloads (A1–A5, B1/B2, C1–C4, sweeps) |
+
+pub use gumbo_baselines as baselines;
+pub use gumbo_common as common;
+pub use gumbo_core as core;
+pub use gumbo_datagen as datagen;
+pub use gumbo_mr as mr;
+pub use gumbo_sgf as sgf;
+pub use gumbo_storage as storage;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use gumbo_baselines::{
+        greedy_engine, greedy_sgf_engine, one_round_engine, par_engine, parunit_engine,
+        sequnit_engine, HiveSim, PigSim, SeqStrategy,
+    };
+    pub use gumbo_common::{ByteSize, Database, Fact, GumboError, Relation, Result, Tuple, Value};
+    pub use gumbo_core::{
+        BsgfSetPlan, EvalOptions, Grouping, GumboEngine, PayloadMode, QueryContext, SortStrategy,
+    };
+    pub use gumbo_datagen::{DataSpec, Workload};
+    pub use gumbo_mr::{
+        Cluster, CostConstants, CostModelKind, Engine, EngineConfig, JobConfig, ProgramStats,
+    };
+    pub use gumbo_sgf::{
+        parse_program, parse_query, Atom, BsgfQuery, Condition, DependencyGraph, NaiveEvaluator,
+        SgfQuery, Term, Var,
+    };
+    pub use gumbo_storage::SimDfs;
+}
