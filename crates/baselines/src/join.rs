@@ -32,7 +32,13 @@ impl Mapper for JoinMapper {
                 let key = sj.guard.project(&fact.tuple, &sj.join_key);
                 // Full guard tuple on the wire (no reference optimization).
                 let payload = Payload::Tuple(sj.guard.project(&fact.tuple, &sj.identity_vars));
-                emit(key, Message::Req { cond: local as u32, payload });
+                emit(
+                    key,
+                    Message::Req {
+                        cond: local as u32,
+                        payload,
+                    },
+                );
             }
         }
         for (g, (atom, key_vars)) in self.asserts.iter().enumerate() {
@@ -40,7 +46,13 @@ impl Mapper for JoinMapper {
                 let key = atom.project(&fact.tuple, key_vars);
                 // Full conditional tuple on the wire (outer-join semantics
                 // keep the right side's columns until the final projection).
-                emit(key, Message::GuardTuple { guard: g as u32, tuple: fact.tuple.clone() });
+                emit(
+                    key,
+                    Message::GuardTuple {
+                        guard: g as u32,
+                        tuple: fact.tuple.clone(),
+                    },
+                );
             }
         }
     }
@@ -61,7 +73,11 @@ impl Reducer for JoinReducer {
             })
             .collect();
         for m in values {
-            if let Message::Req { cond, payload: Payload::Tuple(t) } = m {
+            if let Message::Req {
+                cond,
+                payload: Payload::Tuple(t),
+            } = m
+            {
                 let (x_name, stream) = &self.routes[*cond as usize];
                 if present.contains(stream) {
                     emit(x_name, t.clone());
@@ -96,8 +112,10 @@ pub fn build_join_job(
             identity_vars: sj.identity_vars.clone(),
         })
         .collect();
-    let routes: Vec<(RelationName, u32)> =
-        sjs.iter().map(|sj| (sj.x_name.clone(), assignment[&sj.id] as u32)).collect();
+    let routes: Vec<(RelationName, u32)> = sjs
+        .iter()
+        .map(|sj| (sj.x_name.clone(), assignment[&sj.id] as u32))
+        .collect();
 
     let mut guards: Vec<RelationName> = Vec::new();
     for sj in &sjs {
@@ -115,14 +133,19 @@ pub fn build_join_job(
         inputs.extend(guards.iter().cloned());
     }
 
-    let outputs: Vec<(RelationName, usize)> =
-        sjs.iter().map(|sj| (sj.x_name.clone(), sj.identity_vars.len())).collect();
+    let outputs: Vec<(RelationName, usize)> = sjs
+        .iter()
+        .map(|sj| (sj.x_name.clone(), sj.identity_vars.len()))
+        .collect();
     let x_list: Vec<String> = sjs.iter().map(|sj| sj.x_name.to_string()).collect();
     Job {
         name: format!("{tag}({})", x_list.join(",")),
         inputs,
         outputs,
-        mapper: Box::new(JoinMapper { sjs: specs, asserts: assert_groups }),
+        mapper: Box::new(JoinMapper {
+            sjs: specs,
+            asserts: assert_groups,
+        }),
         reducer: Box::new(JoinReducer { routes }),
         config,
     }
@@ -132,7 +155,7 @@ pub fn build_join_job(
 mod tests {
     use super::*;
     use gumbo_common::{Database, Fact, Relation};
-    use gumbo_mr::{Engine, EngineConfig, MrProgram};
+    use gumbo_mr::{Engine, EngineConfig, Executor, MrProgram};
     use gumbo_sgf::parse_query;
     use gumbo_storage::SimDfs;
 
@@ -143,9 +166,14 @@ mod tests {
         for (name, arity) in [("R", 2), ("S", 1), ("T", 1)] {
             db.add_relation(Relation::new(name, arity));
         }
-        for (rel, t) in [("R", vec![1i64, 10]), ("R", vec![2, 20]), ("S", vec![1]), ("T", vec![10])]
-        {
-            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t))).unwrap();
+        for (rel, t) in [
+            ("R", vec![1i64, 10]),
+            ("R", vec![2, 20]),
+            ("S", vec![1]),
+            ("T", vec![10]),
+        ] {
+            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t)))
+                .unwrap();
         }
         (ctx, db)
     }
@@ -157,7 +185,9 @@ mod tests {
         let job = build_join_job(&ctx, &[0], "HJOIN", JobConfig::baseline(), 0);
         let mut program = MrProgram::new();
         program.push_job(job);
-        Engine::new(EngineConfig::unscaled()).execute(&mut dfs, &program).unwrap();
+        Engine::new(EngineConfig::unscaled())
+            .execute(&mut dfs, &program)
+            .unwrap();
         let x = dfs.peek(&"Z#X0".into()).unwrap();
         assert_eq!(x.len(), 1);
         assert!(x.contains(&Tuple::from_ints(&[1, 10])));
@@ -200,6 +230,9 @@ mod tests {
         let s1 = engine.execute_job(&mut d2, &j1, 0).unwrap();
         assert!(s1.input_bytes() > s0.input_bytes());
         // Results identical regardless.
-        assert_eq!(d1.peek(&"Z#X0".into()).unwrap(), d2.peek(&"Z#X0".into()).unwrap());
+        assert_eq!(
+            d1.peek(&"Z#X0".into()).unwrap(),
+            d2.peek(&"Z#X0".into()).unwrap()
+        );
     }
 }

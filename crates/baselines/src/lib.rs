@@ -28,8 +28,7 @@ pub mod seq;
 pub mod systems;
 
 pub use presets::{
-    greedy_engine, greedy_sgf_engine, one_round_engine, par_engine, parunit_engine,
-    sequnit_engine,
+    greedy_engine, greedy_sgf_engine, one_round_engine, par_engine, parunit_engine, sequnit_engine,
 };
 pub use seq::SeqStrategy;
 pub use systems::{HiveSim, PigSim};

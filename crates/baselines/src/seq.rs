@@ -17,7 +17,7 @@ use gumbo_common::{GumboError, RelationName, Result, Tuple};
 use gumbo_core::oneround::build_same_key_job;
 use gumbo_core::semijoin::{identity_vars, QueryContext};
 use gumbo_core::{BsgfSetPlan, PayloadMode};
-use gumbo_mr::{Engine, Job, JobConfig, Mapper, Message, MrProgram, ProgramStats, Reducer};
+use gumbo_mr::{Executor, Job, JobConfig, Mapper, Message, MrProgram, ProgramStats, Reducer};
 use gumbo_sgf::{Atom, BsgfQuery, Condition, Term, Var};
 use gumbo_storage::SimDfs;
 
@@ -25,14 +25,12 @@ use gumbo_storage::SimDfs;
 type LiteralAtom = (Atom, bool);
 
 /// The SEQ strategy.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SeqStrategy {
     /// Per-job configuration (Gumbo defaults: packing + sampling-based
     /// reducers; SEQ benefits from them too).
     pub job_config: JobConfig,
 }
-
 
 impl SeqStrategy {
     /// Build the sequential program for a set of independent BSGF queries
@@ -64,12 +62,12 @@ impl SeqStrategy {
     /// Execute SEQ for a set of BSGF queries.
     pub fn evaluate(
         &self,
-        engine: &Engine,
+        executor: &dyn Executor,
         dfs: &mut SimDfs,
         queries: &[BsgfQuery],
     ) -> Result<ProgramStats> {
         let program = self.build_program(queries)?;
-        engine.execute(dfs, &program)
+        executor.execute(dfs, &program)
     }
 
     /// Decompose a condition into disjunctive branches of literal
@@ -139,8 +137,12 @@ impl SeqStrategy {
                 } else {
                     Condition::Atom(atom.clone()).negated()
                 };
-                let step_query =
-                    BsgfQuery::new(out_name.clone(), out_vars, current_guard.clone(), Some(cond))?;
+                let step_query = BsgfQuery::new(
+                    out_name.clone(),
+                    out_vars,
+                    current_guard.clone(),
+                    Some(cond),
+                )?;
                 let ctx = QueryContext::new(vec![step_query])?;
                 // A single semi-join is trivially same-key fusible unless
                 // the atom shares no variable with the guard; fall back to
@@ -148,10 +150,12 @@ impl SeqStrategy {
                 if ctx.same_key_fusible(0) {
                     steps.push(build_same_key_job(&ctx, self.job_config)?);
                 } else {
-                    let plan =
-                        BsgfSetPlan::single_group(&ctx, PayloadMode::Full, self.job_config);
+                    let plan = BsgfSetPlan::single_group(&ctx, PayloadMode::Full, self.job_config);
                     steps.extend(
-                        plan.build_program(&ctx)?.into_rounds().into_iter().flatten(),
+                        plan.build_program(&ctx)?
+                            .into_rounds()
+                            .into_iter()
+                            .flatten(),
                     );
                 }
                 // Next step guards on the just-produced intermediate.
@@ -170,7 +174,12 @@ impl SeqStrategy {
                 )?;
                 let ctx = QueryContext::new(vec![step_query])?;
                 let plan = BsgfSetPlan::single_group(&ctx, PayloadMode::Full, self.job_config);
-                steps.extend(plan.build_program(&ctx)?.into_rounds().into_iter().flatten());
+                steps.extend(
+                    plan.build_program(&ctx)?
+                        .into_rounds()
+                        .into_iter()
+                        .flatten(),
+                );
             }
             chains.push(steps);
         }
@@ -187,16 +196,24 @@ impl SeqStrategy {
         let positions: Vec<usize> = q
             .output_vars()
             .iter()
-            .map(|v| ident.iter().position(|iv| iv == v).expect("guarded output var"))
+            .map(|v| {
+                ident
+                    .iter()
+                    .position(|iv| iv == v)
+                    .expect("guarded output var")
+            })
             .collect();
-        let inputs: Vec<RelationName> =
-            (0..branches).map(|b| format!("{}#B{b}", q.output()).into()).collect();
+        let inputs: Vec<RelationName> = (0..branches)
+            .map(|b| format!("{}#B{b}", q.output()).into())
+            .collect();
         Ok(Some(Job {
             name: format!("UNION({})", q.output()),
             inputs,
             outputs: vec![(q.output().clone(), q.output_vars().len())],
             mapper: Box::new(UnionMapper { positions }),
-            reducer: Box::new(UnionReducer { output: q.output().clone() }),
+            reducer: Box::new(UnionReducer {
+                output: q.output().clone(),
+            }),
             config: self.job_config,
         }))
     }
@@ -226,7 +243,7 @@ impl Reducer for UnionReducer {
 mod tests {
     use super::*;
     use gumbo_common::{Database, Fact, Relation};
-    use gumbo_mr::EngineConfig;
+    use gumbo_mr::{Engine, EngineConfig};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
 
     fn db(facts: &[(&str, &[i64])], arities: &[(&str, usize)]) -> Database {
@@ -235,7 +252,8 @@ mod tests {
             db.add_relation(Relation::new(*name, *arity));
         }
         for (rel, t) in facts {
-            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+                .unwrap();
         }
         db
     }
@@ -245,8 +263,14 @@ mod tests {
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, d).unwrap();
         let mut dfs = SimDfs::from_database(d);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = SeqStrategy::default().evaluate(&engine, &mut dfs, std::slice::from_ref(&q)).unwrap();
-        assert_eq!(dfs.peek(q.output()).unwrap(), &expected, "query: {query_text}");
+        let stats = SeqStrategy::default()
+            .evaluate(&engine, &mut dfs, std::slice::from_ref(&q))
+            .unwrap();
+        assert_eq!(
+            dfs.peek(q.output()).unwrap(),
+            &expected,
+            "query: {query_text}"
+        );
         stats
     }
 
@@ -263,8 +287,7 @@ mod tests {
             ],
             &[("R", 2), ("S", 1), ("T", 1)],
         );
-        let stats =
-            check_seq("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(y);", &d);
+        let stats = check_seq("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(y);", &d);
         // Two semi-joins -> two rounds, one job each.
         assert_eq!(stats.num_rounds(), 2);
         assert_eq!(stats.num_jobs(), 2);
@@ -289,7 +312,9 @@ mod tests {
         let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(y);").unwrap();
         let mut dfs = SimDfs::from_database(&d);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = SeqStrategy::default().evaluate(&engine, &mut dfs, &[q]).unwrap();
+        let stats = SeqStrategy::default()
+            .evaluate(&engine, &mut dfs, &[q])
+            .unwrap();
         let first = &stats.jobs[0];
         let second = &stats.jobs[1];
         assert!(
@@ -367,8 +392,7 @@ mod tests {
 
     #[test]
     fn rejects_non_dnf_conditions() {
-        let q =
-            parse_query("Z := SELECT x FROM R(x, y) WHERE S(x) AND (T(y) OR U(x));").unwrap();
+        let q = parse_query("Z := SELECT x FROM R(x, y) WHERE S(x) AND (T(y) OR U(x));").unwrap();
         assert!(SeqStrategy::default().build_program(&[q]).is_err());
     }
 
@@ -389,8 +413,9 @@ mod tests {
         let q2 = parse_query("Z2 := SELECT (x, y) FROM G(x, y) WHERE U(x) AND V(y);").unwrap();
         let mut dfs = SimDfs::from_database(&d);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats =
-            SeqStrategy::default().evaluate(&engine, &mut dfs, &[q1, q2]).unwrap();
+        let stats = SeqStrategy::default()
+            .evaluate(&engine, &mut dfs, &[q1, q2])
+            .unwrap();
         // Chains share rounds: 2 rounds of 2 jobs, no union.
         assert_eq!(stats.num_rounds(), 2);
         assert_eq!(stats.num_jobs(), 4);

@@ -21,7 +21,7 @@ use gumbo_common::Result;
 use gumbo_core::eval::build_eval_job;
 use gumbo_core::semijoin::QueryContext;
 use gumbo_core::PayloadMode;
-use gumbo_mr::{Engine, JobConfig, MrProgram, ProgramStats, ReducerPolicy};
+use gumbo_mr::{Executor, JobConfig, MrProgram, ProgramStats, ReducerPolicy};
 use gumbo_sgf::BsgfQuery;
 use gumbo_storage::SimDfs;
 
@@ -38,12 +38,18 @@ pub struct HiveSim {
 impl HiveSim {
     /// The HPAR strategy.
     pub fn hpar() -> Self {
-        HiveSim { semi_join_mode: false, job_config: hive_job_config() }
+        HiveSim {
+            semi_join_mode: false,
+            job_config: hive_job_config(),
+        }
     }
 
     /// The HPARS strategy.
     pub fn hpars() -> Self {
-        HiveSim { semi_join_mode: true, job_config: hive_job_config() }
+        HiveSim {
+            semi_join_mode: true,
+            job_config: hive_job_config(),
+        }
     }
 
     /// Build the simulated Hive program for a set of BSGF queries.
@@ -53,9 +59,7 @@ impl HiveSim {
             // HPARS: one semi-join operator per conditional atom, all
             // parallel, each re-reading the guard for its materialization.
             let jobs: Vec<_> = (0..ctx.semijoins().len())
-                .map(|i| {
-                    crate::join::build_join_job(ctx, &[i], "HIVE-SJ", self.job_config, 1)
-                })
+                .map(|i| crate::join::build_join_job(ctx, &[i], "HIVE-SJ", self.job_config, 1))
                 .collect();
             program.push_round(jobs);
         } else {
@@ -82,12 +86,12 @@ impl HiveSim {
     /// Execute the strategy.
     pub fn evaluate(
         &self,
-        engine: &Engine,
+        executor: &dyn Executor,
         dfs: &mut SimDfs,
         queries: &[BsgfQuery],
     ) -> Result<ProgramStats> {
         let ctx = QueryContext::new(queries.to_vec())?;
-        engine.execute(dfs, &self.build_program(&ctx)?)
+        executor.execute(dfs, &self.build_program(&ctx)?)
     }
 }
 
@@ -95,7 +99,9 @@ impl HiveSim {
 fn hive_job_config() -> JobConfig {
     JobConfig {
         packing: false,
-        reducer_policy: ReducerPolicy::ByInput { mb_per_reducer: 256 },
+        reducer_policy: ReducerPolicy::ByInput {
+            mb_per_reducer: 256,
+        },
         split_mb: 128,
     }
 }
@@ -110,7 +116,9 @@ pub struct PigSim {
 impl PigSim {
     /// The PPAR strategy.
     pub fn ppar() -> Self {
-        PigSim { job_config: JobConfig::baseline() } // no packing, 1 GB/reducer
+        PigSim {
+            job_config: JobConfig::baseline(),
+        } // no packing, 1 GB/reducer
     }
 
     /// Build the simulated Pig program: one COGROUP job per semi-join, all
@@ -128,12 +136,12 @@ impl PigSim {
     /// Execute the strategy.
     pub fn evaluate(
         &self,
-        engine: &Engine,
+        executor: &dyn Executor,
         dfs: &mut SimDfs,
         queries: &[BsgfQuery],
     ) -> Result<ProgramStats> {
         let ctx = QueryContext::new(queries.to_vec())?;
-        engine.execute(dfs, &self.build_program(&ctx)?)
+        executor.execute(dfs, &self.build_program(&ctx)?)
     }
 }
 
@@ -141,7 +149,7 @@ impl PigSim {
 mod tests {
     use super::*;
     use gumbo_common::{Database, Relation, Tuple};
-    use gumbo_mr::EngineConfig;
+    use gumbo_mr::{Engine, EngineConfig};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
 
     fn a1_small() -> (BsgfQuery, Database) {
@@ -153,7 +161,8 @@ mod tests {
         let mut db = Database::new();
         let mut r = Relation::new("R", 4);
         for i in 0..50i64 {
-            r.insert(Tuple::from_ints(&[i, i + 1, i + 2, i + 3])).unwrap();
+            r.insert(Tuple::from_ints(&[i, i + 1, i + 2, i + 3]))
+                .unwrap();
         }
         db.add_relation(r);
         for (j, name) in ["S", "T", "U", "V"].iter().enumerate() {
@@ -216,7 +225,9 @@ mod tests {
         let (q, db) = a1_small();
         let engine = Engine::new(EngineConfig::unscaled());
         let mut d1 = SimDfs::from_database(&db);
-        let s1 = HiveSim::hpar().evaluate(&engine, &mut d1, std::slice::from_ref(&q)).unwrap();
+        let s1 = HiveSim::hpar()
+            .evaluate(&engine, &mut d1, std::slice::from_ref(&q))
+            .unwrap();
         let mut d2 = SimDfs::from_database(&db);
         let s2 = HiveSim::hpars().evaluate(&engine, &mut d2, &[q]).unwrap();
         assert!(s2.input_bytes() > s1.input_bytes());
@@ -228,7 +239,10 @@ mod tests {
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
         let mut dfs = SimDfs::from_database(&db);
         // Paper-scale factor so the 1 GB/reducer policy is meaningful.
-        let engine = Engine::new(EngineConfig { scale: 1, ..EngineConfig::default() });
+        let engine = Engine::new(EngineConfig {
+            scale: 1,
+            ..EngineConfig::default()
+        });
         let stats = PigSim::ppar().evaluate(&engine, &mut dfs, &[q]).unwrap();
         assert_eq!(stats.num_rounds(), 2);
         assert_eq!(dfs.peek(&"Out".into()).unwrap(), &expected);

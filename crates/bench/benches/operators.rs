@@ -2,6 +2,7 @@
 //! 1-ROUND fusion and the end-to-end A3 pipeline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gumbo_mr::Executor as _;
 
 use gumbo_core::eval::build_eval_job;
 use gumbo_core::msj::build_msj_job;
@@ -25,8 +26,7 @@ fn msj_group_sizes(c: &mut Criterion) {
             let ids: Vec<usize> = (0..k).collect();
             b.iter(|| {
                 let mut dfs = SimDfs::from_database(&db);
-                let job =
-                    build_msj_job(&ctx, &ids, PayloadMode::Reference, JobConfig::default());
+                let job = build_msj_job(&ctx, &ids, PayloadMode::Reference, JobConfig::default());
                 engine.execute_job(&mut dfs, &job, 0).unwrap()
             });
         });
@@ -41,7 +41,10 @@ fn payload_modes(c: &mut Criterion) {
     let engine = Engine::new(EngineConfig::unscaled());
 
     let mut group = c.benchmark_group("msj_payload_mode");
-    for (label, mode) in [("full", PayloadMode::Full), ("reference", PayloadMode::Reference)] {
+    for (label, mode) in [
+        ("full", PayloadMode::Full),
+        ("reference", PayloadMode::Reference),
+    ] {
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut dfs = SimDfs::from_database(&db);
@@ -60,7 +63,12 @@ fn eval_job(c: &mut Criterion) {
     let engine = Engine::new(EngineConfig::unscaled());
     // Materialize the X relations once.
     let mut base = SimDfs::from_database(&db);
-    let msj = build_msj_job(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, JobConfig::default());
+    let msj = build_msj_job(
+        &ctx,
+        &[0, 1, 2, 3],
+        PayloadMode::Reference,
+        JobConfig::default(),
+    );
     engine.execute_job(&mut base, &msj, 0).unwrap();
     let prepared = base.to_database();
 
@@ -98,7 +106,11 @@ fn one_round_vs_two_round(c: &mut Criterion) {
                 PayloadMode::Reference,
                 JobConfig::default(),
             ));
-            program.push_job(build_eval_job(&ctx, PayloadMode::Reference, JobConfig::default()));
+            program.push_job(build_eval_job(
+                &ctx,
+                PayloadMode::Reference,
+                JobConfig::default(),
+            ));
             engine.execute(&mut dfs, &program).unwrap()
         });
     });

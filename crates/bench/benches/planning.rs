@@ -44,7 +44,8 @@ fn greedy_bsgf(c: &mut Criterion) {
                 let cfg = JobConfig::default();
                 let mut cost = |s: &std::collections::BTreeSet<usize>| {
                     let ids: Vec<usize> = s.iter().copied().collect();
-                    est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+                    est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg)
+                        .unwrap()
                 };
                 greedy_partition(k, &mut cost)
             });
@@ -58,8 +59,14 @@ fn greedy_vs_bruteforce(c: &mut Criterion) {
     let db = w.spec.database(1);
     let dfs = SimDfs::from_database(&db);
     let ctx = QueryContext::new(w.query.queries().to_vec()).unwrap();
-    let est =
-        Estimator::new(&dfs, 5_000, CostConstants::default(), CostModelKind::Gumbo, 64, 1);
+    let est = Estimator::new(
+        &dfs,
+        5_000,
+        CostConstants::default(),
+        CostModelKind::Gumbo,
+        64,
+        1,
+    );
     let cfg = JobConfig::default();
 
     let mut group = c.benchmark_group("partitioner_a1");
@@ -67,7 +74,8 @@ fn greedy_vs_bruteforce(c: &mut Criterion) {
         b.iter(|| {
             let mut cost = |s: &std::collections::BTreeSet<usize>| {
                 let ids: Vec<usize> = s.iter().copied().collect();
-                est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+                est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg)
+                    .unwrap()
             };
             greedy_partition(4, &mut cost)
         });
@@ -76,7 +84,8 @@ fn greedy_vs_bruteforce(c: &mut Criterion) {
         b.iter(|| {
             let mut cost = |s: &std::collections::BTreeSet<usize>| {
                 let ids: Vec<usize> = s.iter().copied().collect();
-                est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+                est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg)
+                    .unwrap()
             };
             optimal_partition(4, &mut cost)
         });
@@ -110,7 +119,8 @@ fn estimator_sampling(c: &mut Criterion) {
                 1,
             );
             let all: Vec<usize> = (0..ctx.semijoins().len()).collect();
-            est.msj_cost(&ctx, &all, PayloadMode::Reference, &JobConfig::default()).unwrap()
+            est.msj_cost(&ctx, &all, PayloadMode::Reference, &JobConfig::default())
+                .unwrap()
         });
     });
 }

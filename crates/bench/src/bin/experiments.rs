@@ -1,8 +1,9 @@
 //! Experiment driver: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation>
+//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup>
 //!             [--tuples N] [--scale N] [--nodes N] [--seed N] [--no-verify]
+//!             [--executor sim|parallel|parallel:N]
 //! ```
 
 use gumbo_bench::experiments;
@@ -36,6 +37,16 @@ fn main() {
                 cfg.verify = false;
                 i += 1;
             }
+            "--executor" => {
+                cfg.executor = args
+                    .get(i + 1)
+                    .and_then(|spec| gumbo_mr::ExecutorKind::parse(spec))
+                    .unwrap_or_else(|| {
+                        eprintln!("--executor sim|parallel|parallel:N");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -44,13 +55,14 @@ fn main() {
     }
 
     println!(
-        "config: {} real tuples x scale {} = {}M-equivalent tuples, {} nodes, selectivity {}, verify={}",
+        "config: {} real tuples x scale {} = {}M-equivalent tuples, {} nodes, selectivity {}, verify={}, executor={}",
         cfg.tuples,
         cfg.scale,
         cfg.equivalent_tuples() / 1_000_000,
         cfg.nodes,
         cfg.selectivity,
-        cfg.verify
+        cfg.verify,
+        cfg.executor.label()
     );
 
     let result = match command {
@@ -67,6 +79,7 @@ fn main() {
         "optimality" => experiments::optimality(&cfg),
         "ablation" => experiments::ablation(&cfg),
         "structures" => experiments::structures(),
+        "speedup" => experiments::speedup(&cfg),
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);

@@ -11,7 +11,7 @@ use gumbo_common::Result;
 use gumbo_core::{Estimator, PayloadMode, QueryContext};
 use gumbo_datagen::queries;
 use gumbo_datagen::Workload;
-use gumbo_mr::{CostModelKind, Engine, JobConfig};
+use gumbo_mr::{CostModelKind, JobConfig};
 use gumbo_sgf::DependencyGraph;
 use gumbo_storage::SimDfs;
 
@@ -99,7 +99,13 @@ fn run_lineup(
 /// Figure 3: BSGF queries A1–A5 under all strategies.
 pub fn fig3(cfg: &RunConfig) -> Result<Vec<RunResult>> {
     print_header("Figure 3 — BSGF queries A1-A5 (abs + relative to SEQ)");
-    let workloads = vec![queries::a1(), queries::a2(), queries::a3(), queries::a4(), queries::a5()];
+    let workloads = vec![
+        queries::a1(),
+        queries::a2(),
+        queries::a3(),
+        queries::a4(),
+        queries::a5(),
+    ];
     let rows = run_lineup(&workloads, &BSGF_STRATEGIES, cfg)?;
     print_rows(&rows);
     print_relative(&rows, "SEQ");
@@ -134,14 +140,17 @@ pub fn costmodel(cfg: &RunConfig) -> Result<()> {
     let db = spec.database(cfg.seed);
 
     let mut results = Vec::new();
-    for (label, model) in [("cost_gumbo", CostModelKind::Gumbo), ("cost_wang", CostModelKind::Wang)]
-    {
+    for (label, model) in [
+        ("cost_gumbo", CostModelKind::Gumbo),
+        ("cost_wang", CostModelKind::Wang),
+    ] {
         let mut dfs = SimDfs::from_database(&db);
         let mut engine = greedy_engine(gumbo_mr::EngineConfig {
             scale: cfg.scale,
             cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
             ..gumbo_mr::EngineConfig::default()
         });
+        engine.executor = cfg.executor;
         engine.options.planner_model = model;
         let stats = engine.evaluate(&mut dfs, &w.query)?;
         println!(
@@ -176,16 +185,18 @@ pub fn costmodel(cfg: &RunConfig) -> Result<()> {
     // proportional-ratio jobs (A1/A3/B1 groups) with skewed-ratio jobs
     // (cost-model-query groups, where the guard amplifies and the
     // conditionals filter) — the regime where cost_wang misprices.
-    let pool_workloads = [queries::a1().with_tuples(cfg.tuples),
+    let pool_workloads = [
+        queries::a1().with_tuples(cfg.tuples),
         queries::a3().with_tuples(cfg.tuples),
         queries::b1().with_tuples(cfg.tuples),
-        queries::cost_model_query().with_tuples(cfg.tuples)];
+        queries::cost_model_query().with_tuples(cfg.tuples),
+    ];
     let mut jobs: Vec<(f64, f64, f64)> = Vec::new(); // (gumbo est, wang est, measured)
     for (wi, pw) in pool_workloads.iter().enumerate() {
         let pdb = pw.spec.database(cfg.seed);
         let ctx = QueryContext::new(pw.query.queries().to_vec())?;
         let n = ctx.semijoins().len();
-        let engine = Engine::new(gumbo_mr::EngineConfig {
+        let executor = cfg.executor.build(gumbo_mr::EngineConfig {
             scale: cfg.scale,
             ..gumbo_mr::EngineConfig::default()
         });
@@ -225,7 +236,7 @@ pub fn costmodel(cfg: &RunConfig) -> Result<()> {
                 PayloadMode::Reference,
                 JobConfig::default(),
             );
-            let measured = engine.execute_job(&mut dfs, &job, 0)?.total_cost;
+            let measured = executor.execute_job(&mut dfs, &job, 0)?.total_cost;
             jobs.push((cg, cw, measured));
         }
     }
@@ -266,8 +277,12 @@ pub fn fig5(cfg: &RunConfig) -> Result<Vec<RunResult>> {
     Ok(rows)
 }
 
-const SWEEP_STRATEGIES: [Strategy; 4] =
-    [Strategy::Seq, Strategy::Par, Strategy::Greedy, Strategy::OneRound];
+const SWEEP_STRATEGIES: [Strategy; 4] = [
+    Strategy::Seq,
+    Strategy::Par,
+    Strategy::Greedy,
+    Strategy::OneRound,
+];
 
 /// Figure 7a: growing data size on a fixed 10-node cluster (A3).
 pub fn fig7a(cfg: &RunConfig) -> Result<Vec<RunResult>> {
@@ -275,7 +290,10 @@ pub fn fig7a(cfg: &RunConfig) -> Result<Vec<RunResult>> {
     let mut rows = Vec::new();
     for mult in [2u64, 4, 8, 16] {
         // scale × tuples = 200M/400M/800M/1600M equivalents.
-        let c = RunConfig { scale: cfg.scale * mult / 2, ..*cfg };
+        let c = RunConfig {
+            scale: cfg.scale * mult / 2,
+            ..*cfg
+        };
         for s in SWEEP_STRATEGIES {
             let mut r = run_strategy(s, &queries::a3(), &c)?;
             r.workload = format!("{}M", c.equivalent_tuples() / 1_000_000);
@@ -291,7 +309,11 @@ pub fn fig7b(cfg: &RunConfig) -> Result<Vec<RunResult>> {
     print_header("Figure 7b — varying cluster size (800M-equivalent tuples, A3)");
     let mut rows = Vec::new();
     for nodes in [5usize, 10, 20] {
-        let c = RunConfig { nodes, scale: cfg.scale * 4, ..*cfg };
+        let c = RunConfig {
+            nodes,
+            scale: cfg.scale * 4,
+            ..*cfg
+        };
         for s in SWEEP_STRATEGIES {
             let mut r = run_strategy(s, &queries::a3(), &c)?;
             r.workload = format!("{nodes}n");
@@ -307,7 +329,11 @@ pub fn fig7c(cfg: &RunConfig) -> Result<Vec<RunResult>> {
     print_header("Figure 7c — co-scaling data and cluster size (A3)");
     let mut rows = Vec::new();
     for (mult, nodes) in [(1u64, 5usize), (2, 10), (4, 20)] {
-        let c = RunConfig { nodes, scale: cfg.scale * mult, ..*cfg };
+        let c = RunConfig {
+            nodes,
+            scale: cfg.scale * mult,
+            ..*cfg
+        };
         for s in SWEEP_STRATEGIES {
             let mut r = run_strategy(s, &queries::a3(), &c)?;
             r.workload = format!("{}M/{}n", c.equivalent_tuples() / 1_000_000, nodes);
@@ -343,8 +369,22 @@ pub fn table3(cfg: &RunConfig) -> Result<()> {
     );
     for s in strategies {
         for w in &workloads {
-            let lo = run_strategy(s, w, &RunConfig { selectivity: 0.1, ..*cfg })?;
-            let hi = run_strategy(s, w, &RunConfig { selectivity: 0.9, ..*cfg })?;
+            let lo = run_strategy(
+                s,
+                w,
+                &RunConfig {
+                    selectivity: 0.1,
+                    ..*cfg
+                },
+            )?;
+            let hi = run_strategy(
+                s,
+                w,
+                &RunConfig {
+                    selectivity: 0.9,
+                    ..*cfg
+                },
+            )?;
             println!(
                 "{:<10} {:<10} {:>11.0}% {:>11.0}%",
                 s.label(),
@@ -364,18 +404,22 @@ pub fn optimality(cfg: &RunConfig) -> Result<()> {
     print_header("Optimality — greedy vs brute-force planners");
     // (a) Greedy-SGF vs optimal multiway topological sort on C1-C4.
     for w in queries::figure6() {
-        let db = w.spec.clone().with_tuples(cfg.tuples.min(2000)).database(cfg.seed);
+        let db = w
+            .spec
+            .clone()
+            .with_tuples(cfg.tuples.min(2000))
+            .database(cfg.seed);
         let dfs = SimDfs::from_database(&db);
-        let engine = greedy_engine(gumbo_mr::EngineConfig {
+        let mut engine = greedy_engine(gumbo_mr::EngineConfig {
             scale: cfg.scale,
             ..gumbo_mr::EngineConfig::default()
         });
+        engine.executor = cfg.executor;
         let greedy_sort = gumbo_core::planner::greedy_sgf_sort(&w.query);
         let greedy_cost = engine.sort_cost(&dfs, &w.query, &greedy_sort)?;
-        let (opt_sort, opt_cost) =
-            gumbo_core::planner::optimal_sgf_sort(&w.query, &mut |s| {
-                engine.sort_cost(&dfs, &w.query, s)
-            })?;
+        let (opt_sort, opt_cost) = gumbo_core::planner::optimal_sgf_sort(&w.query, &mut |s| {
+            engine.sort_cost(&dfs, &w.query, s)
+        })?;
         println!(
             "{}: greedy sort cost {:.0}, optimal {:.0} (ratio {:.3}); groups {} vs {}",
             w.name,
@@ -388,7 +432,11 @@ pub fn optimality(cfg: &RunConfig) -> Result<()> {
     }
     // (b) Greedy-BSGF vs optimal partition on A1/A3/B2 semi-join sets.
     for w in [queries::a1(), queries::a3(), queries::b2()] {
-        let db = w.spec.clone().with_tuples(cfg.tuples.min(2000)).database(cfg.seed);
+        let db = w
+            .spec
+            .clone()
+            .with_tuples(cfg.tuples.min(2000))
+            .database(cfg.seed);
         let dfs = SimDfs::from_database(&db);
         let ctx = QueryContext::new(w.query.queries().to_vec())?;
         let est = Estimator::new(
@@ -403,7 +451,8 @@ pub fn optimality(cfg: &RunConfig) -> Result<()> {
         let cfg_job = JobConfig::default();
         let mut cost_fn = |b: &BTreeSet<usize>| {
             let ids: Vec<usize> = b.iter().copied().collect();
-            est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg_job).unwrap_or(f64::MAX)
+            est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg_job)
+                .unwrap_or(f64::MAX)
         };
         let (_, greedy_cost) = gumbo_core::planner::greedy_partition(n, &mut cost_fn);
         let (_, opt_cost) = gumbo_core::planner::optimal_partition(n, &mut cost_fn);
@@ -423,7 +472,105 @@ pub fn structures() -> Result<()> {
     print_header("Dependency structures (Fig. 6)");
     for w in queries::figure6() {
         let g = DependencyGraph::new(&w.query);
-        println!("{}: {} subqueries, levels {:?}", w.name, g.len(), g.level_sort());
+        println!(
+            "{}: {} subqueries, levels {:?}",
+            w.name,
+            g.len(),
+            g.level_sort()
+        );
+    }
+    Ok(())
+}
+
+/// Executor speedup: real wall-clock of the multi-threaded runtime vs the
+/// sequential path, sweeping the worker count. Run with
+/// `--tuples 100000` for the reference 100k-tuple workload.
+///
+/// This is the one experiment about *our* wall-clock rather than the
+/// paper's simulated metrics: answers and metered stats are identical
+/// across runtimes by construction (see `tests/executor_equivalence.rs`),
+/// so the only thing that changes is how fast the hardware delivers them.
+/// On a 4+-core machine the pooled runtime clears 2× over one thread.
+pub fn speedup(cfg: &RunConfig) -> Result<()> {
+    use gumbo_core::{EvalOptions, Grouping, GumboEngine, SortStrategy};
+    use gumbo_mr::{ExecutorKind, ReducerPolicy};
+    use std::time::Instant;
+
+    print_header("Executor speedup — wall-clock, parallel runtime vs sequential");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let tuples = cfg.tuples;
+    println!("available hardware parallelism: {hw} core(s); {tuples} guard tuples");
+
+    // Paper-scale byte accounting; fixed reducers keep both runtimes on
+    // plenty of independent reduce tasks.
+    let w = queries::a3_family(8).with_tuples(tuples);
+    let db = w.spec.database(cfg.seed);
+    let engine_cfg = gumbo_mr::EngineConfig {
+        scale: cfg.scale,
+        cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
+        ..gumbo_mr::EngineConfig::default()
+    };
+    let options = EvalOptions {
+        grouping: Grouping::Singletons,
+        sort: SortStrategy::Levels,
+        enable_one_round: false,
+        job_config: gumbo_mr::JobConfig {
+            reducer_policy: ReducerPolicy::Fixed(64),
+            ..gumbo_mr::JobConfig::default()
+        },
+        ..EvalOptions::default()
+    };
+    let time_with = |kind: ExecutorKind| -> Result<(f64, u64)> {
+        let engine = GumboEngine::with_executor(engine_cfg, kind, options);
+        let mut dfs = SimDfs::from_database(&db);
+        let start = Instant::now();
+        let stats = engine.evaluate(&mut dfs, &w.query)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok((elapsed, stats.jobs.iter().map(|j| j.output_tuples).sum()))
+    };
+
+    let (base_secs, base_out) = time_with(ExecutorKind::Parallel { threads: 1 })?;
+    println!(
+        "{:<26} {:>10} {:>12} {:>10}",
+        "runtime", "wall (s)", "speedup", "out tuples"
+    );
+    println!(
+        "{:<26} {:>10.3} {:>11.2}x {:>10}",
+        "parallel:1 (sequential)", base_secs, 1.0, base_out
+    );
+
+    let (sim_secs, sim_out) = time_with(ExecutorKind::Simulated)?;
+    println!(
+        "{:<26} {:>10.3} {:>11.2}x {:>10}",
+        "simulated",
+        sim_secs,
+        base_secs / sim_secs,
+        sim_out
+    );
+    assert_eq!(base_out, sim_out, "runtimes must agree on results");
+
+    let mut sweep: Vec<usize> = vec![2, 4, 8, 16];
+    sweep.retain(|&t| t <= 2 * hw.max(1));
+    sweep.push(0); // auto
+    for threads in sweep {
+        let (secs, out) = time_with(ExecutorKind::Parallel { threads })?;
+        assert_eq!(base_out, out, "runtimes must agree on results");
+        let label = if threads == 0 {
+            format!(
+                "parallel (auto = {})",
+                gumbo_mr::ParallelExecutor::new(engine_cfg).effective_threads()
+            )
+        } else {
+            format!("parallel:{threads}")
+        };
+        println!(
+            "{label:<26} {:>10.3} {:>11.2}x {:>10}",
+            secs,
+            base_secs / secs,
+            out
+        );
     }
     Ok(())
 }
@@ -463,84 +610,107 @@ pub fn ablation(cfg: &RunConfig) -> Result<()> {
 
     print_header("Ablation — Gumbo optimizations toggled individually (GREEDY)");
     for w in [queries::a1(), queries::a3()] {
-    println!("--- workload {} ---", w.name);
-    let spec = w.spec.clone().with_tuples(cfg.tuples).with_selectivity(cfg.selectivity);
-    let db = spec.database(cfg.seed);
-    let expected = NaiveEvaluator::new().evaluate_sgf_all(&w.query, &db)?;
+        println!("--- workload {} ---", w.name);
+        let spec = w
+            .spec
+            .clone()
+            .with_tuples(cfg.tuples)
+            .with_selectivity(cfg.selectivity);
+        let db = spec.database(cfg.seed);
+        let expected = NaiveEvaluator::new().evaluate_sgf_all(&w.query, &db)?;
 
-    let base_job = JobConfig::default();
-    let variants: Vec<(&str, EvalOptions)> = vec![
-        ("all optimizations", EvalOptions {
-            grouping: Grouping::Greedy,
-            sort: SortStrategy::Levels,
-            enable_one_round: false,
-            ..EvalOptions::default()
-        }),
-        ("no packing", EvalOptions {
-            grouping: Grouping::Greedy,
-            sort: SortStrategy::Levels,
-            enable_one_round: false,
-            job_config: JobConfig { packing: false, ..base_job },
-            ..EvalOptions::default()
-        }),
-        ("no guard references", EvalOptions {
-            grouping: Grouping::Greedy,
-            sort: SortStrategy::Levels,
-            enable_one_round: false,
-            mode: PayloadMode::Full,
-            ..EvalOptions::default()
-        }),
-        ("input-based reducers", EvalOptions {
-            grouping: Grouping::Greedy,
-            sort: SortStrategy::Levels,
-            enable_one_round: false,
-            job_config: JobConfig {
-                reducer_policy: ReducerPolicy::pig_default(),
-                ..base_job
-            },
-            ..EvalOptions::default()
-        }),
-        ("no grouping (PAR)", EvalOptions {
-            grouping: Grouping::Singletons,
-            sort: SortStrategy::Levels,
-            enable_one_round: false,
-            ..EvalOptions::default()
-        }),
-    ];
+        let base_job = JobConfig::default();
+        let variants: Vec<(&str, EvalOptions)> = vec![
+            (
+                "all optimizations",
+                EvalOptions {
+                    grouping: Grouping::Greedy,
+                    sort: SortStrategy::Levels,
+                    enable_one_round: false,
+                    ..EvalOptions::default()
+                },
+            ),
+            (
+                "no packing",
+                EvalOptions {
+                    grouping: Grouping::Greedy,
+                    sort: SortStrategy::Levels,
+                    enable_one_round: false,
+                    job_config: JobConfig {
+                        packing: false,
+                        ..base_job
+                    },
+                    ..EvalOptions::default()
+                },
+            ),
+            (
+                "no guard references",
+                EvalOptions {
+                    grouping: Grouping::Greedy,
+                    sort: SortStrategy::Levels,
+                    enable_one_round: false,
+                    mode: PayloadMode::Full,
+                    ..EvalOptions::default()
+                },
+            ),
+            (
+                "input-based reducers",
+                EvalOptions {
+                    grouping: Grouping::Greedy,
+                    sort: SortStrategy::Levels,
+                    enable_one_round: false,
+                    job_config: JobConfig {
+                        reducer_policy: ReducerPolicy::pig_default(),
+                        ..base_job
+                    },
+                    ..EvalOptions::default()
+                },
+            ),
+            (
+                "no grouping (PAR)",
+                EvalOptions {
+                    grouping: Grouping::Singletons,
+                    sort: SortStrategy::Levels,
+                    enable_one_round: false,
+                    ..EvalOptions::default()
+                },
+            ),
+        ];
 
-    println!(
-        "{:<22} {:>10} {:>12} {:>10} {:>10} {:>9}",
-        "variant", "net(s)", "total(s)", "input(GB)", "comm(GB)", "reducers"
-    );
-    for (label, options) in variants {
-        let mut dfs = SimDfs::from_database(&db);
-        let engine = GumboEngine::new(
-            gumbo_mr::EngineConfig {
-                scale: cfg.scale,
-                cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
-                ..gumbo_mr::EngineConfig::default()
-            },
-            options,
+        println!(
+            "{:<22} {:>10} {:>12} {:>10} {:>10} {:>9}",
+            "variant", "net(s)", "total(s)", "input(GB)", "comm(GB)", "reducers"
         );
-        let stats = engine.evaluate(&mut dfs, &w.query)?;
-        for q in w.query.queries() {
-            assert_eq!(
-                dfs.peek(q.output())?,
-                expected.relation(q.output()).expect("naive computed"),
-                "ablation variant {label} broke correctness"
+        for (label, options) in variants {
+            let mut dfs = SimDfs::from_database(&db);
+            let engine = GumboEngine::with_executor(
+                gumbo_mr::EngineConfig {
+                    scale: cfg.scale,
+                    cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
+                    ..gumbo_mr::EngineConfig::default()
+                },
+                cfg.executor,
+                options,
+            );
+            let stats = engine.evaluate(&mut dfs, &w.query)?;
+            for q in w.query.queries() {
+                assert_eq!(
+                    dfs.peek(q.output())?,
+                    expected.relation(q.output()).expect("naive computed"),
+                    "ablation variant {label} broke correctness"
+                );
+            }
+            let reducers: usize = stats.jobs.iter().map(|j| j.profile.reducers).sum();
+            println!(
+                "{:<22} {:>10.0} {:>12.0} {:>10.1} {:>10.1} {:>9}",
+                label,
+                stats.net_time(),
+                stats.total_time(),
+                stats.input_bytes().as_bytes() as f64 / 1e9,
+                stats.communication_bytes().as_bytes() as f64 / 1e9,
+                reducers
             );
         }
-        let reducers: usize = stats.jobs.iter().map(|j| j.profile.reducers).sum();
-        println!(
-            "{:<22} {:>10.0} {:>12.0} {:>10.1} {:>10.1} {:>9}",
-            label,
-            stats.net_time(),
-            stats.total_time(),
-            stats.input_bytes().as_bytes() as f64 / 1e9,
-            stats.communication_bytes().as_bytes() as f64 / 1e9,
-            reducers
-        );
-    }
     }
     Ok(())
 }

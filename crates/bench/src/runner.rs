@@ -2,12 +2,13 @@
 //! evaluation strategies on a workload, with result verification.
 
 use gumbo_baselines::{
-    greedy_engine, greedy_sgf_engine, one_round_engine, par_engine, parunit_engine,
-    sequnit_engine, HiveSim, PigSim, SeqStrategy,
+    greedy_engine, greedy_sgf_engine, one_round_engine, par_engine, parunit_engine, sequnit_engine,
+    HiveSim, PigSim, SeqStrategy,
 };
 use gumbo_common::{GumboError, Result};
+use gumbo_core::GumboEngine;
 use gumbo_datagen::Workload;
-use gumbo_mr::{Cluster, Engine, EngineConfig, ProgramStats};
+use gumbo_mr::{Cluster, EngineConfig, ExecutorKind, ProgramStats};
 use gumbo_sgf::NaiveEvaluator;
 use gumbo_storage::SimDfs;
 
@@ -69,6 +70,8 @@ pub struct RunConfig {
     pub seed: u64,
     /// Verify results against the naive evaluator.
     pub verify: bool,
+    /// Which MapReduce runtime executes the plans (`--executor`).
+    pub executor: ExecutorKind,
 }
 
 impl Default for RunConfig {
@@ -81,6 +84,7 @@ impl Default for RunConfig {
             selectivity: 0.5,
             seed: 1,
             verify: true,
+            executor: ExecutorKind::Simulated,
         }
     }
 }
@@ -150,7 +154,11 @@ pub fn applicable(strategy: Strategy, workload: &Workload) -> bool {
     use gumbo_core::QueryContext;
     match strategy {
         Strategy::OneRound => {
-            if gumbo_sgf::DependencyGraph::new(&workload.query).level_sort().len() != 1 {
+            if gumbo_sgf::DependencyGraph::new(&workload.query)
+                .level_sort()
+                .len()
+                != 1
+            {
                 return false;
             }
             match QueryContext::new(workload.query.queries().to_vec()) {
@@ -163,18 +171,17 @@ pub fn applicable(strategy: Strategy, workload: &Workload) -> bool {
         }
         Strategy::Seq | Strategy::Hpar | Strategy::Hpars | Strategy::Ppar => {
             // Flat (single-level) query sets only.
-            gumbo_sgf::DependencyGraph::new(&workload.query).level_sort().len() == 1
+            gumbo_sgf::DependencyGraph::new(&workload.query)
+                .level_sort()
+                .len()
+                == 1
         }
         _ => true,
     }
 }
 
 /// Execute one strategy on one workload.
-pub fn run_strategy(
-    strategy: Strategy,
-    workload: &Workload,
-    cfg: &RunConfig,
-) -> Result<RunResult> {
+pub fn run_strategy(strategy: Strategy, workload: &Workload, cfg: &RunConfig) -> Result<RunResult> {
     let spec = workload
         .spec
         .clone()
@@ -185,24 +192,24 @@ pub fn run_strategy(
     let engine_cfg = cfg.engine_config();
     let queries = workload.query.queries().to_vec();
 
+    // Every strategy executes through the configured runtime: preset
+    // engines get the executor kind stamped on, the job-level baselines
+    // receive the built executor directly.
+    let executor = cfg.executor.build(engine_cfg);
+    let on = |mut engine: GumboEngine| {
+        engine.executor = cfg.executor;
+        engine
+    };
     let stats = match strategy {
-        Strategy::Seq => {
-            SeqStrategy::default().evaluate(&Engine::new(engine_cfg), &mut dfs, &queries)?
-        }
-        Strategy::Hpar => {
-            HiveSim::hpar().evaluate(&Engine::new(engine_cfg), &mut dfs, &queries)?
-        }
-        Strategy::Hpars => {
-            HiveSim::hpars().evaluate(&Engine::new(engine_cfg), &mut dfs, &queries)?
-        }
-        Strategy::Ppar => {
-            PigSim::ppar().evaluate(&Engine::new(engine_cfg), &mut dfs, &queries)?
-        }
-        Strategy::Par => par_engine(engine_cfg).evaluate(&mut dfs, &workload.query)?,
-        Strategy::ParUnit => parunit_engine(engine_cfg).evaluate(&mut dfs, &workload.query)?,
-        Strategy::Greedy => greedy_engine(engine_cfg).evaluate(&mut dfs, &workload.query)?,
+        Strategy::Seq => SeqStrategy::default().evaluate(&*executor, &mut dfs, &queries)?,
+        Strategy::Hpar => HiveSim::hpar().evaluate(&*executor, &mut dfs, &queries)?,
+        Strategy::Hpars => HiveSim::hpars().evaluate(&*executor, &mut dfs, &queries)?,
+        Strategy::Ppar => PigSim::ppar().evaluate(&*executor, &mut dfs, &queries)?,
+        Strategy::Par => on(par_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
+        Strategy::ParUnit => on(parunit_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
+        Strategy::Greedy => on(greedy_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
         Strategy::GreedySgf => {
-            greedy_sgf_engine(engine_cfg).evaluate(&mut dfs, &workload.query)?
+            on(greedy_sgf_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?
         }
         Strategy::OneRound => {
             if !applicable(strategy, workload) {
@@ -211,9 +218,9 @@ pub fn run_strategy(
                     workload.name
                 )));
             }
-            one_round_engine(engine_cfg).evaluate(&mut dfs, &workload.query)?
+            on(one_round_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?
         }
-        Strategy::SeqUnit => sequnit_engine(engine_cfg).evaluate(&mut dfs, &workload.query)?,
+        Strategy::SeqUnit => on(sequnit_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
     };
 
     let mut output_tuples = 0;
@@ -227,7 +234,9 @@ pub fn run_strategy(
     if cfg.verify {
         let env = NaiveEvaluator::new().evaluate_sgf_all(&workload.query, &db)?;
         for q in workload.query.queries() {
-            let expected = env.relation(q.output()).expect("naive computed all outputs");
+            let expected = env
+                .relation(q.output())
+                .expect("naive computed all outputs");
             let got = dfs.peek(q.output())?;
             if got != expected {
                 return Err(GumboError::Plan(format!(
@@ -242,7 +251,12 @@ pub fn run_strategy(
         }
     }
 
-    Ok(RunResult::from_stats(strategy, workload, &stats, output_tuples))
+    Ok(RunResult::from_stats(
+        strategy,
+        workload,
+        &stats,
+        output_tuples,
+    ))
 }
 
 #[cfg(test)]
@@ -251,7 +265,11 @@ mod tests {
     use gumbo_datagen::queries;
 
     fn tiny() -> RunConfig {
-        RunConfig { tuples: 400, scale: 250_000, ..RunConfig::default() }
+        RunConfig {
+            tuples: 400,
+            scale: 250_000,
+            ..RunConfig::default()
+        }
     }
 
     #[test]
@@ -292,6 +310,26 @@ mod tests {
         for s in [Strategy::SeqUnit, Strategy::ParUnit, Strategy::GreedySgf] {
             let r = run_strategy(s, &w, &tiny()).unwrap();
             assert!(r.net > 0.0, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_executor_matches_simulated_run_results() {
+        let w = queries::a3();
+        for strategy in [Strategy::Greedy, Strategy::Seq, Strategy::OneRound] {
+            let sim = run_strategy(strategy, &w, &tiny()).unwrap();
+            let par_cfg = RunConfig {
+                executor: ExecutorKind::Parallel { threads: 4 },
+                ..tiny()
+            };
+            let par = run_strategy(strategy, &w, &par_cfg).unwrap();
+            assert_eq!(sim.output_tuples, par.output_tuples, "{strategy:?}");
+            assert_eq!(sim.rounds, par.rounds, "{strategy:?}");
+            assert_eq!(sim.jobs, par.jobs, "{strategy:?}");
+            assert!((sim.net - par.net).abs() < 1e-9, "{strategy:?}");
+            assert!((sim.total - par.total).abs() < 1e-9, "{strategy:?}");
+            assert_eq!(sim.input_gb, par.input_gb, "{strategy:?}");
+            assert_eq!(sim.comm_gb, par.comm_gb, "{strategy:?}");
         }
     }
 

@@ -110,7 +110,10 @@ mod tests {
         assert_eq!(a, ByteSize::bytes(15));
         assert_eq!(a - ByteSize::bytes(5), ByteSize::bytes(10));
         assert_eq!(a * 2, ByteSize::bytes(30));
-        assert_eq!(ByteSize::bytes(3).saturating_sub(ByteSize::bytes(5)), ByteSize::ZERO);
+        assert_eq!(
+            ByteSize::bytes(3).saturating_sub(ByteSize::bytes(5)),
+            ByteSize::ZERO
+        );
     }
 
     #[test]

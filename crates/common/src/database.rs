@@ -86,7 +86,9 @@ impl Database {
 
     /// Membership test for a fact.
     pub fn contains_fact(&self, relation: &RelationName, tuple: &Tuple) -> bool {
-        self.relations.get(relation).is_some_and(|r| r.contains(tuple))
+        self.relations
+            .get(relation)
+            .is_some_and(|r| r.contains(tuple))
     }
 
     /// Total estimated bytes across all relations.
@@ -97,7 +99,12 @@ impl Database {
 
 impl fmt::Display for Database {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Database [{} relations, {} facts]", self.relation_count(), self.fact_count())?;
+        writeln!(
+            f,
+            "Database [{} relations, {} facts]",
+            self.relation_count(),
+            self.fact_count()
+        )?;
         for r in self.relations() {
             writeln!(f, "  {r}")?;
         }
@@ -158,7 +165,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects_relations() {
-        let db: Database = vec![Relation::new("A", 1), Relation::new("B", 2)].into_iter().collect();
+        let db: Database = vec![Relation::new("A", 1), Relation::new("B", 2)]
+            .into_iter()
+            .collect();
         assert_eq!(db.relation_count(), 2);
         assert!(db.get("A").is_some());
     }

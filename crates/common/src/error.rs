@@ -39,7 +39,11 @@ pub enum GumboError {
 impl fmt::Display for GumboError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GumboError::ArityMismatch { relation, expected, got } => write!(
+            GumboError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => write!(
                 f,
                 "arity mismatch for relation {relation}: expected {expected}, got {got}"
             ),
@@ -63,9 +67,19 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = GumboError::ArityMismatch { relation: "R".into(), expected: 2, got: 3 };
-        assert_eq!(e.to_string(), "arity mismatch for relation R: expected 2, got 3");
-        let e = GumboError::Parse { message: "expected FROM".into(), offset: 17 };
+        let e = GumboError::ArityMismatch {
+            relation: "R".into(),
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "arity mismatch for relation R: expected 2, got 3"
+        );
+        let e = GumboError::Parse {
+            message: "expected FROM".into(),
+            offset: 17,
+        };
         assert!(e.to_string().contains("byte 17"));
     }
 

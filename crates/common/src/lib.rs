@@ -18,9 +18,9 @@
 //! scaled-down data have the same per-tuple weights as the paper's.
 
 pub mod bytes;
-pub mod io;
 pub mod database;
 pub mod error;
+pub mod io;
 pub mod relation;
 pub mod tuple;
 pub mod value;

@@ -60,7 +60,11 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation with the given name and arity.
     pub fn new(name: impl Into<RelationName>, arity: usize) -> Self {
-        Relation { name: name.into(), arity, tuples: BTreeSet::new() }
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// Create a relation from tuples, validating arities.
@@ -126,13 +130,23 @@ impl Relation {
 
     /// Rename the relation (used when storing semi-join outputs `Xᵢ`).
     pub fn renamed(&self, name: impl Into<RelationName>) -> Relation {
-        Relation { name: name.into(), arity: self.arity, tuples: self.tuples.clone() }
+        Relation {
+            name: name.into(),
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+        }
     }
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} [{} tuples]", self.name, self.arity, self.tuples.len())
+        write!(
+            f,
+            "{}/{} [{} tuples]",
+            self.name,
+            self.arity,
+            self.tuples.len()
+        )
     }
 }
 
@@ -144,7 +158,14 @@ mod tests {
     fn insert_rejects_wrong_arity() {
         let mut r = Relation::new("R", 2);
         let err = r.insert(Tuple::from_ints(&[1])).unwrap_err();
-        assert!(matches!(err, GumboError::ArityMismatch { expected: 2, got: 1, .. }));
+        assert!(matches!(
+            err,
+            GumboError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -157,24 +178,19 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted() {
-        let r = Relation::from_tuples(
-            "R",
-            1,
-            [3, 1, 2].iter().map(|&i| Tuple::from_ints(&[i])),
-        )
-        .unwrap();
-        let order: Vec<i64> = r.iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
+        let r = Relation::from_tuples("R", 1, [3, 1, 2].iter().map(|&i| Tuple::from_ints(&[i])))
+            .unwrap();
+        let order: Vec<i64> = r
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
 
     #[test]
     fn bytes_accumulate() {
-        let r = Relation::from_tuples(
-            "R",
-            4,
-            (0..5).map(|i| Tuple::from_ints(&[i, i, i, i])),
-        )
-        .unwrap();
+        let r =
+            Relation::from_tuples("R", 4, (0..5).map(|i| Tuple::from_ints(&[i, i, i, i]))).unwrap();
         assert_eq!(r.estimated_bytes(), 5 * 40);
     }
 

@@ -21,7 +21,9 @@ pub struct Tuple {
 impl Tuple {
     /// Create a tuple from a vector of values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple { values: values.into() }
+        Tuple {
+            values: values.into(),
+        }
     }
 
     /// Create a tuple of integer values.
@@ -96,7 +98,10 @@ pub struct Fact {
 impl Fact {
     /// Create a fact.
     pub fn new(relation: impl Into<RelationName>, tuple: Tuple) -> Self {
-        Fact { relation: relation.into(), tuple }
+        Fact {
+            relation: relation.into(),
+            tuple,
+        }
     }
 
     /// Estimated storage footprint in bytes (the tuple only; the relation tag
@@ -150,6 +155,9 @@ mod tests {
 
     #[test]
     fn tuples_with_equal_values_are_equal() {
-        assert_eq!(Tuple::from_ints(&[1, 2]), Tuple::new(vec![1i64.into(), 2i64.into()]));
+        assert_eq!(
+            Tuple::from_ints(&[1, 2]),
+            Tuple::new(vec![1i64.into(), 2i64.into()])
+        );
     }
 }

@@ -123,11 +123,21 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_variants() {
-        let mut vs = vec![Value::str("b"), Value::Int(2), Value::Int(1), Value::str("a")];
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(2),
+            Value::Int(1),
+            Value::str("a"),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::str("b")]
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

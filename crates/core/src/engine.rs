@@ -10,7 +10,7 @@
 //! groups' outputs are materialized by the time later groups are planned.
 
 use gumbo_common::{GumboError, Relation, Result};
-use gumbo_mr::{CostModelKind, Engine, EngineConfig, JobConfig, ProgramStats};
+use gumbo_mr::{CostModelKind, EngineConfig, Executor, ExecutorKind, JobConfig, ProgramStats};
 use gumbo_sgf::{BsgfQuery, DependencyGraph, MultiwayTopoSort, SgfQuery};
 use gumbo_storage::SimDfs;
 
@@ -91,18 +91,38 @@ impl Default for EvalOptions {
 }
 
 /// The Gumbo query engine.
+///
+/// Planning is independent of the runtime; execution is routed through
+/// the [`Executor`] trait, so the same engine can run its plans on the
+/// deterministic simulator (the default) or on the multi-threaded
+/// [`gumbo_mr::ParallelExecutor`] — see [`GumboEngine::with_executor`].
 #[derive(Debug, Clone, Copy)]
 pub struct GumboEngine {
-    /// The underlying MapReduce engine.
-    pub mr: Engine,
+    /// The MapReduce substrate configuration (scale, cluster, cost model).
+    pub config: EngineConfig,
+    /// Which runtime executes the planned programs.
+    pub executor: ExecutorKind,
     /// Evaluation options.
     pub options: EvalOptions,
 }
 
 impl GumboEngine {
-    /// Create an engine.
+    /// Create an engine on the default (simulated) runtime.
     pub fn new(config: EngineConfig, options: EvalOptions) -> Self {
-        GumboEngine { mr: Engine::new(config), options }
+        GumboEngine::with_executor(config, ExecutorKind::Simulated, options)
+    }
+
+    /// Create an engine on an explicit runtime.
+    pub fn with_executor(
+        config: EngineConfig,
+        executor: ExecutorKind,
+        options: EvalOptions,
+    ) -> Self {
+        GumboEngine {
+            config,
+            executor,
+            options,
+        }
     }
 
     /// Engine with default configuration and options.
@@ -110,11 +130,16 @@ impl GumboEngine {
         GumboEngine::new(EngineConfig::default(), EvalOptions::default())
     }
 
+    /// The runtime this engine executes on.
+    pub fn runtime(&self) -> Box<dyn Executor> {
+        self.executor.build(self.config)
+    }
+
     fn estimator<'a>(&self, dfs: &'a SimDfs) -> Estimator<'a> {
         Estimator::new(
             dfs,
-            self.mr.config.scale,
-            self.mr.config.constants,
+            self.config.scale,
+            self.config.constants,
             self.options.planner_model,
             self.options.sample_size,
             self.options.seed,
@@ -129,8 +154,7 @@ impl GumboEngine {
             SortStrategy::Levels => graph.level_sort(),
             SortStrategy::GreedySgf | SortStrategy::DynamicGreedy => greedy_sgf_sort(query),
             SortStrategy::Optimal => {
-                let (sort, _) =
-                    optimal_sgf_sort(query, &mut |s| self.sort_cost(dfs, query, s))?;
+                let (sort, _) = optimal_sgf_sort(query, &mut |s| self.sort_cost(dfs, query, s))?;
                 sort
             }
         })
@@ -138,7 +162,12 @@ impl GumboEngine {
 
     /// Estimated cost of evaluating `query` under a given sort (Eq. 10),
     /// registering output upper bounds between groups.
-    pub fn sort_cost(&self, dfs: &SimDfs, query: &SgfQuery, sort: &MultiwayTopoSort) -> Result<f64> {
+    pub fn sort_cost(
+        &self,
+        dfs: &SimDfs,
+        query: &SgfQuery,
+        sort: &MultiwayTopoSort,
+    ) -> Result<f64> {
         let mut est = self.estimator(dfs);
         let mut total = 0.0;
         for group in sort {
@@ -200,7 +229,10 @@ impl GumboEngine {
                 if let Some(e) = failure {
                     return Err(e);
                 }
-                blocks.into_iter().map(|b| b.into_iter().collect()).collect()
+                blocks
+                    .into_iter()
+                    .map(|b| b.into_iter().collect())
+                    .collect()
             }
         };
         Ok(BsgfSetPlan::two_round(groups, mode, cfg))
@@ -230,6 +262,7 @@ impl GumboEngine {
     /// whose already-computed inputs are now materialized base relations —
     /// and execute the new first group.
     pub fn evaluate_dynamic(&self, dfs: &mut SimDfs, query: &SgfQuery) -> Result<ProgramStats> {
+        let runtime = self.runtime();
         let mut stats = ProgramStats::default();
         let mut remaining: Vec<BsgfQuery> = query.queries().to_vec();
         while !remaining.is_empty() {
@@ -244,7 +277,7 @@ impl GumboEngine {
                 self.plan_group(&est, &ctx)?
             };
             let program = plan.build_program(&ctx)?;
-            stats.extend(self.mr.execute(dfs, &program)?);
+            stats.extend(runtime.execute(dfs, &program)?);
             let mut keep = Vec::with_capacity(remaining.len() - first.len());
             for (i, q) in remaining.into_iter().enumerate() {
                 if !first.contains(&i) {
@@ -264,6 +297,7 @@ impl GumboEngine {
         sort: &MultiwayTopoSort,
     ) -> Result<ProgramStats> {
         DependencyGraph::new(query).validate_sort(sort)?;
+        let runtime = self.runtime();
         let mut stats = ProgramStats::default();
         for group in sort {
             let queries: Vec<BsgfQuery> =
@@ -275,7 +309,7 @@ impl GumboEngine {
                 self.plan_group(&est, &ctx)?
             };
             let program = plan.build_program(&ctx)?;
-            stats.extend(self.mr.execute(dfs, &program)?);
+            stats.extend(runtime.execute(dfs, &program)?);
         }
         Ok(stats)
     }
@@ -339,13 +373,67 @@ mod tests {
                 },
             )
         };
+        let parallel = GumboEngine::with_executor(
+            base,
+            ExecutorKind::Parallel { threads: 4 },
+            EvalOptions::default(),
+        );
         vec![
-            ("greedy", mk(Grouping::Greedy, SortStrategy::GreedySgf, PayloadMode::Reference, false)),
-            ("greedy+1r", mk(Grouping::Greedy, SortStrategy::GreedySgf, PayloadMode::Reference, true)),
-            ("par-levels", mk(Grouping::Singletons, SortStrategy::Levels, PayloadMode::Full, false)),
-            ("seq-unit", mk(Grouping::Singletons, SortStrategy::Sequential, PayloadMode::Reference, false)),
-            ("single-job", mk(Grouping::SingleJob, SortStrategy::GreedySgf, PayloadMode::Full, false)),
-            ("bruteforce", mk(Grouping::BruteForce, SortStrategy::Optimal, PayloadMode::Reference, false)),
+            (
+                "greedy",
+                mk(
+                    Grouping::Greedy,
+                    SortStrategy::GreedySgf,
+                    PayloadMode::Reference,
+                    false,
+                ),
+            ),
+            (
+                "greedy+1r",
+                mk(
+                    Grouping::Greedy,
+                    SortStrategy::GreedySgf,
+                    PayloadMode::Reference,
+                    true,
+                ),
+            ),
+            (
+                "par-levels",
+                mk(
+                    Grouping::Singletons,
+                    SortStrategy::Levels,
+                    PayloadMode::Full,
+                    false,
+                ),
+            ),
+            (
+                "seq-unit",
+                mk(
+                    Grouping::Singletons,
+                    SortStrategy::Sequential,
+                    PayloadMode::Reference,
+                    false,
+                ),
+            ),
+            (
+                "single-job",
+                mk(
+                    Grouping::SingleJob,
+                    SortStrategy::GreedySgf,
+                    PayloadMode::Full,
+                    false,
+                ),
+            ),
+            (
+                "bruteforce",
+                mk(
+                    Grouping::BruteForce,
+                    SortStrategy::Optimal,
+                    PayloadMode::Reference,
+                    false,
+                ),
+            ),
+            ("greedy+parallel-runtime", parallel),
         ]
     }
 
@@ -370,10 +458,7 @@ mod tests {
 
     #[test]
     fn one_round_engages_for_same_key_queries() {
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(x);",
-        )
-        .unwrap();
+        let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(x);").unwrap();
         let db = random_db(3);
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
         let mut dfs = gumbo_storage::SimDfs::from_database(&db);
@@ -397,7 +482,8 @@ mod tests {
         let mut db = Database::new();
         let mut r = Relation::new("R", 4);
         for i in 0..200i64 {
-            r.insert(Tuple::from_ints(&[i, i + 1, i + 2, i + 3])).unwrap();
+            r.insert(Tuple::from_ints(&[i, i + 1, i + 2, i + 3]))
+                .unwrap();
         }
         db.add_relation(r);
         for name in ["S", "T", "U", "V"] {
@@ -410,7 +496,10 @@ mod tests {
         let dfs = gumbo_storage::SimDfs::from_database(&db);
         let engine = GumboEngine::new(
             EngineConfig::default(), // paper-scale factor engages overheads
-            EvalOptions { enable_one_round: false, ..EvalOptions::default() },
+            EvalOptions {
+                enable_one_round: false,
+                ..EvalOptions::default()
+            },
         );
         let est = engine.estimator(&dfs);
         let ctx = QueryContext::new(vec![q]).unwrap();
@@ -424,8 +513,10 @@ mod tests {
         // And execution still matches naive.
         let mut dfs = dfs;
         let program = plan.build_program(&ctx).unwrap();
-        engine.mr.execute(&mut dfs, &program).unwrap();
-        let expected = NaiveEvaluator::new().evaluate_bsgf(&ctx.queries()[0], &db).unwrap();
+        engine.runtime().execute(&mut dfs, &program).unwrap();
+        let expected = NaiveEvaluator::new()
+            .evaluate_bsgf(&ctx.queries()[0], &db)
+            .unwrap();
         assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
     }
 
@@ -455,7 +546,9 @@ mod tests {
         let dfs = gumbo_storage::SimDfs::from_database(&db);
         let engine = GumboEngine::new(EngineConfig::default(), EvalOptions::default());
         let graph = DependencyGraph::new(&query);
-        let c = engine.sort_cost(&dfs, &query, &graph.sequential_sort()).unwrap();
+        let c = engine
+            .sort_cost(&dfs, &query, &graph.sequential_sort())
+            .unwrap();
         assert!(c.is_finite() && c > 0.0);
     }
 }
@@ -474,12 +567,15 @@ mod extension_tests {
             ("G", vec![1, 5]),
             ("G", vec![6, 7]),
         ] {
-            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t))).unwrap();
+            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t)))
+                .unwrap();
         }
         for v in [1i64, 3, 6] {
-            db.insert_fact(Fact::new("S", Tuple::from_ints(&[v]))).unwrap();
+            db.insert_fact(Fact::new("S", Tuple::from_ints(&[v])))
+                .unwrap();
         }
-        db.insert_fact(Fact::new("T", Tuple::from_ints(&[1]))).unwrap();
+        db.insert_fact(Fact::new("T", Tuple::from_ints(&[1])))
+            .unwrap();
         db.add_relation(Relation::new("U", 1));
         db
     }
@@ -502,9 +598,17 @@ mod extension_tests {
 
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
         let mut dfs = SimDfs::from_database(&database);
-        let stats = engine.evaluate_many(&mut dfs, &[q1.clone(), q2.clone()]).unwrap();
-        assert_eq!(dfs.peek(&"Z2".into()).unwrap(), e1.relation(&"Z2".into()).unwrap());
-        assert_eq!(dfs.peek(&"Y1".into()).unwrap(), e2.relation(&"Y1".into()).unwrap());
+        let stats = engine
+            .evaluate_many(&mut dfs, &[q1.clone(), q2.clone()])
+            .unwrap();
+        assert_eq!(
+            dfs.peek(&"Z2".into()).unwrap(),
+            e1.relation(&"Z2".into()).unwrap()
+        );
+        assert_eq!(
+            dfs.peek(&"Y1".into()).unwrap(),
+            e2.relation(&"Y1".into()).unwrap()
+        );
 
         // Grouped evaluation needs fewer rounds than the 3 the two queries
         // would take back to back (Z1 and Y1 share S and are grouped).
@@ -528,10 +632,15 @@ mod extension_tests {
         )
         .unwrap();
         let database = db();
-        let expected = NaiveEvaluator::new().evaluate_sgf(&query, &database).unwrap();
+        let expected = NaiveEvaluator::new()
+            .evaluate_sgf(&query, &database)
+            .unwrap();
         let engine = GumboEngine::new(
             EngineConfig::unscaled(),
-            EvalOptions { sort: SortStrategy::DynamicGreedy, ..EvalOptions::default() },
+            EvalOptions {
+                sort: SortStrategy::DynamicGreedy,
+                ..EvalOptions::default()
+            },
         );
         let mut dfs = SimDfs::from_database(&database);
         let (_, got) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
@@ -549,7 +658,10 @@ mod extension_tests {
         .unwrap();
         let engine = GumboEngine::new(
             EngineConfig::unscaled(),
-            EvalOptions { sort: SortStrategy::DynamicGreedy, ..EvalOptions::default() },
+            EvalOptions {
+                sort: SortStrategy::DynamicGreedy,
+                ..EvalOptions::default()
+            },
         );
         let mut dfs = SimDfs::from_database(&db());
         let stats = engine.evaluate_dynamic(&mut dfs, &query).unwrap();

@@ -19,9 +19,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
 use gumbo_common::{ByteSize, GumboError, RelationName, Result};
-use gumbo_mr::{
-    job_cost, CostConstants, CostModelKind, InputPartition, JobConfig, JobProfile,
-};
+use gumbo_mr::{job_cost, CostConstants, CostModelKind, InputPartition, JobConfig, JobProfile};
 use gumbo_sgf::Atom;
 use gumbo_storage::{reservoir_sample, SimDfs};
 
@@ -295,7 +293,11 @@ impl<'a> Estimator<'a> {
         mode: PayloadMode,
         cfg: &JobConfig,
     ) -> Result<f64> {
-        Ok(job_cost(self.model, &self.constants, &self.msj_profile(ctx, group, mode, cfg)?))
+        Ok(job_cost(
+            self.model,
+            &self.constants,
+            &self.msj_profile(ctx, group, mode, cfg)?,
+        ))
     }
 
     /// Estimated profile of the set's EVAL job — Eq. 7 generalized.
@@ -371,7 +373,11 @@ impl<'a> Estimator<'a> {
 
     /// Estimated cost of the EVAL job.
     pub fn eval_cost(&self, ctx: &QueryContext, mode: PayloadMode, cfg: &JobConfig) -> Result<f64> {
-        Ok(job_cost(self.model, &self.constants, &self.eval_profile(ctx, mode, cfg)?))
+        Ok(job_cost(
+            self.model,
+            &self.constants,
+            &self.eval_profile(ctx, mode, cfg)?,
+        ))
     }
 
     /// Estimated profile of a fused 1-ROUND job.
@@ -407,16 +413,13 @@ impl<'a> Estimator<'a> {
                     // request per literal.
                     let requests = match kind {
                         OneRoundKind::SameKey => 1.0,
-                        OneRoundKind::Disjunctive => {
-                            ctx.semijoins_of(j).len().max(1) as f64
-                        }
+                        OneRoundKind::Disjunctive => ctx.semijoins_of(j).len().max(1) as f64,
                     };
                     let key_len = ctx
                         .semijoins_of(j)
                         .first()
                         .map_or(0.0, |&i| ctx.semijoin(i).join_key.len() as f64);
-                    out_bytes +=
-                        n * requests * (VALUE_BYTES * key_len + HEADER_BYTES + out_w);
+                    out_bytes += n * requests * (VALUE_BYTES * key_len + HEADER_BYTES + out_w);
                     records += n * requests;
                 }
             }
@@ -477,7 +480,8 @@ mod tests {
         let mut db = Database::new();
         let mut r = Relation::new("R", 4);
         for i in 0..guard_n {
-            r.insert(Tuple::from_ints(&[i, i + 1, i + 2, i + 3])).unwrap();
+            r.insert(Tuple::from_ints(&[i, i + 1, i + 2, i + 3]))
+                .unwrap();
         }
         db.add_relation(r);
         for name in ["S", "T", "U", "V"] {
@@ -500,7 +504,14 @@ mod tests {
     }
 
     fn estimator(dfs: &SimDfs) -> Estimator<'_> {
-        Estimator::new(dfs, 1000, CostConstants::default(), CostModelKind::Gumbo, 64, 42)
+        Estimator::new(
+            dfs,
+            1000,
+            CostConstants::default(),
+            CostModelKind::Gumbo,
+            64,
+            42,
+        )
     }
 
     #[test]
@@ -511,9 +522,14 @@ mod tests {
         let ctx = a1_ctx();
         let est = estimator(&dfs);
         let cfg = JobConfig::default();
-        let grouped = est.msj_profile(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg).unwrap();
+        let grouped = est
+            .msj_profile(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg)
+            .unwrap();
         let singles: Vec<JobProfile> = (0..4)
-            .map(|i| est.msj_profile(&ctx, &[i], PayloadMode::Reference, &cfg).unwrap())
+            .map(|i| {
+                est.msj_profile(&ctx, &[i], PayloadMode::Reference, &cfg)
+                    .unwrap()
+            })
             .collect();
         let singles_input: ByteSize = singles.iter().map(|p| p.total_input()).sum();
         assert!(grouped.total_input() < singles_input);
@@ -529,9 +545,14 @@ mod tests {
         let ctx = a1_ctx();
         let est = estimator(&dfs);
         let cfg = JobConfig::default();
-        let grouped = est.msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg).unwrap();
+        let grouped = est
+            .msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg)
+            .unwrap();
         let singles: f64 = (0..4)
-            .map(|i| est.msj_cost(&ctx, &[i], PayloadMode::Reference, &cfg).unwrap())
+            .map(|i| {
+                est.msj_cost(&ctx, &[i], PayloadMode::Reference, &cfg)
+                    .unwrap()
+            })
             .sum();
         // Shared guard read + 3 saved job overheads.
         assert!(grouped < singles, "grouped {grouped} vs singles {singles}");
@@ -543,9 +564,12 @@ mod tests {
         let ctx = a1_ctx();
         let est = estimator(&dfs);
         let cfg = JobConfig::default();
-        let full = est.msj_profile(&ctx, &[0, 1, 2, 3], PayloadMode::Full, &cfg).unwrap();
-        let reference =
-            est.msj_profile(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg).unwrap();
+        let full = est
+            .msj_profile(&ctx, &[0, 1, 2, 3], PayloadMode::Full, &cfg)
+            .unwrap();
+        let reference = est
+            .msj_profile(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg)
+            .unwrap();
         assert!(reference.total_map_output() < full.total_map_output());
     }
 
@@ -560,7 +584,10 @@ mod tests {
         db.add_relation(r);
         let dfs = SimDfs::from_database(&db);
         let est = estimator(&dfs);
-        let atom = Atom::new("R", vec![gumbo_sgf::Term::var("x"), gumbo_sgf::Term::int(0)]);
+        let atom = Atom::new(
+            "R",
+            vec![gumbo_sgf::Term::var("x"), gumbo_sgf::Term::int(0)],
+        );
         let rate = est.conform_rate(&atom);
         assert!((rate - 0.5).abs() < 0.2, "sampled rate {rate}");
         // Full-variable atom conforms always.
@@ -574,7 +601,11 @@ mod tests {
         let mut est = estimator(&dfs);
         est.catalog_mut().insert(
             "Virtual".into(),
-            RelStats { bytes: ByteSize::mb(100), tuples: 10_000_000, arity: 2 },
+            RelStats {
+                bytes: ByteSize::mb(100),
+                tuples: 10_000_000,
+                arity: 2,
+            },
         );
         assert_eq!(est.conform_rate(&Atom::vars("Virtual", &["x", "y"])), 1.0);
         // And its stats resolve from the catalog.
@@ -596,7 +627,9 @@ mod tests {
         let c_one = est.plan_cost(&ctx, &plan_one).unwrap();
         assert!(c_one < c_par);
         let eval = est.eval_cost(&ctx, PayloadMode::Reference, &cfg).unwrap();
-        let msj_all = est.msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg).unwrap();
+        let msj_all = est
+            .msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Reference, &cfg)
+            .unwrap();
         assert!((c_one - (eval + msj_all)).abs() < 1e-9);
     }
 
@@ -613,7 +646,10 @@ mod tests {
         let est = estimator(&dfs);
         let cfg = JobConfig::default();
         let two = est
-            .plan_cost(&ctx, &BsgfSetPlan::single_group(&ctx, PayloadMode::Reference, cfg))
+            .plan_cost(
+                &ctx,
+                &BsgfSetPlan::single_group(&ctx, PayloadMode::Reference, cfg),
+            )
             .unwrap();
         let one = est
             .plan_cost(&ctx, &BsgfSetPlan::one_round(OneRoundKind::SameKey, cfg))
@@ -629,8 +665,12 @@ mod tests {
         let g = estimator(&dfs);
         let w = estimator(&dfs).with_model(CostModelKind::Wang);
         // Both produce finite costs; equality is not expected in general.
-        let cg = g.msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Full, &cfg).unwrap();
-        let cw = w.msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Full, &cfg).unwrap();
+        let cg = g
+            .msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Full, &cfg)
+            .unwrap();
+        let cw = w
+            .msj_cost(&ctx, &[0, 1, 2, 3], PayloadMode::Full, &cfg)
+            .unwrap();
         assert!(cg.is_finite() && cw.is_finite());
     }
 }

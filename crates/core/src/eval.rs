@@ -58,13 +58,13 @@ impl Mapper for EvalMapper {
                         emit(key, Message::Tag { rel: j as u32 });
                     }
                     PayloadMode::Reference => {
-                        let key = Tuple::new(vec![
-                            Value::Int(j as i64),
-                            Value::Int(index as i64),
-                        ]);
+                        let key = Tuple::new(vec![Value::Int(j as i64), Value::Int(index as i64)]);
                         emit(
                             key,
-                            Message::GuardTuple { guard: j as u32, tuple: fact.tuple.clone() },
+                            Message::GuardTuple {
+                                guard: j as u32,
+                                tuple: fact.tuple.clone(),
+                            },
                         );
                     }
                 }
@@ -133,7 +133,12 @@ pub fn build_eval_job(ctx: &QueryContext, mode: PayloadMode, config: JobConfig) 
             let out_positions = q
                 .output_vars()
                 .iter()
-                .map(|v| identity.iter().position(|iv| iv == v).expect("guarded output var"))
+                .map(|v| {
+                    identity
+                        .iter()
+                        .position(|iv| iv == v)
+                        .expect("guarded output var")
+                })
                 .collect();
             EvalQuery {
                 output: q.output().clone(),
@@ -162,16 +167,26 @@ pub fn build_eval_job(ctx: &QueryContext, mode: PayloadMode, config: JobConfig) 
         }
     }
 
-    let outputs: Vec<(RelationName, usize)> =
-        queries.iter().map(|q| (q.output.clone(), q.output_vars.len())).collect();
+    let outputs: Vec<(RelationName, usize)> = queries
+        .iter()
+        .map(|q| (q.output.clone(), q.output_vars.len()))
+        .collect();
 
     let out_list: Vec<String> = queries.iter().map(|q| q.output.to_string()).collect();
     Job {
         name: format!("EVAL({})", out_list.join(",")),
         inputs,
         outputs,
-        mapper: Box::new(EvalMapper { mode, queries: queries.clone(), xs }),
-        reducer: Box::new(EvalReducer { mode, queries, num_queries }),
+        mapper: Box::new(EvalMapper {
+            mode,
+            queries: queries.clone(),
+            xs,
+        }),
+        reducer: Box::new(EvalReducer {
+            mode,
+            queries,
+            num_queries,
+        }),
         config,
     }
 }
@@ -179,7 +194,11 @@ pub fn build_eval_job(ctx: &QueryContext, mode: PayloadMode, config: JobConfig) 
 // EvalQuery is cloned into both mapper and reducer.
 impl Clone for EvalMapper {
     fn clone(&self) -> Self {
-        EvalMapper { mode: self.mode, queries: self.queries.clone(), xs: self.xs.clone() }
+        EvalMapper {
+            mode: self.mode,
+            queries: self.queries.clone(),
+            xs: self.xs.clone(),
+        }
     }
 }
 
@@ -188,14 +207,21 @@ mod tests {
     use super::*;
     use crate::msj::build_msj_job;
     use gumbo_common::{Database, Fact, Relation, Result};
-    use gumbo_mr::{Engine, EngineConfig, MrProgram};
+    use gumbo_mr::{EngineConfig, ExecutorKind, MrProgram};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
     use gumbo_storage::SimDfs;
 
     /// Execute the canonical 2-round plan (one MSJ with all semi-joins,
-    /// then EVAL) and compare against the naive evaluator.
+    /// then EVAL) on both runtimes and compare against the naive evaluator.
     fn check_two_round(query_text: &str, facts: &[(&str, &[i64])], arities: &[(&str, usize)]) {
-        for mode in [PayloadMode::Full, PayloadMode::Reference] {
+        let kinds = [
+            ExecutorKind::Simulated,
+            ExecutorKind::Parallel { threads: 2 },
+        ];
+        for (mode, kind) in [PayloadMode::Full, PayloadMode::Reference]
+            .into_iter()
+            .flat_map(|m| kinds.into_iter().map(move |k| (m, k)))
+        {
             let q = parse_query(query_text).unwrap();
             let ctx = QueryContext::new(vec![q.clone()]).unwrap();
             let mut db = Database::new();
@@ -203,7 +229,8 @@ mod tests {
                 db.add_relation(Relation::new(*name, *arity));
             }
             for (rel, t) in facts {
-                db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+                db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+                    .unwrap();
             }
             let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
 
@@ -214,10 +241,17 @@ mod tests {
                 program.push_job(build_msj_job(&ctx, &all, mode, JobConfig::default()));
             }
             program.push_job(build_eval_job(&ctx, mode, JobConfig::default()));
-            Engine::new(EngineConfig::unscaled()).execute(&mut dfs, &program).unwrap();
+            kind.build(EngineConfig::unscaled())
+                .execute(&mut dfs, &program)
+                .unwrap();
 
             let got = dfs.peek(&q.output().clone()).unwrap();
-            assert_eq!(got, &expected.renamed(q.output().clone()), "mode {mode:?}");
+            assert_eq!(
+                got,
+                &expected.renamed(q.output().clone()),
+                "mode {mode:?}, executor {}",
+                kind.label()
+            );
         }
     }
 
@@ -297,9 +331,11 @@ mod tests {
             ("G", [1, 2]),
             ("G", [5, 6]),
         ] {
-            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t))).unwrap();
+            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t)))
+                .unwrap();
         }
-        db.insert_fact(Fact::new("S", Tuple::from_ints(&[1]))).unwrap();
+        db.insert_fact(Fact::new("S", Tuple::from_ints(&[1])))
+            .unwrap();
         let naive = NaiveEvaluator::new();
         let e1 = naive.evaluate_bsgf(&q1, &db).unwrap();
         let e2 = naive.evaluate_bsgf(&q2, &db).unwrap();
@@ -309,7 +345,10 @@ mod tests {
             let mut program = MrProgram::new();
             program.push_job(build_msj_job(&ctx, &[0, 1], mode, JobConfig::default()));
             program.push_job(build_eval_job(&ctx, mode, JobConfig::default()));
-            Engine::new(EngineConfig::unscaled()).execute(&mut dfs, &program).unwrap();
+            ExecutorKind::default()
+                .build(EngineConfig::unscaled())
+                .execute(&mut dfs, &program)
+                .unwrap();
             assert_eq!(dfs.peek(&"Z1".into()).unwrap(), &e1, "mode {mode:?}");
             assert_eq!(dfs.peek(&"Z2".into()).unwrap(), &e2, "mode {mode:?}");
         }

@@ -65,12 +65,21 @@ impl Mapper for MsjMapper {
                     PayloadMode::Full => {
                         Payload::Tuple(sj.guard.project(&fact.tuple, &sj.identity_vars))
                     }
-                    PayloadMode::Reference => Payload::Ref { guard: sj.guard_idx, id: index },
+                    PayloadMode::Reference => Payload::Ref {
+                        guard: sj.guard_idx,
+                        id: index,
+                    },
                 };
                 // Salt from the tuple identity so the same guard tuple is
                 // routed consistently.
                 let salt = (index % u64::from(self.salts.max(1))) as u32;
-                emit(self.salted(key, salt), Message::Req { cond: local as u32, payload });
+                emit(
+                    self.salted(key, salt),
+                    Message::Req {
+                        cond: local as u32,
+                        payload,
+                    },
+                );
             }
         }
         // Conditional side: one assert per *assert group* (shared streams),
@@ -79,7 +88,12 @@ impl Mapper for MsjMapper {
             if atom.conforms_fact(fact) {
                 let key = atom.project(&fact.tuple, key_vars);
                 for salt in 0..self.salts.max(1) {
-                    emit(self.salted(key.clone(), salt), Message::Assert { cond: group_idx as u32 });
+                    emit(
+                        self.salted(key.clone(), salt),
+                        Message::Assert {
+                            cond: group_idx as u32,
+                        },
+                    );
                 }
             }
         }
@@ -174,8 +188,10 @@ pub fn build_msj_job_salted(
             guard_idx: sj.query_idx as u32,
         })
         .collect();
-    let routes: Vec<(RelationName, u32)> =
-        sjs.iter().map(|sj| (sj.x_name.clone(), assignment[&sj.id] as u32)).collect();
+    let routes: Vec<(RelationName, u32)> = sjs
+        .iter()
+        .map(|sj| (sj.x_name.clone(), assignment[&sj.id] as u32))
+        .collect();
 
     // Inputs: every distinct relation read by the job, guards first. Each
     // relation is read exactly once even when it guards several semi-joins
@@ -192,15 +208,22 @@ pub fn build_msj_job_salted(
         }
     }
 
-    let outputs: Vec<(RelationName, usize)> =
-        sjs.iter().map(|sj| (sj.x_name.clone(), x_arity(sj, mode))).collect();
+    let outputs: Vec<(RelationName, usize)> = sjs
+        .iter()
+        .map(|sj| (sj.x_name.clone(), x_arity(sj, mode)))
+        .collect();
 
     let x_list: Vec<String> = sjs.iter().map(|sj| sj.x_name.to_string()).collect();
     Job {
         name: format!("MSJ({})", x_list.join(",")),
         inputs,
         outputs,
-        mapper: Box::new(MsjMapper { mode, sjs: specs, asserts: assert_groups, salts }),
+        mapper: Box::new(MsjMapper {
+            mode,
+            sjs: specs,
+            asserts: assert_groups,
+            salts,
+        }),
         reducer: Box::new(MsjReducer { routes }),
         config,
     }
@@ -210,7 +233,7 @@ pub fn build_msj_job_salted(
 mod tests {
     use super::*;
     use gumbo_common::{Fact, Relation};
-    use gumbo_mr::{Engine, EngineConfig, MrProgram};
+    use gumbo_mr::{EngineConfig, ExecutorKind, MrProgram};
     use gumbo_sgf::parse_query;
     use gumbo_storage::SimDfs;
 
@@ -220,26 +243,26 @@ mod tests {
             db.add_relation(Relation::new(*name, *arity));
         }
         for (rel, t) in facts {
-            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+                .unwrap();
         }
         SimDfs::from_database(&db)
     }
 
     fn run_msj(ctx: &QueryContext, group: &[usize], mode: PayloadMode, dfs: &mut SimDfs) {
         let job = build_msj_job(ctx, group, mode, JobConfig::default());
-        let engine = Engine::new(EngineConfig::unscaled());
+        let executor = ExecutorKind::default().build(EngineConfig::unscaled());
         let mut program = MrProgram::new();
         program.push_job(job);
-        engine.execute(dfs, &program).unwrap();
+        executor.execute(dfs, &program).unwrap();
     }
 
     #[test]
     fn msj_computes_multiple_semijoins_in_one_job() {
         // Q from §1: X1 = R ⋉ S(x,y), X2 = R ⋉ S(y,x), X3 = R ⋉ T(x,z).
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);",
-        )
-        .unwrap();
+        let q =
+            parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);")
+                .unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
         let mut dfs = dfs_with(
             &[
@@ -298,10 +321,8 @@ mod tests {
     #[test]
     fn shared_guard_relation_read_once() {
         // A1-style: four semi-joins over the same guard; R, S, T in inputs once.
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND S(y) AND T(x);",
-        )
-        .unwrap();
+        let q =
+            parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND S(y) AND T(x);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
         let job = build_msj_job(&ctx, &[0, 1, 2], PayloadMode::Full, JobConfig::default());
         let names: Vec<String> = job.inputs.iter().map(|r| r.to_string()).collect();

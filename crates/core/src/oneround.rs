@@ -45,12 +45,21 @@ impl Mapper for SameKeyMapper {
                 // query's verdicts live at this single key.
                 let key = q.guard.project(&fact.tuple, &q.join_key);
                 let out = q.guard.project(&fact.tuple, &q.output_vars);
-                emit(key, Message::Req { cond: j as u32, payload: Payload::Tuple(out) });
+                emit(
+                    key,
+                    Message::Req {
+                        cond: j as u32,
+                        payload: Payload::Tuple(out),
+                    },
+                );
             }
         }
         for (g, (atom, key_vars)) in self.asserts.iter().enumerate() {
             if atom.conforms_fact(fact) {
-                emit(atom.project(&fact.tuple, key_vars), Message::Assert { cond: g as u32 });
+                emit(
+                    atom.project(&fact.tuple, key_vars),
+                    Message::Assert { cond: g as u32 },
+                );
             }
         }
     }
@@ -70,10 +79,15 @@ impl Reducer for SameKeyReducer {
             })
             .collect();
         for m in values {
-            if let Message::Req { cond, payload: Payload::Tuple(out) } = m {
+            if let Message::Req {
+                cond,
+                payload: Payload::Tuple(out),
+            } = m
+            {
                 let q = &self.queries[*cond as usize];
-                let holds =
-                    q.formula.evaluate(&|sj| present.contains(&q.assert_group_of[sj]));
+                let holds = q
+                    .formula
+                    .evaluate(&|sj| present.contains(&q.assert_group_of[sj]));
                 if holds {
                     emit(&q.output, out.clone());
                 }
@@ -108,12 +122,22 @@ pub fn build_same_key_job(ctx: &QueryContext, config: JobConfig) -> Result<Job> 
             assert_group_of,
         });
     }
-    Ok(build_job("1ROUND", ctx, queries, asserts, config, |qs, asserts| {
-        (
-            Box::new(SameKeyMapper { queries: qs.clone(), asserts }),
-            Box::new(SameKeyReducer { queries: qs }),
-        )
-    }))
+    Ok(build_job(
+        "1ROUND",
+        ctx,
+        queries,
+        asserts,
+        config,
+        |qs, asserts| {
+            (
+                Box::new(SameKeyMapper {
+                    queries: qs.clone(),
+                    asserts,
+                }),
+                Box::new(SameKeyReducer { queries: qs }),
+            )
+        },
+    ))
 }
 
 // --------------------------------------------------------- disjunctive --
@@ -143,12 +167,21 @@ impl Mapper for DisjunctiveMapper {
             if q.guard.conforms_fact(fact) {
                 let key = q.guard.project(&fact.tuple, &lit.join_key);
                 let out = q.guard.project(&fact.tuple, &q.output_vars);
-                emit(key, Message::Req { cond: l as u32, payload: Payload::Tuple(out) });
+                emit(
+                    key,
+                    Message::Req {
+                        cond: l as u32,
+                        payload: Payload::Tuple(out),
+                    },
+                );
             }
         }
         for (g, (atom, key_vars)) in self.asserts.iter().enumerate() {
             if atom.conforms_fact(fact) {
-                emit(atom.project(&fact.tuple, key_vars), Message::Assert { cond: g as u32 });
+                emit(
+                    atom.project(&fact.tuple, key_vars),
+                    Message::Assert { cond: g as u32 },
+                );
             }
         }
     }
@@ -169,7 +202,11 @@ impl Reducer for DisjunctiveReducer {
             })
             .collect();
         for m in values {
-            if let Message::Req { cond, payload: Payload::Tuple(out) } = m {
+            if let Message::Req {
+                cond,
+                payload: Payload::Tuple(out),
+            } = m
+            {
                 let lit = &self.literals[*cond as usize];
                 let hit = present.contains(&lit.assert_group);
                 if hit == lit.positive {
@@ -198,7 +235,10 @@ pub fn build_disjunctive_job(ctx: &QueryContext, config: JobConfig) -> Result<Jo
         let atoms = q.conditional_atoms();
         let ids = ctx.semijoins_of(j);
         collect_literals(cond, true, &mut |atom, positive| {
-            let local = atoms.iter().position(|a| *a == atom).expect("atom of condition");
+            let local = atoms
+                .iter()
+                .position(|a| *a == atom)
+                .expect("atom of condition");
             let sj = ctx.semijoin(ids[local]);
             literals.push(Literal {
                 join_key: sj.join_key.clone(),
@@ -216,16 +256,26 @@ pub fn build_disjunctive_job(ctx: &QueryContext, config: JobConfig) -> Result<Jo
             assert_group_of: Vec::new(),
         });
     }
-    Ok(build_job("1ROUND-OR", ctx, queries.clone(), asserts.clone(), config, move |qs, asserts| {
-        (
-            Box::new(DisjunctiveMapper {
-                queries: qs.clone(),
-                literals: literals.clone(),
-                asserts,
-            }),
-            Box::new(DisjunctiveReducer { queries: qs, literals: literals.clone() }),
-        )
-    }))
+    Ok(build_job(
+        "1ROUND-OR",
+        ctx,
+        queries.clone(),
+        asserts.clone(),
+        config,
+        move |qs, asserts| {
+            (
+                Box::new(DisjunctiveMapper {
+                    queries: qs.clone(),
+                    literals: literals.clone(),
+                    asserts,
+                }),
+                Box::new(DisjunctiveReducer {
+                    queries: qs,
+                    literals: literals.clone(),
+                }),
+            )
+        },
+    ))
 }
 
 fn collect_literals(c: &Condition, positive: bool, f: &mut impl FnMut(&Atom, bool)) {
@@ -263,9 +313,15 @@ fn build_job(
             inputs.push(atom.relation().clone());
         }
     }
-    let outputs: Vec<(RelationName, usize)> =
-        queries.iter().map(|q| (q.output.clone(), q.output_vars.len())).collect();
-    let out_list: Vec<String> = ctx.queries().iter().map(|q| q.output().to_string()).collect();
+    let outputs: Vec<(RelationName, usize)> = queries
+        .iter()
+        .map(|q| (q.output.clone(), q.output_vars.len()))
+        .collect();
+    let out_list: Vec<String> = ctx
+        .queries()
+        .iter()
+        .map(|q| q.output().to_string())
+        .collect();
     let (mapper, reducer) = make(queries, asserts);
     Job {
         name: format!("{tag}({})", out_list.join(",")),
@@ -281,9 +337,7 @@ fn build_job(
 /// `ids` (the query's own semi-joins).
 fn localize(e: &BoolExpr, ids: &[usize]) -> BoolExpr {
     match e {
-        BoolExpr::Var(g) => {
-            BoolExpr::Var(ids.iter().position(|i| i == g).expect("own semi-join"))
-        }
+        BoolExpr::Var(g) => BoolExpr::Var(ids.iter().position(|i| i == g).expect("own semi-join")),
         BoolExpr::Const(b) => BoolExpr::Const(*b),
         BoolExpr::Not(x) => BoolExpr::Not(Box::new(localize(x, ids))),
         BoolExpr::And(l, r) => {
@@ -297,7 +351,7 @@ fn localize(e: &BoolExpr, ids: &[usize]) -> BoolExpr {
 mod tests {
     use super::*;
     use gumbo_common::{Database, Fact, Relation};
-    use gumbo_mr::{Engine, EngineConfig, MrProgram};
+    use gumbo_mr::{EngineConfig, ExecutorKind, MrProgram};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
     use gumbo_storage::SimDfs;
 
@@ -307,7 +361,8 @@ mod tests {
             db.add_relation(Relation::new(*name, *arity));
         }
         for (rel, t) in facts {
-            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+                .unwrap();
         }
         db
     }
@@ -316,17 +371,20 @@ mod tests {
         let mut dfs = SimDfs::from_database(database);
         let mut program = MrProgram::new();
         program.push_job(job);
-        Engine::new(EngineConfig::unscaled()).execute(&mut dfs, &program).unwrap();
+        // Fused 1-ROUND jobs run on the multi-threaded runtime here, so
+        // every naive-evaluator comparison below also covers it.
+        ExecutorKind::Parallel { threads: 2 }
+            .build(EngineConfig::unscaled())
+            .execute(&mut dfs, &program)
+            .unwrap();
         dfs
     }
 
     #[test]
     fn same_key_fusion_matches_naive() {
         // A3 shape with mixed AND/OR/NOT, all on key x.
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND (T(x) OR NOT U(x));",
-        )
-        .unwrap();
+        let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND (T(x) OR NOT U(x));")
+            .unwrap();
         let d = db(
             &[
                 ("R", &[1, 10]),
@@ -385,10 +443,8 @@ mod tests {
     #[test]
     fn disjunctive_fusion_matches_naive() {
         // C4 shape: OR over different keys, with a negated literal.
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR NOT T(y) OR U(x);",
-        )
-        .unwrap();
+        let q =
+            parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) OR NOT T(y) OR U(x);").unwrap();
         let d = db(
             &[
                 ("R", &[1, 10]), // S(1) -> in

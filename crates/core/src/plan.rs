@@ -52,7 +52,12 @@ pub struct BsgfSetPlan {
 impl BsgfSetPlan {
     /// The 2-round plan with one MSJ job per partition class.
     pub fn two_round(groups: Vec<Vec<usize>>, mode: PayloadMode, job_config: JobConfig) -> Self {
-        BsgfSetPlan { groups, mode, one_round: None, job_config }
+        BsgfSetPlan {
+            groups,
+            mode,
+            one_round: None,
+            job_config,
+        }
     }
 
     /// The ungrouped plan: every semi-join in its own MSJ job (the paper's
@@ -151,16 +156,15 @@ impl fmt::Display for BsgfSetPlan {
 mod tests {
     use super::*;
     use gumbo_common::{Database, Fact, Relation, Tuple};
-    use gumbo_mr::{Engine, EngineConfig};
+    use gumbo_mr::{Engine, EngineConfig, Executor};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
     use gumbo_storage::SimDfs;
 
     fn example4_ctx() -> QueryContext {
         // Query (8) from Example 4.
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));",
-        )
-        .unwrap();
+        let q =
+            parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));")
+                .unwrap();
         QueryContext::new(vec![q]).unwrap()
     }
 
@@ -178,7 +182,8 @@ mod tests {
             ("T", vec![10]),
             ("U", vec![2]),
         ] {
-            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t))).unwrap();
+            db.insert_fact(Fact::new(rel, Tuple::from_ints(&t)))
+                .unwrap();
         }
         db
     }
@@ -201,7 +206,9 @@ mod tests {
                 let plan = BsgfSetPlan::two_round(groups.clone(), mode, JobConfig::default());
                 let program = plan.build_program(&ctx).unwrap();
                 let mut dfs = SimDfs::from_database(&db);
-                Engine::new(EngineConfig::unscaled()).execute(&mut dfs, &program).unwrap();
+                Engine::new(EngineConfig::unscaled())
+                    .execute(&mut dfs, &program)
+                    .unwrap();
                 let got = dfs.peek(&"Z".into()).unwrap();
                 assert_eq!(got, &expected, "plan {i} mode {mode:?}");
             }
@@ -223,8 +230,11 @@ mod tests {
     #[test]
     fn incomplete_partition_rejected() {
         let ctx = example4_ctx();
-        let plan =
-            BsgfSetPlan::two_round(vec![vec![0], vec![1]], PayloadMode::Full, JobConfig::default());
+        let plan = BsgfSetPlan::two_round(
+            vec![vec![0], vec![1]],
+            PayloadMode::Full,
+            JobConfig::default(),
+        );
         assert!(plan.build_program(&ctx).is_err());
     }
 
@@ -249,9 +259,12 @@ mod tests {
         assert_eq!(program.num_rounds(), 1);
 
         let mut db = Database::new();
-        db.insert_fact(Fact::new("R", Tuple::from_ints(&[1, 2]))).unwrap();
+        db.insert_fact(Fact::new("R", Tuple::from_ints(&[1, 2])))
+            .unwrap();
         let mut dfs = SimDfs::from_database(&db);
-        Engine::new(EngineConfig::unscaled()).execute(&mut dfs, &program).unwrap();
+        Engine::new(EngineConfig::unscaled())
+            .execute(&mut dfs, &program)
+            .unwrap();
         assert_eq!(dfs.peek(&"Z".into()).unwrap().len(), 1);
     }
 }

@@ -17,11 +17,11 @@ const MAX_N: usize = 12;
 ///
 /// # Panics
 /// Panics if `n > 12` (Bell-number blow-up guard).
-pub fn optimal_partition(
-    n: usize,
-    cost: &mut dyn FnMut(&Block) -> f64,
-) -> (Vec<Block>, f64) {
-    assert!(n <= MAX_N, "optimal_partition is exponential; n = {n} too large");
+pub fn optimal_partition(n: usize, cost: &mut dyn FnMut(&Block) -> f64) -> (Vec<Block>, f64) {
+    assert!(
+        n <= MAX_N,
+        "optimal_partition is exponential; n = {n} too large"
+    );
     let mut memo: std::collections::HashMap<Block, f64> = std::collections::HashMap::new();
     let mut priced = |set: &Block, cost: &mut dyn FnMut(&Block) -> f64| -> f64 {
         if let Some(c) = memo.get(set) {

@@ -18,10 +18,7 @@ pub type Block = BTreeSet<usize>;
 /// Returns the partition (blocks sorted by smallest element) and its total
 /// cost. The oracle is memoized internally, so repeated subsets are priced
 /// once.
-pub fn greedy_partition(
-    n: usize,
-    cost: &mut dyn FnMut(&Block) -> f64,
-) -> (Vec<Block>, f64) {
+pub fn greedy_partition(n: usize, cost: &mut dyn FnMut(&Block) -> f64) -> (Vec<Block>, f64) {
     let mut memo: std::collections::HashMap<Block, f64> = std::collections::HashMap::new();
     let mut priced = |set: &Block, cost: &mut dyn FnMut(&Block) -> f64| -> f64 {
         if let Some(c) = memo.get(set) {
@@ -103,8 +100,11 @@ mod tests {
         // Items 0,1 share a guard (merging them is free); others don't.
         let mut cost = |s: &Block| {
             let base: f64 = s.len() as f64 * 5.0;
-            let discount =
-                if s.contains(&0) && s.contains(&1) { 5.0 } else { 0.0 };
+            let discount = if s.contains(&0) && s.contains(&1) {
+                5.0
+            } else {
+                0.0
+            };
             2.0 + base - discount // 2.0 = job overhead
         };
         let (blocks, _) = greedy_partition(3, &mut cost);
@@ -114,8 +114,11 @@ mod tests {
         // Force overhead 0: then only {0,1} merges.
         let mut cost2 = |s: &Block| {
             let base: f64 = s.len() as f64 * 5.0;
-            let discount =
-                if s.contains(&0) && s.contains(&1) { 5.0 } else { 0.0 };
+            let discount = if s.contains(&0) && s.contains(&1) {
+                5.0
+            } else {
+                0.0
+            };
             base - discount
         };
         let (blocks2, total2) = greedy_partition(3, &mut cost2);
@@ -130,8 +133,8 @@ mod tests {
         // invariant we *do* guarantee: greedy ≤ trivial partition cost.
         let mut cost = |s: &Block| match s.len() {
             1 => 1.0,
-            2 => 2.5,  // pairwise merge: negative gain
-            3 => 0.5,  // full merge: much cheaper (greedy never sees it)
+            2 => 2.5, // pairwise merge: negative gain
+            3 => 0.5, // full merge: much cheaper (greedy never sees it)
             _ => 99.0,
         };
         let (blocks, total) = greedy_partition(3, &mut cost);

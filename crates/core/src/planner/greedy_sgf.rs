@@ -72,9 +72,7 @@ pub fn greedy_sgf_sort(query: &SgfQuery) -> MultiwayTopoSort {
                         None => true,
                         // Maximal overlap; ties broken toward earlier groups
                         // then smaller vertex ids for determinism.
-                        Some((bu, bi, bov)) => {
-                            ov > bov || (ov == bov && (i, u) < (bi, bu))
-                        }
+                        Some((bu, bi, bov)) => ov > bov || (ov == bov && (i, u) < (bi, bu)),
                     };
                     if better {
                         best = Some((u, i, ov));

@@ -132,7 +132,12 @@ impl QueryContext {
             per_query.push(ids);
             formulas.push(formula);
         }
-        Ok(QueryContext { queries, semijoins, per_query, formulas })
+        Ok(QueryContext {
+            queries,
+            semijoins,
+            per_query,
+            formulas,
+        })
     }
 
     /// The queries of the set.
@@ -269,22 +274,21 @@ mod tests {
     #[test]
     fn identity_vars_first_occurrence_dedup() {
         let a = Atom::vars("R", &["x", "y", "x", "z"]);
-        assert_eq!(identity_vars(&a), vec![Var::new("x"), Var::new("y"), Var::new("z")]);
+        assert_eq!(
+            identity_vars(&a),
+            vec![Var::new("x"), Var::new("y"), Var::new("z")]
+        );
     }
 
     #[test]
     fn same_key_fusible_detection() {
         // A3 shape: all conditionals on x.
-        let a3 = ctx(
-            "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) \
-             WHERE S(x) AND T(x) AND U(x) AND V(x);",
-        );
+        let a3 = ctx("Z := SELECT (x, y, z, w) FROM R(x, y, z, w) \
+             WHERE S(x) AND T(x) AND U(x) AND V(x);");
         assert!(a3.same_key_fusible(0));
         // A1 shape: different keys.
-        let a1 = ctx(
-            "Z := SELECT (x, y, z, w) FROM R(x, y, z, w) \
-             WHERE S(x) AND T(y) AND U(z) AND V(w);",
-        );
+        let a1 = ctx("Z := SELECT (x, y, z, w) FROM R(x, y, z, w) \
+             WHERE S(x) AND T(y) AND U(z) AND V(w);");
         assert!(!a1.same_key_fusible(0));
         // No condition: not fusible.
         let plain = ctx("Z := SELECT x FROM R(x);");
@@ -325,14 +329,10 @@ mod tests {
     #[test]
     fn cond_groups_share_asserts() {
         // A5 shape: two guards, same conditionals with the same keys.
-        let q1 = parse_query(
-            "Z1 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE S(x) AND T(y);",
-        )
-        .unwrap();
-        let q2 = parse_query(
-            "Z2 := SELECT (x, y, z, w) FROM G(x, y, z, w) WHERE S(x) AND T(y);",
-        )
-        .unwrap();
+        let q1 = parse_query("Z1 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE S(x) AND T(y);")
+            .unwrap();
+        let q2 = parse_query("Z2 := SELECT (x, y, z, w) FROM G(x, y, z, w) WHERE S(x) AND T(y);")
+            .unwrap();
         let c = QueryContext::new(vec![q1, q2]).unwrap();
         let sjs: Vec<&SemiJoin> = c.semijoins().iter().collect();
         let (groups, assignment) = cond_groups(&sjs);

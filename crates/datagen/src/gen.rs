@@ -71,11 +71,17 @@ impl DataSpec {
         DataSpec {
             guards: guards
                 .iter()
-                .map(|(n, a)| GuardSpec { name: (*n).to_string(), arity: *a })
+                .map(|(n, a)| GuardSpec {
+                    name: (*n).to_string(),
+                    arity: *a,
+                })
                 .collect(),
             conds: conds
                 .iter()
-                .map(|(n, a)| CondSpec { name: (*n).to_string(), arity: *a })
+                .map(|(n, a)| CondSpec {
+                    name: (*n).to_string(),
+                    arity: *a,
+                })
                 .collect(),
             guard_tuples: 100_000,
             cond_tuples: 100_000,
@@ -100,7 +106,10 @@ impl DataSpec {
 
     /// Override the selectivity rate.
     pub fn with_selectivity(mut self, selectivity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&selectivity), "selectivity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&selectivity),
+            "selectivity must be in [0, 1]"
+        );
         self.selectivity = selectivity;
         self
     }
@@ -119,9 +128,11 @@ impl DataSpec {
         for (g, spec) in self.guards.iter().enumerate() {
             let mut rel = Relation::new(spec.name.as_str(), spec.arity);
             for i in 0..n {
-                let vals: Vec<i64> =
-                    (0..spec.arity).map(|j| Self::guard_value(g, i, j, n)).collect();
-                rel.insert(Tuple::from_ints(&vals)).expect("generated arity is correct");
+                let vals: Vec<i64> = (0..spec.arity)
+                    .map(|j| Self::guard_value(g, i, j, n))
+                    .collect();
+                rel.insert(Tuple::from_ints(&vals))
+                    .expect("generated arity is correct");
             }
             db.add_relation(rel);
         }
@@ -129,8 +140,7 @@ impl DataSpec {
         // repetition, so at most `n` of them exist; any surplus tuples are
         // generated out-of-domain (they never match, but contribute input
         // bytes — the shape the §5.2 cost-model experiment needs).
-        let in_domain =
-            (((self.cond_tuples as f64) * self.selectivity).round() as usize).min(n);
+        let in_domain = (((self.cond_tuples as f64) * self.selectivity).round() as usize).min(n);
         for (c, spec) in self.conds.iter().enumerate() {
             let mut rel = Relation::new(spec.name.as_str(), spec.arity);
             let offset = (seed as i64)
@@ -141,8 +151,7 @@ impl DataSpec {
                 let vals: Vec<i64> = if k < in_domain {
                     // Project a pseudo-random guard row of guard 0 onto the
                     // first `arity` columns (cycled) — guaranteed matches.
-                    let row = ((k as i64).wrapping_mul(STRIDE_PRIME).rem_euclid(n as i64)
-                        as usize
+                    let row = ((k as i64).wrapping_mul(STRIDE_PRIME).rem_euclid(n as i64) as usize
                         + offset)
                         % n;
                     (0..spec.arity)
@@ -152,7 +161,8 @@ impl DataSpec {
                     // Out-of-domain: values ≥ n never match any guard column.
                     (0..spec.arity).map(|j| (n + k + j) as i64).collect()
                 };
-                rel.insert(Tuple::from_ints(&vals)).expect("generated arity is correct");
+                rel.insert(Tuple::from_ints(&vals))
+                    .expect("generated arity is correct");
             }
             db.add_relation(rel);
         }
@@ -175,8 +185,10 @@ mod tests {
         let r = db.get("R").unwrap();
         assert_eq!(r.len(), 2000);
         for j in 0..4 {
-            let col: BTreeSet<i64> =
-                r.iter().map(|t| t.get(j).unwrap().as_int().unwrap()).collect();
+            let col: BTreeSet<i64> = r
+                .iter()
+                .map(|t| t.get(j).unwrap().as_int().unwrap())
+                .collect();
             assert_eq!(col.len(), 2000, "column {j} not a bijection");
             assert!(col.iter().all(|&v| (0..2000).contains(&v)));
         }
@@ -210,8 +222,12 @@ mod tests {
     fn selectivity_holds_for_every_column() {
         let db = spec().with_selectivity(0.5).database(3);
         let r = db.get("R").unwrap();
-        let sv: BTreeSet<i64> =
-            db.get("S").unwrap().iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
+        let sv: BTreeSet<i64> = db
+            .get("S")
+            .unwrap()
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
         for j in 0..4 {
             let matched = r
                 .iter()
@@ -226,10 +242,16 @@ mod tests {
     fn out_of_domain_tuples_never_match() {
         let db = spec().with_selectivity(0.0).database(0);
         let r = db.get("R").unwrap();
-        let sv: BTreeSet<i64> =
-            db.get("S").unwrap().iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
-        let matched =
-            r.iter().filter(|t| sv.contains(&t.get(0).unwrap().as_int().unwrap())).count();
+        let sv: BTreeSet<i64> = db
+            .get("S")
+            .unwrap()
+            .iter()
+            .map(|t| t.get(0).unwrap().as_int().unwrap())
+            .collect();
+        let matched = r
+            .iter()
+            .filter(|t| sv.contains(&t.get(0).unwrap().as_int().unwrap()))
+            .count();
         assert_eq!(matched, 0);
     }
 
@@ -265,12 +287,18 @@ mod tests {
         let pairs: BTreeSet<(i64, i64)> = r
             .iter()
             .map(|t| {
-                (t.get(0).unwrap().as_int().unwrap(), t.get(1).unwrap().as_int().unwrap())
+                (
+                    t.get(0).unwrap().as_int().unwrap(),
+                    t.get(1).unwrap().as_int().unwrap(),
+                )
             })
             .collect();
         // Every in-domain P tuple is a projection of some guard row.
         for t in db.get("P").unwrap().iter() {
-            let p = (t.get(0).unwrap().as_int().unwrap(), t.get(1).unwrap().as_int().unwrap());
+            let p = (
+                t.get(0).unwrap().as_int().unwrap(),
+                t.get(1).unwrap().as_int().unwrap(),
+            );
             assert!(pairs.contains(&p), "{p:?} not a guard projection");
         }
     }

@@ -26,7 +26,11 @@ impl Workload {
     fn new(name: &str, program: &str, spec: DataSpec) -> Workload {
         let query = parse_program(program)
             .unwrap_or_else(|e| panic!("workload {name} failed to parse: {e}"));
-        Workload { name: name.to_string(), query, spec }
+        Workload {
+            name: name.to_string(),
+            query,
+            spec,
+        }
     }
 
     /// Scale the workload's tuple counts.
@@ -115,7 +119,11 @@ pub fn a5() -> Workload {
 pub fn b1() -> Workload {
     let conds: Vec<String> = ["x", "y", "z", "w"]
         .iter()
-        .flat_map(|v| ["S", "T", "U", "V"].iter().map(move |r| format!("{r}({v})")))
+        .flat_map(|v| {
+            ["S", "T", "U", "V"]
+                .iter()
+                .map(move |r| format!("{r}({v})"))
+        })
         .collect();
     Workload::new(
         "B1",
@@ -156,7 +164,10 @@ pub fn c1() -> Workload {
          Z3 := SELECT x FROM G(x, y, z, w) WHERE Z1(z) OR Z1(w);\n\
          Z4 := SELECT x FROM H(x, y, z, w) WHERE U(x) AND U(y);\n\
          Z5 := SELECT x FROM H(x, y, z, w) WHERE Z4(z) OR Z4(w);",
-        DataSpec::new(&[GUARD4, ("G", 4), ("H", 4)], &[("S", 1), ("T", 1), ("U", 1)]),
+        DataSpec::new(
+            &[GUARD4, ("G", 4), ("H", 4)],
+            &[("S", 1), ("T", 1), ("U", 1)],
+        ),
     )
 }
 
@@ -170,7 +181,10 @@ pub fn c2() -> Workload {
          Z4 := SELECT (x, y, z, w) FROM G(x, y, z, w) WHERE Z1(x) AND Z1(y);\n\
          Z5 := SELECT (x, y, z, w) FROM H(x, y, z, w) WHERE Z2(x) AND Z2(y);\n\
          Z6 := SELECT (x, y, z, w) FROM R(x, y, z, w) WHERE Z3(x) AND Z3(y);",
-        DataSpec::new(&[GUARD4, ("G", 4), ("H", 4)], &[("S", 1), ("T", 1), ("U", 1)]),
+        DataSpec::new(
+            &[GUARD4, ("G", 4), ("H", 4)],
+            &[("S", 1), ("T", 1), ("U", 1)],
+        ),
     )
 }
 
@@ -247,7 +261,10 @@ pub fn cost_model_query() -> Workload {
 /// The Figure 8 family: A3-like queries with `k ∈ [2, 16]` conditional
 /// atoms, all on key `x`.
 pub fn a3_family(k: usize) -> Workload {
-    assert!((1..=16).contains(&k), "query size family supports 1..=16 atoms");
+    assert!(
+        (1..=16).contains(&k),
+        "query size family supports 1..=16 atoms"
+    );
     let names: Vec<String> = (0..k).map(|i| format!("C{i}")).collect();
     let atoms: Vec<String> = names.iter().map(|n| format!("{n}(x)")).collect();
     let conds: Vec<(&str, usize)> = names.iter().map(|n| (n.as_str(), 1)).collect();
@@ -271,7 +288,11 @@ mod tests {
         for w in table2() {
             let db = w.clone().with_tuples(200).spec.database(0);
             for q in w.query.queries() {
-                assert!(db.get(q.guard().relation().as_str()).is_some(), "{}", w.name);
+                assert!(
+                    db.get(q.guard().relation().as_str()).is_some(),
+                    "{}",
+                    w.name
+                );
             }
         }
     }

@@ -21,14 +21,21 @@ pub struct Cluster {
 impl Default for Cluster {
     /// The paper's setup: 10 nodes, 10 cores each (YARN caps vcores at 10).
     fn default() -> Self {
-        Cluster { nodes: 10, map_slots_per_node: 10, reduce_slots_per_node: 10 }
+        Cluster {
+            nodes: 10,
+            map_slots_per_node: 10,
+            reduce_slots_per_node: 10,
+        }
     }
 }
 
 impl Cluster {
     /// A cluster with `nodes` nodes and the paper's per-node slot counts.
     pub fn with_nodes(nodes: usize) -> Self {
-        Cluster { nodes, ..Cluster::default() }
+        Cluster {
+            nodes,
+            ..Cluster::default()
+        }
     }
 
     /// Total map slots.
@@ -110,7 +117,11 @@ mod tests {
         let c = Cluster::default();
         assert_eq!(c.map_slots(), 100);
         assert_eq!(Cluster::with_nodes(5).map_slots(), 50);
-        let tiny = Cluster { nodes: 0, map_slots_per_node: 0, reduce_slots_per_node: 0 };
+        let tiny = Cluster {
+            nodes: 0,
+            map_slots_per_node: 0,
+            reduce_slots_per_node: 0,
+        };
         assert_eq!(tiny.map_slots(), 1);
     }
 }

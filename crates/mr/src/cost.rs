@@ -133,7 +133,11 @@ pub enum CostModelKind {
 /// Total cost of a job under the chosen model.
 pub fn job_cost(kind: CostModelKind, c: &CostConstants, profile: &JobProfile) -> f64 {
     let map_cost = match kind {
-        CostModelKind::Gumbo => profile.partitions.iter().map(|p| c.cost_map(p)).sum::<f64>(),
+        CostModelKind::Gumbo => profile
+            .partitions
+            .iter()
+            .map(|p| c.cost_map(p))
+            .sum::<f64>(),
         CostModelKind::Wang => {
             // Collapse all partitions into one aggregate partition: the
             // global-average behaviour the paper criticizes.

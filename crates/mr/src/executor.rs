@@ -1,0 +1,509 @@
+//! The [`Executor`] trait: one job/program execution contract, two
+//! swappable runtimes.
+//!
+//! The paper's algorithms are defined against an abstract MapReduce
+//! substrate; this module pins down that substrate as a trait so the
+//! query layers (`gumbo-core`, `gumbo-baselines`, `gumbo-bench`) never
+//! depend on *how* a job runs:
+//!
+//! * [`crate::simulated::SimulatedExecutor`] — the deterministic metered
+//!   simulator: single-threaded, every stage priced by the paper's cost
+//!   model (§3.3) and scheduled onto the simulated cluster (§5.1);
+//! * [`crate::parallel::ParallelExecutor`] — a real multi-threaded
+//!   runtime: map tasks, the partitioned shuffle and reduce tasks run on
+//!   a worker pool, while the *same* metering is collected, so the
+//!   paper's four metrics are identical across runtimes.
+//!
+//! Both runtimes share the split planning, per-task map execution,
+//! packing byte-accounting, reduce semantics and cost metering defined
+//! here — which is what makes the "byte-identical answers, identical
+//! stats" guarantee structural rather than aspirational (see
+//! `tests/executor_equivalence.rs` at the workspace root).
+
+use std::collections::BTreeMap;
+
+use gumbo_common::{ByteSize, Fact, GumboError, Relation, RelationName, Result, Tuple};
+use gumbo_storage::SimDfs;
+
+use crate::cluster::{lpt_makespan, Cluster};
+use crate::cost::{job_cost, CostConstants, CostModelKind};
+use crate::job::Job;
+use crate::message::Message;
+use crate::metrics::{JobStats, ProgramStats, RoundStats};
+use crate::profile::{InputPartition, JobProfile};
+use crate::program::MrProgram;
+
+/// Engine configuration, shared by every executor.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Byte scale factor: measured byte/record counts are multiplied by this
+    /// before entering the cost model, mapping laptop-sized relations onto
+    /// the paper's 100M-tuple regime (e.g. 100k real tuples × scale 1000).
+    pub scale: u64,
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Cost-model constants (Table 5).
+    pub constants: CostConstants,
+    /// Cost model used for *measured* accounting. Execution always behaves
+    /// the same; this only affects how observed jobs are priced. The
+    /// planner may use a different model (that mismatch is the §5.2
+    /// cost-model experiment).
+    pub model: CostModelKind,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            scale: 1000,
+            cluster: Cluster::default(),
+            constants: CostConstants::default(),
+            model: CostModelKind::Gumbo,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// An unscaled configuration (bytes enter the cost model as measured).
+    pub fn unscaled() -> Self {
+        EngineConfig {
+            scale: 1,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// A MapReduce runtime: executes jobs and programs against a DFS while
+/// collecting the paper's metrics.
+///
+/// Implementations must be *observationally identical*: the same program
+/// over the same DFS yields the same answer relations and the same
+/// [`JobStats`], whatever the runtime's internal scheduling. The shared
+/// pipeline in this module provides that by construction; implementors
+/// only decide **where** each map/shuffle/reduce task runs.
+pub trait Executor {
+    /// The configuration this executor runs under.
+    fn config(&self) -> &EngineConfig;
+
+    /// A short human-readable runtime name (for logs and reports).
+    fn name(&self) -> &'static str;
+
+    /// Execute a single job: map → shuffle → reduce, with full metering.
+    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats>;
+
+    /// Execute a program round by round against the DFS, returning the
+    /// paper's four metrics plus per-job detail.
+    fn execute(&self, dfs: &mut SimDfs, program: &MrProgram) -> Result<ProgramStats> {
+        let mut stats = ProgramStats::default();
+        for (round_idx, round) in program.rounds().iter().enumerate() {
+            let mut round_jobs = Vec::with_capacity(round.len());
+            for job in round {
+                round_jobs.push(self.execute_job(dfs, job, round_idx)?);
+            }
+            let map_tasks: Vec<f64> = round_jobs
+                .iter()
+                .flat_map(|j| j.map_task_durations.iter().copied())
+                .collect();
+            let reduce_tasks: Vec<f64> = round_jobs
+                .iter()
+                .flat_map(|j| j.reduce_task_durations.iter().copied())
+                .collect();
+            let cluster = self.config().cluster;
+            stats.round_stats.push(RoundStats {
+                map_makespan: lpt_makespan(&map_tasks, cluster.map_slots()),
+                reduce_makespan: lpt_makespan(&reduce_tasks, cluster.reduce_slots()),
+                overhead: self.config().constants.job_overhead,
+            });
+            stats.jobs.extend(round_jobs);
+        }
+        Ok(stats)
+    }
+}
+
+/// Which runtime to execute on — a small `Copy` token the upper layers
+/// (engine options, CLI flags, bench configs) carry around and resolve
+/// into a boxed [`Executor`] on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// The deterministic metered simulator.
+    #[default]
+    Simulated,
+    /// The multi-threaded runtime with this many worker threads
+    /// (`0` = auto: min(available parallelism, cluster map slots)).
+    Parallel {
+        /// Worker thread count; `0` sizes the pool automatically.
+        threads: usize,
+    },
+}
+
+impl ExecutorKind {
+    /// Build the runtime for a configuration.
+    pub fn build(self, config: EngineConfig) -> Box<dyn Executor> {
+        match self {
+            ExecutorKind::Simulated => Box::new(crate::simulated::SimulatedExecutor::new(config)),
+            ExecutorKind::Parallel { threads } => Box::new(
+                crate::parallel::ParallelExecutor::with_threads(config, threads),
+            ),
+        }
+    }
+
+    /// Parse a CLI spelling: `sim` / `simulated`, `parallel`, or
+    /// `parallel:N` for an explicit thread count.
+    pub fn parse(s: &str) -> Option<ExecutorKind> {
+        match s {
+            "sim" | "simulated" => Some(ExecutorKind::Simulated),
+            "parallel" => Some(ExecutorKind::Parallel { threads: 0 }),
+            _ => {
+                let threads = s.strip_prefix("parallel:")?.parse().ok()?;
+                Some(ExecutorKind::Parallel { threads })
+            }
+        }
+    }
+
+    /// The CLI spelling of this kind.
+    pub fn label(&self) -> String {
+        match self {
+            ExecutorKind::Simulated => "sim".to_string(),
+            ExecutorKind::Parallel { threads: 0 } => "parallel".to_string(),
+            ExecutorKind::Parallel { threads } => format!("parallel:{threads}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared execution pipeline
+// ---------------------------------------------------------------------------
+
+/// One map task: a split of one input partition, with the facts it covers
+/// (fact indices are positions in the relation's canonical order — the
+/// tuple ids of the guard-reference optimization, §5.1 (2)).
+pub(crate) struct MapTaskSpec {
+    /// Index into [`MapPlan::partitions`] / [`MapPlan::input_facts`].
+    pub input_idx: usize,
+    /// This split's range within the input's fact list.
+    pub split: std::ops::Range<usize>,
+}
+
+/// What one map task produced.
+pub(crate) struct MapTaskResult {
+    /// Emitted key-value pairs, in emission order.
+    pub emitted: Vec<(Tuple, Message)>,
+    /// Charged map-output bytes (packing-aware), unscaled.
+    pub output_bytes: u64,
+    /// Charged map-output records (packing-aware).
+    pub records_out: u64,
+}
+
+/// The planned map phase of one job: per-input partitions (with mapper
+/// counts fixed by the split-size rule) plus the concrete task list.
+///
+/// Facts are materialized once per input; tasks reference them by range,
+/// so handing a task to a worker thread costs nothing beyond the borrow.
+pub(crate) struct MapPlan {
+    /// Per-input metering skeletons; `map_output`/`records_out` are filled
+    /// in by [`MapPlan::apply`].
+    pub partitions: Vec<InputPartition>,
+    /// `(tuple id, fact)` pairs of each input relation, in canonical order.
+    pub input_facts: Vec<Vec<(u64, Fact)>>,
+    /// All map tasks of the job, grouped by input and ordered by split.
+    pub tasks: Vec<MapTaskSpec>,
+}
+
+impl MapPlan {
+    /// The facts a task covers.
+    pub(crate) fn task_facts(&self, task: &MapTaskSpec) -> &[(u64, Fact)] {
+        &self.input_facts[task.input_idx][task.split.clone()]
+    }
+
+    /// Resolve the job's reduce-task count from the measured input and
+    /// intermediate sizes (call after [`MapPlan::apply`]). Shared so both
+    /// runtimes derive reducer counts from one definition — a divergence
+    /// here would silently break cross-runtime equivalence.
+    pub(crate) fn resolve_reducers(&self, job: &Job) -> usize {
+        let total_input = self.partitions.iter().map(|p| p.input).sum();
+        let total_map_output = self.partitions.iter().map(|p| p.map_output).sum();
+        job.config
+            .reducer_policy
+            .reducers(total_input, total_map_output)
+    }
+}
+
+/// Plan the map phase: read every input (metered), derive mapper counts
+/// from the *scaled* sizes (the paper's regime), and cut each relation
+/// into per-task splits.
+pub(crate) fn plan_map_tasks(
+    config: &EngineConfig,
+    dfs: &mut SimDfs,
+    job: &Job,
+) -> Result<MapPlan> {
+    let scale = config.scale.max(1);
+    let mut partitions = Vec::with_capacity(job.inputs.len());
+    let mut input_facts = Vec::with_capacity(job.inputs.len());
+    let mut tasks = Vec::new();
+    for (input_idx, input_name) in job.inputs.iter().enumerate() {
+        let rel = dfs.read(input_name)?;
+        let real_input = ByteSize::bytes(rel.estimated_bytes());
+        let scaled_input = real_input.scaled(scale);
+        let n_facts = rel.len();
+        // Mapper (split) count from the *scaled* size, clamped so every
+        // task has at least one real fact.
+        let mut mappers = job.config.mappers_for(scaled_input);
+        if n_facts > 0 {
+            mappers = mappers.min(n_facts);
+        }
+        let chunk = if n_facts == 0 {
+            1
+        } else {
+            n_facts.div_ceil(mappers)
+        };
+
+        let facts: Vec<(u64, Fact)> = rel
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u64, Fact::new(input_name.clone(), t.clone())))
+            .collect();
+        let chunk = chunk.max(1);
+        for start in (0..n_facts).step_by(chunk) {
+            tasks.push(MapTaskSpec {
+                input_idx,
+                split: start..(start + chunk).min(n_facts),
+            });
+        }
+        input_facts.push(facts);
+
+        partitions.push(InputPartition {
+            label: input_name.to_string(),
+            input: scaled_input,
+            map_output: ByteSize::ZERO,
+            records_out: 0,
+            mappers,
+        });
+    }
+    Ok(MapPlan {
+        partitions,
+        input_facts,
+        tasks,
+    })
+}
+
+/// Run one map task: apply the mapper to every fact of the split and
+/// account bytes/records, charging key bytes once per distinct key within
+/// the task when packing is enabled (§5.1 (1)).
+pub(crate) fn run_map_task(job: &Job, facts: &[(u64, Fact)]) -> MapTaskResult {
+    let mut emitted: Vec<(Tuple, Message)> = Vec::new();
+    for (index, fact) in facts {
+        job.mapper
+            .map(fact, *index, &mut |k, v| emitted.push((k, v)));
+    }
+    let mut output_bytes: u64 = 0;
+    let mut records_out: u64 = 0;
+    if job.config.packing {
+        let mut by_key: BTreeMap<&Tuple, u64> = BTreeMap::new();
+        for (k, v) in &emitted {
+            *by_key.entry(k).or_insert(0) += v.estimated_bytes();
+        }
+        for (k, value_bytes) in &by_key {
+            output_bytes += k.estimated_bytes() + value_bytes;
+        }
+        records_out += by_key.len() as u64;
+    } else {
+        for (k, v) in &emitted {
+            output_bytes += k.estimated_bytes() + v.estimated_bytes();
+        }
+        records_out += emitted.len() as u64;
+    }
+    MapTaskResult {
+        emitted,
+        output_bytes,
+        records_out,
+    }
+}
+
+impl MapPlan {
+    /// Fold per-task results (in task order) into the per-input partition
+    /// metering, applying the byte scale once per partition.
+    pub(crate) fn apply(&mut self, scale: u64, results: &[MapTaskResult]) {
+        debug_assert_eq!(results.len(), self.tasks.len());
+        let mut raw_bytes = vec![0u64; self.partitions.len()];
+        let mut raw_records = vec![0u64; self.partitions.len()];
+        for (task, result) in self.tasks.iter().zip(results) {
+            raw_bytes[task.input_idx] += result.output_bytes;
+            raw_records[task.input_idx] += result.records_out;
+        }
+        for (i, p) in self.partitions.iter_mut().enumerate() {
+            p.map_output = ByteSize::bytes(raw_bytes[i]).scaled(scale);
+            p.records_out = raw_records[i] * scale;
+        }
+    }
+}
+
+/// Reduce one shuffle partition: call the reducer per key group (keys in
+/// canonical order) and collect its output into fresh per-partition
+/// relations, rejecting emissions to undeclared outputs exactly like the
+/// original engine did.
+pub(crate) fn run_reduce_partition(
+    job: &Job,
+    group: &BTreeMap<Tuple, Vec<Message>>,
+) -> Result<BTreeMap<RelationName, Relation>> {
+    let mut outputs: BTreeMap<RelationName, Relation> = job
+        .outputs
+        .iter()
+        .map(|(name, arity)| (name.clone(), Relation::new(name.clone(), *arity)))
+        .collect();
+    for (key, values) in group {
+        let mut err: Option<GumboError> = None;
+        job.reducer.reduce(key, values, &mut |rel_name, tuple| {
+            if err.is_some() {
+                return;
+            }
+            match outputs.get_mut(rel_name) {
+                Some(rel) => {
+                    if let Err(e) = rel.insert(tuple) {
+                        err = Some(e);
+                    }
+                }
+                None => {
+                    err = Some(GumboError::Plan(format!(
+                        "job {} emitted to undeclared output {rel_name}",
+                        job.name
+                    )));
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(outputs)
+}
+
+/// Merge per-partition reduce outputs (in partition order), store every
+/// declared output to the DFS, and assemble the job's metered statistics.
+#[allow(clippy::too_many_arguments)] // one call per runtime, mirrors the phases
+pub(crate) fn finalize_job(
+    config: &EngineConfig,
+    dfs: &mut SimDfs,
+    job: &Job,
+    round: usize,
+    partitions: Vec<InputPartition>,
+    reducers: usize,
+    reducer_bytes: &[u64],
+    partition_outputs: Vec<BTreeMap<RelationName, Relation>>,
+) -> Result<JobStats> {
+    let scale = config.scale.max(1);
+    let consts = &config.constants;
+
+    let mut outputs: BTreeMap<RelationName, Relation> = job
+        .outputs
+        .iter()
+        .map(|(name, arity)| (name.clone(), Relation::new(name.clone(), *arity)))
+        .collect();
+    for partial in partition_outputs {
+        for (name, rel) in partial {
+            let target = outputs.get_mut(&name).expect("declared output");
+            for tuple in rel.iter() {
+                target.insert(tuple.clone())?;
+            }
+        }
+    }
+
+    let mut output_tuples = 0u64;
+    let mut output_bytes = ByteSize::ZERO;
+    for rel in outputs.into_values() {
+        output_tuples += rel.len() as u64;
+        output_bytes += ByteSize::bytes(rel.estimated_bytes()).scaled(scale);
+        dfs.store(rel);
+    }
+
+    let profile = JobProfile {
+        partitions,
+        reducers,
+        output: output_bytes,
+    };
+    let map_cost: f64 = match config.model {
+        CostModelKind::Gumbo => profile.partitions.iter().map(|p| consts.cost_map(p)).sum(),
+        CostModelKind::Wang => {
+            job_cost(CostModelKind::Wang, consts, &profile)
+                - consts.job_overhead
+                - consts.cost_red(profile.total_map_output(), reducers, output_bytes)
+        }
+    };
+    let reduce_cost = consts.cost_red(profile.total_map_output(), reducers, output_bytes);
+    let total_cost = consts.job_overhead + map_cost + reduce_cost;
+
+    let mut map_task_durations = Vec::new();
+    for p in &profile.partitions {
+        let per_task = consts.cost_map(p) / p.mappers.max(1) as f64;
+        map_task_durations.extend(std::iter::repeat_n(per_task, p.mappers));
+    }
+    // Distribute the (cost-model) reduce cost over tasks proportionally to
+    // their actual byte loads — uniform when there is no data (or no
+    // skew). Totals stay faithful to the paper's cost_red; only the
+    // wall-clock distribution reflects skew.
+    let shuffled: u64 = reducer_bytes.iter().sum();
+    let reduce_task_durations: Vec<f64> = if shuffled == 0 {
+        vec![reduce_cost / reducers.max(1) as f64; reducers]
+    } else {
+        reducer_bytes
+            .iter()
+            .map(|&b| reduce_cost * b as f64 / shuffled as f64)
+            .collect()
+    };
+
+    Ok(JobStats {
+        name: job.name.clone(),
+        round,
+        profile,
+        map_cost,
+        reduce_cost,
+        total_cost,
+        map_task_durations,
+        reduce_task_durations,
+        output_tuples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_kind_parses_cli_spellings() {
+        assert_eq!(ExecutorKind::parse("sim"), Some(ExecutorKind::Simulated));
+        assert_eq!(
+            ExecutorKind::parse("simulated"),
+            Some(ExecutorKind::Simulated)
+        );
+        assert_eq!(
+            ExecutorKind::parse("parallel"),
+            Some(ExecutorKind::Parallel { threads: 0 })
+        );
+        assert_eq!(
+            ExecutorKind::parse("parallel:8"),
+            Some(ExecutorKind::Parallel { threads: 8 })
+        );
+        assert_eq!(ExecutorKind::parse("hadoop"), None);
+        assert_eq!(ExecutorKind::parse("parallel:x"), None);
+    }
+
+    #[test]
+    fn executor_kind_labels_round_trip() {
+        for kind in [
+            ExecutorKind::Simulated,
+            ExecutorKind::Parallel { threads: 0 },
+            ExecutorKind::Parallel { threads: 4 },
+        ] {
+            assert_eq!(ExecutorKind::parse(&kind.label()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn built_executors_report_config_and_name() {
+        let config = EngineConfig::unscaled();
+        let sim = ExecutorKind::Simulated.build(config);
+        assert_eq!(sim.name(), "simulated");
+        assert_eq!(sim.config().scale, 1);
+        let par = ExecutorKind::Parallel { threads: 2 }.build(config);
+        assert_eq!(par.name(), "parallel");
+        assert_eq!(par.config().scale, 1);
+    }
+}

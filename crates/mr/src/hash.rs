@@ -62,7 +62,10 @@ mod tests {
 
     #[test]
     fn different_tuples_differ() {
-        assert_ne!(hash_tuple(&Tuple::from_ints(&[1])), hash_tuple(&Tuple::from_ints(&[2])));
+        assert_ne!(
+            hash_tuple(&Tuple::from_ints(&[1])),
+            hash_tuple(&Tuple::from_ints(&[2]))
+        );
         // Int 1 and string "1" must not collide by construction (type tags).
         assert_ne!(
             hash_tuple(&Tuple::from_ints(&[1])),

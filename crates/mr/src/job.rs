@@ -48,12 +48,16 @@ pub enum ReducerPolicy {
 impl ReducerPolicy {
     /// Gumbo's default: 256 MB of intermediate data per reducer.
     pub fn gumbo_default() -> Self {
-        ReducerPolicy::ByIntermediate { mb_per_reducer: 256 }
+        ReducerPolicy::ByIntermediate {
+            mb_per_reducer: 256,
+        }
     }
 
     /// Pig's default: 1 GB of input per reducer.
     pub fn pig_default() -> Self {
-        ReducerPolicy::ByInput { mb_per_reducer: 1000 }
+        ReducerPolicy::ByInput {
+            mb_per_reducer: 1000,
+        }
     }
 
     /// Resolve the reducer count from (scaled) input and intermediate sizes.
@@ -161,13 +165,22 @@ mod tests {
 
     #[test]
     fn fixed_policy_clamps_to_one() {
-        assert_eq!(ReducerPolicy::Fixed(0).reducers(ByteSize::ZERO, ByteSize::ZERO), 1);
-        assert_eq!(ReducerPolicy::Fixed(7).reducers(ByteSize::ZERO, ByteSize::ZERO), 7);
+        assert_eq!(
+            ReducerPolicy::Fixed(0).reducers(ByteSize::ZERO, ByteSize::ZERO),
+            1
+        );
+        assert_eq!(
+            ReducerPolicy::Fixed(7).reducers(ByteSize::ZERO, ByteSize::ZERO),
+            7
+        );
     }
 
     #[test]
     fn at_least_one_reducer_for_empty_data() {
-        assert_eq!(ReducerPolicy::gumbo_default().reducers(ByteSize::ZERO, ByteSize::ZERO), 1);
+        assert_eq!(
+            ReducerPolicy::gumbo_default().reducers(ByteSize::ZERO, ByteSize::ZERO),
+            1
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn req_with_tuple_counts_payload() {
-        let m = Message::Req { cond: 0, payload: Payload::Tuple(Tuple::from_ints(&[1, 2])) };
+        let m = Message::Req {
+            cond: 0,
+            payload: Payload::Tuple(Tuple::from_ints(&[1, 2])),
+        };
         assert_eq!(m.estimated_bytes(), 4 + 20);
     }
 
@@ -111,7 +114,10 @@ mod tests {
 
     #[test]
     fn guard_tuple_counts_tuple() {
-        let m = Message::GuardTuple { guard: 0, tuple: Tuple::from_ints(&[1, 2, 3, 4]) };
+        let m = Message::GuardTuple {
+            guard: 0,
+            tuple: Tuple::from_ints(&[1, 2, 3, 4]),
+        };
         assert_eq!(m.estimated_bytes(), 44);
     }
 }

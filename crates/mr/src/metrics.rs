@@ -186,7 +186,11 @@ mod tests {
         let mut p = ProgramStats::default();
         p.jobs.push(stats(10.0));
         p.jobs.push(stats(5.0));
-        p.round_stats.push(RoundStats { map_makespan: 2.0, reduce_makespan: 1.0, overhead: 10.0 });
+        p.round_stats.push(RoundStats {
+            map_makespan: 2.0,
+            reduce_makespan: 1.0,
+            overhead: 10.0,
+        });
         assert!((p.total_time() - 15.0).abs() < 1e-12);
         assert!((p.net_time() - 13.0).abs() < 1e-12);
         assert_eq!(p.input_bytes(), ByteSize::mb(20));
@@ -197,10 +201,18 @@ mod tests {
     fn extend_offsets_rounds() {
         let mut a = ProgramStats::default();
         a.jobs.push(stats(1.0));
-        a.round_stats.push(RoundStats { map_makespan: 1.0, reduce_makespan: 0.0, overhead: 0.0 });
+        a.round_stats.push(RoundStats {
+            map_makespan: 1.0,
+            reduce_makespan: 0.0,
+            overhead: 0.0,
+        });
         let mut b = ProgramStats::default();
         b.jobs.push(stats(2.0));
-        b.round_stats.push(RoundStats { map_makespan: 1.0, reduce_makespan: 0.0, overhead: 0.0 });
+        b.round_stats.push(RoundStats {
+            map_makespan: 1.0,
+            reduce_makespan: 0.0,
+            overhead: 0.0,
+        });
         a.extend(b);
         assert_eq!(a.jobs[1].round, 1);
         assert_eq!(a.num_rounds(), 2);

@@ -1,0 +1,373 @@
+//! The multi-threaded runtime: real parallel map, shuffle and reduce.
+//!
+//! The paper evaluates *parallel* query plans, but the simulator executes
+//! them sequentially and only models parallelism in the cost model. This
+//! runtime actually runs them in parallel on a small fixed worker pool
+//! (scoped threads, no work-stealing dependency):
+//!
+//! 1. **map** — the job's map tasks (the same splits the simulator plans)
+//!    are pulled off a shared counter by the workers;
+//! 2. **shuffle** — two pool passes with full move semantics: workers
+//!    first scatter each map task's output into per-reducer buckets
+//!    (hashing every pair exactly once via [`crate::hash::partition`]),
+//!    then each reducer drains its buckets in task order to build its
+//!    key groups;
+//! 3. **reduce** — reduce partitions are pulled off a shared counter and
+//!    processed independently; their outputs are merged in partition
+//!    order on the caller's thread.
+//!
+//! Determinism: map results are re-assembled **in task order**, key
+//! groups are `BTreeMap`s (sorted keys; values in global emission order),
+//! per-partition reduce outputs are sorted-set relations merged in
+//! partition order — so answer relations and [`crate::JobStats`] are
+//! byte-identical to the simulator's, whatever the thread count or OS
+//! scheduling. `tests/executor_equivalence.rs` and the 1/4/16-thread
+//! smoke test at the workspace root enforce this.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use gumbo_common::{Result, Tuple};
+use gumbo_storage::SimDfs;
+
+use crate::executor::{
+    finalize_job, plan_map_tasks, run_map_task, run_reduce_partition, EngineConfig, Executor,
+};
+use crate::hash::partition;
+use crate::job::Job;
+use crate::message::Message;
+use crate::metrics::JobStats;
+
+/// A run of key-value pairs in emission order: one map task's output
+/// during the shuffle's ownership hand-off.
+type KvChunk = Vec<(Tuple, Message)>;
+
+/// The multi-threaded MapReduce runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelExecutor {
+    /// Engine configuration (identical semantics to the simulator's).
+    pub config: EngineConfig,
+    /// Requested worker count; `0` = auto-size from the machine and the
+    /// configured cluster.
+    pub threads: usize,
+}
+
+impl ParallelExecutor {
+    /// An auto-sized pool: min(available parallelism, cluster map slots).
+    pub fn new(config: EngineConfig) -> Self {
+        ParallelExecutor { config, threads: 0 }
+    }
+
+    /// A fixed-size pool of `threads` workers (`0` = auto).
+    pub fn with_threads(config: EngineConfig, threads: usize) -> Self {
+        ParallelExecutor { config, threads }
+    }
+
+    /// The worker count this executor will actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        let hw = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        hw.min(self.config.cluster.map_slots()).max(1)
+    }
+}
+
+/// Run `n` independent tasks on up to `threads` scoped worker threads,
+/// returning results **in task order**. Tasks are claimed from a shared
+/// atomic counter, so long tasks don't stall short ones behind a static
+/// partition. Worker panics propagate to the caller.
+fn parallel_for<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("unpoisoned result slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("unpoisoned result slot")
+                .expect("task completed")
+        })
+        .collect()
+}
+
+impl Executor for ParallelExecutor {
+    fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+        let workers = self.effective_threads();
+
+        // ---- map phase: tasks fan out over the pool ---------------------
+        // Planning (and its DFS read metering) stays on the caller's
+        // thread; the tasks own their fact slices, so workers never touch
+        // the DFS.
+        let mut plan = plan_map_tasks(&self.config, dfs, job)?;
+        let results = parallel_for(plan.tasks.len(), workers, |i| {
+            run_map_task(job, plan.task_facts(&plan.tasks[i]))
+        });
+        plan.apply(self.config.scale.max(1), &results);
+
+        // ---- shuffle: partitioned into per-reducer buffers --------------
+        let reducers = plan.resolve_reducers(job);
+
+        // Phase 1 — bucket: workers take ownership of map-task outputs (in
+        // task order, preserving global emission order within each chunk)
+        // and scatter the pairs into per-reducer vectors. Pairs are moved,
+        // never cloned, and each pair is hashed exactly once.
+        let chunks: Vec<Mutex<Option<KvChunk>>> = results
+            .into_iter()
+            .map(|r| Mutex::new(Some(r.emitted)))
+            .collect();
+        let buckets: Vec<Vec<Mutex<KvChunk>>> = parallel_for(chunks.len(), workers, |c| {
+            let pairs = chunks[c]
+                .lock()
+                .expect("unpoisoned chunk")
+                .take()
+                .expect("chunk taken once");
+            let mut bucket: Vec<KvChunk> = vec![Vec::new(); reducers];
+            for (k, v) in pairs {
+                bucket[partition(&k, reducers)].push((k, v));
+            }
+            bucket.into_iter().map(Mutex::new).collect()
+        });
+
+        // Phase 2 — group: each reducer drains its bucket from every chunk
+        // in chunk order, so values within a key group end up in global
+        // emission order — exactly the simulator's.
+        let grouped: Vec<(BTreeMap<Tuple, Vec<Message>>, u64)> =
+            parallel_for(reducers, workers, |p| {
+                let mut group: BTreeMap<Tuple, Vec<Message>> = BTreeMap::new();
+                let mut bytes = 0u64;
+                for bucket in &buckets {
+                    let pairs = std::mem::take(&mut *bucket[p].lock().expect("unpoisoned bucket"));
+                    for (k, v) in pairs {
+                        bytes += k.estimated_bytes() + v.estimated_bytes();
+                        group.entry(k).or_default().push(v);
+                    }
+                }
+                (group, bytes)
+            });
+        let mut groups: Vec<BTreeMap<Tuple, Vec<Message>>> = Vec::with_capacity(reducers);
+        let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
+        for (group, bytes) in grouped {
+            groups.push(group);
+            reducer_bytes.push(bytes);
+        }
+
+        // ---- reduce phase: partitions fan out over the pool -------------
+        let reduced = parallel_for(groups.len(), workers, |p| {
+            run_reduce_partition(job, &groups[p])
+        });
+        // First error in partition order — the simulator's error too,
+        // since it scans partitions in order and stops at the first.
+        let mut partition_outputs = Vec::with_capacity(reduced.len());
+        for outcome in reduced {
+            partition_outputs.push(outcome?);
+        }
+
+        // ---- metering (shared with the simulator) -----------------------
+        finalize_job(
+            &self.config,
+            dfs,
+            job,
+            round,
+            plan.partitions,
+            reducers,
+            &reducer_bytes,
+            partition_outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobConfig, Mapper, Reducer, ReducerPolicy};
+    use crate::message::Payload;
+    use crate::simulated::SimulatedExecutor;
+    use gumbo_common::{Fact, Relation, RelationName};
+
+    struct KeyByFirst;
+    impl Mapper for KeyByFirst {
+        fn map(&self, fact: &Fact, _i: u64, emit: &mut dyn FnMut(Tuple, Message)) {
+            let key = Tuple::new(vec![fact.tuple.get(0).unwrap().clone()]);
+            if fact.relation.as_str() == "R" {
+                let rest = Tuple::new(vec![fact.tuple.get(1).unwrap().clone()]);
+                emit(
+                    key,
+                    Message::Req {
+                        cond: 0,
+                        payload: Payload::Tuple(rest),
+                    },
+                );
+            } else {
+                emit(key, Message::Assert { cond: 0 });
+            }
+        }
+    }
+
+    struct EmitMatched;
+    impl Reducer for EmitMatched {
+        fn reduce(
+            &self,
+            key: &Tuple,
+            values: &[Message],
+            emit: &mut dyn FnMut(&RelationName, Tuple),
+        ) {
+            if values.iter().any(|m| matches!(m, Message::Assert { .. })) {
+                for m in values {
+                    if let Message::Req {
+                        payload: Payload::Tuple(t),
+                        ..
+                    } = m
+                    {
+                        let mut vals: Vec<_> = key.values().to_vec();
+                        vals.extend(t.values().iter().cloned());
+                        emit(&"Z".into(), Tuple::new(vals));
+                    }
+                }
+            }
+        }
+    }
+
+    fn job() -> Job {
+        Job {
+            name: "MSJ(Z)".into(),
+            inputs: vec!["R".into(), "S".into()],
+            outputs: vec![("Z".into(), 2)],
+            mapper: Box::new(KeyByFirst),
+            reducer: Box::new(EmitMatched),
+            config: JobConfig {
+                reducer_policy: ReducerPolicy::Fixed(13),
+                ..JobConfig::default()
+            },
+        }
+    }
+
+    fn dfs(n: i64) -> SimDfs {
+        let mut dfs = SimDfs::new();
+        dfs.store(
+            Relation::from_tuples("R", 2, (0..n).map(|i| Tuple::from_ints(&[i % 97, i]))).unwrap(),
+        );
+        dfs.store(
+            Relation::from_tuples("S", 1, (0..n / 2).map(|i| Tuple::from_ints(&[i % 97]))).unwrap(),
+        );
+        dfs
+    }
+
+    #[test]
+    fn matches_simulator_exactly() {
+        let config = EngineConfig {
+            scale: 100_000,
+            ..EngineConfig::default()
+        };
+        let mut d_sim = dfs(500);
+        let sim_stats = SimulatedExecutor::new(config)
+            .execute_job(&mut d_sim, &job(), 0)
+            .unwrap();
+        for threads in [1usize, 3, 8] {
+            let mut d_par = dfs(500);
+            let par = ParallelExecutor::with_threads(config, threads);
+            let par_stats = par.execute_job(&mut d_par, &job(), 0).unwrap();
+            assert_eq!(
+                d_sim.peek(&"Z".into()).unwrap(),
+                d_par.peek(&"Z".into()).unwrap(),
+                "answers differ at {threads} threads"
+            );
+            assert_eq!(sim_stats.output_tuples, par_stats.output_tuples);
+            assert_eq!(sim_stats.profile, par_stats.profile);
+            assert_eq!(sim_stats.map_task_durations, par_stats.map_task_durations);
+            assert_eq!(
+                sim_stats.reduce_task_durations,
+                par_stats.reduce_task_durations
+            );
+            assert!((sim_stats.total_cost - par_stats.total_cost).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn auto_sizing_is_positive_and_bounded() {
+        let exec = ParallelExecutor::new(EngineConfig::default());
+        let t = exec.effective_threads();
+        assert!(t >= 1);
+        assert!(t <= EngineConfig::default().cluster.map_slots());
+        assert_eq!(
+            ParallelExecutor::with_threads(EngineConfig::default(), 5).effective_threads(),
+            5
+        );
+    }
+
+    #[test]
+    fn parallel_for_preserves_task_order() {
+        for threads in [1usize, 2, 7] {
+            let out = parallel_for(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_inputs_and_zero_tasks_work() {
+        let mut d = SimDfs::new();
+        d.store(Relation::new("R", 2));
+        d.store(Relation::new("S", 1));
+        let par = ParallelExecutor::with_threads(EngineConfig::unscaled(), 4);
+        let stats = par.execute_job(&mut d, &job(), 0).unwrap();
+        assert_eq!(stats.output_tuples, 0);
+        assert!(d.exists(&"Z".into()));
+    }
+
+    #[test]
+    fn reduce_errors_surface_deterministically() {
+        struct BadReducer;
+        impl Reducer for BadReducer {
+            fn reduce(&self, _: &Tuple, _: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+                emit(&"Undeclared".into(), Tuple::from_ints(&[1]));
+            }
+        }
+        let bad = Job {
+            name: "bad".into(),
+            inputs: vec!["R".into()],
+            outputs: vec![],
+            mapper: Box::new(KeyByFirst),
+            reducer: Box::new(BadReducer),
+            config: JobConfig::default(),
+        };
+        let mut d = dfs(50);
+        let par = ParallelExecutor::with_threads(EngineConfig::unscaled(), 4);
+        let err = par.execute_job(&mut d, &bad, 0).unwrap_err();
+        let mut d2 = dfs(50);
+        let sim_err = SimulatedExecutor::new(EngineConfig::unscaled())
+            .execute_job(&mut d2, &bad, 0)
+            .unwrap_err();
+        assert_eq!(err.to_string(), sim_err.to_string());
+    }
+}

@@ -64,7 +64,12 @@ impl MrProgram {
 
 impl fmt::Debug for MrProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "MrProgram [{} rounds, {} jobs]", self.num_rounds(), self.num_jobs())?;
+        writeln!(
+            f,
+            "MrProgram [{} rounds, {} jobs]",
+            self.num_rounds(),
+            self.num_jobs()
+        )?;
         for (i, round) in self.rounds.iter().enumerate() {
             let names: Vec<&str> = round.iter().map(|j| j.name.as_str()).collect();
             writeln!(f, "  round {}: {}", i + 1, names.join(" | "))?;
@@ -84,7 +89,12 @@ mod tests {
         fn map(&self, _: &Fact, _: u64, _: &mut dyn FnMut(Tuple, crate::message::Message)) {}
     }
     impl Reducer for Noop {
-        fn reduce(&self, _: &Tuple, _: &[crate::message::Message], _: &mut dyn FnMut(&RelationName, Tuple)) {
+        fn reduce(
+            &self,
+            _: &Tuple,
+            _: &[crate::message::Message],
+            _: &mut dyn FnMut(&RelationName, Tuple),
+        ) {
         }
     }
 

@@ -1,0 +1,392 @@
+//! The simulated runtime: single-threaded, deterministic, fully metered.
+//!
+//! This is the original engine of the reproduction — map tasks run one
+//! after another on the calling thread, the shuffle is a single in-order
+//! pass, and reduce partitions are processed sequentially. It exists (and
+//! stays the default) because it is the *reference* runtime: simulated
+//! schedules, cost accounting and answer relations are bit-for-bit
+//! reproducible, which the §5 experiments and every regression test rely
+//! on. The multi-threaded sibling is [`crate::parallel::ParallelExecutor`].
+
+use std::collections::BTreeMap;
+
+use gumbo_common::{Result, Tuple};
+use gumbo_storage::SimDfs;
+
+use crate::executor::{
+    finalize_job, plan_map_tasks, run_map_task, run_reduce_partition, EngineConfig, Executor,
+};
+use crate::hash::partition;
+use crate::job::Job;
+use crate::message::Message;
+use crate::metrics::JobStats;
+
+/// The deterministic MapReduce simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedExecutor {
+    /// Engine configuration.
+    pub config: EngineConfig,
+}
+
+/// Historical name of the simulated runtime, kept because the simulator
+/// *is* the engine of the original reproduction and most call sites read
+/// naturally with it.
+pub type Engine = SimulatedExecutor;
+
+impl SimulatedExecutor {
+    /// Create a simulated executor with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        SimulatedExecutor { config }
+    }
+}
+
+impl Executor for SimulatedExecutor {
+    fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated"
+    }
+
+    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+        // ---- map phase -------------------------------------------------
+        let mut plan = plan_map_tasks(&self.config, dfs, job)?;
+        let results: Vec<_> = plan
+            .tasks
+            .iter()
+            .map(|t| run_map_task(job, plan.task_facts(t)))
+            .collect();
+        plan.apply(self.config.scale.max(1), &results);
+        let kvs: Vec<(Tuple, Message)> = results.into_iter().flat_map(|r| r.emitted).collect();
+
+        // ---- shuffle ----------------------------------------------------
+        let reducers = plan.resolve_reducers(job);
+        let mut groups: Vec<BTreeMap<Tuple, Vec<Message>>> = vec![BTreeMap::new(); reducers];
+        // Per-reducer byte loads: used to distribute simulated reduce-task
+        // durations, so data skew (heavy keys) shows up in net time.
+        let mut reducer_bytes: Vec<u64> = vec![0; reducers];
+        for (k, v) in kvs {
+            let p = partition(&k, reducers);
+            reducer_bytes[p] += k.estimated_bytes() + v.estimated_bytes();
+            groups[p].entry(k).or_default().push(v);
+        }
+
+        // ---- reduce phase ----------------------------------------------
+        let mut partition_outputs = Vec::with_capacity(reducers);
+        for group in &groups {
+            partition_outputs.push(run_reduce_partition(job, group)?);
+        }
+
+        // ---- metering ---------------------------------------------------
+        finalize_job(
+            &self.config,
+            dfs,
+            job,
+            round,
+            plan.partitions,
+            reducers,
+            &reducer_bytes,
+            partition_outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobConfig, Mapper, Reducer, ReducerPolicy};
+    use crate::message::Payload;
+    use crate::program::MrProgram;
+    use gumbo_common::{ByteSize, Fact, Relation, RelationName};
+
+    /// A miniature single-semi-join job (§4.1's repartition join): guard
+    /// R(x, z) requests on key z; conditional S(z, y) asserts on key z.
+    struct SemiJoinMapper;
+    impl Mapper for SemiJoinMapper {
+        fn map(&self, fact: &Fact, _index: u64, emit: &mut dyn FnMut(Tuple, Message)) {
+            let key = Tuple::new(vec![fact
+                .tuple
+                .get(if fact.relation.as_str() == "R" { 1 } else { 0 })
+                .unwrap()
+                .clone()]);
+            if fact.relation.as_str() == "R" {
+                let out = Tuple::new(vec![fact.tuple.get(0).unwrap().clone()]);
+                emit(
+                    key,
+                    Message::Req {
+                        cond: 0,
+                        payload: Payload::Tuple(out),
+                    },
+                );
+            } else {
+                emit(key, Message::Assert { cond: 0 });
+            }
+        }
+    }
+
+    struct SemiJoinReducer;
+    impl Reducer for SemiJoinReducer {
+        fn reduce(
+            &self,
+            _key: &Tuple,
+            values: &[Message],
+            emit: &mut dyn FnMut(&RelationName, Tuple),
+        ) {
+            let asserted = values
+                .iter()
+                .any(|m| matches!(m, Message::Assert { cond: 0 }));
+            if asserted {
+                for m in values {
+                    if let Message::Req {
+                        cond: 0,
+                        payload: Payload::Tuple(t),
+                    } = m
+                    {
+                        emit(&"Z".into(), t.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn semi_join_job() -> Job {
+        Job {
+            name: "MSJ(Z)".into(),
+            inputs: vec!["R".into(), "S".into()],
+            outputs: vec![("Z".into(), 1)],
+            mapper: Box::new(SemiJoinMapper),
+            reducer: Box::new(SemiJoinReducer),
+            config: JobConfig::default(),
+        }
+    }
+
+    fn example3_dfs() -> SimDfs {
+        // Example 3: I = {R(1,2), R(4,5), S(2,3)}.
+        let mut dfs = SimDfs::new();
+        dfs.store(
+            Relation::from_tuples(
+                "R",
+                2,
+                vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[4, 5])],
+            )
+            .unwrap(),
+        );
+        dfs.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[2, 3])]).unwrap());
+        dfs
+    }
+
+    #[test]
+    fn example3_semijoin_executes_correctly() {
+        let mut dfs = example3_dfs();
+        let engine = Engine::new(EngineConfig::unscaled());
+        let mut program = MrProgram::new();
+        program.push_job(semi_join_job());
+        let stats = engine.execute(&mut dfs, &program).unwrap();
+        let z = dfs.peek(&"Z".into()).unwrap();
+        assert_eq!(z.len(), 1);
+        assert!(z.contains(&Tuple::from_ints(&[1])));
+        assert_eq!(stats.jobs[0].output_tuples, 1);
+        assert!(stats.net_time() > 0.0);
+        assert!(stats.total_time() >= stats.net_time() || stats.num_jobs() == 1);
+    }
+
+    #[test]
+    fn per_input_partitions_are_metered_separately() {
+        let mut dfs = example3_dfs();
+        let engine = Engine::new(EngineConfig::unscaled());
+        let stats = engine.execute_job(&mut dfs, &semi_join_job(), 0).unwrap();
+        assert_eq!(stats.profile.partitions.len(), 2);
+        assert_eq!(stats.profile.partitions[0].label, "R");
+        // R has 2 tuples of 20 B; S has 1.
+        assert_eq!(stats.profile.partitions[0].input, ByteSize::bytes(40));
+        assert_eq!(stats.profile.partitions[1].input, ByteSize::bytes(20));
+    }
+
+    #[test]
+    fn scale_multiplies_metrics_but_not_results() {
+        let mut dfs1 = example3_dfs();
+        let mut dfs2 = example3_dfs();
+        let e1 = Engine::new(EngineConfig {
+            scale: 1,
+            ..EngineConfig::default()
+        });
+        let e2 = Engine::new(EngineConfig {
+            scale: 1_000_000,
+            ..EngineConfig::default()
+        });
+        let s1 = e1.execute_job(&mut dfs1, &semi_join_job(), 0).unwrap();
+        let s2 = e2.execute_job(&mut dfs2, &semi_join_job(), 0).unwrap();
+        // Same logical result.
+        assert_eq!(
+            dfs1.peek(&"Z".into()).unwrap(),
+            dfs2.peek(&"Z".into()).unwrap()
+        );
+        // Scaled metrics.
+        assert_eq!(s2.input_bytes(), s1.input_bytes().scaled(1_000_000));
+        assert!(s2.total_cost > s1.total_cost);
+    }
+
+    #[test]
+    fn undeclared_output_is_an_error() {
+        struct BadReducer;
+        impl Reducer for BadReducer {
+            fn reduce(&self, _: &Tuple, _: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+                emit(&"Nope".into(), Tuple::from_ints(&[1]));
+            }
+        }
+        let mut dfs = example3_dfs();
+        let job = Job {
+            name: "bad".into(),
+            inputs: vec!["R".into()],
+            outputs: vec![],
+            mapper: Box::new(SemiJoinMapper),
+            reducer: Box::new(BadReducer),
+            config: JobConfig::default(),
+        };
+        let engine = Engine::new(EngineConfig::unscaled());
+        assert!(engine.execute_job(&mut dfs, &job, 0).is_err());
+    }
+
+    #[test]
+    fn declared_outputs_exist_even_when_empty() {
+        let mut dfs = SimDfs::new();
+        dfs.store(Relation::new("R", 2));
+        dfs.store(Relation::new("S", 2));
+        let engine = Engine::new(EngineConfig::unscaled());
+        engine.execute_job(&mut dfs, &semi_join_job(), 0).unwrap();
+        assert!(dfs.exists(&"Z".into()));
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn packing_reduces_shuffle_bytes() {
+        // Many R tuples sharing one join key: packed key bytes counted once.
+        let mut rel = Relation::new("R", 2);
+        for i in 0..100 {
+            rel.insert(Tuple::from_ints(&[i, 7])).unwrap();
+        }
+        let mut dfs_packed = SimDfs::new();
+        dfs_packed.store(rel.clone());
+        dfs_packed.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[7, 0])]).unwrap());
+        let mut dfs_plain = SimDfs::new();
+        dfs_plain.store(rel);
+        dfs_plain.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[7, 0])]).unwrap());
+
+        let engine = Engine::new(EngineConfig::unscaled());
+        let mut packed_job = semi_join_job();
+        packed_job.config.packing = true;
+        let mut plain_job = semi_join_job();
+        plain_job.config.packing = false;
+
+        let packed = engine.execute_job(&mut dfs_packed, &packed_job, 0).unwrap();
+        let plain = engine.execute_job(&mut dfs_plain, &plain_job, 0).unwrap();
+        assert!(packed.communication_bytes() < plain.communication_bytes());
+        // Results identical.
+        assert_eq!(
+            dfs_packed.peek(&"Z".into()).unwrap(),
+            dfs_plain.peek(&"Z".into()).unwrap()
+        );
+    }
+
+    #[test]
+    fn fixed_reducer_policy_is_respected() {
+        let mut dfs = example3_dfs();
+        let mut job = semi_join_job();
+        job.config.reducer_policy = ReducerPolicy::Fixed(7);
+        let engine = Engine::new(EngineConfig::unscaled());
+        let stats = engine.execute_job(&mut dfs, &job, 0).unwrap();
+        assert_eq!(stats.profile.reducers, 7);
+        assert_eq!(stats.reduce_task_durations.len(), 7);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let mut dfs = SimDfs::new();
+        let engine = Engine::new(EngineConfig::unscaled());
+        assert!(engine.execute_job(&mut dfs, &semi_join_job(), 0).is_err());
+    }
+
+    #[test]
+    fn round_concurrency_lowers_net_time() {
+        // Two identical independent jobs: one round of two jobs must have a
+        // lower net time than two rounds of one (same total time).
+        let make_dfs = || {
+            let mut dfs = example3_dfs();
+            dfs.store(
+                Relation::from_tuples(
+                    "R2",
+                    2,
+                    vec![Tuple::from_ints(&[1, 2]), Tuple::from_ints(&[4, 5])],
+                )
+                .unwrap(),
+            );
+            dfs.store(Relation::from_tuples("S2", 2, vec![Tuple::from_ints(&[2, 3])]).unwrap());
+            dfs
+        };
+        let job2 = || Job {
+            name: "MSJ(Z2)".into(),
+            inputs: vec!["R2".into(), "S2".into()],
+            outputs: vec![("Z2".into(), 1)],
+            mapper: Box::new(SemiJoinMapper2),
+            reducer: Box::new(SemiJoinReducer2),
+            config: JobConfig::default(),
+        };
+
+        struct SemiJoinMapper2;
+        impl Mapper for SemiJoinMapper2 {
+            fn map(&self, fact: &Fact, _i: u64, emit: &mut dyn FnMut(Tuple, Message)) {
+                let pos = if fact.relation.as_str() == "R2" { 1 } else { 0 };
+                let key = Tuple::new(vec![fact.tuple.get(pos).unwrap().clone()]);
+                if fact.relation.as_str() == "R2" {
+                    let out = Tuple::new(vec![fact.tuple.get(0).unwrap().clone()]);
+                    emit(
+                        key,
+                        Message::Req {
+                            cond: 0,
+                            payload: Payload::Tuple(out),
+                        },
+                    );
+                } else {
+                    emit(key, Message::Assert { cond: 0 });
+                }
+            }
+        }
+        struct SemiJoinReducer2;
+        impl Reducer for SemiJoinReducer2 {
+            fn reduce(
+                &self,
+                _k: &Tuple,
+                values: &[Message],
+                emit: &mut dyn FnMut(&RelationName, Tuple),
+            ) {
+                if values.iter().any(|m| matches!(m, Message::Assert { .. })) {
+                    for m in values {
+                        if let Message::Req {
+                            payload: Payload::Tuple(t),
+                            ..
+                        } = m
+                        {
+                            emit(&"Z2".into(), t.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        let engine = Engine::new(EngineConfig::default());
+        let mut parallel = MrProgram::new();
+        parallel.push_round(vec![semi_join_job(), job2()]);
+        let mut sequential = MrProgram::new();
+        sequential.push_job(semi_join_job());
+        sequential.push_job(job2());
+
+        let mut d1 = make_dfs();
+        let p_stats = engine.execute(&mut d1, &parallel).unwrap();
+        let mut d2 = make_dfs();
+        let s_stats = engine.execute(&mut d2, &sequential).unwrap();
+
+        assert!(p_stats.net_time() < s_stats.net_time());
+        assert!((p_stats.total_time() - s_stats.total_time()).abs() < 1e-9);
+    }
+}

@@ -26,7 +26,10 @@ pub struct Atom {
 impl Atom {
     /// Create an atom over the given relation symbol and terms.
     pub fn new(relation: impl Into<RelationName>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 
     /// Create an atom whose terms are all (distinct or repeated) variables.
@@ -51,7 +54,10 @@ impl Atom {
 
     /// The set of variables occurring in the atom, sorted.
     pub fn var_set(&self) -> BTreeSet<Var> {
-        self.terms.iter().filter_map(|t| t.as_var().cloned()).collect()
+        self.terms
+            .iter()
+            .filter_map(|t| t.as_var().cloned())
+            .collect()
     }
 
     /// The first position at which `var` occurs, if any.
@@ -70,7 +76,10 @@ impl Atom {
     /// For a semi-join `π_{x̄}(α ⋉ κ)` this is the vector `z̄` on which the
     /// repartition join of §4.1 groups.
     pub fn join_key(&self, other: &Atom) -> Vec<Var> {
-        self.var_set().intersection(&other.var_set()).cloned().collect()
+        self.var_set()
+            .intersection(&other.var_set())
+            .cloned()
+            .collect()
     }
 
     /// Conformance test `f ⊨ α` for a bare tuple: relation symbols are
@@ -125,7 +134,10 @@ impl Atom {
 
     /// The substitution `σ` induced by a conforming tuple: values of each
     /// variable at its first occurrence.
-    pub fn substitution<'a>(&'a self, tuple: &'a Tuple) -> impl Iterator<Item = (&'a Var, &'a Value)> {
+    pub fn substitution<'a>(
+        &'a self,
+        tuple: &'a Tuple,
+    ) -> impl Iterator<Item = (&'a Var, &'a Value)> {
         self.terms.iter().enumerate().filter_map(move |(i, t)| {
             let v = t.as_var()?;
             if self.position_of(v) == Some(i) {
@@ -156,13 +168,24 @@ mod tests {
 
     fn atom_xyxz() -> Atom {
         // R(x, y, x, z)
-        Atom::new("R", vec![Term::var("x"), Term::var("y"), Term::var("x"), Term::var("z")])
+        Atom::new(
+            "R",
+            vec![
+                Term::var("x"),
+                Term::var("y"),
+                Term::var("x"),
+                Term::var("z"),
+            ],
+        )
     }
 
     #[test]
     fn paper_conformance_example() {
         // (1,2,1,3) conforms to (x,2,x,y) — §4.
-        let a = Atom::new("R", vec![Term::var("x"), Term::int(2), Term::var("x"), Term::var("y")]);
+        let a = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::int(2), Term::var("x"), Term::var("y")],
+        );
         assert!(a.conforms_tuple(&Tuple::from_ints(&[1, 2, 1, 3])));
         // Violate the repeated-variable condition.
         assert!(!a.conforms_tuple(&Tuple::from_ints(&[1, 2, 9, 3])));
@@ -176,7 +199,10 @@ mod tests {
         let a = atom_xyxz();
         let t = Tuple::from_ints(&[1, 2, 1, 3]);
         assert!(a.conforms_tuple(&t));
-        assert_eq!(a.project(&t, &[Var::new("x"), Var::new("z")]), Tuple::from_ints(&[1, 3]));
+        assert_eq!(
+            a.project(&t, &[Var::new("x"), Var::new("z")]),
+            Tuple::from_ints(&[1, 3])
+        );
     }
 
     #[test]
@@ -209,7 +235,10 @@ mod tests {
             .substitution(&t)
             .map(|(v, val)| (v.name().to_string(), val.as_int().unwrap()))
             .collect();
-        assert_eq!(sigma, vec![("x".into(), 1), ("y".into(), 2), ("z".into(), 3)]);
+        assert_eq!(
+            sigma,
+            vec![("x".into(), 1), ("y".into(), 2), ("z".into(), 3)]
+        );
     }
 
     #[test]

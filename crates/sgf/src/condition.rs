@@ -89,12 +89,14 @@ impl Condition {
                 BoolExpr::Var(idx)
             }
             Condition::Not(c) => BoolExpr::Not(Box::new(c.to_bool_expr(atoms))),
-            Condition::And(l, r) => {
-                BoolExpr::And(Box::new(l.to_bool_expr(atoms)), Box::new(r.to_bool_expr(atoms)))
-            }
-            Condition::Or(l, r) => {
-                BoolExpr::Or(Box::new(l.to_bool_expr(atoms)), Box::new(r.to_bool_expr(atoms)))
-            }
+            Condition::And(l, r) => BoolExpr::And(
+                Box::new(l.to_bool_expr(atoms)),
+                Box::new(r.to_bool_expr(atoms)),
+            ),
+            Condition::Or(l, r) => BoolExpr::Or(
+                Box::new(l.to_bool_expr(atoms)),
+                Box::new(r.to_bool_expr(atoms)),
+            ),
         }
     }
 
@@ -227,7 +229,10 @@ mod tests {
     fn conditional_atoms_dedup_in_order() {
         // S(x) AND (T(x) OR S(x))
         let t = Condition::Atom(Atom::new("T", vec![Term::var("x")]));
-        let c = Condition::And(Box::new(s("x")), Box::new(Condition::Or(Box::new(t), Box::new(s("x")))));
+        let c = Condition::And(
+            Box::new(s("x")),
+            Box::new(Condition::Or(Box::new(t), Box::new(s("x")))),
+        );
         let atoms = c.conditional_atoms();
         assert_eq!(atoms.len(), 2);
         assert_eq!(atoms[0].relation().as_str(), "S");
@@ -257,7 +262,9 @@ mod tests {
         assert!(Condition::Or(Box::new(s("x")), Box::new(s("y").negated())).is_disjunctive());
         assert!(!Condition::And(Box::new(s("x")), Box::new(s("y"))).is_disjunctive());
         // NOT over OR stays disjunctive; NOT over AND does not.
-        assert!(Condition::Or(Box::new(s("x")), Box::new(s("y"))).negated().is_disjunctive());
+        assert!(Condition::Or(Box::new(s("x")), Box::new(s("y")))
+            .negated()
+            .is_disjunctive());
     }
 
     #[test]
@@ -272,7 +279,10 @@ mod tests {
     #[test]
     fn shifted_moves_all_vars() {
         let e = BoolExpr::And(Box::new(BoolExpr::Var(0)), Box::new(BoolExpr::Var(2)));
-        assert_eq!(e.shifted(3).vars().into_iter().collect::<Vec<_>>(), vec![3, 5]);
+        assert_eq!(
+            e.shifted(3).vars().into_iter().collect::<Vec<_>>(),
+            vec![3, 5]
+        );
     }
 
     #[test]

@@ -82,7 +82,9 @@ impl DependencyGraph {
         let mut group_of: BTreeMap<usize, usize> = BTreeMap::new();
         for (g, group) in sort.iter().enumerate() {
             if group.is_empty() {
-                return Err(GumboError::Plan(format!("empty group {g} in topological sort")));
+                return Err(GumboError::Plan(format!(
+                    "empty group {g} in topological sort"
+                )));
             }
             for &v in group {
                 if v >= self.n {
@@ -147,7 +149,11 @@ impl DependencyGraph {
     /// methods" for its C1–C4 comparison, §5.3). Panics if `n > 12` to guard
     /// against accidental blow-ups.
     pub fn all_multiway_sorts(&self) -> Vec<MultiwayTopoSort> {
-        assert!(self.n <= 12, "all_multiway_sorts is exponential; n = {} too large", self.n);
+        assert!(
+            self.n <= 12,
+            "all_multiway_sorts is exponential; n = {} too large",
+            self.n
+        );
         let mut out = Vec::new();
         let remaining: BTreeSet<usize> = (0..self.n).collect();
         self.enumerate(&remaining, &mut Vec::new(), &mut out);
@@ -276,7 +282,9 @@ mod tests {
         // Missing node.
         assert!(g.validate_sort(&vec![vec![0, 1, 2, 3]]).is_err());
         // Edge within one group (0 -> 1).
-        assert!(g.validate_sort(&vec![vec![0, 1], vec![2], vec![3], vec![4]]).is_err());
+        assert!(g
+            .validate_sort(&vec![vec![0, 1], vec![2], vec![3], vec![4]])
+            .is_err());
         // Reversed.
         assert!(g
             .validate_sort(&vec![vec![4], vec![2], vec![1], vec![0], vec![3]])

@@ -110,7 +110,8 @@ mod tests {
     fn db(facts: &[(&str, &[i64])]) -> Database {
         let mut db = Database::new();
         for (rel, t) in facts {
-            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+            db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+                .unwrap();
         }
         db
     }
@@ -142,10 +143,9 @@ mod tests {
     #[test]
     fn intro_query_with_disjunction() {
         // Q from §1: R(x,y) WHERE (S(x,y) OR S(y,x)) AND T(x,z).
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);",
-        )
-        .unwrap();
+        let q =
+            parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);")
+                .unwrap();
         let d = db(&[
             ("R", &[1, 2]), // S(2,1) matches via S(y,x); T(1,9) exists -> in
             ("R", &[3, 4]), // no S -> out
@@ -162,7 +162,12 @@ mod tests {
     #[test]
     fn constants_filter_guard_and_conditionals() {
         let q = parse_query("Z := SELECT x FROM R(x, 4) WHERE S(1, x);").unwrap();
-        let d = db(&[("R", &[7, 4]), ("R", &[8, 5]), ("S", &[1, 7]), ("S", &[2, 8])]);
+        let d = db(&[
+            ("R", &[7, 4]),
+            ("R", &[8, 5]),
+            ("S", &[1, 7]),
+            ("S", &[2, 8]),
+        ]);
         let out = NaiveEvaluator::new().evaluate_bsgf(&q, &d).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.contains(&Tuple::from_ints(&[7])));
@@ -202,7 +207,9 @@ mod tests {
     #[test]
     fn missing_guard_relation_errors() {
         let q = parse_query("Z := SELECT x FROM Rmissing(x);").unwrap();
-        assert!(NaiveEvaluator::new().evaluate_bsgf(&q, &Database::new()).is_err());
+        assert!(NaiveEvaluator::new()
+            .evaluate_bsgf(&q, &Database::new())
+            .is_err());
     }
 
     #[test]
@@ -234,8 +241,16 @@ mod tests {
              Z2 := SELECT x FROM Z1(x) WHERE NOT T(x);",
         )
         .unwrap();
-        let d = db(&[("R", &[1]), ("R", &[2]), ("S", &[1]), ("S", &[2]), ("T", &[2])]);
-        let env = NaiveEvaluator::new().evaluate_sgf_all(&program, &d).unwrap();
+        let d = db(&[
+            ("R", &[1]),
+            ("R", &[2]),
+            ("S", &[1]),
+            ("S", &[2]),
+            ("T", &[2]),
+        ]);
+        let env = NaiveEvaluator::new()
+            .evaluate_sgf_all(&program, &d)
+            .unwrap();
         assert_eq!(env.get("Z1").unwrap().len(), 2);
         assert_eq!(env.get("Z2").unwrap().len(), 1);
     }

@@ -88,24 +88,39 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                 }
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, offset: i });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, offset: i });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, offset: i });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    offset: i,
+                });
                 i += 1;
             }
             ':' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { tok: Tok::Assign, offset: i });
+                    out.push(Spanned {
+                        tok: Tok::Assign,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(GumboError::Parse {
@@ -132,7 +147,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                     s.push(bytes[i] as char);
                     i += 1;
                 }
-                out.push(Spanned { tok: Tok::Str(s), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let start = i;
@@ -143,7 +161,10 @@ fn lex(input: &str) -> Result<Vec<Spanned>> {
                     message: "integer literal out of range".into(),
                     offset: start,
                 })?;
-                out.push(Spanned { tok: Tok::Int(n), offset: start });
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -206,7 +227,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> GumboError {
-        GumboError::Parse { message: message.into(), offset: self.offset() }
+        GumboError::Parse {
+            message: message.into(),
+            offset: self.offset(),
+        }
     }
 
     fn expect(&mut self, want: &Tok, what: &str) -> Result<()> {
@@ -333,10 +357,9 @@ mod tests {
     #[test]
     fn parses_intro_query() {
         // The running example Q from §1.
-        let q = parse_query(
-            "Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);",
-        )
-        .unwrap();
+        let q =
+            parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);")
+                .unwrap();
         assert_eq!(q.output().as_str(), "Z");
         assert_eq!(q.output_vars().len(), 2);
         assert_eq!(q.guard().relation().as_str(), "R");

@@ -16,7 +16,11 @@ const VARS: [&str; 4] = ["x", "y", "z", "w"];
 const RELS: [&str; 4] = ["S", "T", "U", "V"];
 
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    (0..RELS.len(), proptest::collection::vec(0..VARS.len(), 1..3), proptest::option::of(0i64..5))
+    (
+        0..RELS.len(),
+        proptest::collection::vec(0..VARS.len(), 1..3),
+        proptest::option::of(0i64..5),
+    )
         .prop_map(|(r, vars, konst)| {
             let mut terms: Vec<Term> = vars.into_iter().map(|v| Term::var(VARS[v])).collect();
             if let Some(c) = konst {
@@ -33,8 +37,7 @@ fn arb_condition() -> impl Strategy<Value = Condition> {
             inner.clone().prop_map(|c| Condition::Not(Box::new(c))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Condition::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Condition::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Condition::Or(Box::new(a), Box::new(b))),
         ]
     })
 }

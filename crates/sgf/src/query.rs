@@ -74,7 +74,12 @@ impl BsgfQuery {
                 "guard {guard} references the query's own output relation"
             )));
         }
-        Ok(BsgfQuery { output, output_vars, guard, condition })
+        Ok(BsgfQuery {
+            output,
+            output_vars,
+            guard,
+            condition,
+        })
     }
 
     /// The output relation symbol `Z`.
@@ -99,7 +104,10 @@ impl BsgfQuery {
 
     /// The distinct conditional atoms `κ₁, …, κₙ` of the condition.
     pub fn conditional_atoms(&self) -> Vec<&Atom> {
-        self.condition.as_ref().map(|c| c.conditional_atoms()).unwrap_or_default()
+        self.condition
+            .as_ref()
+            .map(|c| c.conditional_atoms())
+            .unwrap_or_default()
     }
 
     /// All relation symbols the query *reads* (guard + conditional atoms).
@@ -162,7 +170,9 @@ impl SgfQuery {
     /// reference to a `Z`-relation points to an *earlier* subquery.
     pub fn new(queries: Vec<BsgfQuery>) -> Result<Self> {
         if queries.is_empty() {
-            return Err(GumboError::InvalidQuery("SGF query with no subqueries".into()));
+            return Err(GumboError::InvalidQuery(
+                "SGF query with no subqueries".into(),
+            ));
         }
         let mut defined: BTreeSet<RelationName> = BTreeSet::new();
         let all_outputs: BTreeSet<RelationName> =
@@ -189,7 +199,9 @@ impl SgfQuery {
 
     /// Wrap a single BSGF query.
     pub fn single(query: BsgfQuery) -> Self {
-        SgfQuery { queries: vec![query] }
+        SgfQuery {
+            queries: vec![query],
+        }
     }
 
     /// The subqueries, in definition order.
@@ -237,8 +249,10 @@ impl SgfQuery {
     /// globally distinct; evaluation strategies can then exploit overlap
     /// *between* the original queries.
     pub fn union(queries: &[SgfQuery]) -> Result<SgfQuery> {
-        let combined: Vec<BsgfQuery> =
-            queries.iter().flat_map(|q| q.queries().iter().cloned()).collect();
+        let combined: Vec<BsgfQuery> = queries
+            .iter()
+            .flat_map(|q| q.queries().iter().cloned())
+            .collect();
         SgfQuery::new(combined)
     }
 }
@@ -331,13 +345,7 @@ mod tests {
             Some(Condition::Atom(Atom::vars("S", &["x"]))),
         )
         .unwrap();
-        let q2 = BsgfQuery::new(
-            "Z2",
-            vec![var("x")],
-            Atom::vars("Z1", &["x"]),
-            None,
-        )
-        .unwrap();
+        let q2 = BsgfQuery::new("Z2", vec![var("x")], Atom::vars("Z1", &["x"]), None).unwrap();
         // Correct order: fine.
         assert!(SgfQuery::new(vec![q1.clone(), q2.clone()]).is_ok());
         // Reversed: Z2 references Z1 before definition.

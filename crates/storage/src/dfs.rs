@@ -58,8 +58,10 @@ impl SimDfs {
     /// counting the write.
     pub fn store(&mut self, relation: Relation) -> ByteSize {
         let bytes = ByteSize::bytes(relation.estimated_bytes());
-        self.bytes_written.set(self.bytes_written.get() + bytes.as_bytes());
-        self.files.insert(relation.name().clone(), DfsFile { relation, bytes });
+        self.bytes_written
+            .set(self.bytes_written.get() + bytes.as_bytes());
+        self.files
+            .insert(relation.name().clone(), DfsFile { relation, bytes });
         bytes
     }
 
@@ -69,7 +71,8 @@ impl SimDfs {
             .files
             .get(name)
             .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))?;
-        self.bytes_read.set(self.bytes_read.get() + file.bytes.as_bytes());
+        self.bytes_read
+            .set(self.bytes_read.get() + file.bytes.as_bytes());
         Ok(&file.relation)
     }
 
@@ -167,7 +170,8 @@ mod tests {
     #[test]
     fn from_database_does_not_count_initial_load() {
         let mut db = Database::new();
-        db.insert_fact(Fact::new("R", Tuple::from_ints(&[1, 2]))).unwrap();
+        db.insert_fact(Fact::new("R", Tuple::from_ints(&[1, 2])))
+            .unwrap();
         let dfs = SimDfs::from_database(&db);
         assert_eq!(dfs.bytes_written(), ByteSize::ZERO);
         assert!(dfs.exists(&"R".into()));

@@ -62,7 +62,10 @@ fn main() -> Result<()> {
 
     // The blacklist itself is available as the intermediate Z1.
     let blacklist = dfs.peek(&"Z1".into())?;
-    println!("\nblacklisted authors: {:?}", blacklist.iter().collect::<Vec<_>>());
+    println!(
+        "\nblacklisted authors: {:?}",
+        blacklist.iter().collect::<Vec<_>>()
+    );
     assert_eq!(blacklist.len(), 1);
 
     println!(

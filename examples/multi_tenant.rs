@@ -37,9 +37,8 @@ fn main() -> Result<()> {
          AuditList := SELECT (u, a) FROM FlaggedEvents(u, a) WHERE NOT Vip(u);",
     )?;
     // Analyst 2: session days of flagged users.
-    let sessions = parse_program(
-        "FlaggedSessions := SELECT (u, d) FROM Sessions(u, d) WHERE Flagged(u);",
-    )?;
+    let sessions =
+        parse_program("FlaggedSessions := SELECT (u, d) FROM Sessions(u, d) WHERE Flagged(u);")?;
 
     let engine = GumboEngine::with_defaults();
     let mut dfs = SimDfs::from_database(&db);
@@ -47,9 +46,16 @@ fn main() -> Result<()> {
     // §4.7: one combined evaluation over the union of subqueries.
     let stats = engine.evaluate_many(&mut dfs, &[audit.clone(), sessions.clone()])?;
 
-    println!("combined plan: {} jobs in {} rounds", stats.num_jobs(), stats.num_rounds());
+    println!(
+        "combined plan: {} jobs in {} rounds",
+        stats.num_jobs(),
+        stats.num_rounds()
+    );
     println!("audit list   : {:?}", dfs.peek(&"AuditList".into())?.len());
-    println!("sessions     : {:?}", dfs.peek(&"FlaggedSessions".into())?.len());
+    println!(
+        "sessions     : {:?}",
+        dfs.peek(&"FlaggedSessions".into())?.len()
+    );
 
     // Compare against evaluating the two queries back to back.
     let mut dfs2 = SimDfs::from_database(&db);

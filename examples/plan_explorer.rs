@@ -16,9 +16,8 @@ use gumbo::prelude::*;
 
 fn main() -> Result<()> {
     // ---------- Example 4: BSGF plan alternatives ----------------------
-    let query = parse_query(
-        "Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));",
-    )?;
+    let query =
+        parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));")?;
     println!("BSGF query (Example 4):\n  {query}\n");
 
     let ctx = QueryContext::new(vec![query])?;
@@ -44,7 +43,10 @@ fn main() -> Result<()> {
     println!("\ncosts of Figure 2's alternative plans (cost units):");
     let cfg = JobConfig::default();
     for (label, groups) in [
-        ("(a) MSJ(X1) | MSJ(X2) | MSJ(X3)", vec![vec![0], vec![1], vec![2]]),
+        (
+            "(a) MSJ(X1) | MSJ(X2) | MSJ(X3)",
+            vec![vec![0], vec![1], vec![2]],
+        ),
         ("(b) MSJ(X1,X3) | MSJ(X2)", vec![vec![0, 2], vec![1]]),
         ("(c) MSJ(X1,X2,X3)", vec![vec![0, 1, 2]]),
     ] {
@@ -53,8 +55,14 @@ fn main() -> Result<()> {
     }
 
     let engine = GumboEngine::new(
-        EngineConfig { scale, ..EngineConfig::default() },
-        EvalOptions { enable_one_round: false, ..EvalOptions::default() },
+        EngineConfig {
+            scale,
+            ..EngineConfig::default()
+        },
+        EvalOptions {
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
     );
     let plan = engine.plan_group(&est, &ctx)?;
     println!("\nGreedy-BSGF chooses: {plan}");
@@ -71,16 +79,22 @@ fn main() -> Result<()> {
     println!("nested SGF query (Example 5):\n{nested}\n");
 
     let graph = DependencyGraph::new(&nested);
-    println!("all multiway topological sorts: {}", graph.all_multiway_sorts().len());
+    println!(
+        "all multiway topological sorts: {}",
+        graph.all_multiway_sorts().len()
+    );
 
     let greedy = greedy_sgf_sort(&nested);
     println!("Greedy-SGF sort: {greedy:?}   (Q4 grouped with the T-sharing Q2)");
 
-    let spec = DataSpec::new(&[("R1", 2), ("R2", 2)], &[("S", 1), ("T", 1), ("U", 1)])
-        .with_tuples(5_000);
+    let spec =
+        DataSpec::new(&[("R1", 2), ("R2", 2)], &[("S", 1), ("T", 1), ("U", 1)]).with_tuples(5_000);
     let dfs = SimDfs::from_database(&spec.database(7));
     let engine = GumboEngine::new(
-        EngineConfig { scale, ..EngineConfig::default() },
+        EngineConfig {
+            scale,
+            ..EngineConfig::default()
+        },
         EvalOptions::default(),
     );
     let greedy_cost = engine.sort_cost(&dfs, &nested, &greedy)?;

@@ -47,11 +47,21 @@ fn main() -> Result<()> {
 
     // ---- the paper's four metrics --------------------------------------
     println!("\nexecution statistics:");
-    println!("  net time        : {:>8.1} s (simulated wall clock)", stats.net_time());
-    println!("  total time      : {:>8.1} s (aggregate task time)", stats.total_time());
+    println!(
+        "  net time        : {:>8.1} s (simulated wall clock)",
+        stats.net_time()
+    );
+    println!(
+        "  total time      : {:>8.1} s (aggregate task time)",
+        stats.total_time()
+    );
     println!("  input cost      : {}", stats.input_bytes());
     println!("  communication   : {}", stats.communication_bytes());
-    println!("  jobs / rounds   : {} / {}", stats.num_jobs(), stats.num_rounds());
+    println!(
+        "  jobs / rounds   : {} / {}",
+        stats.num_jobs(),
+        stats.num_rounds()
+    );
 
     // ---- cross-check against the naive reference evaluator ------------
     let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db)?;

@@ -18,7 +18,10 @@ fn main() -> Result<()> {
     // A3 at 10k real tuples, scale 10_000 = the paper's 100M-tuple regime.
     let workload = queries::a3().with_tuples(10_000);
     let db = workload.spec.database(42);
-    let config = EngineConfig { scale: 10_000, ..EngineConfig::default() };
+    let config = EngineConfig {
+        scale: 10_000,
+        ..EngineConfig::default()
+    };
 
     println!(
         "workload {} ({}M-equivalent guard tuples, selectivity {})\n",

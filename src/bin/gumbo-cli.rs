@@ -3,6 +3,7 @@
 //! ```text
 //! gumbo-cli --data DIR --query FILE
 //!           [--strategy greedy|par|sequnit|parunit|one-round|dynamic]
+//!           [--executor sim|parallel|parallel:N]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
 //! ```
 //!
@@ -20,6 +21,7 @@ struct Args {
     data: PathBuf,
     query: PathBuf,
     strategy: String,
+    executor: gumbo::mr::ExecutorKind,
     scale: u64,
     nodes: usize,
     out: Option<PathBuf>,
@@ -31,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         data: PathBuf::new(),
         query: PathBuf::new(),
         strategy: "greedy".into(),
+        executor: gumbo::mr::ExecutorKind::Simulated,
         scale: 1,
         nodes: 10,
         out: None,
@@ -40,24 +43,36 @@ fn parse_args() -> Result<Args, String> {
     let mut i = 0;
     let need = |i: &mut usize, argv: &[String]| -> Result<String, String> {
         *i += 1;
-        argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
     };
     while i < argv.len() {
         match argv[i].as_str() {
             "--data" => args.data = PathBuf::from(need(&mut i, &argv)?),
             "--query" => args.query = PathBuf::from(need(&mut i, &argv)?),
             "--strategy" => args.strategy = need(&mut i, &argv)?,
+            "--executor" => {
+                let spec = need(&mut i, &argv)?;
+                args.executor = gumbo::mr::ExecutorKind::parse(&spec)
+                    .ok_or_else(|| format!("--executor: unknown runtime {spec}"))?;
+            }
             "--scale" => {
-                args.scale = need(&mut i, &argv)?.parse().map_err(|e| format!("--scale: {e}"))?
+                args.scale = need(&mut i, &argv)?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?
             }
             "--nodes" => {
-                args.nodes = need(&mut i, &argv)?.parse().map_err(|e| format!("--nodes: {e}"))?
+                args.nodes = need(&mut i, &argv)?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
             }
             "--out" => args.out = Some(PathBuf::from(need(&mut i, &argv)?)),
             "--explain" => args.explain = true,
             "--help" | "-h" => {
                 return Err("usage: gumbo-cli --data DIR --query FILE \
                             [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
+                            [--executor sim|parallel|parallel:N] \
                             [--scale N] [--nodes N] [--out DIR] [--explain]"
                     .into())
             }
@@ -75,7 +90,10 @@ fn options_for(strategy: &str) -> Result<EvalOptions, String> {
     use gumbo::core::SortStrategy;
     let base = EvalOptions::default();
     Ok(match strategy {
-        "greedy" => EvalOptions { enable_one_round: false, ..base },
+        "greedy" => EvalOptions {
+            enable_one_round: false,
+            ..base
+        },
         "one-round" => base,
         "par" => EvalOptions {
             grouping: Grouping::Singletons,
@@ -95,21 +113,28 @@ fn options_for(strategy: &str) -> Result<EvalOptions, String> {
             enable_one_round: false,
             ..base
         },
-        "dynamic" => EvalOptions { sort: SortStrategy::DynamicGreedy, ..base },
+        "dynamic" => EvalOptions {
+            sort: SortStrategy::DynamicGreedy,
+            ..base
+        },
         other => return Err(format!("unknown strategy {other}")),
     })
 }
 
 fn run(args: Args) -> Result<(), String> {
     // Load relations.
-    let relations =
-        gumbo::common::io::read_tsv_dir(&args.data).map_err(|e| e.to_string())?;
+    let relations = gumbo::common::io::read_tsv_dir(&args.data).map_err(|e| e.to_string())?;
     if relations.is_empty() {
         return Err(format!("no .tsv relations found in {:?}", args.data));
     }
     let mut db = Database::new();
     for rel in relations {
-        eprintln!("loaded {:<16} {:>8} tuples (arity {})", rel.name(), rel.len(), rel.arity());
+        eprintln!(
+            "loaded {:<16} {:>8} tuples (arity {})",
+            rel.name(),
+            rel.len(),
+            rel.arity()
+        );
         db.add_relation(rel);
     }
 
@@ -121,12 +146,13 @@ fn run(args: Args) -> Result<(), String> {
 
     // Plan + run.
     let options = options_for(&args.strategy)?;
-    let engine = GumboEngine::new(
+    let engine = GumboEngine::with_executor(
         EngineConfig {
             scale: args.scale,
             cluster: Cluster::with_nodes(args.nodes),
             ..EngineConfig::default()
         },
+        args.executor,
         options,
     );
     let mut dfs = SimDfs::from_database(&db);
@@ -134,14 +160,20 @@ fn run(args: Args) -> Result<(), String> {
     if args.explain {
         let sort = engine.sort_for(&dfs, &query).map_err(|e| e.to_string())?;
         eprintln!("multiway topological sort: {sort:?}");
-        let cost = engine.sort_cost(&dfs, &query, &sort).map_err(|e| e.to_string())?;
+        let cost = engine
+            .sort_cost(&dfs, &query, &sort)
+            .map_err(|e| e.to_string())?;
         eprintln!("estimated plan cost      : {cost:.1}\n");
     }
 
-    let stats = engine.evaluate(&mut dfs, &query).map_err(|e| e.to_string())?;
+    let stats = engine
+        .evaluate(&mut dfs, &query)
+        .map_err(|e| e.to_string())?;
 
     // Verify against the reference evaluator (cheap at CLI scales).
-    let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db).map_err(|e| e.to_string())?;
+    let expected = NaiveEvaluator::new()
+        .evaluate_sgf(&query, &db)
+        .map_err(|e| e.to_string())?;
     let got = dfs.peek(query.output()).map_err(|e| e.to_string())?;
     if got != &expected {
         return Err("internal error: MapReduce result differs from reference evaluator".into());

@@ -46,10 +46,30 @@
 //! | [`gumbo_common`] | values, tuples, facts, relations, databases |
 //! | [`gumbo_sgf`] | SGF/BSGF ASTs, parser, dependency graphs, naive evaluator |
 //! | [`gumbo_storage`] | simulated DFS with byte accounting and sampling |
-//! | [`gumbo_mr`] | MapReduce engine, cluster simulator, cost models |
+//! | [`gumbo_mr`] | `Executor` trait with simulated + multi-threaded runtimes, cluster model, cost models |
 //! | [`gumbo_core`] | MSJ, EVAL, 1-ROUND fusion, plans, greedy + optimal planners |
 //! | [`gumbo_baselines`] | SEQ chains, PAR presets, Pig/Hive simulators |
 //! | [`gumbo_datagen`] | the paper's workloads (A1–A5, B1/B2, C1–C4, sweeps) |
+//!
+//! ## Two runtimes
+//!
+//! Execution is routed through the [`mr::Executor`] trait. The default
+//! runtime is the deterministic metered **simulator** ([`mr::Engine`]);
+//! the **multi-threaded** runtime ([`mr::ParallelExecutor`]) runs map,
+//! shuffle and reduce tasks on a real worker pool and produces
+//! byte-identical answers and identical metered statistics. Select one
+//! with [`mr::ExecutorKind`]:
+//!
+//! ```
+//! use gumbo::prelude::*;
+//!
+//! let engine = GumboEngine::with_executor(
+//!     EngineConfig::default(),
+//!     ExecutorKind::Parallel { threads: 4 },
+//!     EvalOptions::default(),
+//! );
+//! assert_eq!(engine.runtime().name(), "parallel");
+//! ```
 
 pub use gumbo_baselines as baselines;
 pub use gumbo_common as common;
@@ -71,7 +91,8 @@ pub mod prelude {
     };
     pub use gumbo_datagen::{DataSpec, Workload};
     pub use gumbo_mr::{
-        Cluster, CostConstants, CostModelKind, Engine, EngineConfig, JobConfig, ProgramStats,
+        Cluster, CostConstants, CostModelKind, Engine, EngineConfig, Executor, ExecutorKind,
+        JobConfig, ParallelExecutor, ProgramStats, SimulatedExecutor,
     };
     pub use gumbo_sgf::{
         parse_program, parse_query, Atom, BsgfQuery, Condition, DependencyGraph, NaiveEvaluator,

@@ -14,9 +14,9 @@
 
 use std::collections::BTreeSet;
 
+use gumbo::core::estimate::{Catalog, RelStats};
 use gumbo::core::planner::greedy_partition;
 use gumbo::core::{Estimator, PayloadMode, QueryContext};
-use gumbo::core::estimate::{Catalog, RelStats};
 use gumbo::prelude::*;
 
 /// The subset-sum instance A = {3, 5, 7} (MB-sized relations).
@@ -28,14 +28,29 @@ fn reduction_catalog() -> Catalog {
         // R_i empty; S_i holds a_i one-MB tuples (modeled as bytes).
         catalog.insert(
             format!("R{i}").into(),
-            RelStats { bytes: ByteSize::ZERO, tuples: 0, arity: 2 },
+            RelStats {
+                bytes: ByteSize::ZERO,
+                tuples: 0,
+                arity: 2,
+            },
         );
         catalog.insert(
             format!("S{i}").into(),
-            RelStats { bytes: ByteSize::mb(a), tuples: a, arity: 2 },
+            RelStats {
+                bytes: ByteSize::mb(a),
+                tuples: a,
+                arity: 2,
+            },
         );
     }
-    catalog.insert("Rc".into(), RelStats { bytes: ByteSize::ZERO, tuples: 0, arity: 2 });
+    catalog.insert(
+        "Rc".into(),
+        RelStats {
+            bytes: ByteSize::ZERO,
+            tuples: 0,
+            arity: 2,
+        },
+    );
     catalog
 }
 
@@ -97,10 +112,19 @@ fn pairs_cost_their_sum() {
     let queries = reduction_queries();
     let ctx = QueryContext::new(vec![queries[0].clone(), queries[1].clone()]).unwrap();
     let cfg = JobConfig::default();
-    let together = est.msj_cost(&ctx, &[0, 1], PayloadMode::Reference, &cfg).unwrap();
-    let separate = est.msj_cost(&ctx, &[0], PayloadMode::Reference, &cfg).unwrap()
-        + est.msj_cost(&ctx, &[1], PayloadMode::Reference, &cfg).unwrap();
-    assert!((together - (A[0] + A[1]) as f64).abs() < 1e-9, "together = {together}");
+    let together = est
+        .msj_cost(&ctx, &[0, 1], PayloadMode::Reference, &cfg)
+        .unwrap();
+    let separate = est
+        .msj_cost(&ctx, &[0], PayloadMode::Reference, &cfg)
+        .unwrap()
+        + est
+            .msj_cost(&ctx, &[1], PayloadMode::Reference, &cfg)
+            .unwrap();
+    assert!(
+        (together - (A[0] + A[1]) as f64).abs() < 1e-9,
+        "together = {together}"
+    );
     assert!((separate - together).abs() < 1e-9);
 }
 
@@ -115,12 +139,19 @@ fn collector_absorbs_any_member_for_free() {
 
     let collector = QueryContext::new(vec![queries[3].clone()]).unwrap();
     let all: Vec<usize> = (0..collector.semijoins().len()).collect();
-    let alone = est.msj_cost(&collector, &all, PayloadMode::Reference, &cfg).unwrap();
-    assert!((alone - gamma as f64).abs() < 1e-9, "cost(f°) = {alone}, γ = {gamma}");
+    let alone = est
+        .msj_cost(&collector, &all, PayloadMode::Reference, &cfg)
+        .unwrap();
+    assert!(
+        (alone - gamma as f64).abs() < 1e-9,
+        "cost(f°) = {alone}, γ = {gamma}"
+    );
 
     let with_f0 = QueryContext::new(vec![queries[0].clone(), queries[3].clone()]).unwrap();
     let all: Vec<usize> = (0..with_f0.semijoins().len()).collect();
-    let merged = est.msj_cost(&with_f0, &all, PayloadMode::Reference, &cfg).unwrap();
+    let merged = est
+        .msj_cost(&with_f0, &all, PayloadMode::Reference, &cfg)
+        .unwrap();
     assert!(
         (merged - gamma as f64).abs() < 1e-9,
         "cost(f0 ∪ f°) = {merged}, expected γ = {gamma}"
@@ -139,7 +170,8 @@ fn greedy_partition_realizes_the_reduction_structure() {
     let cfg = JobConfig::default();
     let mut cost_fn = |b: &BTreeSet<usize>| {
         let ids: Vec<usize> = b.iter().copied().collect();
-        est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg).unwrap()
+        est.msj_cost(&ctx, &ids, PayloadMode::Reference, &cfg)
+            .unwrap()
     };
     let (blocks, total) = greedy_partition(n, &mut cost_fn);
     let gamma: u64 = A.iter().sum();
@@ -147,7 +179,10 @@ fn greedy_partition_realizes_the_reduction_structure() {
     // exactly once), because every fᵢ semi-join is co-grouped with the f°
     // semi-join over the same Sᵢ. (Greedy leaves f°'s zero-cost Rᵢ
     // semi-joins as their own blocks — merging them has zero gain.)
-    assert!((total - gamma as f64).abs() < 1e-9, "total = {total}, γ = {gamma}");
+    assert!(
+        (total - gamma as f64).abs() < 1e-9,
+        "total = {total}, γ = {gamma}"
+    );
     for i in 0..A.len() {
         let f_i_block = blocks.iter().find(|b| b.contains(&i)).unwrap();
         let partner = ctx

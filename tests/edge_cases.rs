@@ -6,7 +6,8 @@ use gumbo::prelude::*;
 fn db(facts: &[(&str, &[i64])]) -> Database {
     let mut db = Database::new();
     for (rel, t) in facts {
-        db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+        db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+            .unwrap();
     }
     db
 }
@@ -17,7 +18,10 @@ fn check(query_text: &str, d: &Database) -> Relation {
     for (name, engine) in [
         ("greedy", greedy_engine(EngineConfig::unscaled())),
         ("par", par_engine(EngineConfig::unscaled())),
-        ("default", GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default())),
+        (
+            "default",
+            GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default()),
+        ),
     ] {
         let mut dfs = SimDfs::from_database(d);
         let (_, got) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
@@ -155,7 +159,8 @@ fn mixed_string_and_int_keys() {
         Tuple::new(vec![Value::str("bob"), Value::Int(40)]),
     ))
     .unwrap();
-    d.insert_fact(Fact::new("S", Tuple::new(vec![Value::str("alice")]))).unwrap();
+    d.insert_fact(Fact::new("S", Tuple::new(vec![Value::str("alice")])))
+        .unwrap();
     let out = check("Z := SELECT (n, a) FROM R(n, a) WHERE S(n);", &d);
     assert_eq!(out.len(), 1);
 }

@@ -11,7 +11,10 @@ fn engines() -> Vec<(&'static str, GumboEngine)> {
         ("sequnit", sequnit_engine(cfg)),
         ("parunit", parunit_engine(cfg)),
         ("greedy-sgf", greedy_sgf_engine(cfg)),
-        ("defaults+1round", GumboEngine::new(cfg, EvalOptions::default())),
+        (
+            "defaults+1round",
+            GumboEngine::new(cfg, EvalOptions::default()),
+        ),
         (
             "bruteforce",
             GumboEngine::new(
@@ -28,7 +31,9 @@ fn engines() -> Vec<(&'static str, GumboEngine)> {
 
 fn check_workload(w: &gumbo::datagen::Workload, tuples: usize, seed: u64) {
     let db = w.spec.clone().with_tuples(tuples).database(seed);
-    let naive = NaiveEvaluator::new().evaluate_sgf_all(&w.query, &db).unwrap();
+    let naive = NaiveEvaluator::new()
+        .evaluate_sgf_all(&w.query, &db)
+        .unwrap();
     for (name, engine) in engines() {
         let mut dfs = SimDfs::from_database(&db);
         engine.evaluate(&mut dfs, &w.query).unwrap();
@@ -70,7 +75,9 @@ fn c4_all_strategies() {
 fn table2_workloads_with_default_engine() {
     for w in queries::table2() {
         let db = w.spec.clone().with_tuples(300).database(21);
-        let naive = NaiveEvaluator::new().evaluate_sgf_all(&w.query, &db).unwrap();
+        let naive = NaiveEvaluator::new()
+            .evaluate_sgf_all(&w.query, &db)
+            .unwrap();
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
         let mut dfs = SimDfs::from_database(&db);
         engine.evaluate(&mut dfs, &w.query).unwrap();
@@ -127,11 +134,14 @@ fn deep_chain_program() {
     let query = parse_program(&text).unwrap();
     let mut db = Database::new();
     for i in 0..30i64 {
-        db.insert_fact(Fact::new("R", Tuple::from_ints(&[i % 6, (i + 1) % 6]))).unwrap();
+        db.insert_fact(Fact::new("R", Tuple::from_ints(&[i % 6, (i + 1) % 6])))
+            .unwrap();
     }
     for v in 0..4i64 {
-        db.insert_fact(Fact::new("S", Tuple::from_ints(&[v]))).unwrap();
-        db.insert_fact(Fact::new("T", Tuple::from_ints(&[v + 2]))).unwrap();
+        db.insert_fact(Fact::new("S", Tuple::from_ints(&[v])))
+            .unwrap();
+        db.insert_fact(Fact::new("T", Tuple::from_ints(&[v + 2])))
+            .unwrap();
     }
     let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db).unwrap();
     for (name, engine) in engines() {

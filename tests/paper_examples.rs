@@ -5,7 +5,8 @@ use gumbo::prelude::*;
 fn db(facts: &[(&str, &[i64])]) -> Database {
     let mut db = Database::new();
     for (rel, t) in facts {
-        db.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
+        db.insert_fact(Fact::new(*rel, Tuple::from_ints(t)))
+            .unwrap();
     }
     db
 }
@@ -29,10 +30,9 @@ fn eval_all_strategies(query: &SgfQuery, database: &Database) -> Relation {
 
 #[test]
 fn intro_query_section1() {
-    let q = parse_program(
-        "Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);",
-    )
-    .unwrap();
+    let q =
+        parse_program("Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);")
+            .unwrap();
     let d = db(&[
         ("R", &[1, 2]),
         ("R", &[3, 4]),
@@ -47,11 +47,7 @@ fn intro_query_section1() {
 
 #[test]
 fn example1_intersection_difference_semijoin_antijoin() {
-    let d = db(&[
-        ("R", &[1, 5]),
-        ("R", &[2, 6]),
-        ("S", &[5, 9]),
-    ]);
+    let d = db(&[("R", &[1, 5]), ("R", &[2, 6]), ("S", &[5, 9])]);
     // Semi-join Z3 and anti-join Z4 from Example 1.
     let z3 = parse_program("Z3 := SELECT (x, y) FROM R(x, y) WHERE S(y, z);").unwrap();
     let out = eval_all_strategies(&z3, &d);
@@ -72,10 +68,10 @@ fn example1_xor_query_z5() {
     )
     .unwrap();
     let d = db(&[
-        ("R", &[7, 8, 4]),  // S(1,7) holds, S(8,10) doesn't -> in
-        ("R", &[5, 6, 4]),  // S(1,5) holds AND S(6,10) holds -> out (xor)
-        ("R", &[9, 2, 4]),  // neither -> out
-        ("R", &[7, 8, 3]),  // wrong guard constant -> out
+        ("R", &[7, 8, 4]), // S(1,7) holds, S(8,10) doesn't -> in
+        ("R", &[5, 6, 4]), // S(1,5) holds AND S(6,10) holds -> out (xor)
+        ("R", &[9, 2, 4]), // neither -> out
+        ("R", &[7, 8, 3]), // wrong guard constant -> out
         ("S", &[1, 7]),
         ("S", &[1, 5]),
         ("S", &[6, 10]),
@@ -87,11 +83,14 @@ fn example1_xor_query_z5() {
 
 #[test]
 fn example1_star_semijoin_z6() {
-    let q = parse_program(
-        "Z6 := SELECT (x1, x2) FROM R(x1, x2) WHERE S(x1, y1) AND S(x2, y2);",
-    )
-    .unwrap();
-    let d = db(&[("R", &[1, 2]), ("R", &[1, 3]), ("S", &[1, 0]), ("S", &[2, 0])]);
+    let q = parse_program("Z6 := SELECT (x1, x2) FROM R(x1, x2) WHERE S(x1, y1) AND S(x2, y2);")
+        .unwrap();
+    let d = db(&[
+        ("R", &[1, 2]),
+        ("R", &[1, 3]),
+        ("S", &[1, 0]),
+        ("S", &[2, 0]),
+    ]);
     let out = eval_all_strategies(&q, &d);
     assert_eq!(out.len(), 1);
     assert!(out.contains(&Tuple::from_ints(&[1, 2])));
@@ -122,11 +121,16 @@ fn example2_bookstore() {
         ))
         .unwrap();
     }
-    d.insert_fact(Fact::new("Upcoming", Tuple::from_ints(&[100, 1]))).unwrap();
-    d.insert_fact(Fact::new("Upcoming", Tuple::from_ints(&[101, 2]))).unwrap();
-    // BD missing entirely for author 2: Z1 = {1}.
-    d.insert_fact(Fact::new("BD", Tuple::new(vec![Value::Int(99), Value::Int(9), good()])))
+    d.insert_fact(Fact::new("Upcoming", Tuple::from_ints(&[100, 1])))
         .unwrap();
+    d.insert_fact(Fact::new("Upcoming", Tuple::from_ints(&[101, 2])))
+        .unwrap();
+    // BD missing entirely for author 2: Z1 = {1}.
+    d.insert_fact(Fact::new(
+        "BD",
+        Tuple::new(vec![Value::Int(99), Value::Int(9), good()]),
+    ))
+    .unwrap();
     let out = eval_all_strategies(&q, &d);
     assert_eq!(out.len(), 1);
     assert!(out.contains(&Tuple::from_ints(&[101, 2])));
@@ -144,10 +148,8 @@ fn example3_single_semijoin_messages() {
 
 #[test]
 fn example4_all_figure2_plans() {
-    let q = parse_query(
-        "Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));",
-    )
-    .unwrap();
+    let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x, z) AND (T(y) OR NOT U(x));")
+        .unwrap();
     let d = db(&[
         ("R", &[1, 10]),
         ("R", &[2, 20]),

@@ -21,8 +21,18 @@ fn setup(w: &gumbo::datagen::Workload, tuples: usize) -> (QueryContext, SimDfs) 
 fn estimates_track_measured_costs() {
     let (ctx, dfs) = setup(&queries::a1(), 4000);
     let scale = 25_000; // 100M-equivalent
-    let est = Estimator::new(&dfs, scale, CostConstants::default(), CostModelKind::Gumbo, 64, 3);
-    let engine = Engine::new(EngineConfig { scale, ..EngineConfig::default() });
+    let est = Estimator::new(
+        &dfs,
+        scale,
+        CostConstants::default(),
+        CostModelKind::Gumbo,
+        64,
+        3,
+    );
+    let engine = Engine::new(EngineConfig {
+        scale,
+        ..EngineConfig::default()
+    });
 
     for group in [vec![0], vec![0, 1], vec![0, 1, 2, 3]] {
         let estimated = est
@@ -30,7 +40,10 @@ fn estimates_track_measured_costs() {
             .unwrap();
         let mut run_dfs = SimDfs::from_database(&dfs.to_database());
         let job = build_msj_job(&ctx, &group, PayloadMode::Reference, JobConfig::default());
-        let measured = engine.execute_job(&mut run_dfs, &job, 0).unwrap().total_cost;
+        let measured = engine
+            .execute_job(&mut run_dfs, &job, 0)
+            .unwrap()
+            .total_cost;
         let ratio = estimated / measured;
         assert!(
             (0.5..=2.0).contains(&ratio),
@@ -46,16 +59,42 @@ fn estimates_track_measured_costs() {
 fn estimator_preserves_cost_orderings() {
     let (ctx, dfs) = setup(&queries::b1(), 2000);
     let scale = 50_000;
-    let est = Estimator::new(&dfs, scale, CostConstants::default(), CostModelKind::Gumbo, 64, 3);
+    let est = Estimator::new(
+        &dfs,
+        scale,
+        CostConstants::default(),
+        CostModelKind::Gumbo,
+        64,
+        3,
+    );
     let cfg = JobConfig::default();
 
-    let small = est.msj_cost(&ctx, &[0, 1], PayloadMode::Reference, &cfg).unwrap();
-    let large = est.msj_cost(&ctx, &(0..8).collect::<Vec<_>>(), PayloadMode::Reference, &cfg).unwrap();
+    let small = est
+        .msj_cost(&ctx, &[0, 1], PayloadMode::Reference, &cfg)
+        .unwrap();
+    let large = est
+        .msj_cost(
+            &ctx,
+            &(0..8).collect::<Vec<_>>(),
+            PayloadMode::Reference,
+            &cfg,
+        )
+        .unwrap();
     assert!(large > small);
 
-    let grouped = est.msj_cost(&ctx, &(0..16).collect::<Vec<_>>(), PayloadMode::Reference, &cfg).unwrap();
+    let grouped = est
+        .msj_cost(
+            &ctx,
+            &(0..16).collect::<Vec<_>>(),
+            PayloadMode::Reference,
+            &cfg,
+        )
+        .unwrap();
     let singles: f64 = (0..16)
-        .map(|i| est.msj_cost(&ctx, &[i], PayloadMode::Reference, &cfg).unwrap())
+        .map(|i| {
+            est.msj_cost(&ctx, &[i], PayloadMode::Reference, &cfg)
+                .unwrap()
+        })
         .sum();
     assert!(
         grouped < singles,
@@ -69,13 +108,22 @@ fn estimator_preserves_cost_orderings() {
 #[test]
 fn pairwise_ranking_accuracy_is_high() {
     let scale = 25_000;
-    let engine = Engine::new(EngineConfig { scale, ..EngineConfig::default() });
+    let engine = Engine::new(EngineConfig {
+        scale,
+        ..EngineConfig::default()
+    });
     let mut observations: Vec<(f64, f64)> = Vec::new(); // (estimated, measured)
 
     for w in [queries::a1(), queries::a2(), queries::a3()] {
         let (ctx, dfs) = setup(&w, 4000);
-        let est =
-            Estimator::new(&dfs, scale, CostConstants::default(), CostModelKind::Gumbo, 64, 3);
+        let est = Estimator::new(
+            &dfs,
+            scale,
+            CostConstants::default(),
+            CostModelKind::Gumbo,
+            64,
+            3,
+        );
         let n = ctx.semijoins().len();
         for k in 1..=n {
             let group: Vec<usize> = (0..k).collect();
@@ -84,7 +132,10 @@ fn pairwise_ranking_accuracy_is_high() {
                 .unwrap();
             let mut run_dfs = SimDfs::from_database(&dfs.to_database());
             let job = build_msj_job(&ctx, &group, PayloadMode::Reference, JobConfig::default());
-            let measured = engine.execute_job(&mut run_dfs, &job, 0).unwrap().total_cost;
+            let measured = engine
+                .execute_job(&mut run_dfs, &job, 0)
+                .unwrap()
+                .total_cost;
             observations.push((estimated, measured));
         }
     }

@@ -58,7 +58,11 @@ fn unsalted_skew_concentrates_reduce_load() {
     // All 400 requests share key 7 -> one reducer carries ~everything,
     // which the skew-aware wall-clock model exposes as a long task.
     let (_, stats) = run(1, 8);
-    let max = stats.reduce_task_durations.iter().cloned().fold(0.0, f64::max);
+    let max = stats
+        .reduce_task_durations
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
     let sum: f64 = stats.reduce_task_durations.iter().sum();
     assert!(
         max > 0.9 * sum,
@@ -70,8 +74,16 @@ fn unsalted_skew_concentrates_reduce_load() {
 fn salting_spreads_reduce_load() {
     let (_, plain) = run(1, 8);
     let (_, salted) = run(8, 8);
-    let max_plain = plain.reduce_task_durations.iter().cloned().fold(0.0, f64::max);
-    let max_salted = salted.reduce_task_durations.iter().cloned().fold(0.0, f64::max);
+    let max_plain = plain
+        .reduce_task_durations
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
+    let max_salted = salted
+        .reduce_task_durations
+        .iter()
+        .cloned()
+        .fold(0.0, f64::max);
     // The makespan-relevant quantity (the longest reduce task) must drop
     // substantially; the totals stay comparable (asserts are tiny).
     assert!(
@@ -100,5 +112,8 @@ fn default_builder_is_unsalted() {
     let s1 = engine.execute_job(&mut d1, &j1, 0).unwrap();
     let s2 = engine.execute_job(&mut d2, &j2, 0).unwrap();
     assert_eq!(s1.communication_bytes(), s2.communication_bytes());
-    assert_eq!(d1.peek(&"Z#X0".into()).unwrap(), d2.peek(&"Z#X0".into()).unwrap());
+    assert_eq!(
+        d1.peek(&"Z#X0".into()).unwrap(),
+        d2.peek(&"Z#X0".into()).unwrap()
+    );
 }

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 
-use gumbo::baselines::{
-    greedy_engine, one_round_engine, par_engine, HiveSim, PigSim, SeqStrategy,
-};
+use gumbo::baselines::{greedy_engine, one_round_engine, par_engine, HiveSim, PigSim, SeqStrategy};
 use gumbo::prelude::*;
 
 const GUARD_VARS: [&str; 4] = ["x", "y", "z", "w"];
@@ -29,7 +27,11 @@ enum GenCond {
 }
 
 fn atom_strategy() -> impl Strategy<Value = GenAtom> {
-    (0..COND_RELS.len(), proptest::collection::vec(0..GUARD_VARS.len(), 1..3), any::<bool>())
+    (
+        0..COND_RELS.len(),
+        proptest::collection::vec(0..GUARD_VARS.len(), 1..3),
+        any::<bool>(),
+    )
         .prop_map(|(rel, vars, local)| GenAtom { rel, vars, local })
 }
 
@@ -46,8 +48,7 @@ fn cond_strategy() -> impl Strategy<Value = GenCond> {
 }
 
 fn render_atom(a: &GenAtom, counter: &mut usize) -> String {
-    let mut args: Vec<String> =
-        a.vars.iter().map(|&v| GUARD_VARS[v].to_string()).collect();
+    let mut args: Vec<String> = a.vars.iter().map(|&v| GUARD_VARS[v].to_string()).collect();
     if a.local {
         *counter += 1;
         args.push(format!("q{counter}"));
@@ -60,10 +61,18 @@ fn render_cond(c: &GenCond, counter: &mut usize) -> String {
         GenCond::Atom(a) => render_atom(a, counter),
         GenCond::Not(inner) => format!("(NOT {})", render_cond(inner, counter)),
         GenCond::And(l, r) => {
-            format!("({} AND {})", render_cond(l, counter), render_cond(r, counter))
+            format!(
+                "({} AND {})",
+                render_cond(l, counter),
+                render_cond(r, counter)
+            )
         }
         GenCond::Or(l, r) => {
-            format!("({} OR {})", render_cond(l, counter), render_cond(r, counter))
+            format!(
+                "({} OR {})",
+                render_cond(l, counter),
+                render_cond(r, counter)
+            )
         }
     }
 }
@@ -110,15 +119,21 @@ fn normalize(c: &GenCond, arities: &[Option<usize>; 4]) -> GenCond {
                     vars.push(vars.len() % GUARD_VARS.len());
                 }
             }
-            GenCond::Atom(GenAtom { rel: a.rel, vars, local })
+            GenCond::Atom(GenAtom {
+                rel: a.rel,
+                vars,
+                local,
+            })
         }
         GenCond::Not(x) => GenCond::Not(Box::new(normalize(x, arities))),
-        GenCond::And(l, r) => {
-            GenCond::And(Box::new(normalize(l, arities)), Box::new(normalize(r, arities)))
-        }
-        GenCond::Or(l, r) => {
-            GenCond::Or(Box::new(normalize(l, arities)), Box::new(normalize(r, arities)))
-        }
+        GenCond::And(l, r) => GenCond::And(
+            Box::new(normalize(l, arities)),
+            Box::new(normalize(r, arities)),
+        ),
+        GenCond::Or(l, r) => GenCond::Or(
+            Box::new(normalize(l, arities)),
+            Box::new(normalize(r, arities)),
+        ),
     }
 }
 

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Random property testing without shrinking: a [`strategy::Strategy`] is
+//! a deterministic-per-seed value generator, the [`proptest!`] macro runs
+//! each property over a configurable number of generated cases, and the
+//! `prop_assert*` macros fail the current case with a formatted message.
+//! Failures report the case number and seed rather than a shrunk
+//! counterexample — rerunning is fully deterministic, so the failing case
+//! is reproducible by construction.
+
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A range of collection sizes: `5`, `0..8` and `1..=4` all convert.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub lo: usize,
+        /// Maximum length (inclusive).
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` roughly a quarter of the time and
+    /// `Some(inner)` otherwise, mirroring proptest's default weighting.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.unit_f64()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyStrategy<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary + std::fmt::Debug + 'static> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy for any value of `T`.
+    pub fn any<T: Arbitrary + std::fmt::Debug>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The glob import the proptest docs recommend: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    /// The `prop::` shorthand module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}

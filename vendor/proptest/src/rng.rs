@@ -1,0 +1,35 @@
+//! The deterministic generator behind every strategy (SplitMix64).
+
+/// Deterministic test RNG. Each test case gets one seeded from the fixed
+/// suite seed plus the case index, so failures are reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Create a generator from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A float uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A usize uniform in `[0, bound)` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+}
