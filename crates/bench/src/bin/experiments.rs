@@ -1,7 +1,7 @@
 //! Experiment driver: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup>
+//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup|dagsched>
 //!             [--tuples N] [--scale N] [--nodes N] [--seed N] [--no-verify]
 //!             [--executor sim|parallel|parallel:N]
 //! ```
@@ -80,6 +80,7 @@ fn main() {
         "ablation" => experiments::ablation(&cfg),
         "structures" => experiments::structures(),
         "speedup" => experiments::speedup(&cfg),
+        "dagsched" => experiments::dagsched(&cfg),
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);

@@ -492,6 +492,7 @@ pub fn structures() -> Result<()> {
 /// so the only thing that changes is how fast the hardware delivers them.
 /// On a 4+-core machine the pooled runtime clears 2× over one thread.
 pub fn speedup(cfg: &RunConfig) -> Result<()> {
+    use crate::report::{write_bench_json, Json};
     use gumbo_core::{EvalOptions, Grouping, GumboEngine, SortStrategy};
     use gumbo_mr::{ExecutorKind, ReducerPolicy};
     use std::time::Instant;
@@ -531,24 +532,26 @@ pub fn speedup(cfg: &RunConfig) -> Result<()> {
         Ok((elapsed, stats.jobs.iter().map(|j| j.output_tuples).sum()))
     };
 
+    let mut rows: Vec<Json> = Vec::new();
+    let mut record = |label: &str, secs: f64, speedup: f64, out: u64| {
+        println!("{label:<26} {secs:>10.3} {speedup:>11.2}x {out:>10}");
+        rows.push(Json::obj([
+            ("runtime", Json::Str(label.into())),
+            ("wall_s", Json::Num(secs)),
+            ("speedup", Json::Num(speedup)),
+            ("output_tuples", Json::Int(out)),
+        ]));
+    };
+
     let (base_secs, base_out) = time_with(ExecutorKind::Parallel { threads: 1 })?;
     println!(
         "{:<26} {:>10} {:>12} {:>10}",
         "runtime", "wall (s)", "speedup", "out tuples"
     );
-    println!(
-        "{:<26} {:>10.3} {:>11.2}x {:>10}",
-        "parallel:1 (sequential)", base_secs, 1.0, base_out
-    );
+    record("parallel:1 (sequential)", base_secs, 1.0, base_out);
 
     let (sim_secs, sim_out) = time_with(ExecutorKind::Simulated)?;
-    println!(
-        "{:<26} {:>10.3} {:>11.2}x {:>10}",
-        "simulated",
-        sim_secs,
-        base_secs / sim_secs,
-        sim_out
-    );
+    record("simulated", sim_secs, base_secs / sim_secs, sim_out);
     assert_eq!(base_out, sim_out, "runtimes must agree on results");
 
     let mut sweep: Vec<usize> = vec![2, 4, 8, 16];
@@ -565,13 +568,204 @@ pub fn speedup(cfg: &RunConfig) -> Result<()> {
         } else {
             format!("parallel:{threads}")
         };
-        println!(
-            "{label:<26} {:>10.3} {:>11.2}x {:>10}",
-            secs,
-            base_secs / secs,
-            out
-        );
+        record(&label, secs, base_secs / secs, out);
     }
+
+    let report = Json::obj([
+        ("experiment", Json::Str("speedup".into())),
+        ("tuples", Json::Int(tuples as u64)),
+        ("scale", Json::Int(cfg.scale)),
+        ("nodes", Json::Int(cfg.nodes as u64)),
+        ("hardware_threads", Json::Int(hw as u64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    write_bench_json("speedup", &report).map_err(|e| {
+        gumbo_common::GumboError::Storage(format!("writing BENCH_speedup.json: {e}"))
+    })?;
+    Ok(())
+}
+
+/// DAG scheduler vs round barrier: real wall-clock on multi-tenant
+/// workloads of independent SGF queries.
+///
+/// Every client submits an A3-shaped query over its own renamed copy of
+/// the relations, so the workload is embarrassingly schedulable — yet the
+/// round-barrier path runs the clients' jobs strictly one after another,
+/// while the DAG scheduler overlaps up to `max_concurrent_jobs` of them.
+/// Both paths produce byte-identical DFS contents and identical per-job
+/// statistics (asserted on every run); only the wall clock differs. Two
+/// sweeps are reported and written to `BENCH_dagsched.json`: pool size at
+/// a fixed client count, and client count at a fixed pool.
+pub fn dagsched(cfg: &RunConfig) -> Result<()> {
+    use crate::report::{write_bench_json, Json};
+    use gumbo_core::{EvalOptions, Grouping, GumboEngine};
+    use gumbo_datagen::DataSpec;
+    use gumbo_sched::{DagScheduler, SchedulerConfig, Submission};
+    use gumbo_sgf::SgfQuery;
+    use std::time::Instant;
+
+    print_header("DAG scheduler — wall-clock, dependency-driven vs round barrier");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "available hardware parallelism: {hw} core(s); {} guard tuples per client",
+        cfg.tuples
+    );
+
+    let engine_cfg = gumbo_mr::EngineConfig {
+        scale: cfg.scale,
+        cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
+        ..gumbo_mr::EngineConfig::default()
+    };
+    // MSJ → EVAL structure (no 1-ROUND fusion): each client's program has
+    // a real intra-client dependency on top of the cross-client overlap.
+    let engine = GumboEngine::new(
+        engine_cfg,
+        EvalOptions {
+            grouping: Grouping::Greedy,
+            enable_one_round: false,
+            ..EvalOptions::default()
+        },
+    );
+
+    // One independent query per client over per-client relation names.
+    let client_query = |i: usize| -> SgfQuery {
+        gumbo_sgf::parse_program(&format!(
+            "Out{i} := SELECT (x, y, z, w) FROM R{i}(x, y, z, w) \
+             WHERE S{i}(x) AND T{i}(x) AND U{i}(x) AND V{i}(x);"
+        ))
+        .expect("client query parses")
+    };
+    let client_database = |i: usize| -> gumbo_common::Database {
+        let guard = format!("R{i}");
+        let conds = [
+            format!("S{i}"),
+            format!("T{i}"),
+            format!("U{i}"),
+            format!("V{i}"),
+        ];
+        let cond_refs: Vec<(&str, usize)> = conds.iter().map(|c| (c.as_str(), 1)).collect();
+        DataSpec::new(&[(guard.as_str(), 4)], &cond_refs)
+            .with_tuples(cfg.tuples)
+            .with_selectivity(cfg.selectivity)
+            .database(cfg.seed + i as u64)
+    };
+    let build_programs = |queries: &[SgfQuery], dfs: &SimDfs| -> Result<Vec<gumbo_mr::MrProgram>> {
+        queries
+            .iter()
+            .map(|q| {
+                let ctx = QueryContext::new(q.queries().to_vec())?;
+                let est = Estimator::new(
+                    dfs,
+                    cfg.scale,
+                    gumbo_mr::CostConstants::default(),
+                    CostModelKind::Gumbo,
+                    64,
+                    cfg.seed,
+                );
+                engine.plan_group(&est, &ctx)?.build_program(&ctx)
+            })
+            .collect()
+    };
+
+    // One measured comparison: `clients` independent queries, round
+    // barrier vs DAG pool of `max_jobs`. Returns (rounds s, dag s, jobs).
+    let run_pair = |clients: usize, max_jobs: usize| -> Result<(f64, f64, usize)> {
+        let queries: Vec<SgfQuery> = (0..clients).map(client_query).collect();
+        let mut combined = gumbo_common::Database::new();
+        for i in 0..clients {
+            for rel in client_database(i).relations() {
+                combined.add_relation(rel.clone());
+            }
+        }
+        // Round-barrier path: client programs run back to back, each with
+        // a barrier after every round.
+        let executor = cfg.executor.build(engine_cfg);
+        let mut dfs_rounds = SimDfs::from_database(&combined);
+        let programs = build_programs(&queries, &dfs_rounds)?;
+        let start = Instant::now();
+        let mut rounds_stats = Vec::with_capacity(clients);
+        for program in &programs {
+            rounds_stats.push(executor.execute(&mut dfs_rounds, program)?);
+        }
+        let rounds_wall = start.elapsed().as_secs_f64();
+
+        // DAG path: all clients admitted at once, jobs start the moment
+        // their inputs are materialized. The per-job executor is resized
+        // through the scheduler config (parallelism comes from running
+        // jobs concurrently, not from per-job worker pools).
+        let scheduler = DagScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: max_jobs,
+            threads_per_job: 1,
+        });
+        let dag_executor = scheduler
+            .config
+            .executor_kind(cfg.executor)
+            .build(engine_cfg);
+        let mut dfs_dag = SimDfs::from_database(&combined);
+        let programs = build_programs(&queries, &dfs_dag)?;
+        let submissions: Vec<Submission> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Submission::new(format!("client{i}"), p))
+            .collect();
+        let start = Instant::now();
+        let reports = scheduler.execute_many(&*dag_executor, &mut dfs_dag, &submissions)?;
+        let dag_wall = start.elapsed().as_secs_f64();
+
+        // Equivalence: byte-identical DFS contents, identical per-job and
+        // per-round statistics — the scheduler may only move wall clock.
+        gumbo_sched::assert_identical_dfs("dagsched", &dfs_rounds, &dfs_dag);
+        let mut jobs = 0;
+        for (barrier, report) in rounds_stats.iter().zip(&reports) {
+            gumbo_sched::assert_identical_stats(&report.tenant, barrier, &report.stats);
+            jobs += report.stats.num_jobs();
+        }
+        Ok((rounds_wall, dag_wall, jobs))
+    };
+
+    println!(
+        "{:<22} {:>8} {:>9} {:>6} {:>11} {:>11} {:>9}",
+        "sweep", "clients", "max-jobs", "jobs", "rounds(s)", "dag(s)", "speedup"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    let mut measure = |sweep: &str, clients: usize, max_jobs: usize| -> Result<()> {
+        let (rounds_wall, dag_wall, jobs) = run_pair(clients, max_jobs)?;
+        let speedup = rounds_wall / dag_wall.max(1e-12);
+        println!(
+            "{sweep:<22} {clients:>8} {max_jobs:>9} {jobs:>6} {rounds_wall:>11.3} {dag_wall:>11.3} {speedup:>8.2}x"
+        );
+        rows.push(Json::obj([
+            ("sweep", Json::Str(sweep.into())),
+            ("clients", Json::Int(clients as u64)),
+            ("max_jobs", Json::Int(max_jobs as u64)),
+            ("jobs", Json::Int(jobs as u64)),
+            ("rounds_wall_s", Json::Num(rounds_wall)),
+            ("dag_wall_s", Json::Num(dag_wall)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+        Ok(())
+    };
+    for max_jobs in [1usize, 2, 4, 8] {
+        measure("pool @ 8 clients", 8, max_jobs)?;
+    }
+    for clients in [2usize, 4, 16] {
+        measure("clients @ 4-job pool", clients, 4)?;
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::Str("dagsched".into())),
+        ("tuples_per_client", Json::Int(cfg.tuples as u64)),
+        ("scale", Json::Int(cfg.scale)),
+        ("nodes", Json::Int(cfg.nodes as u64)),
+        ("executor", Json::Str(cfg.executor.label())),
+        ("hardware_threads", Json::Int(hw as u64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    write_bench_json("dagsched", &report).map_err(|e| {
+        gumbo_common::GumboError::Storage(format!("writing BENCH_dagsched.json: {e}"))
+    })?;
     Ok(())
 }
 

@@ -16,6 +16,7 @@
 //! in simulated cost-units and GB at the configured scale.
 
 pub mod experiments;
+pub mod report;
 pub mod runner;
 
 pub use runner::{run_strategy, RunConfig, RunResult, Strategy};

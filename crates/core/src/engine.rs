@@ -10,7 +10,10 @@
 //! groups' outputs are materialized by the time later groups are planned.
 
 use gumbo_common::{GumboError, Relation, Result};
-use gumbo_mr::{CostModelKind, EngineConfig, Executor, ExecutorKind, JobConfig, ProgramStats};
+use gumbo_mr::{
+    CostModelKind, EngineConfig, Executor, ExecutorKind, JobConfig, MrProgram, ProgramStats,
+};
+use gumbo_sched::{DagScheduler, SchedulerConfig};
 use gumbo_sgf::{BsgfQuery, DependencyGraph, MultiwayTopoSort, SgfQuery};
 use gumbo_storage::SimDfs;
 
@@ -73,6 +76,12 @@ pub struct EvalOptions {
     pub sample_size: usize,
     /// Sampling seed.
     pub seed: u64,
+    /// When set, planned programs execute on the dependency-driven DAG
+    /// scheduler (jobs start the moment their inputs are materialized,
+    /// bounded by `max_concurrent_jobs`) instead of the round barrier.
+    /// Answer relations and per-job statistics are identical either way;
+    /// only real wall-clock changes.
+    pub scheduler: Option<SchedulerConfig>,
 }
 
 impl Default for EvalOptions {
@@ -86,6 +95,7 @@ impl Default for EvalOptions {
             planner_model: CostModelKind::Gumbo,
             sample_size: 64,
             seed: 0x6d5b_0000,
+            scheduler: None,
         }
     }
 }
@@ -130,9 +140,30 @@ impl GumboEngine {
         GumboEngine::new(EngineConfig::default(), EvalOptions::default())
     }
 
-    /// The runtime this engine executes on.
+    /// The runtime this engine executes on. Under a scheduler, the
+    /// parallel runtime is resized to the configured threads-per-job (the
+    /// scheduler supplies inter-job parallelism, so per-job pools shrink).
     pub fn runtime(&self) -> Box<dyn Executor> {
-        self.executor.build(self.config)
+        let kind = match self.options.scheduler {
+            Some(sched) => sched.executor_kind(self.executor),
+            None => self.executor,
+        };
+        kind.build(self.config)
+    }
+
+    /// Execute one planned program on the configured path: the
+    /// dependency-driven DAG scheduler when [`EvalOptions::scheduler`] is
+    /// set, the round barrier otherwise.
+    fn execute_program(
+        &self,
+        runtime: &dyn Executor,
+        dfs: &mut SimDfs,
+        program: MrProgram,
+    ) -> Result<ProgramStats> {
+        match self.options.scheduler {
+            Some(config) => DagScheduler::new(config).execute_program(runtime, dfs, program),
+            None => runtime.execute(dfs, &program),
+        }
     }
 
     fn estimator<'a>(&self, dfs: &'a SimDfs) -> Estimator<'a> {
@@ -277,7 +308,7 @@ impl GumboEngine {
                 self.plan_group(&est, &ctx)?
             };
             let program = plan.build_program(&ctx)?;
-            stats.extend(runtime.execute(dfs, &program)?);
+            stats.extend(self.execute_program(&*runtime, dfs, program)?);
             let mut keep = Vec::with_capacity(remaining.len() - first.len());
             for (i, q) in remaining.into_iter().enumerate() {
                 if !first.contains(&i) {
@@ -309,7 +340,7 @@ impl GumboEngine {
                 self.plan_group(&est, &ctx)?
             };
             let program = plan.build_program(&ctx)?;
-            stats.extend(runtime.execute(dfs, &program)?);
+            stats.extend(self.execute_program(&*runtime, dfs, program)?);
         }
         Ok(stats)
     }
@@ -378,6 +409,13 @@ mod tests {
             ExecutorKind::Parallel { threads: 4 },
             EvalOptions::default(),
         );
+        let scheduled = GumboEngine::new(
+            base,
+            EvalOptions {
+                scheduler: Some(SchedulerConfig::default()),
+                ..EvalOptions::default()
+            },
+        );
         vec![
             (
                 "greedy",
@@ -434,6 +472,7 @@ mod tests {
                 ),
             ),
             ("greedy+parallel-runtime", parallel),
+            ("greedy+dag-scheduler", scheduled),
         ]
     }
 

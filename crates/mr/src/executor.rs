@@ -25,7 +25,7 @@ use std::collections::BTreeMap;
 use gumbo_common::{ByteSize, Fact, GumboError, Relation, RelationName, Result, Tuple};
 use gumbo_storage::SimDfs;
 
-use crate::cluster::{lpt_makespan, Cluster};
+use crate::cluster::Cluster;
 use crate::cost::{job_cost, CostConstants, CostModelKind};
 use crate::job::Job;
 use crate::message::Message;
@@ -80,15 +80,36 @@ impl EngineConfig {
 /// [`JobStats`], whatever the runtime's internal scheduling. The shared
 /// pipeline in this module provides that by construction; implementors
 /// only decide **where** each map/shuffle/reduce task runs.
-pub trait Executor {
+///
+/// Job execution is split into three phases so that concurrent schedulers
+/// (the DAG scheduler in `gumbo-sched`) can interleave jobs on a shared
+/// DFS: [`plan_job`] reads the inputs (shared access suffices — planning
+/// owns its fact snapshots), [`Executor::run_phases`] does the
+/// map/shuffle/reduce compute without touching the DFS at all, and
+/// [`commit_job`] stores the outputs (exclusive access). The provided
+/// [`Executor::execute_job`] chains the three, which is exactly the old
+/// monolithic behavior.
+///
+/// Executors are `Send + Sync`: the scheduler shares one executor across
+/// its worker threads.
+pub trait Executor: Send + Sync {
     /// The configuration this executor runs under.
     fn config(&self) -> &EngineConfig;
 
     /// A short human-readable runtime name (for logs and reports).
     fn name(&self) -> &'static str;
 
+    /// Run the map, shuffle and reduce phases of a planned job. This is
+    /// the pure compute part — no DFS access — and the only phase the two
+    /// runtimes implement differently (serial vs worker pool).
+    fn run_phases(&self, job: &Job, plan: MapPlan) -> Result<ComputedJob>;
+
     /// Execute a single job: map → shuffle → reduce, with full metering.
-    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats>;
+    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+        let plan = plan_job(self.config(), dfs, job)?;
+        let computed = self.run_phases(job, plan)?;
+        commit_job(self.config(), dfs, job, round, computed)
+    }
 
     /// Execute a program round by round against the DFS, returning the
     /// paper's four metrics plus per-job detail.
@@ -99,20 +120,11 @@ pub trait Executor {
             for job in round {
                 round_jobs.push(self.execute_job(dfs, job, round_idx)?);
             }
-            let map_tasks: Vec<f64> = round_jobs
-                .iter()
-                .flat_map(|j| j.map_task_durations.iter().copied())
-                .collect();
-            let reduce_tasks: Vec<f64> = round_jobs
-                .iter()
-                .flat_map(|j| j.reduce_task_durations.iter().copied())
-                .collect();
-            let cluster = self.config().cluster;
-            stats.round_stats.push(RoundStats {
-                map_makespan: lpt_makespan(&map_tasks, cluster.map_slots()),
-                reduce_makespan: lpt_makespan(&reduce_tasks, cluster.reduce_slots()),
-                overhead: self.config().constants.job_overhead,
-            });
+            stats.round_stats.push(RoundStats::pooled(
+                round_jobs.iter(),
+                self.config().cluster,
+                self.config().constants.job_overhead,
+            ));
             stats.jobs.extend(round_jobs);
         }
         Ok(stats)
@@ -177,7 +189,7 @@ impl ExecutorKind {
 /// (fact indices are positions in the relation's canonical order — the
 /// tuple ids of the guard-reference optimization, §5.1 (2)).
 pub(crate) struct MapTaskSpec {
-    /// Index into [`MapPlan::partitions`] / [`MapPlan::input_facts`].
+    /// Index into `MapPlan::partitions` / `MapPlan::input_facts`.
     pub input_idx: usize,
     /// This split's range within the input's fact list.
     pub split: std::ops::Range<usize>,
@@ -198,14 +210,17 @@ pub(crate) struct MapTaskResult {
 ///
 /// Facts are materialized once per input; tasks reference them by range,
 /// so handing a task to a worker thread costs nothing beyond the borrow.
-pub(crate) struct MapPlan {
+/// The plan owns its fact snapshots: once built, it carries no borrow of
+/// the DFS, which is what lets a concurrent scheduler release the DFS
+/// lock during [`Executor::run_phases`].
+pub struct MapPlan {
     /// Per-input metering skeletons; `map_output`/`records_out` are filled
     /// in by [`MapPlan::apply`].
-    pub partitions: Vec<InputPartition>,
+    pub(crate) partitions: Vec<InputPartition>,
     /// `(tuple id, fact)` pairs of each input relation, in canonical order.
-    pub input_facts: Vec<Vec<(u64, Fact)>>,
+    pub(crate) input_facts: Vec<Vec<(u64, Fact)>>,
     /// All map tasks of the job, grouped by input and ordered by split.
-    pub tasks: Vec<MapTaskSpec>,
+    pub(crate) tasks: Vec<MapTaskSpec>,
 }
 
 impl MapPlan {
@@ -230,11 +245,10 @@ impl MapPlan {
 /// Plan the map phase: read every input (metered), derive mapper counts
 /// from the *scaled* sizes (the paper's regime), and cut each relation
 /// into per-task splits.
-pub(crate) fn plan_map_tasks(
-    config: &EngineConfig,
-    dfs: &mut SimDfs,
-    job: &Job,
-) -> Result<MapPlan> {
+///
+/// Shared DFS access suffices: reads are metered through atomic counters
+/// and the returned plan owns its fact snapshots.
+pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPlan> {
     let scale = config.scale.max(1);
     let mut partitions = Vec::with_capacity(job.inputs.len());
     let mut input_facts = Vec::with_capacity(job.inputs.len());
@@ -376,19 +390,32 @@ pub(crate) fn run_reduce_partition(
     Ok(outputs)
 }
 
+/// The outcome of a job's map/shuffle/reduce phases, not yet committed to
+/// the DFS: per-input metering, reducer accounting, and the per-partition
+/// output relations awaiting the merge in [`commit_job`].
+pub struct ComputedJob {
+    pub(crate) partitions: Vec<InputPartition>,
+    pub(crate) reducers: usize,
+    pub(crate) reducer_bytes: Vec<u64>,
+    pub(crate) partition_outputs: Vec<BTreeMap<RelationName, Relation>>,
+}
+
 /// Merge per-partition reduce outputs (in partition order), store every
 /// declared output to the DFS, and assemble the job's metered statistics.
-#[allow(clippy::too_many_arguments)] // one call per runtime, mirrors the phases
-pub(crate) fn finalize_job(
+/// This is the only phase that mutates the DFS.
+pub fn commit_job(
     config: &EngineConfig,
     dfs: &mut SimDfs,
     job: &Job,
     round: usize,
-    partitions: Vec<InputPartition>,
-    reducers: usize,
-    reducer_bytes: &[u64],
-    partition_outputs: Vec<BTreeMap<RelationName, Relation>>,
+    computed: ComputedJob,
 ) -> Result<JobStats> {
+    let ComputedJob {
+        partitions,
+        reducers,
+        reducer_bytes,
+        partition_outputs,
+    } = computed;
     let scale = config.scale.max(1);
     let consts = &config.constants;
 

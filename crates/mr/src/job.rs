@@ -133,6 +133,22 @@ pub struct Job {
     pub config: JobConfig,
 }
 
+impl Job {
+    /// Names of the relations this job reads, in read order.
+    ///
+    /// Together with [`Job::output_names`] this is the job's complete DFS
+    /// footprint — the dependency information the DAG lowering
+    /// (`MrProgram::into_dag`) infers scheduling edges from.
+    pub fn input_names(&self) -> impl Iterator<Item = &RelationName> + '_ {
+        self.inputs.iter()
+    }
+
+    /// Names of the relations this job writes (declared outputs).
+    pub fn output_names(&self) -> impl Iterator<Item = &RelationName> + '_ {
+        self.outputs.iter().map(|(name, _)| name)
+    }
+}
+
 impl fmt::Debug for Job {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Job")
@@ -141,6 +157,45 @@ impl fmt::Debug for Job {
             .field("outputs", &self.outputs)
             .field("config", &self.config)
             .finish_non_exhaustive()
+    }
+}
+
+/// Test-only fixtures shared by this crate's unit and property tests: a
+/// mapper/reducer pair that emits nothing, and a job builder that only
+/// cares about relation wiring (which is all the program/DAG layers look
+/// at).
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crate::message::Message;
+
+    /// Emits nothing, on either side of the shuffle.
+    pub(crate) struct Noop;
+
+    impl Mapper for Noop {
+        fn map(&self, _: &Fact, _: u64, _: &mut dyn FnMut(Tuple, Message)) {}
+    }
+
+    impl Reducer for Noop {
+        fn reduce(&self, _: &Tuple, _: &[Message], _: &mut dyn FnMut(&RelationName, Tuple)) {}
+    }
+
+    /// A no-op job reading `inputs` and declaring unary `outputs`.
+    pub(crate) fn noop_job<I, O>(name: impl Into<String>, inputs: I, outputs: O) -> Job
+    where
+        I: IntoIterator,
+        I::Item: Into<RelationName>,
+        O: IntoIterator,
+        O::Item: Into<RelationName>,
+    {
+        Job {
+            name: name.into(),
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            outputs: outputs.into_iter().map(|n| (n.into(), 1)).collect(),
+            mapper: Box::new(Noop),
+            reducer: Box::new(Noop),
+            config: JobConfig::default(),
+        }
     }
 }
 

@@ -46,6 +46,7 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod dag;
 pub mod executor;
 pub mod hash;
 pub mod job;
@@ -58,7 +59,10 @@ pub mod simulated;
 
 pub use cluster::Cluster;
 pub use cost::{job_cost, CostConstants, CostModelKind};
-pub use executor::{EngineConfig, Executor, ExecutorKind};
+pub use dag::{DagNode, JobDag};
+pub use executor::{
+    commit_job, plan_job, ComputedJob, EngineConfig, Executor, ExecutorKind, MapPlan,
+};
 pub use job::{Job, JobConfig, Mapper, Reducer, ReducerPolicy};
 pub use message::{Message, Payload};
 pub use metrics::{JobStats, ProgramStats};

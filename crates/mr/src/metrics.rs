@@ -9,6 +9,7 @@ use std::fmt;
 
 use gumbo_common::ByteSize;
 
+use crate::cluster::{lpt_makespan, Cluster};
 use crate::profile::JobProfile;
 
 /// Statistics for one executed job.
@@ -63,6 +64,30 @@ pub struct RoundStats {
 }
 
 impl RoundStats {
+    /// Wall-clock accounting of one round: the jobs' map and reduce
+    /// tasks pooled onto the cluster's slots, plus the job-start
+    /// overhead. The single definition of the paper's per-round net-time
+    /// model — used by both the round-barrier executor and the DAG
+    /// scheduler's equivalence reconstruction.
+    pub fn pooled<'a>(
+        jobs: impl Iterator<Item = &'a JobStats> + Clone,
+        cluster: Cluster,
+        overhead: f64,
+    ) -> RoundStats {
+        let map_tasks: Vec<f64> = jobs
+            .clone()
+            .flat_map(|j| j.map_task_durations.iter().copied())
+            .collect();
+        let reduce_tasks: Vec<f64> = jobs
+            .flat_map(|j| j.reduce_task_durations.iter().copied())
+            .collect();
+        RoundStats {
+            map_makespan: lpt_makespan(&map_tasks, cluster.map_slots()),
+            reduce_makespan: lpt_makespan(&reduce_tasks, cluster.reduce_slots()),
+            overhead,
+        }
+    }
+
     /// Wall-clock duration of the round.
     pub fn net_time(&self) -> f64 {
         self.overhead + self.map_makespan + self.reduce_makespan

@@ -30,15 +30,13 @@ use std::sync::Mutex;
 use std::thread;
 
 use gumbo_common::{Result, Tuple};
-use gumbo_storage::SimDfs;
 
 use crate::executor::{
-    finalize_job, plan_map_tasks, run_map_task, run_reduce_partition, EngineConfig, Executor,
+    run_map_task, run_reduce_partition, ComputedJob, EngineConfig, Executor, MapPlan,
 };
 use crate::hash::partition;
 use crate::job::Job;
 use crate::message::Message;
-use crate::metrics::JobStats;
 
 /// A run of key-value pairs in emission order: one map task's output
 /// during the shuffle's ownership hand-off.
@@ -123,14 +121,13 @@ impl Executor for ParallelExecutor {
         "parallel"
     }
 
-    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+    fn run_phases(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         let workers = self.effective_threads();
 
         // ---- map phase: tasks fan out over the pool ---------------------
-        // Planning (and its DFS read metering) stays on the caller's
+        // Planning (and its DFS read metering) happened on the caller's
         // thread; the tasks own their fact slices, so workers never touch
         // the DFS.
-        let mut plan = plan_map_tasks(&self.config, dfs, job)?;
         let results = parallel_for(plan.tasks.len(), workers, |i| {
             run_map_task(job, plan.task_facts(&plan.tasks[i]))
         });
@@ -194,17 +191,12 @@ impl Executor for ParallelExecutor {
             partition_outputs.push(outcome?);
         }
 
-        // ---- metering (shared with the simulator) -----------------------
-        finalize_job(
-            &self.config,
-            dfs,
-            job,
-            round,
-            plan.partitions,
+        Ok(ComputedJob {
+            partitions: plan.partitions,
             reducers,
-            &reducer_bytes,
+            reducer_bytes,
             partition_outputs,
-        )
+        })
     }
 }
 
@@ -215,6 +207,7 @@ mod tests {
     use crate::message::Payload;
     use crate::simulated::SimulatedExecutor;
     use gumbo_common::{Fact, Relation, RelationName};
+    use gumbo_storage::SimDfs;
 
     struct KeyByFirst;
     impl Mapper for KeyByFirst {

@@ -12,6 +12,20 @@ use std::fmt;
 use crate::job::Job;
 
 /// A MapReduce program: rounds of concurrently-executing jobs.
+///
+/// # Invariant
+///
+/// A program never contains an empty round — every constructor
+/// ([`MrProgram::push_round`], [`MrProgram::push_job`],
+/// [`MrProgram::extend`]) drops empty rounds, so `num_rounds()` counts
+/// only rounds that execute at least one job:
+///
+/// ```
+/// let mut p = gumbo_mr::MrProgram::new();
+/// p.push_round(vec![]);
+/// assert_eq!(p.num_rounds(), 0);
+/// assert!(p.rounds().iter().all(|round| !round.is_empty()));
+/// ```
 #[derive(Default)]
 pub struct MrProgram {
     rounds: Vec<Vec<Job>>,
@@ -30,14 +44,18 @@ impl MrProgram {
         }
     }
 
-    /// Append a round consisting of a single job.
+    /// Append a round consisting of a single job. Routed through
+    /// [`MrProgram::push_round`] so the no-empty-rounds invariant has a
+    /// single enforcement point.
     pub fn push_job(&mut self, job: Job) {
-        self.rounds.push(vec![job]);
+        self.push_round(vec![job]);
     }
 
     /// Concatenate another program's rounds after this one's.
     pub fn extend(&mut self, other: MrProgram) {
-        self.rounds.extend(other.rounds);
+        for round in other.rounds {
+            self.push_round(round);
+        }
     }
 
     /// The rounds, in execution order.
@@ -81,32 +99,10 @@ impl fmt::Debug for MrProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::job::{JobConfig, Mapper, Reducer};
-    use gumbo_common::{Fact, RelationName, Tuple};
-
-    struct Noop;
-    impl Mapper for Noop {
-        fn map(&self, _: &Fact, _: u64, _: &mut dyn FnMut(Tuple, crate::message::Message)) {}
-    }
-    impl Reducer for Noop {
-        fn reduce(
-            &self,
-            _: &Tuple,
-            _: &[crate::message::Message],
-            _: &mut dyn FnMut(&RelationName, Tuple),
-        ) {
-        }
-    }
+    use crate::job::test_support::noop_job;
 
     fn job(name: &str) -> Job {
-        Job {
-            name: name.into(),
-            inputs: vec![],
-            outputs: vec![],
-            mapper: Box::new(Noop),
-            reducer: Box::new(Noop),
-            config: JobConfig::default(),
-        }
+        noop_job(name, Vec::<&str>::new(), Vec::<&str>::new())
     }
 
     #[test]

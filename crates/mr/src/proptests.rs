@@ -1,4 +1,5 @@
-//! Property-based tests for the cost model and the cluster scheduler.
+//! Property-based tests for the cost model, the cluster scheduler, and
+//! the program → DAG lowering.
 
 #![cfg(test)]
 
@@ -8,7 +9,20 @@ use gumbo_common::ByteSize;
 
 use crate::cluster::lpt_makespan;
 use crate::cost::{job_cost, CostConstants, CostModelKind};
+use crate::dag::jobs_conflict;
+use crate::job::test_support::noop_job;
+use crate::job::Job;
 use crate::profile::{InputPartition, JobProfile};
+use crate::program::MrProgram;
+
+/// A no-op job touching relations `Rk` for the given name codes.
+fn rel_job(inputs: &[u8], outputs: &[u8]) -> Job {
+    noop_job(
+        format!("job({inputs:?}->{outputs:?})"),
+        inputs.iter().map(|k| format!("R{k}")),
+        outputs.iter().map(|k| format!("R{k}")),
+    )
+}
 
 fn part(n_mb: u64, m_mb: u64, records: u64, mappers: usize) -> InputPartition {
     InputPartition {
@@ -119,5 +133,69 @@ proptest! {
         let mut more = durations.clone();
         more.push(extra);
         prop_assert!(lpt_makespan(&more, slots) >= before - 1e-9);
+    }
+
+    /// `into_dag()` over random programs preserves round semantics as
+    /// dependencies: every edge points forward in round order, the flat
+    /// (round-order) indexing is itself a valid topological order,
+    /// `topo_order()` respects every edge, and any pair of jobs that
+    /// conflict on a relation is explicitly ordered by an edge.
+    #[test]
+    fn into_dag_topo_order_consistent_with_rounds(
+        spec in proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec(0u8..6, 0usize..4),
+                    proptest::collection::vec(0u8..6, 0usize..3),
+                ),
+                1..4,
+            ),
+            1..5,
+        ),
+    ) {
+        let mut program = MrProgram::new();
+        for round in &spec {
+            program.push_round(
+                round.iter().map(|(ins, outs)| rel_job(ins, outs)).collect(),
+            );
+        }
+        let expected_jobs = program.num_jobs();
+        let expected_rounds = program.num_rounds();
+
+        let dag = program.into_dag();
+        prop_assert_eq!(dag.len(), expected_jobs);
+        prop_assert_eq!(dag.num_rounds(), expected_rounds);
+
+        // Edges point forward both in flat order (so the round-order
+        // flattening is a topological order) and in round order.
+        for (u, v) in dag.edges() {
+            prop_assert!(u < v);
+            prop_assert!(dag.node(u).round <= dag.node(v).round);
+        }
+
+        // topo_order() is a permutation respecting every edge.
+        let order = dag.topo_order();
+        prop_assert_eq!(order.len(), dag.len());
+        let mut position = vec![usize::MAX; dag.len()];
+        for (at, &node) in order.iter().enumerate() {
+            prop_assert_eq!(position[node], usize::MAX, "node emitted twice");
+            position[node] = at;
+        }
+        for (u, v) in dag.edges() {
+            prop_assert!(position[u] < position[v]);
+        }
+
+        // Soundness: every conflicting pair is ordered by a direct edge,
+        // so no topological order can reorder a read past a write.
+        for u in 0..dag.len() {
+            for v in (u + 1)..dag.len() {
+                if jobs_conflict(&dag.node(u).job, &dag.node(v).job) {
+                    prop_assert!(
+                        dag.node(v).deps().contains(&u),
+                        "conflicting pair ({}, {}) lacks an edge", u, v
+                    );
+                }
+            }
+        }
     }
 }

@@ -11,15 +11,13 @@
 use std::collections::BTreeMap;
 
 use gumbo_common::{Result, Tuple};
-use gumbo_storage::SimDfs;
 
 use crate::executor::{
-    finalize_job, plan_map_tasks, run_map_task, run_reduce_partition, EngineConfig, Executor,
+    run_map_task, run_reduce_partition, ComputedJob, EngineConfig, Executor, MapPlan,
 };
 use crate::hash::partition;
 use crate::job::Job;
 use crate::message::Message;
-use crate::metrics::JobStats;
 
 /// The deterministic MapReduce simulator.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,9 +47,8 @@ impl Executor for SimulatedExecutor {
         "simulated"
     }
 
-    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+    fn run_phases(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         // ---- map phase -------------------------------------------------
-        let mut plan = plan_map_tasks(&self.config, dfs, job)?;
         let results: Vec<_> = plan
             .tasks
             .iter()
@@ -78,17 +75,12 @@ impl Executor for SimulatedExecutor {
             partition_outputs.push(run_reduce_partition(job, group)?);
         }
 
-        // ---- metering ---------------------------------------------------
-        finalize_job(
-            &self.config,
-            dfs,
-            job,
-            round,
-            plan.partitions,
+        Ok(ComputedJob {
+            partitions: plan.partitions,
             reducers,
-            &reducer_bytes,
+            reducer_bytes,
             partition_outputs,
-        )
+        })
     }
 }
 
@@ -99,6 +91,7 @@ mod tests {
     use crate::message::Payload;
     use crate::program::MrProgram;
     use gumbo_common::{ByteSize, Fact, Relation, RelationName};
+    use gumbo_storage::SimDfs;
 
     /// A miniature single-semi-join job (§4.1's repartition join): guard
     /// R(x, z) requests on key z; conditional S(z, y) asserts on key z.

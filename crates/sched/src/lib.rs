@@ -1,0 +1,37 @@
+//! # gumbo-sched
+//!
+//! A dependency-driven DAG job scheduler for the gumbo MapReduce
+//! substrate — the execution layer the paper's §3.2 "MR program = DAG of
+//! jobs" definition calls for.
+//!
+//! The round-barrier path ([`gumbo_mr::Executor::execute`]) runs a
+//! program level by level: every job of round *r* must finish before any
+//! job of round *r + 1* starts, so one slow `MSJ` stalls unrelated work.
+//! This crate replaces the barrier with data-dependency tracking:
+//!
+//! * [`gumbo_mr::JobDag`] — jobs plus edges inferred from input/output
+//!   relation names (`MrProgram::into_dag()`);
+//! * [`DagScheduler`] — runs each job the moment its inputs are
+//!   materialized, on a bounded worker pool
+//!   ([`SchedulerConfig::max_concurrent_jobs`]); the DFS is shared behind
+//!   an `RwLock` — inputs are planned under the read lock, the
+//!   map/shuffle/reduce compute holds no lock at all, outputs commit
+//!   under the write lock;
+//! * [`Submission`] / [`SubmissionReport`] — a multi-tenant front door:
+//!   many independent `MrProgram`s admitted concurrently onto one
+//!   cluster, with fair-share admission and per-submission statistics.
+//!
+//! Execution is *observationally identical* to the round barrier: answer
+//! relations are byte-identical and per-job [`gumbo_mr::JobStats`] (and
+//! the reconstructed per-round wall-clock accounting) match exactly —
+//! only the real wall-clock improves. The workspace-level
+//! `tests/dag_scheduler_equivalence.rs` enforces this over every datagen
+//! preset.
+
+pub mod equivalence;
+pub mod scheduler;
+pub mod submission;
+
+pub use equivalence::{assert_identical_dfs, assert_identical_stats};
+pub use scheduler::{DagScheduler, SchedulerConfig};
+pub use submission::{Submission, SubmissionReport};

@@ -1,0 +1,541 @@
+//! The DAG scheduler: dependency-driven execution on a bounded worker
+//! pool over a shared, lock-guarded DFS.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, RwLock};
+use std::thread;
+use std::time::Instant;
+
+use gumbo_common::{GumboError, Result};
+use gumbo_mr::dag::JobFootprint;
+use gumbo_mr::metrics::RoundStats;
+use gumbo_mr::{
+    commit_job, plan_job, Executor, ExecutorKind, JobDag, JobStats, MrProgram, ProgramStats,
+};
+use gumbo_storage::SimDfs;
+
+use crate::submission::{Submission, SubmissionReport};
+
+/// Scheduler sizing knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// How many jobs may run concurrently (the worker-pool size).
+    /// `0` = auto: the machine's available parallelism.
+    pub max_concurrent_jobs: usize,
+    /// Worker threads *inside* each job when the underlying runtime is
+    /// the parallel executor (`0` = keep the executor's own sizing). The
+    /// simulated runtime computes each job on one thread regardless.
+    ///
+    /// The scheduler runs jobs on whatever executor it is handed; this
+    /// knob takes effect where the executor is *built* — resolve it with
+    /// [`SchedulerConfig::executor_kind`] (as `GumboEngine::runtime` and
+    /// the `dagsched` bench do) before building.
+    pub threads_per_job: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_concurrent_jobs: 4,
+            threads_per_job: 1,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The worker-pool size this configuration resolves to.
+    pub fn effective_workers(&self) -> usize {
+        if self.max_concurrent_jobs > 0 {
+            return self.max_concurrent_jobs;
+        }
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The executor kind jobs should run on under this scheduler: a
+    /// parallel runtime is resized to [`SchedulerConfig::threads_per_job`]
+    /// threads (when set), anything else passes through.
+    pub fn executor_kind(&self, base: ExecutorKind) -> ExecutorKind {
+        match (base, self.threads_per_job) {
+            (ExecutorKind::Parallel { .. }, t) if t > 0 => ExecutorKind::Parallel { threads: t },
+            (kind, _) => kind,
+        }
+    }
+}
+
+/// A global job id: which submission, which node within it.
+#[derive(Debug, Clone, Copy)]
+struct JobRef {
+    sub: usize,
+    node: usize,
+}
+
+/// Shared scheduling state, guarded by one mutex + condvar.
+struct SchedState {
+    /// Unmet-dependency counts, indexed by global job id.
+    indegree: Vec<usize>,
+    /// Per-submission ready queues of global job ids (FIFO within a
+    /// submission; fairness decides *between* submissions).
+    ready: Vec<VecDeque<usize>>,
+    /// Per-submission currently-running job counts.
+    running: Vec<usize>,
+    /// Per-submission completed job counts.
+    completed: Vec<usize>,
+    /// Collected statistics, indexed by global job id.
+    results: Vec<Option<JobStats>>,
+    /// Per-submission completion instants (set when the last job commits).
+    finished_at: Vec<Option<Instant>>,
+    /// Jobs not yet completed.
+    remaining: usize,
+    /// First failure; stops admission of further jobs.
+    error: Option<GumboError>,
+}
+
+impl SchedState {
+    /// Fair admission: among submissions with ready jobs, pick the one
+    /// with the fewest running jobs (ties: fewest completed, then lowest
+    /// id — round-robin-ish for symmetric tenants). Returns the claimed
+    /// global job id.
+    fn claim_next(&mut self) -> Option<usize> {
+        let sub = (0..self.ready.len())
+            .filter(|&s| !self.ready[s].is_empty())
+            .min_by_key(|&s| (self.running[s], self.completed[s], s))?;
+        let gid = self.ready[sub].pop_front().expect("non-empty queue");
+        self.running[sub] += 1;
+        Some(gid)
+    }
+}
+
+/// The dependency-driven scheduler.
+///
+/// Jobs run the moment their inputs are materialized, on a pool of at
+/// most [`SchedulerConfig::max_concurrent_jobs`] workers. The DFS is
+/// shared behind an `RwLock`: planning reads under the read lock (byte
+/// metering is atomic, see [`SimDfs`]), the compute phases hold no lock,
+/// commits take the write lock. Per-job statistics are identical to
+/// round-barrier execution because the metering pipeline is untouched —
+/// the scheduler only decides *when* each job runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DagScheduler {
+    /// Sizing knobs.
+    pub config: SchedulerConfig,
+}
+
+impl DagScheduler {
+    /// Create a scheduler.
+    pub fn new(config: SchedulerConfig) -> DagScheduler {
+        DagScheduler { config }
+    }
+
+    /// Execute one DAG to completion, returning statistics identical to
+    /// what the round-barrier path would produce for the source program.
+    pub fn execute(
+        &self,
+        executor: &dyn Executor,
+        dfs: &mut SimDfs,
+        dag: &JobDag,
+    ) -> Result<ProgramStats> {
+        let dags = [dag];
+        let mut stats = self.run(executor, dfs, &dags)?;
+        Ok(stats.pop().expect("one dag in, one stats out").0)
+    }
+
+    /// Lower a program and execute it as a DAG.
+    pub fn execute_program(
+        &self,
+        executor: &dyn Executor,
+        dfs: &mut SimDfs,
+        program: MrProgram,
+    ) -> Result<ProgramStats> {
+        self.execute(executor, dfs, &program.into_dag())
+    }
+
+    /// Execute many tenants' submissions concurrently on the shared pool
+    /// with fair admission, returning per-submission statistics in
+    /// admission order.
+    pub fn execute_many(
+        &self,
+        executor: &dyn Executor,
+        dfs: &mut SimDfs,
+        submissions: &[Submission],
+    ) -> Result<Vec<SubmissionReport>> {
+        let dags: Vec<&JobDag> = submissions.iter().map(|s| &s.dag).collect();
+        let stats = self.run(executor, dfs, &dags)?;
+        Ok(submissions
+            .iter()
+            .zip(stats)
+            .map(|(sub, (stats, wall_seconds))| SubmissionReport {
+                tenant: sub.tenant.clone(),
+                stats,
+                wall_seconds,
+            })
+            .collect())
+    }
+
+    /// The scheduling core: run every job of every DAG, respecting
+    /// intra-DAG dependency edges and serializing cross-DAG conflicts in
+    /// admission order. Returns per-DAG `(stats, wall seconds)`.
+    fn run(
+        &self,
+        executor: &dyn Executor,
+        dfs: &mut SimDfs,
+        dags: &[&JobDag],
+    ) -> Result<Vec<(ProgramStats, f64)>> {
+        // Global ids: DAGs flattened in admission order.
+        let mut jobs: Vec<JobRef> = Vec::new();
+        let mut offset = vec![0usize; dags.len()];
+        for (s, dag) in dags.iter().enumerate() {
+            offset[s] = jobs.len();
+            jobs.extend((0..dag.len()).map(|node| JobRef { sub: s, node }));
+        }
+        let total = jobs.len();
+
+        // Dependency wiring: intra-DAG edges come from the DAG itself;
+        // cross-DAG conflicts (shared relation, at least one side writing)
+        // serialize in admission order, so non-independent submissions
+        // stay correct — they just lose concurrency. Footprints are
+        // captured once per job: the cross check is O(pairs) set lookups.
+        let footprints: Vec<JobFootprint> = if dags.len() > 1 {
+            jobs.iter()
+                .map(|j| JobFootprint::of(&dags[j.sub].node(j.node).job))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut indegree = vec![0usize; total];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (gid, j) in jobs.iter().enumerate() {
+            let node = dags[j.sub].node(j.node);
+            indegree[gid] = node.deps().len();
+            for &d in node.deps() {
+                dependents[offset[j.sub] + d].push(gid);
+            }
+            if !footprints.is_empty() {
+                for (earlier_gid, e) in jobs.iter().enumerate().take(gid) {
+                    if e.sub != j.sub && footprints[earlier_gid].conflicts_with(&footprints[gid]) {
+                        indegree[gid] += 1;
+                        dependents[earlier_gid].push(gid);
+                    }
+                }
+            }
+        }
+
+        let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); dags.len()];
+        for (gid, j) in jobs.iter().enumerate() {
+            if indegree[gid] == 0 {
+                ready[j.sub].push_back(gid);
+            }
+        }
+
+        let state = Mutex::new(SchedState {
+            indegree,
+            ready,
+            running: vec![0; dags.len()],
+            completed: vec![0; dags.len()],
+            results: (0..total).map(|_| None).collect(),
+            finished_at: vec![None; dags.len()],
+            remaining: total,
+            error: None,
+        });
+        let work_available = Condvar::new();
+
+        // Move the DFS behind the lock for the duration of the run; it is
+        // moved back (with all commits and metering applied) afterwards.
+        let shared = RwLock::new(std::mem::take(dfs));
+        let started = Instant::now();
+
+        let workers = self.config.effective_workers().max(1).min(total.max(1));
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        let gid = {
+                            let mut st = state.lock().expect("unpoisoned scheduler state");
+                            loop {
+                                if st.error.is_some() || st.remaining == 0 {
+                                    return;
+                                }
+                                if let Some(gid) = st.claim_next() {
+                                    break gid;
+                                }
+                                st = work_available.wait(st).expect("unpoisoned scheduler state");
+                            }
+                        };
+
+                        let j = jobs[gid];
+                        let node = dags[j.sub].node(j.node);
+                        // plan (read lock) → compute (no lock) → commit
+                        // (write lock). The job's stats carry its original
+                        // round, keeping per-job accounting identical to
+                        // the barrier path.
+                        let outcome = (|| {
+                            let plan = {
+                                let guard = shared.read().expect("unpoisoned DFS lock");
+                                plan_job(executor.config(), &guard, &node.job)?
+                            };
+                            let computed = executor.run_phases(&node.job, plan)?;
+                            let mut guard = shared.write().expect("unpoisoned DFS lock");
+                            commit_job(
+                                executor.config(),
+                                &mut guard,
+                                &node.job,
+                                node.round,
+                                computed,
+                            )
+                        })();
+
+                        let mut st = state.lock().expect("unpoisoned scheduler state");
+                        st.running[j.sub] -= 1;
+                        match outcome {
+                            Ok(stats) => {
+                                st.results[gid] = Some(stats);
+                                st.completed[j.sub] += 1;
+                                st.remaining -= 1;
+                                if st.completed[j.sub] == dags[j.sub].len() {
+                                    st.finished_at[j.sub] = Some(Instant::now());
+                                }
+                                for &dep in &dependents[gid] {
+                                    st.indegree[dep] -= 1;
+                                    if st.indegree[dep] == 0 {
+                                        st.ready[jobs[dep].sub].push_back(dep);
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                st.error.get_or_insert(e);
+                            }
+                        }
+                        drop(st);
+                        work_available.notify_all();
+                    }
+                });
+            }
+        });
+
+        *dfs = shared.into_inner().expect("unpoisoned DFS lock");
+        let state = state.into_inner().expect("unpoisoned scheduler state");
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+
+        // Assemble per-DAG statistics: jobs in flat (round) order, and
+        // per-round wall-clock accounting reconstructed exactly like the
+        // round-barrier executor computes it.
+        let cluster = executor.config().cluster;
+        let overhead = executor.config().constants.job_overhead;
+        let mut out = Vec::with_capacity(dags.len());
+        for (s, dag) in dags.iter().enumerate() {
+            let job_stats: Vec<JobStats> = (0..dag.len())
+                .map(|node| {
+                    state.results[offset[s] + node]
+                        .clone()
+                        .expect("all jobs completed")
+                })
+                .collect();
+            let mut stats = ProgramStats::default();
+            for round in 0..dag.num_rounds() {
+                stats.round_stats.push(RoundStats::pooled(
+                    job_stats.iter().filter(|js| js.round == round),
+                    cluster,
+                    overhead,
+                ));
+            }
+            stats.jobs = job_stats;
+            let wall = state.finished_at[s]
+                .map(|t| t.duration_since(started).as_secs_f64())
+                .unwrap_or(0.0);
+            out.push((stats, wall));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gumbo_common::{Fact, Relation, RelationName, Tuple};
+    use gumbo_mr::{EngineConfig, Job, JobConfig, Mapper, Message, Reducer, SimulatedExecutor};
+
+    /// Copies every input tuple to the job's single output relation.
+    struct Copy;
+    impl Mapper for Copy {
+        fn map(&self, fact: &Fact, _: u64, emit: &mut dyn FnMut(Tuple, Message)) {
+            emit(fact.tuple.clone(), Message::Assert { cond: 0 });
+        }
+    }
+    struct CopyTo(RelationName);
+    impl Reducer for CopyTo {
+        fn reduce(&self, key: &Tuple, _: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+            emit(&self.0, key.clone());
+        }
+    }
+
+    fn copy_job(name: &str, input: &str, output: &str) -> Job {
+        Job {
+            name: name.into(),
+            inputs: vec![input.into()],
+            outputs: vec![(output.into(), 2)],
+            mapper: Box::new(Copy),
+            reducer: Box::new(CopyTo(output.into())),
+            config: JobConfig::default(),
+        }
+    }
+
+    fn dfs_with(names: &[&str]) -> SimDfs {
+        let mut dfs = SimDfs::new();
+        for (i, name) in names.iter().enumerate() {
+            let base = 10 * i as i64;
+            dfs.store(
+                Relation::from_tuples(*name, 2, (0..50).map(|j| Tuple::from_ints(&[base + j, j])))
+                    .unwrap(),
+            );
+        }
+        dfs
+    }
+
+    fn executor() -> SimulatedExecutor {
+        SimulatedExecutor::new(EngineConfig::unscaled())
+    }
+
+    /// R → X → Z and R → Y → Z: the diamond must end with Z built from
+    /// both X and Y, for every pool size.
+    fn diamond() -> MrProgram {
+        let mut p = MrProgram::new();
+        p.push_round(vec![copy_job("x", "R", "X"), copy_job("y", "R", "Y")]);
+        p.push_round(vec![copy_job("zx", "X", "ZX"), copy_job("zy", "Y", "ZY")]);
+        p
+    }
+
+    #[test]
+    fn diamond_matches_round_barrier_exactly() {
+        let exec = executor();
+        let mut barrier_dfs = dfs_with(&["R"]);
+        let barrier = exec.execute(&mut barrier_dfs, &diamond()).unwrap();
+
+        for workers in [1usize, 2, 8] {
+            let sched = DagScheduler::new(SchedulerConfig {
+                max_concurrent_jobs: workers,
+                threads_per_job: 1,
+            });
+            let mut dfs = dfs_with(&["R"]);
+            let stats = sched.execute_program(&exec, &mut dfs, diamond()).unwrap();
+
+            let label = format!("diamond x{workers}");
+            crate::equivalence::assert_identical_dfs(&label, &barrier_dfs, &dfs);
+            crate::equivalence::assert_identical_stats(&label, &barrier, &stats);
+        }
+    }
+
+    #[test]
+    fn errors_propagate_and_dfs_survives() {
+        struct Bad;
+        impl Reducer for Bad {
+            fn reduce(&self, _: &Tuple, _: &[Message], emit: &mut dyn FnMut(&RelationName, Tuple)) {
+                emit(&"Undeclared".into(), Tuple::from_ints(&[1]));
+            }
+        }
+        let mut p = MrProgram::new();
+        p.push_job(copy_job("ok", "R", "X"));
+        p.push_job(Job {
+            name: "bad".into(),
+            inputs: vec!["X".into()],
+            outputs: vec![],
+            mapper: Box::new(Copy),
+            reducer: Box::new(Bad),
+            config: JobConfig::default(),
+        });
+        let mut dfs = dfs_with(&["R"]);
+        let err = DagScheduler::default()
+            .execute_program(&executor(), &mut dfs, p)
+            .unwrap_err();
+        assert!(err.to_string().contains("Undeclared"), "{err}");
+        // The DFS was moved back even though the run failed: the completed
+        // job's output is visible.
+        assert!(dfs.exists(&"X".into()));
+    }
+
+    #[test]
+    fn multi_tenant_submissions_report_separately() {
+        let mut dfs = dfs_with(&["R", "S"]);
+        // Tenant a: R → A1 → A2 (a chain); tenant b: S → B1 (one job).
+        let mut pa = MrProgram::new();
+        pa.push_job(copy_job("a1", "R", "A1"));
+        pa.push_job(copy_job("a2", "A1", "A2"));
+        let mut pb = MrProgram::new();
+        pb.push_job(copy_job("b1", "S", "B1"));
+
+        let subs = vec![Submission::new("a", pa), Submission::new("b", pb)];
+        let reports = DagScheduler::default()
+            .execute_many(&executor(), &mut dfs, &subs)
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].tenant, "a");
+        assert_eq!(reports[0].stats.num_jobs(), 2);
+        assert_eq!(reports[0].stats.num_rounds(), 2);
+        assert_eq!(reports[1].tenant, "b");
+        assert_eq!(reports[1].stats.num_jobs(), 1);
+        assert!(reports.iter().all(|r| r.wall_seconds >= 0.0));
+        assert_eq!(dfs.peek(&"A2".into()).unwrap().len(), 50);
+        assert_eq!(dfs.peek(&"B1".into()).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn cross_submission_conflicts_serialize_in_admission_order() {
+        // Both tenants write Out; admission order must win, exactly as if
+        // the two programs had run back to back.
+        let mut dfs = dfs_with(&["R", "S"]);
+        let mut p1 = MrProgram::new();
+        p1.push_job(copy_job("first", "R", "Out"));
+        let mut p2 = MrProgram::new();
+        p2.push_job(copy_job("second", "S", "Out"));
+        let subs = vec![Submission::new("t1", p1), Submission::new("t2", p2)];
+        DagScheduler::default()
+            .execute_many(&executor(), &mut dfs, &subs)
+            .unwrap();
+        // S's tuples (base 10) won: the later submission overwrote.
+        assert!(dfs
+            .peek(&"Out".into())
+            .unwrap()
+            .contains(&Tuple::from_ints(&[10, 0])));
+    }
+
+    #[test]
+    fn empty_program_yields_empty_stats() {
+        let mut dfs = dfs_with(&["R"]);
+        let stats = DagScheduler::default()
+            .execute_program(&executor(), &mut dfs, MrProgram::new())
+            .unwrap();
+        assert_eq!(stats.num_jobs(), 0);
+        assert_eq!(stats.num_rounds(), 0);
+    }
+
+    #[test]
+    fn config_resolves_workers_and_executor_kind() {
+        let auto = SchedulerConfig {
+            max_concurrent_jobs: 0,
+            threads_per_job: 0,
+        };
+        assert!(auto.effective_workers() >= 1);
+        assert_eq!(
+            SchedulerConfig::default().executor_kind(ExecutorKind::Simulated),
+            ExecutorKind::Simulated
+        );
+        assert_eq!(
+            SchedulerConfig {
+                threads_per_job: 3,
+                ..SchedulerConfig::default()
+            }
+            .executor_kind(ExecutorKind::Parallel { threads: 0 }),
+            ExecutorKind::Parallel { threads: 3 }
+        );
+        assert_eq!(
+            SchedulerConfig {
+                threads_per_job: 0,
+                ..SchedulerConfig::default()
+            }
+            .executor_kind(ExecutorKind::Parallel { threads: 7 }),
+            ExecutorKind::Parallel { threads: 7 }
+        );
+    }
+}

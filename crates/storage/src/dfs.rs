@@ -1,7 +1,7 @@
 //! The simulated DFS: named relation files with byte accounting.
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use gumbo_common::{ByteSize, Database, GumboError, Relation, RelationName, Result};
 
@@ -30,12 +30,26 @@ impl DfsFile {
 /// base input, intermediate `Xᵢ`, or query output — as one file). Reads and
 /// writes bump byte counters that back the paper's *input cost* metric
 /// ("number of bytes read from hdfs over the entire MR plan", §5.1).
+///
+/// The byte counters are atomic, so a `SimDfs` is [`Sync`]: concurrently
+/// scheduled jobs (the DAG scheduler in `gumbo-sched`) can meter reads
+/// through a shared reference. Mutation of the *file map* (store/delete)
+/// still requires `&mut self`; concurrent runtimes guard the map with an
+/// `RwLock<SimDfs>` — reads under the read lock, commits under the write
+/// lock.
 #[derive(Debug, Default)]
 pub struct SimDfs {
     files: BTreeMap<RelationName, DfsFile>,
-    bytes_read: Cell<u64>,
-    bytes_written: Cell<u64>,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
+
+// The whole point of atomic counters: a shared DFS can serve concurrent,
+// metered reads. (Compile-time regression check.)
+const _: () = {
+    const fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<SimDfs>()
+};
 
 impl SimDfs {
     /// Create an empty DFS.
@@ -50,7 +64,7 @@ impl SimDfs {
             dfs.store(rel.clone());
         }
         // Loading the initial database is not a metered write.
-        dfs.bytes_written.set(0);
+        dfs.bytes_written.store(0, Ordering::Relaxed);
         dfs
     }
 
@@ -59,7 +73,7 @@ impl SimDfs {
     pub fn store(&mut self, relation: Relation) -> ByteSize {
         let bytes = ByteSize::bytes(relation.estimated_bytes());
         self.bytes_written
-            .set(self.bytes_written.get() + bytes.as_bytes());
+            .fetch_add(bytes.as_bytes(), Ordering::Relaxed);
         self.files
             .insert(relation.name().clone(), DfsFile { relation, bytes });
         bytes
@@ -72,7 +86,7 @@ impl SimDfs {
             .get(name)
             .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))?;
         self.bytes_read
-            .set(self.bytes_read.get() + file.bytes.as_bytes());
+            .fetch_add(file.bytes.as_bytes(), Ordering::Relaxed);
         Ok(&file.relation)
     }
 
@@ -109,18 +123,18 @@ impl SimDfs {
 
     /// Total bytes read so far (HDFS input-cost counter).
     pub fn bytes_read(&self) -> ByteSize {
-        ByteSize::bytes(self.bytes_read.get())
+        ByteSize::bytes(self.bytes_read.load(Ordering::Relaxed))
     }
 
     /// Total bytes written so far.
     pub fn bytes_written(&self) -> ByteSize {
-        ByteSize::bytes(self.bytes_written.get())
+        ByteSize::bytes(self.bytes_written.load(Ordering::Relaxed))
     }
 
     /// Reset the I/O counters (between experiments).
     pub fn reset_counters(&self) {
-        self.bytes_read.set(0);
-        self.bytes_written.set(0);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
     }
 
     /// Export the current file set as a [`Database`] (for result checking).
@@ -192,6 +206,30 @@ mod tests {
         dfs.store(rel("R", 5));
         dfs.store(rel("R", 2));
         assert_eq!(dfs.peek(&"R".into()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_metered_reads_hammer_counters() {
+        // 8 threads × 200 metered reads each through a shared reference:
+        // the atomic counters must account every single read, and the
+        // relation contents must stay readable throughout.
+        let mut dfs = SimDfs::new();
+        dfs.store(rel("R", 4)); // 4 tuples × 20 B = 80 B per read
+        dfs.store(rel("S", 2)); // 2 tuples × 20 B = 40 B per read
+        let dfs = &dfs;
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let name = if i % 2 == 0 { "R" } else { "S" };
+                        let r = dfs.read(&name.into()).unwrap();
+                        assert_eq!(r.len(), if i % 2 == 0 { 4 } else { 2 });
+                    }
+                });
+            }
+        });
+        let expected = 8 * (100 * 80 + 100 * 40);
+        assert_eq!(dfs.bytes_read(), ByteSize::bytes(expected));
     }
 
     #[test]

@@ -1,16 +1,23 @@
 //! `gumbo-cli` — run SGF queries over TSV relations from the command line.
 //!
 //! ```text
-//! gumbo-cli --data DIR --query FILE
+//! gumbo-cli --data DIR --query FILE | --preset NAME [--tuples N]
 //!           [--strategy greedy|par|sequnit|parunit|one-round|dynamic]
 //!           [--executor sim|parallel|parallel:N]
+//!           [--scheduler rounds|dag] [--max-jobs N]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
 //! ```
 //!
 //! `DIR` holds one `Name.tsv` per relation (tab-separated, integers or
 //! strings); `FILE` holds an SGF program in the paper's SQL-like syntax.
-//! Every output relation (final and intermediate `Z`s) is written back to
-//! `--out` (if given) as TSV, and the paper's four metrics are printed.
+//! Alternatively `--preset` runs one of the paper's generated workloads
+//! (`a1`–`a5`, `b1`, `b2`, `c1`–`c4`) without any files. Every output
+//! relation (final and intermediate `Z`s) is written back to `--out` (if
+//! given) as TSV, and the paper's four metrics are printed.
+//!
+//! `--scheduler dag` executes the planned jobs on the dependency-driven
+//! DAG scheduler (at most `--max-jobs` concurrent jobs) instead of the
+//! default round-barrier path; results and statistics are identical.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,20 +27,34 @@ use gumbo::prelude::*;
 struct Args {
     data: PathBuf,
     query: PathBuf,
+    preset: Option<String>,
+    tuples: Option<usize>,
     strategy: String,
     executor: gumbo::mr::ExecutorKind,
+    scheduler: String,
+    max_jobs: usize,
     scale: u64,
     nodes: usize,
     out: Option<PathBuf>,
     explain: bool,
 }
 
+const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [--tuples N] \
+                     [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
+                     [--executor sim|parallel|parallel:N] \
+                     [--scheduler rounds|dag] [--max-jobs N] \
+                     [--scale N] [--nodes N] [--out DIR] [--explain]";
+
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         data: PathBuf::new(),
         query: PathBuf::new(),
+        preset: None,
+        tuples: None,
         strategy: "greedy".into(),
         executor: gumbo::mr::ExecutorKind::Simulated,
+        scheduler: "rounds".into(),
+        max_jobs: 4,
         scale: 1,
         nodes: 10,
         out: None,
@@ -51,11 +72,31 @@ fn parse_args() -> Result<Args, String> {
         match argv[i].as_str() {
             "--data" => args.data = PathBuf::from(need(&mut i, &argv)?),
             "--query" => args.query = PathBuf::from(need(&mut i, &argv)?),
+            "--preset" => args.preset = Some(need(&mut i, &argv)?),
+            "--tuples" => {
+                args.tuples = Some(
+                    need(&mut i, &argv)?
+                        .parse()
+                        .map_err(|e| format!("--tuples: {e}"))?,
+                )
+            }
             "--strategy" => args.strategy = need(&mut i, &argv)?,
             "--executor" => {
                 let spec = need(&mut i, &argv)?;
                 args.executor = gumbo::mr::ExecutorKind::parse(&spec)
                     .ok_or_else(|| format!("--executor: unknown runtime {spec}"))?;
+            }
+            "--scheduler" => {
+                let spec = need(&mut i, &argv)?;
+                if spec != "rounds" && spec != "dag" {
+                    return Err(format!("--scheduler: rounds|dag, got {spec}"));
+                }
+                args.scheduler = spec;
+            }
+            "--max-jobs" => {
+                args.max_jobs = need(&mut i, &argv)?
+                    .parse()
+                    .map_err(|e| format!("--max-jobs: {e}"))?
             }
             "--scale" => {
                 args.scale = need(&mut i, &argv)?
@@ -69,27 +110,32 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(PathBuf::from(need(&mut i, &argv)?)),
             "--explain" => args.explain = true,
-            "--help" | "-h" => {
-                return Err("usage: gumbo-cli --data DIR --query FILE \
-                            [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
-                            [--executor sim|parallel|parallel:N] \
-                            [--scale N] [--nodes N] [--out DIR] [--explain]"
-                    .into())
-            }
+            "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag {other} (try --help)")),
         }
         i += 1;
     }
-    if args.data.as_os_str().is_empty() || args.query.as_os_str().is_empty() {
-        return Err("both --data and --query are required (try --help)".into());
+    let has_files = !args.data.as_os_str().is_empty() || !args.query.as_os_str().is_empty();
+    if args.preset.is_some() && has_files {
+        return Err("--preset conflicts with --data/--query: pick one input source".into());
+    }
+    if args.preset.is_none() {
+        if args.data.as_os_str().is_empty() || args.query.as_os_str().is_empty() {
+            return Err(
+                "either --preset NAME or both --data and --query are required (try --help)".into(),
+            );
+        }
+        if args.tuples.is_some() {
+            return Err("--tuples only applies to --preset workloads".into());
+        }
     }
     Ok(args)
 }
 
-fn options_for(strategy: &str) -> Result<EvalOptions, String> {
+fn options_for(args: &Args) -> Result<EvalOptions, String> {
     use gumbo::core::SortStrategy;
     let base = EvalOptions::default();
-    Ok(match strategy {
+    let mut options = match args.strategy.as_str() {
         "greedy" => EvalOptions {
             enable_one_round: false,
             ..base
@@ -118,11 +164,49 @@ fn options_for(strategy: &str) -> Result<EvalOptions, String> {
             ..base
         },
         other => return Err(format!("unknown strategy {other}")),
+    };
+    if args.scheduler == "dag" {
+        options.scheduler = Some(SchedulerConfig {
+            max_concurrent_jobs: args.max_jobs,
+            threads_per_job: 0,
+        });
+    }
+    Ok(options)
+}
+
+/// Resolve one of the paper's generated workloads by name.
+fn preset(name: &str) -> Option<gumbo::datagen::Workload> {
+    use gumbo::datagen::queries;
+    Some(match name.to_ascii_lowercase().as_str() {
+        "a1" => queries::a1(),
+        "a2" => queries::a2(),
+        "a3" => queries::a3(),
+        "a4" => queries::a4(),
+        "a5" => queries::a5(),
+        "b1" => queries::b1(),
+        "b2" => queries::b2(),
+        "c1" => queries::c1(),
+        "c2" => queries::c2(),
+        "c3" => queries::c3(),
+        "c4" => queries::c4(),
+        _ => return None,
     })
 }
 
-fn run(args: Args) -> Result<(), String> {
-    // Load relations.
+fn load_inputs(args: &Args) -> Result<(Database, SgfQuery), String> {
+    if let Some(name) = &args.preset {
+        let workload =
+            preset(name).ok_or_else(|| format!("unknown preset {name} (a1-a5, b1, b2, c1-c4)"))?;
+        let tuples = args.tuples.unwrap_or(1000);
+        let db = workload.spec.clone().with_tuples(tuples).database(1);
+        eprintln!(
+            "preset {}: {} relations, {tuples} guard tuples",
+            workload.name,
+            db.relation_count(),
+        );
+        return Ok((db, workload.query));
+    }
+
     let relations = gumbo::common::io::read_tsv_dir(&args.data).map_err(|e| e.to_string())?;
     if relations.is_empty() {
         return Err(format!("no .tsv relations found in {:?}", args.data));
@@ -137,15 +221,18 @@ fn run(args: Args) -> Result<(), String> {
         );
         db.add_relation(rel);
     }
-
-    // Parse the program.
     let text = std::fs::read_to_string(&args.query)
         .map_err(|e| format!("reading {:?}: {e}", args.query))?;
     let query = parse_program(&text).map_err(|e| e.to_string())?;
+    Ok((db, query))
+}
+
+fn run(args: Args) -> Result<(), String> {
+    let (db, query) = load_inputs(&args)?;
     eprintln!("\nquery:\n{query}\n");
 
     // Plan + run.
-    let options = options_for(&args.strategy)?;
+    let options = options_for(&args)?;
     let engine = GumboEngine::with_executor(
         EngineConfig {
             scale: args.scale,
@@ -163,7 +250,16 @@ fn run(args: Args) -> Result<(), String> {
         let cost = engine
             .sort_cost(&dfs, &query, &sort)
             .map_err(|e| e.to_string())?;
-        eprintln!("estimated plan cost      : {cost:.1}\n");
+        eprintln!("estimated plan cost      : {cost:.1}");
+        if let Some(sched) = options.scheduler {
+            eprintln!(
+                "scheduler                : dag (max {} concurrent jobs)",
+                sched.effective_workers()
+            );
+        } else {
+            eprintln!("scheduler                : round barrier");
+        }
+        eprintln!();
     }
 
     let stats = engine

@@ -46,7 +46,8 @@
 //! | [`gumbo_common`] | values, tuples, facts, relations, databases |
 //! | [`gumbo_sgf`] | SGF/BSGF ASTs, parser, dependency graphs, naive evaluator |
 //! | [`gumbo_storage`] | simulated DFS with byte accounting and sampling |
-//! | [`gumbo_mr`] | `Executor` trait with simulated + multi-threaded runtimes, cluster model, cost models |
+//! | [`gumbo_mr`] | `Executor` trait with simulated + multi-threaded runtimes, job DAGs, cluster model, cost models |
+//! | [`gumbo_sched`] | dependency-driven DAG scheduler, multi-tenant submissions |
 //! | [`gumbo_core`] | MSJ, EVAL, 1-ROUND fusion, plans, greedy + optimal planners |
 //! | [`gumbo_baselines`] | SEQ chains, PAR presets, Pig/Hive simulators |
 //! | [`gumbo_datagen`] | the paper's workloads (A1–A5, B1/B2, C1–C4, sweeps) |
@@ -76,6 +77,7 @@ pub use gumbo_common as common;
 pub use gumbo_core as core;
 pub use gumbo_datagen as datagen;
 pub use gumbo_mr as mr;
+pub use gumbo_sched as sched;
 pub use gumbo_sgf as sgf;
 pub use gumbo_storage as storage;
 
@@ -92,8 +94,9 @@ pub mod prelude {
     pub use gumbo_datagen::{DataSpec, Workload};
     pub use gumbo_mr::{
         Cluster, CostConstants, CostModelKind, Engine, EngineConfig, Executor, ExecutorKind,
-        JobConfig, ParallelExecutor, ProgramStats, SimulatedExecutor,
+        JobConfig, JobDag, MrProgram, ParallelExecutor, ProgramStats, SimulatedExecutor,
     };
+    pub use gumbo_sched::{DagScheduler, SchedulerConfig, Submission, SubmissionReport};
     pub use gumbo_sgf::{
         parse_program, parse_query, Atom, BsgfQuery, Condition, DependencyGraph, NaiveEvaluator,
         SgfQuery, Term, Var,

@@ -1,0 +1,149 @@
+//! Scheduler equivalence: the dependency-driven DAG scheduler must be
+//! observationally identical to round-barrier execution.
+//!
+//! This extends the PR-1 executor-equivalence harness one layer up: for
+//! every `datagen` query preset (A1–A5, B1/B2, and the nested C1–C4
+//! programs of Figure 6), the same engine evaluates the same database
+//! twice — once on the round-barrier path, once with
+//! `EvalOptions::scheduler` set — and must produce
+//!
+//! * byte-identical answer relations (every file left in the DFS,
+//!   intermediates included) and identical DFS byte counters;
+//! * identical per-job statistics and identical reconstructed per-round
+//!   wall-clock accounting, so the paper's four metrics agree exactly.
+//!
+//! The scheduler may only change *when* jobs run, never what they
+//! compute or how they are metered.
+
+use gumbo::datagen::queries;
+use gumbo::prelude::*;
+
+fn engine(scheduler: Option<SchedulerConfig>, executor: ExecutorKind) -> GumboEngine {
+    GumboEngine::with_executor(
+        EngineConfig {
+            scale: 5_000,
+            ..EngineConfig::default()
+        },
+        executor,
+        EvalOptions {
+            scheduler,
+            ..EvalOptions::default()
+        },
+    )
+}
+
+fn presets() -> Vec<gumbo::datagen::Workload> {
+    let mut all = vec![
+        queries::a1(),
+        queries::a2(),
+        queries::a3(),
+        queries::a4(),
+        queries::a5(),
+        queries::b1(),
+        queries::b2(),
+    ];
+    all.extend(queries::figure6());
+    all
+}
+
+/// One definition of "observationally identical", shared with the
+/// `dagsched` benchmark and the scheduler's own unit tests —
+/// byte-identical DFS contents (metered I/O included), identical per-job
+/// statistics, and exact agreement on the paper's four metrics.
+fn assert_equivalent(
+    name: &str,
+    dfs_rounds: &SimDfs,
+    stats_rounds: &ProgramStats,
+    dfs_dag: &SimDfs,
+    stats_dag: &ProgramStats,
+) {
+    gumbo::sched::assert_identical_dfs(name, dfs_rounds, dfs_dag);
+    gumbo::sched::assert_identical_stats(name, stats_rounds, stats_dag);
+}
+
+#[test]
+fn dag_scheduler_matches_round_barrier_on_every_datagen_preset() {
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(300).database(7);
+
+        let mut dfs_rounds = SimDfs::from_database(&db);
+        let stats_rounds = engine(None, ExecutorKind::Simulated)
+            .evaluate(&mut dfs_rounds, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (rounds): {e}", workload.name));
+
+        for max_jobs in [1usize, 4] {
+            let scheduler = Some(SchedulerConfig {
+                max_concurrent_jobs: max_jobs,
+                threads_per_job: 1,
+            });
+            let mut dfs_dag = SimDfs::from_database(&db);
+            let stats_dag = engine(scheduler, ExecutorKind::Simulated)
+                .evaluate(&mut dfs_dag, &workload.query)
+                .unwrap_or_else(|e| panic!("{} (dag x{max_jobs}): {e}", workload.name));
+            assert_equivalent(
+                &format!("{} (max_jobs={max_jobs})", workload.name),
+                &dfs_rounds,
+                &stats_rounds,
+                &dfs_dag,
+                &stats_dag,
+            );
+        }
+    }
+}
+
+#[test]
+fn dag_scheduler_composes_with_parallel_runtime() {
+    // The scheduler supplies inter-job concurrency while each job's own
+    // map/shuffle/reduce fans out on the parallel runtime — stats must
+    // still be identical to plain round-barrier simulated execution.
+    let workload = queries::a3().with_tuples(300);
+    let db = workload.spec.database(7);
+
+    let mut dfs_rounds = SimDfs::from_database(&db);
+    let stats_rounds = engine(None, ExecutorKind::Simulated)
+        .evaluate(&mut dfs_rounds, &workload.query)
+        .unwrap();
+
+    let mut dfs_dag = SimDfs::from_database(&db);
+    let stats_dag = engine(
+        Some(SchedulerConfig {
+            max_concurrent_jobs: 4,
+            threads_per_job: 2,
+        }),
+        ExecutorKind::Parallel { threads: 0 },
+    )
+    .evaluate(&mut dfs_dag, &workload.query)
+    .unwrap();
+
+    assert_equivalent(
+        "A3 (parallel runtime)",
+        &dfs_rounds,
+        &stats_rounds,
+        &dfs_dag,
+        &stats_dag,
+    );
+}
+
+#[test]
+fn dag_scheduler_matches_naive_reference_on_c2() {
+    // Independent ground truth for a nested program: the scheduled path
+    // agrees with direct SGF semantics, not just with the simulator.
+    let workload = queries::c2().with_tuples(250);
+    let db = workload.spec.database(3);
+    let expected = NaiveEvaluator::new()
+        .evaluate_sgf_all(&workload.query, &db)
+        .unwrap();
+
+    let mut dfs = SimDfs::from_database(&db);
+    engine(Some(SchedulerConfig::default()), ExecutorKind::Simulated)
+        .evaluate(&mut dfs, &workload.query)
+        .unwrap();
+    for q in workload.query.queries() {
+        assert_eq!(
+            dfs.peek(q.output()).unwrap(),
+            expected
+                .relation(q.output())
+                .expect("naive computed all outputs"),
+        );
+    }
+}
