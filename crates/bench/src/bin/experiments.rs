@@ -1,7 +1,7 @@
 //! Experiment driver: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup|dagsched>
+//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup|dagsched|spill>
 //!             [--tuples N] [--scale N] [--nodes N] [--seed N] [--no-verify]
 //!             [--executor sim|parallel|parallel:N]
 //! ```
@@ -81,6 +81,7 @@ fn main() {
         "structures" => experiments::structures(),
         "speedup" => experiments::speedup(&cfg),
         "dagsched" => experiments::dagsched(&cfg),
+        "spill" => experiments::spill(&cfg),
         other => {
             eprintln!("unknown experiment {other}");
             std::process::exit(2);

@@ -585,6 +585,130 @@ pub fn speedup(cfg: &RunConfig) -> Result<()> {
     Ok(())
 }
 
+/// Bounded-memory shuffle: budget sweep at a fixed input size.
+///
+/// One workload (the 8-conditional A3 family), one database, one plan —
+/// evaluated under a sweep of shuffle memory budgets from unlimited down
+/// to a small fraction of the shuffle footprint. Every budgeted run must
+/// leave a byte-identical DFS (and identical non-spill statistics are
+/// implied by the shared metering pipeline); what changes is *where* the
+/// shuffle lives: the spilled bytes, run files, merge passes, peak
+/// tracked memory and wall-clock are recorded per budget and written to
+/// `BENCH_spill.json`, so successive PRs can watch the cost of spilling.
+pub fn spill(cfg: &RunConfig) -> Result<()> {
+    use crate::report::{write_bench_json, Json};
+    use gumbo_core::{EvalOptions, Grouping, GumboEngine, SortStrategy};
+    use gumbo_mr::{MemBudget, ReducerPolicy};
+    use std::time::Instant;
+
+    print_header("Bounded-memory shuffle — budget sweep at fixed input size");
+    let tuples = cfg.tuples;
+    println!("{tuples} guard tuples; executor {}", cfg.executor.label());
+
+    let w = queries::a3_family(8).with_tuples(tuples);
+    let db = w.spec.database(cfg.seed);
+    let engine_cfg = gumbo_mr::EngineConfig {
+        scale: cfg.scale,
+        cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
+        ..gumbo_mr::EngineConfig::default()
+    };
+    // Fixed reducers give the sweep a stable partition count, so the
+    // per-partition budget share varies only with the budget itself.
+    let options = EvalOptions {
+        grouping: Grouping::Singletons,
+        sort: SortStrategy::Levels,
+        enable_one_round: false,
+        job_config: gumbo_mr::JobConfig {
+            reducer_policy: ReducerPolicy::Fixed(16),
+            ..gumbo_mr::JobConfig::default()
+        },
+        ..EvalOptions::default()
+    };
+
+    let budgets = [
+        ("unlimited", MemBudget::UNLIMITED),
+        ("8m", MemBudget::bytes(8 << 20)),
+        ("1m", MemBudget::bytes(1 << 20)),
+        ("256k", MemBudget::bytes(256 << 10)),
+        ("64k", MemBudget::bytes(64 << 10)),
+    ];
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>11} {:>13} {:>14}",
+        "budget", "wall (s)", "spilled (B)", "runs", "merge passes", "peak (B)"
+    );
+    let mut reference: Option<SimDfs> = None;
+    let mut rows: Vec<Json> = Vec::new();
+    for (label, budget) in budgets {
+        let engine = GumboEngine::with_executor(
+            engine_cfg,
+            cfg.executor,
+            EvalOptions {
+                mem_budget: budget,
+                ..options
+            },
+        );
+        let runtime = engine.runtime();
+        let mut dfs = SimDfs::from_database(&db);
+        let start = Instant::now();
+        let stats = engine.evaluate_on(&*runtime, &mut dfs, &w.query)?;
+        let wall = start.elapsed().as_secs_f64();
+
+        let peak = runtime.budget().peak();
+        if let Some(limit) = budget.limit() {
+            assert!(
+                peak <= limit,
+                "budget {label}: tracked peak {peak} exceeded the limit"
+            );
+        }
+        match &reference {
+            None => reference = Some(dfs),
+            Some(expected) => {
+                gumbo_sched::assert_identical_dfs(&format!("spill budget {label}"), expected, &dfs)
+            }
+        }
+
+        println!(
+            "{label:<12} {wall:>10.3} {:>14} {:>11} {:>13} {peak:>14}",
+            stats.spilled_bytes(),
+            stats.spill_files(),
+            stats.spill_merge_passes(),
+        );
+        rows.push(Json::obj([
+            ("budget", Json::Str(label.into())),
+            ("budget_bytes", Json::Int(budget.limit().unwrap_or(0))),
+            ("wall_s", Json::Num(wall)),
+            ("spilled_bytes", Json::Int(stats.spilled_bytes())),
+            ("spill_files", Json::Int(stats.spill_files())),
+            ("merge_passes", Json::Int(stats.spill_merge_passes())),
+            ("peak_tracked_bytes", Json::Int(peak)),
+            (
+                "output_tuples",
+                Json::Int(stats.jobs.iter().map(|j| j.output_tuples).sum()),
+            ),
+        ]));
+        if budget.limit() == Some(64 << 10) {
+            let spilled: u64 = stats.spilled_bytes();
+            assert!(
+                spilled > 0,
+                "the 64 KiB budget must force spilling on this workload"
+            );
+        }
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::Str("spill".into())),
+        ("tuples", Json::Int(tuples as u64)),
+        ("scale", Json::Int(cfg.scale)),
+        ("nodes", Json::Int(cfg.nodes as u64)),
+        ("executor", Json::Str(cfg.executor.label())),
+        ("rows", Json::Arr(rows)),
+    ]);
+    write_bench_json("spill", &report)
+        .map_err(|e| gumbo_common::GumboError::Storage(format!("writing BENCH_spill.json: {e}")))?;
+    Ok(())
+}
+
 /// DAG scheduler vs round barrier: real wall-clock on multi-tenant
 /// workloads of independent SGF queries.
 ///
@@ -697,7 +821,7 @@ pub fn dagsched(cfg: &RunConfig) -> Result<()> {
         // jobs concurrently, not from per-job worker pools).
         let scheduler = DagScheduler::new(SchedulerConfig {
             max_concurrent_jobs: max_jobs,
-            threads_per_job: 1,
+            ..SchedulerConfig::default()
         });
         let dag_executor = scheduler
             .config

@@ -82,6 +82,15 @@ pub struct EvalOptions {
     /// Answer relations and per-job statistics are identical either way;
     /// only real wall-clock changes.
     pub scheduler: Option<SchedulerConfig>,
+    /// Shuffle memory budget (`--mem-budget` on the CLI). When limited,
+    /// it overrides [`gumbo_mr::EngineConfig::mem_budget`] for the
+    /// runtime this engine builds: map output is charged against one
+    /// shared tracker and per-reducer buffers spill sorted runs to disk
+    /// rather than exceed it. Answer relations and all non-spill
+    /// statistics are identical to unlimited execution. A limited
+    /// [`SchedulerConfig::mem_budget`] takes precedence on the scheduled
+    /// path.
+    pub mem_budget: gumbo_mr::MemBudget,
 }
 
 impl Default for EvalOptions {
@@ -96,6 +105,7 @@ impl Default for EvalOptions {
             sample_size: 64,
             seed: 0x6d5b_0000,
             scheduler: None,
+            mem_budget: gumbo_mr::MemBudget::UNLIMITED,
         }
     }
 }
@@ -143,12 +153,23 @@ impl GumboEngine {
     /// The runtime this engine executes on. Under a scheduler, the
     /// parallel runtime is resized to the configured threads-per-job (the
     /// scheduler supplies inter-job parallelism, so per-job pools shrink).
+    ///
+    /// The shuffle memory budget resolves outermost-wins: a limited
+    /// [`SchedulerConfig::mem_budget`] beats a limited
+    /// [`EvalOptions::mem_budget`] beats the engine configuration's.
     pub fn runtime(&self) -> Box<dyn Executor> {
+        let mut config = self.config;
+        if self.options.mem_budget.is_limited() {
+            config.mem_budget = self.options.mem_budget;
+        }
         let kind = match self.options.scheduler {
-            Some(sched) => sched.executor_kind(self.executor),
+            Some(sched) => {
+                config = sched.engine_config(config);
+                sched.executor_kind(self.executor)
+            }
             None => self.executor,
         };
-        kind.build(self.config)
+        kind.build(config)
     }
 
     /// Execute one planned program on the configured path: the
@@ -274,11 +295,25 @@ impl GumboEngine {
     /// All outputs (final and intermediate `Z`s, plus `X` temporaries) are
     /// left in the DFS; returns the execution statistics.
     pub fn evaluate(&self, dfs: &mut SimDfs, query: &SgfQuery) -> Result<ProgramStats> {
+        self.evaluate_on(&*self.runtime(), dfs, query)
+    }
+
+    /// [`GumboEngine::evaluate`] on a caller-supplied runtime (normally
+    /// one built by [`GumboEngine::runtime`]). Handing the runtime in
+    /// keeps it inspectable afterwards — e.g. reading
+    /// [`Executor::budget`] for peak tracked shuffle memory — and lets
+    /// several evaluations share one memory budget.
+    pub fn evaluate_on(
+        &self,
+        runtime: &dyn Executor,
+        dfs: &mut SimDfs,
+        query: &SgfQuery,
+    ) -> Result<ProgramStats> {
         if self.options.sort == SortStrategy::DynamicGreedy {
-            return self.evaluate_dynamic(dfs, query);
+            return self.evaluate_dynamic_on(runtime, dfs, query);
         }
         let sort = self.sort_for(dfs, query)?;
-        self.evaluate_with_sort(dfs, query, &sort)
+        self.evaluate_with_sort_on(runtime, dfs, query, &sort)
     }
 
     /// Evaluate several SGF queries together over the union of their BSGF
@@ -293,7 +328,15 @@ impl GumboEngine {
     /// whose already-computed inputs are now materialized base relations —
     /// and execute the new first group.
     pub fn evaluate_dynamic(&self, dfs: &mut SimDfs, query: &SgfQuery) -> Result<ProgramStats> {
-        let runtime = self.runtime();
+        self.evaluate_dynamic_on(&*self.runtime(), dfs, query)
+    }
+
+    fn evaluate_dynamic_on(
+        &self,
+        runtime: &dyn Executor,
+        dfs: &mut SimDfs,
+        query: &SgfQuery,
+    ) -> Result<ProgramStats> {
         let mut stats = ProgramStats::default();
         let mut remaining: Vec<BsgfQuery> = query.queries().to_vec();
         while !remaining.is_empty() {
@@ -308,7 +351,7 @@ impl GumboEngine {
                 self.plan_group(&est, &ctx)?
             };
             let program = plan.build_program(&ctx)?;
-            stats.extend(self.execute_program(&*runtime, dfs, program)?);
+            stats.extend(self.execute_program(runtime, dfs, program)?);
             let mut keep = Vec::with_capacity(remaining.len() - first.len());
             for (i, q) in remaining.into_iter().enumerate() {
                 if !first.contains(&i) {
@@ -327,8 +370,17 @@ impl GumboEngine {
         query: &SgfQuery,
         sort: &MultiwayTopoSort,
     ) -> Result<ProgramStats> {
+        self.evaluate_with_sort_on(&*self.runtime(), dfs, query, sort)
+    }
+
+    fn evaluate_with_sort_on(
+        &self,
+        runtime: &dyn Executor,
+        dfs: &mut SimDfs,
+        query: &SgfQuery,
+        sort: &MultiwayTopoSort,
+    ) -> Result<ProgramStats> {
         DependencyGraph::new(query).validate_sort(sort)?;
-        let runtime = self.runtime();
         let mut stats = ProgramStats::default();
         for group in sort {
             let queries: Vec<BsgfQuery> =
@@ -340,7 +392,7 @@ impl GumboEngine {
                 self.plan_group(&est, &ctx)?
             };
             let program = plan.build_program(&ctx)?;
-            stats.extend(self.execute_program(&*runtime, dfs, program)?);
+            stats.extend(self.execute_program(runtime, dfs, program)?);
         }
         Ok(stats)
     }

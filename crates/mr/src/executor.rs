@@ -32,6 +32,7 @@ use crate::message::Message;
 use crate::metrics::{JobStats, ProgramStats, RoundStats};
 use crate::profile::{InputPartition, JobProfile};
 use crate::program::MrProgram;
+use crate::shuffle::{GroupStream, MemBudget, MemoryBudget, SpillStats};
 
 /// Engine configuration, shared by every executor.
 #[derive(Debug, Clone, Copy)]
@@ -49,6 +50,11 @@ pub struct EngineConfig {
     /// planner may use a different model (that mismatch is the §5.2
     /// cost-model experiment).
     pub model: CostModelKind,
+    /// Shuffle memory budget. When limited, each executor's jobs charge a
+    /// shared [`MemoryBudget`] as map output lands in the per-reducer
+    /// buffers, spilling sorted runs to disk (see [`crate::shuffle`])
+    /// instead of exceeding it. Answers are byte-identical either way.
+    pub mem_budget: MemBudget,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +64,7 @@ impl Default for EngineConfig {
             cluster: Cluster::default(),
             constants: CostConstants::default(),
             model: CostModelKind::Gumbo,
+            mem_budget: MemBudget::UNLIMITED,
         }
     }
 }
@@ -98,6 +105,12 @@ pub trait Executor: Send + Sync {
 
     /// A short human-readable runtime name (for logs and reports).
     fn name(&self) -> &'static str;
+
+    /// The shuffle memory tracker every job of this executor charges.
+    /// One tracker per executor instance: jobs scheduled concurrently on
+    /// the same executor (the DAG scheduler's mode of operation) share —
+    /// and are collectively bounded by — a single budget.
+    fn budget(&self) -> &MemoryBudget;
 
     /// Run the map, shuffle and reduce phases of a planned job. This is
     /// the pure compute part — no DFS access — and the only phase the two
@@ -350,22 +363,23 @@ impl MapPlan {
     }
 }
 
-/// Reduce one shuffle partition: call the reducer per key group (keys in
-/// canonical order) and collect its output into fresh per-partition
-/// relations, rejecting emissions to undeclared outputs exactly like the
-/// original engine did.
-pub(crate) fn run_reduce_partition(
+/// Reduce one shuffle partition by streaming its key groups (keys in
+/// canonical order, values in emission order — the order the bounded and
+/// unlimited shuffles both guarantee) and collect the reducer's output
+/// into fresh per-partition relations, rejecting emissions to undeclared
+/// outputs exactly like the original engine did.
+pub(crate) fn run_reduce_stream(
     job: &Job,
-    group: &BTreeMap<Tuple, Vec<Message>>,
+    mut groups: GroupStream<'_>,
 ) -> Result<BTreeMap<RelationName, Relation>> {
     let mut outputs: BTreeMap<RelationName, Relation> = job
         .outputs
         .iter()
         .map(|(name, arity)| (name.clone(), Relation::new(name.clone(), *arity)))
         .collect();
-    for (key, values) in group {
+    while let Some((key, values)) = groups.next_group()? {
         let mut err: Option<GumboError> = None;
-        job.reducer.reduce(key, values, &mut |rel_name, tuple| {
+        job.reducer.reduce(&key, &values, &mut |rel_name, tuple| {
             if err.is_some() {
                 return;
             }
@@ -398,6 +412,7 @@ pub struct ComputedJob {
     pub(crate) reducers: usize,
     pub(crate) reducer_bytes: Vec<u64>,
     pub(crate) partition_outputs: Vec<BTreeMap<RelationName, Relation>>,
+    pub(crate) spill: SpillStats,
 }
 
 /// Merge per-partition reduce outputs (in partition order), store every
@@ -415,6 +430,7 @@ pub fn commit_job(
         reducers,
         reducer_bytes,
         partition_outputs,
+        spill,
     } = computed;
     let scale = config.scale.max(1);
     let consts = &config.constants;
@@ -486,6 +502,9 @@ pub fn commit_job(
         map_task_durations,
         reduce_task_durations,
         output_tuples,
+        spilled_bytes: spill.spilled_bytes,
+        spill_files: spill.spill_files,
+        spill_merge_passes: spill.merge_passes,
     })
 }
 

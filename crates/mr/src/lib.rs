@@ -40,6 +40,16 @@
 //! before entering the cost model, so merge-pass counts and reducer
 //! allocations match the paper's operating point.
 //!
+//! ## Bounded-memory shuffle
+//!
+//! Both runtimes shuffle through the budget-charged buffers of
+//! [`shuffle`]: with [`EngineConfig::mem_budget`] set, per-reducer
+//! buffers spill sorted runs to job-scoped disk directories instead of
+//! growing past the limit, and the reduce phase streams a merge of the
+//! runs plus the in-memory tail. Answers and metered statistics are
+//! byte-identical with spilling on or off; [`JobStats`] additionally
+//! reports `spilled_bytes` / `spill_files` / `spill_merge_passes`.
+//!
 //! Both cost models are provided: the paper's per-partition model
 //! ([`cost::CostModelKind::Gumbo`], Eq. 2) and the aggregate model of Wang &
 //! Chan / MRShare it refines ([`cost::CostModelKind::Wang`], Eq. 3).
@@ -55,6 +65,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod profile;
 pub mod program;
+pub mod shuffle;
 pub mod simulated;
 
 pub use cluster::Cluster;
@@ -69,6 +80,7 @@ pub use metrics::{JobStats, ProgramStats};
 pub use parallel::ParallelExecutor;
 pub use profile::{InputPartition, JobProfile};
 pub use program::MrProgram;
+pub use shuffle::{MemBudget, MemoryBudget, SpillStats};
 pub use simulated::{Engine, SimulatedExecutor};
 
 #[cfg(test)]

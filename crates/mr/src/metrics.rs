@@ -33,6 +33,18 @@ pub struct JobStats {
     pub reduce_task_durations: Vec<f64>,
     /// Number of result tuples written (across all outputs).
     pub output_tuples: u64,
+    /// Estimated bytes of shuffle data spilled to disk under the memory
+    /// budget (0 when the shuffle fit in memory).
+    ///
+    /// The spill counters are *real-machine* observations, not paper
+    /// metrics: when concurrent jobs share one budget they may vary run
+    /// to run, so equivalence harnesses compare every field above but
+    /// none of these.
+    pub spilled_bytes: u64,
+    /// Spill run files written (initial flushes + merge outputs).
+    pub spill_files: u64,
+    /// Intermediate merge passes needed before the final streaming merge.
+    pub spill_merge_passes: u64,
 }
 
 impl JobStats {
@@ -135,6 +147,21 @@ impl ProgramStats {
         self.jobs.len()
     }
 
+    /// Total shuffle bytes spilled to disk across all jobs.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spilled_bytes).sum()
+    }
+
+    /// Total spill run files written across all jobs.
+    pub fn spill_files(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spill_files).sum()
+    }
+
+    /// Total intermediate spill merge passes across all jobs.
+    pub fn spill_merge_passes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spill_merge_passes).sum()
+    }
+
     /// Merge another program's stats after this one (sequential composition,
     /// used when an SGF plan runs group after group).
     pub fn extend(&mut self, mut other: ProgramStats) {
@@ -160,7 +187,7 @@ impl fmt::Display for ProgramStats {
             self.num_rounds(),
         )?;
         for j in &self.jobs {
-            writeln!(
+            write!(
                 f,
                 "  [round {}] {}: cost {:.1}s (map {:.1} + reduce {:.1}), in {}, shuffle {}, out {}",
                 j.round + 1,
@@ -172,6 +199,14 @@ impl fmt::Display for ProgramStats {
                 j.communication_bytes(),
                 j.output_bytes(),
             )?;
+            if j.spill_files > 0 {
+                write!(
+                    f,
+                    ", spilled {} B in {} runs ({} merge passes)",
+                    j.spilled_bytes, j.spill_files, j.spill_merge_passes,
+                )?;
+            }
+            writeln!(f)?;
         }
         Ok(())
     }
@@ -203,6 +238,9 @@ mod tests {
             map_task_durations: vec![1.0],
             reduce_task_durations: vec![0.5, 0.5],
             output_tuples: 1,
+            spilled_bytes: 0,
+            spill_files: 0,
+            spill_merge_passes: 0,
         }
     }
 

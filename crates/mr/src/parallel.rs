@@ -10,57 +10,72 @@
 //! 2. **shuffle** — two pool passes with full move semantics: workers
 //!    first scatter each map task's output into per-reducer buckets
 //!    (hashing every pair exactly once via [`crate::hash::partition`]),
-//!    then each reducer drains its buckets in task order to build its
-//!    key groups;
-//! 3. **reduce** — reduce partitions are pulled off a shared counter and
-//!    processed independently; their outputs are merged in partition
-//!    order on the caller's thread.
+//!    then each reducer drains its buckets in task order through a
+//!    budget-charged spilling buffer (`crate::shuffle`) — flushing
+//!    sorted runs to disk whenever the shared memory budget demands it;
+//! 3. **reduce** — fused with the per-reducer drain: each reducer streams
+//!    a merge of its spill runs plus the in-memory tail straight into the
+//!    reduce function; outputs are collected in partition order on the
+//!    caller's thread.
 //!
-//! Determinism: map results are re-assembled **in task order**, key
-//! groups are `BTreeMap`s (sorted keys; values in global emission order),
-//! per-partition reduce outputs are sorted-set relations merged in
-//! partition order — so answer relations and [`crate::JobStats`] are
-//! byte-identical to the simulator's, whatever the thread count or OS
-//! scheduling. `tests/executor_equivalence.rs` and the 1/4/16-thread
-//! smoke test at the workspace root enforce this.
+//! Determinism: map results are re-assembled **in task order**, each
+//! reducer's pair stream is grouped with keys in sorted order and values
+//! in global emission order (the spill merge reconstructs exactly the
+//! in-memory grouping — see [`crate::shuffle`]), per-partition reduce
+//! outputs are sorted-set relations merged in partition order — so answer
+//! relations and [`crate::JobStats`] are byte-identical to the
+//! simulator's, whatever the thread count, OS scheduling, or memory
+//! budget. `tests/executor_equivalence.rs` and the 1/4/16-thread smoke
+//! test at the workspace root enforce this.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
-use gumbo_common::{Result, Tuple};
+use gumbo_common::{Relation, RelationName, Result, Tuple};
 
 use crate::executor::{
-    run_map_task, run_reduce_partition, ComputedJob, EngineConfig, Executor, MapPlan,
+    run_map_task, run_reduce_stream, ComputedJob, EngineConfig, Executor, MapPlan,
 };
 use crate::hash::partition;
 use crate::job::Job;
 use crate::message::Message;
+use crate::shuffle::{MemoryBudget, ShuffleSpill, SpillStats, SpillingPartition};
 
 /// A run of key-value pairs in emission order: one map task's output
 /// during the shuffle's ownership hand-off.
 type KvChunk = Vec<(Tuple, Message)>;
 
 /// The multi-threaded MapReduce runtime.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ParallelExecutor {
     /// Engine configuration (identical semantics to the simulator's).
+    /// The memory-budget tracker is bound at construction: mutating
+    /// `config.mem_budget` on an existing executor has no effect — build
+    /// a new one with [`ParallelExecutor::with_threads`].
     pub config: EngineConfig,
     /// Requested worker count; `0` = auto-size from the machine and the
     /// configured cluster.
     pub threads: usize,
+    /// Shared shuffle memory tracker (clones share it, so a cloned
+    /// executor draws from the same budget).
+    budget: Arc<MemoryBudget>,
 }
 
 impl ParallelExecutor {
     /// An auto-sized pool: min(available parallelism, cluster map slots).
     pub fn new(config: EngineConfig) -> Self {
-        ParallelExecutor { config, threads: 0 }
+        ParallelExecutor::with_threads(config, 0)
     }
 
     /// A fixed-size pool of `threads` workers (`0` = auto).
     pub fn with_threads(config: EngineConfig, threads: usize) -> Self {
-        ParallelExecutor { config, threads }
+        ParallelExecutor {
+            config,
+            threads,
+            budget: Arc::new(MemoryBudget::new(config.mem_budget)),
+        }
     }
 
     /// The worker count this executor will actually use.
@@ -121,6 +136,10 @@ impl Executor for ParallelExecutor {
         "parallel"
     }
 
+    fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
     fn run_phases(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         let workers = self.effective_threads();
 
@@ -157,38 +176,37 @@ impl Executor for ParallelExecutor {
             bucket.into_iter().map(Mutex::new).collect()
         });
 
-        // Phase 2 — group: each reducer drains its bucket from every chunk
-        // in chunk order, so values within a key group end up in global
-        // emission order — exactly the simulator's.
-        let grouped: Vec<(BTreeMap<Tuple, Vec<Message>>, u64)> =
-            parallel_for(reducers, workers, |p| {
-                let mut group: BTreeMap<Tuple, Vec<Message>> = BTreeMap::new();
-                let mut bytes = 0u64;
-                for bucket in &buckets {
-                    let pairs = std::mem::take(&mut *bucket[p].lock().expect("unpoisoned bucket"));
-                    for (k, v) in pairs {
-                        bytes += k.estimated_bytes() + v.estimated_bytes();
-                        group.entry(k).or_default().push(v);
-                    }
+        // Phase 2 + reduce, fused per reducer: drain the buckets in chunk
+        // order (so values within a key group end up in global emission
+        // order — exactly the simulator's) through a budget-charged
+        // spilling buffer, then stream the merged groups straight into
+        // the reduce function. Reducer workers run concurrently and all
+        // charge the executor's shared memory budget.
+        let spill = ShuffleSpill::new(&job.name);
+        let budget = &*self.budget;
+        type ReducedPartition = Result<(BTreeMap<RelationName, Relation>, u64, SpillStats)>;
+        let reduced: Vec<ReducedPartition> = parallel_for(reducers, workers, |p| {
+            let mut part = SpillingPartition::new(p, budget, &spill, reducers);
+            for bucket in &buckets {
+                let pairs = std::mem::take(&mut *bucket[p].lock().expect("unpoisoned bucket"));
+                for (k, v) in pairs {
+                    part.push(k, v)?;
                 }
-                (group, bytes)
-            });
-        let mut groups: Vec<BTreeMap<Tuple, Vec<Message>>> = Vec::with_capacity(reducers);
-        let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
-        for (group, bytes) in grouped {
-            groups.push(group);
-            reducer_bytes.push(bytes);
-        }
-
-        // ---- reduce phase: partitions fan out over the pool -------------
-        let reduced = parallel_for(groups.len(), workers, |p| {
-            run_reduce_partition(job, &groups[p])
+            }
+            let bytes = part.total_bytes();
+            let (groups, stats) = part.into_groups()?;
+            Ok((run_reduce_stream(job, groups)?, bytes, stats))
         });
         // First error in partition order — the simulator's error too,
         // since it scans partitions in order and stops at the first.
         let mut partition_outputs = Vec::with_capacity(reduced.len());
+        let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
+        let mut spill_stats = SpillStats::default();
         for outcome in reduced {
-            partition_outputs.push(outcome?);
+            let (outputs, bytes, stats) = outcome?;
+            partition_outputs.push(outputs);
+            reducer_bytes.push(bytes);
+            spill_stats.absorb(stats);
         }
 
         Ok(ComputedJob {
@@ -196,6 +214,7 @@ impl Executor for ParallelExecutor {
             reducers,
             reducer_bytes,
             partition_outputs,
+            spill: spill_stats,
         })
     }
 }

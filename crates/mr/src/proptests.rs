@@ -1,19 +1,23 @@
-//! Property-based tests for the cost model, the cluster scheduler, and
-//! the program → DAG lowering.
+//! Property-based tests for the cost model, the cluster scheduler, the
+//! program → DAG lowering, and the spill merge.
 
 #![cfg(test)]
 
+use std::collections::BTreeMap;
+
 use proptest::prelude::*;
 
-use gumbo_common::ByteSize;
+use gumbo_common::{ByteSize, Tuple};
 
 use crate::cluster::lpt_makespan;
 use crate::cost::{job_cost, CostConstants, CostModelKind};
 use crate::dag::jobs_conflict;
 use crate::job::test_support::noop_job;
 use crate::job::Job;
+use crate::message::{Message, Payload};
 use crate::profile::{InputPartition, JobProfile};
 use crate::program::MrProgram;
+use crate::shuffle::{MemBudget, MemoryBudget, ShuffleSpill, SpillingPartition};
 
 /// A no-op job touching relations `Rk` for the given name codes.
 fn rel_job(inputs: &[u8], outputs: &[u8]) -> Job {
@@ -133,6 +137,57 @@ proptest! {
         let mut more = durations.clone();
         more.push(extra);
         prop_assert!(lpt_makespan(&more, slots) >= before - 1e-9);
+    }
+
+    /// Merge-of-runs preserves the grouping order reducers observe: for
+    /// any pair sequence and any budget (however many spill runs and
+    /// intermediate merge passes it forces), the grouped stream equals
+    /// the unlimited in-memory `BTreeMap` grouping — keys in sorted
+    /// order, values in global emission order.
+    #[test]
+    fn spill_merge_preserves_reducer_grouping_order(
+        keys in proptest::collection::vec(0i64..12, 0usize..120),
+        budget in 0u64..400,
+    ) {
+        // Tag every pair with its emission index so order is observable.
+        let pairs: Vec<(Tuple, Message)> = keys
+            .iter()
+            .enumerate()
+            .map(|(seq, &k)| {
+                (
+                    Tuple::from_ints(&[k]),
+                    Message::Req {
+                        cond: seq as u32,
+                        payload: Payload::Ref { guard: 0, id: seq as u64 },
+                    },
+                )
+            })
+            .collect();
+
+        let mut expected: BTreeMap<Tuple, Vec<Message>> = BTreeMap::new();
+        for (k, v) in &pairs {
+            expected.entry(k.clone()).or_default().push(v.clone());
+        }
+
+        let tracker = MemoryBudget::new(MemBudget::bytes(budget));
+        let spill = ShuffleSpill::new("proptest");
+        let mut part = SpillingPartition::new(0, &tracker, &spill, 1);
+        for (k, v) in pairs {
+            part.push(k, v).unwrap();
+        }
+        let (mut stream, stats) = part.into_groups().unwrap();
+        let mut got: Vec<(Tuple, Vec<Message>)> = Vec::new();
+        while let Some(group) = stream.next_group().unwrap() {
+            got.push(group);
+        }
+        drop(stream);
+
+        let expected: Vec<(Tuple, Vec<Message>)> = expected.into_iter().collect();
+        prop_assert_eq!(got, expected, "budget {} (stats {:?})", budget, stats);
+        if let Some(limit) = tracker.limit() {
+            prop_assert!(tracker.peak() <= limit);
+        }
+        prop_assert_eq!(tracker.used(), 0, "all charges released");
     }
 
     /// `into_dag()` over random programs preserves round semantics as

@@ -8,22 +8,27 @@
 //! reproducible, which the §5 experiments and every regression test rely
 //! on. The multi-threaded sibling is [`crate::parallel::ParallelExecutor`].
 
-use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use gumbo_common::{Result, Tuple};
+use gumbo_common::Result;
 
 use crate::executor::{
-    run_map_task, run_reduce_partition, ComputedJob, EngineConfig, Executor, MapPlan,
+    run_map_task, run_reduce_stream, ComputedJob, EngineConfig, Executor, MapPlan,
 };
 use crate::hash::partition;
 use crate::job::Job;
-use crate::message::Message;
+use crate::shuffle::{MemoryBudget, ShuffleSpill, SpillStats, SpillingPartition};
 
 /// The deterministic MapReduce simulator.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SimulatedExecutor {
-    /// Engine configuration.
+    /// Engine configuration. The memory-budget tracker is bound at
+    /// construction: mutating `config.mem_budget` on an existing executor
+    /// has no effect — build a new one with [`SimulatedExecutor::new`].
     pub config: EngineConfig,
+    /// Shared shuffle memory tracker (clones share it, so a cloned
+    /// executor draws from the same budget).
+    budget: Arc<MemoryBudget>,
 }
 
 /// Historical name of the simulated runtime, kept because the simulator
@@ -34,7 +39,10 @@ pub type Engine = SimulatedExecutor;
 impl SimulatedExecutor {
     /// Create a simulated executor with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        SimulatedExecutor { config }
+        SimulatedExecutor {
+            config,
+            budget: Arc::new(MemoryBudget::new(config.mem_budget)),
+        }
     }
 }
 
@@ -47,6 +55,10 @@ impl Executor for SimulatedExecutor {
         "simulated"
     }
 
+    fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
     fn run_phases(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         // ---- map phase -------------------------------------------------
         let results: Vec<_> = plan
@@ -55,24 +67,35 @@ impl Executor for SimulatedExecutor {
             .map(|t| run_map_task(job, plan.task_facts(t)))
             .collect();
         plan.apply(self.config.scale.max(1), &results);
-        let kvs: Vec<(Tuple, Message)> = results.into_iter().flat_map(|r| r.emitted).collect();
 
         // ---- shuffle ----------------------------------------------------
+        // One spilling buffer per reducer, all charging the shared budget;
+        // pairs are scattered in task (= global emission) order, so each
+        // partition's pair sequence is identical to the historical
+        // in-memory shuffle and to the parallel runtime's.
         let reducers = plan.resolve_reducers(job);
-        let mut groups: Vec<BTreeMap<Tuple, Vec<Message>>> = vec![BTreeMap::new(); reducers];
-        // Per-reducer byte loads: used to distribute simulated reduce-task
-        // durations, so data skew (heavy keys) shows up in net time.
-        let mut reducer_bytes: Vec<u64> = vec![0; reducers];
-        for (k, v) in kvs {
-            let p = partition(&k, reducers);
-            reducer_bytes[p] += k.estimated_bytes() + v.estimated_bytes();
-            groups[p].entry(k).or_default().push(v);
+        let spill = ShuffleSpill::new(&job.name);
+        let mut parts: Vec<SpillingPartition<'_>> = (0..reducers)
+            .map(|p| SpillingPartition::new(p, &self.budget, &spill, reducers))
+            .collect();
+        for result in results {
+            for (k, v) in result.emitted {
+                parts[partition(&k, reducers)].push(k, v)?;
+            }
         }
 
         // ---- reduce phase ----------------------------------------------
+        // Each partition streams a merge of its spill runs plus the
+        // in-memory tail; per-reducer byte loads feed the simulated
+        // reduce-task durations, so data skew shows up in net time.
+        let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
+        let mut spill_stats = SpillStats::default();
         let mut partition_outputs = Vec::with_capacity(reducers);
-        for group in &groups {
-            partition_outputs.push(run_reduce_partition(job, group)?);
+        for part in parts {
+            reducer_bytes.push(part.total_bytes());
+            let (groups, stats) = part.into_groups()?;
+            spill_stats.absorb(stats);
+            partition_outputs.push(run_reduce_stream(job, groups)?);
         }
 
         Ok(ComputedJob {
@@ -80,6 +103,7 @@ impl Executor for SimulatedExecutor {
             reducers,
             reducer_bytes,
             partition_outputs,
+            spill: spill_stats,
         })
     }
 }
@@ -88,9 +112,9 @@ impl Executor for SimulatedExecutor {
 mod tests {
     use super::*;
     use crate::job::{JobConfig, Mapper, Reducer, ReducerPolicy};
-    use crate::message::Payload;
+    use crate::message::{Message, Payload};
     use crate::program::MrProgram;
-    use gumbo_common::{ByteSize, Fact, Relation, RelationName};
+    use gumbo_common::{ByteSize, Fact, Relation, RelationName, Tuple};
     use gumbo_storage::SimDfs;
 
     /// A miniature single-semi-join job (§4.1's repartition join): guard

@@ -31,6 +31,13 @@ pub struct SchedulerConfig {
     /// [`SchedulerConfig::executor_kind`] (as `GumboEngine::runtime` and
     /// the `dagsched` bench do) before building.
     pub threads_per_job: usize,
+    /// Shuffle memory budget for scheduled execution. Like
+    /// `threads_per_job`, this takes effect where the executor is built —
+    /// resolve it with [`SchedulerConfig::engine_config`]. Because the
+    /// scheduler hands *one* executor to all its workers, the budget is
+    /// shared by (and collectively bounds) every concurrently running
+    /// job. Unlimited by default, deferring to the engine configuration.
+    pub mem_budget: gumbo_mr::MemBudget,
 }
 
 impl Default for SchedulerConfig {
@@ -38,11 +45,26 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_concurrent_jobs: 4,
             threads_per_job: 1,
+            mem_budget: gumbo_mr::MemBudget::UNLIMITED,
         }
     }
 }
 
 impl SchedulerConfig {
+    /// Apply this scheduler's memory budget (when limited) to a base
+    /// engine configuration, for building the executor scheduled jobs
+    /// run on.
+    pub fn engine_config(&self, base: gumbo_mr::EngineConfig) -> gumbo_mr::EngineConfig {
+        if self.mem_budget.is_limited() {
+            gumbo_mr::EngineConfig {
+                mem_budget: self.mem_budget,
+                ..base
+            }
+        } else {
+            base
+        }
+    }
+
     /// The worker-pool size this configuration resolves to.
     pub fn effective_workers(&self) -> usize {
         if self.max_concurrent_jobs > 0 {
@@ -416,7 +438,7 @@ mod tests {
         for workers in [1usize, 2, 8] {
             let sched = DagScheduler::new(SchedulerConfig {
                 max_concurrent_jobs: workers,
-                threads_per_job: 1,
+                ..SchedulerConfig::default()
             });
             let mut dfs = dfs_with(&["R"]);
             let stats = sched.execute_program(&exec, &mut dfs, diamond()).unwrap();
@@ -501,6 +523,53 @@ mod tests {
     }
 
     #[test]
+    fn shared_budget_spills_under_concurrency_and_matches_barrier() {
+        use gumbo_mr::MemBudget;
+
+        // Wide fan-out: many independent jobs racing on a 512 B budget
+        // that is far smaller than any single job's ~1.2 KB shuffle
+        // footprint — every job spills no matter how the pool interleaves
+        // them, and concurrent jobs stay collectively under the budget.
+        let names: Vec<String> = (0..6).map(|i| format!("R{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let program = || {
+            let mut p = MrProgram::new();
+            p.push_round(
+                (0..6)
+                    .map(|i| copy_job(&format!("c{i}"), &format!("R{i}"), &format!("Out{i}")))
+                    .collect(),
+            );
+            p
+        };
+
+        let unlimited = executor();
+        let mut dfs_barrier = dfs_with(&name_refs);
+        let barrier = unlimited.execute(&mut dfs_barrier, &program()).unwrap();
+        assert_eq!(barrier.spilled_bytes(), 0, "unlimited run never spills");
+        let budgeted = SimulatedExecutor::new(gumbo_mr::EngineConfig {
+            mem_budget: MemBudget::bytes(512),
+            ..gumbo_mr::EngineConfig::unscaled()
+        });
+        let sched = DagScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 4,
+            ..SchedulerConfig::default()
+        });
+        let mut dfs = dfs_with(&name_refs);
+        let stats = sched
+            .execute_program(&budgeted, &mut dfs, program())
+            .unwrap();
+
+        // Same answers, same non-spill statistics — and the budget held.
+        crate::equivalence::assert_identical_dfs("budgeted dag", &dfs_barrier, &dfs);
+        crate::equivalence::assert_identical_stats("budgeted dag", &barrier, &stats);
+        assert!(
+            stats.spilled_bytes() > 0,
+            "a 512 B budget must force spilling"
+        );
+        assert!(budgeted.budget().peak() <= 512);
+    }
+
+    #[test]
     fn empty_program_yields_empty_stats() {
         let mut dfs = dfs_with(&["R"]);
         let stats = DagScheduler::default()
@@ -515,6 +584,7 @@ mod tests {
         let auto = SchedulerConfig {
             max_concurrent_jobs: 0,
             threads_per_job: 0,
+            ..SchedulerConfig::default()
         };
         assert!(auto.effective_workers() >= 1);
         assert_eq!(

@@ -8,9 +8,16 @@
 //! **sampling** input relations to estimate map-output sizes (Gumbo
 //! optimization (3), §5.1). [`SimDfs`] implements exactly that interface
 //! over in-memory relations with deterministic byte accounting.
+//!
+//! Alongside the simulated DFS, the [`spill`] module provides the *local*
+//! storage the bounded-memory shuffle uses: job-scoped temporary
+//! directories of length-prefixed run files, removed via RAII on success
+//! and error paths alike.
 
 pub mod dfs;
 pub mod sample;
+pub mod spill;
 
 pub use dfs::{DfsFile, SimDfs};
 pub use sample::reservoir_sample;
+pub use spill::{RunReader, RunWriter, SpillDir};

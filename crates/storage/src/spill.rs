@@ -1,0 +1,295 @@
+//! Job-scoped spill directories and on-disk run files.
+//!
+//! When the shuffle's in-memory buffers would exceed the configured
+//! memory budget (see `gumbo_mr::shuffle`), sorted runs of key-value
+//! pairs are flushed to disk and merged back lazily during the reduce
+//! phase. This module owns the *filesystem* half of that story:
+//!
+//! * [`SpillDir`] — a job-scoped temporary directory holding every run
+//!   file of one job's shuffle. Removal is RAII ([`Drop`]), so the
+//!   directory disappears on success, on error returns, and on panics
+//!   alike — `cargo test` leaves no spill litter behind.
+//! * [`RunWriter`] / [`RunReader`] — length-prefixed binary frames,
+//!   buffered in both directions. Frames are opaque bytes here; the
+//!   encoding of `(key, message)` pairs lives next to those types in
+//!   `gumbo-mr`.
+//!
+//! Run files are plain uncompressed frames for now; compressed runs are
+//! a ROADMAP follow-up.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gumbo_common::{GumboError, Result};
+
+/// Process-wide sequence so concurrent jobs (and repeated jobs of one
+/// process) never collide on a directory name.
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn storage_err(context: &str, e: std::io::Error) -> GumboError {
+    GumboError::Storage(format!("{context}: {e}"))
+}
+
+/// A job-scoped temporary directory for shuffle spill runs.
+///
+/// Created under the system temp dir with a unique name; removed (with
+/// everything inside) when dropped, covering both success and error
+/// paths of the owning job.
+#[derive(Debug)]
+pub struct SpillDir {
+    path: PathBuf,
+}
+
+impl SpillDir {
+    /// Create a fresh spill directory for a job. `label` is embedded in
+    /// the directory name (sanitized) purely for debuggability.
+    ///
+    /// Runs land under `$GUMBO_SPILL_DIR` when set, else the system temp
+    /// dir. On distros where `/tmp` is RAM-backed tmpfs, spilling there
+    /// would consume the very memory the budget protects — point
+    /// `GUMBO_SPILL_DIR` at real disk in that case.
+    pub fn create(label: &str) -> Result<SpillDir> {
+        let root = std::env::var_os("GUMBO_SPILL_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        SpillDir::create_under(&root, label)
+    }
+
+    /// [`SpillDir::create`] with an explicit spill root.
+    pub fn create_under(root: &Path, label: &str) -> Result<SpillDir> {
+        let clean: String = label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(40)
+            .collect();
+        let path = root.join(format!(
+            "gumbo-spill-{}-{}-{clean}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::create_dir_all(&path).map_err(|e| storage_err("creating spill dir", e))?;
+        Ok(SpillDir { path })
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The path for one run file: partition `partition`, sequence `seq`
+    /// within that partition.
+    pub fn run_path(&self, partition: usize, seq: u64) -> PathBuf {
+        self.path.join(format!("p{partition}-r{seq}.run"))
+    }
+}
+
+impl Drop for SpillDir {
+    fn drop(&mut self) {
+        // Best effort: a failure to clean a temp dir must not mask the
+        // job's own outcome (including an unwind in progress).
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Buffered writer of length-prefixed binary frames.
+pub struct RunWriter {
+    writer: BufWriter<File>,
+    frames: u64,
+    bytes: u64,
+}
+
+impl RunWriter {
+    /// Create (truncating) a run file.
+    pub fn create(path: &Path) -> Result<RunWriter> {
+        let file = File::create(path).map_err(|e| storage_err("creating spill run", e))?;
+        Ok(RunWriter {
+            writer: BufWriter::new(file),
+            frames: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Append one frame.
+    pub fn push(&mut self, frame: &[u8]) -> Result<()> {
+        let len = u32::try_from(frame.len())
+            .map_err(|_| GumboError::Storage("spill frame exceeds 4 GiB".into()))?;
+        self.writer
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.writer.write_all(frame))
+            .map_err(|e| storage_err("writing spill run", e))?;
+        self.frames += 1;
+        self.bytes += 4 + frame.len() as u64;
+        Ok(())
+    }
+
+    /// Flush and close, returning `(frames, file bytes)` written.
+    pub fn finish(mut self) -> Result<(u64, u64)> {
+        self.writer
+            .flush()
+            .map_err(|e| storage_err("flushing spill run", e))?;
+        Ok((self.frames, self.bytes))
+    }
+}
+
+/// Buffered reader of length-prefixed binary frames.
+pub struct RunReader {
+    reader: BufReader<File>,
+}
+
+impl RunReader {
+    /// Open a run file for sequential reading.
+    pub fn open(path: &Path) -> Result<RunReader> {
+        let file = File::open(path).map_err(|e| storage_err("opening spill run", e))?;
+        Ok(RunReader {
+            reader: BufReader::new(file),
+        })
+    }
+
+    /// Read the next frame, or `None` at a clean end of file.
+    ///
+    /// A *torn* length prefix (EOF after 1–3 bytes) is an error, not an
+    /// end of file: silently ending a truncated run early would make the
+    /// shuffle merge drop data and return a wrong answer with exit
+    /// code 0.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut len = [0u8; 4];
+        let mut got = 0;
+        while got < len.len() {
+            match self.reader.read(&mut len[got..]) {
+                Ok(0) if got == 0 => return Ok(None),
+                Ok(0) => {
+                    return Err(GumboError::Storage(
+                        "truncated spill frame length (torn run file)".into(),
+                    ))
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(storage_err("reading spill frame length", e)),
+            }
+        }
+        let mut frame = vec![0u8; u32::from_le_bytes(len) as usize];
+        self.reader
+            .read_exact(&mut frame)
+            .map_err(|e| storage_err("reading spill frame", e))?;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_in_order() {
+        let dir = SpillDir::create("roundtrip").unwrap();
+        let path = dir.run_path(3, 0);
+        let mut w = RunWriter::create(&path).unwrap();
+        let frames: Vec<Vec<u8>> = (0..100u8).map(|i| vec![i; i as usize]).collect();
+        for f in &frames {
+            w.push(f).unwrap();
+        }
+        let (n, bytes) = w.finish().unwrap();
+        assert_eq!(n, 100);
+        assert_eq!(
+            bytes,
+            frames.iter().map(|f| 4 + f.len() as u64).sum::<u64>()
+        );
+
+        let mut r = RunReader::open(&path).unwrap();
+        for f in &frames {
+            assert_eq!(r.next_frame().unwrap().as_deref(), Some(f.as_slice()));
+        }
+        assert!(r.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn spill_dir_is_removed_on_drop() {
+        let dir = SpillDir::create("cleanup").unwrap();
+        let path = dir.path().to_path_buf();
+        let run = dir.run_path(0, 0);
+        let mut w = RunWriter::create(&run).unwrap();
+        w.push(b"payload").unwrap();
+        w.finish().unwrap();
+        assert!(path.is_dir());
+        assert!(run.is_file());
+        drop(dir);
+        assert!(!path.exists(), "spill dir {path:?} survived drop");
+    }
+
+    #[test]
+    fn spill_dir_is_removed_on_panic_unwind() {
+        let seen = std::sync::Mutex::new(PathBuf::new());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let dir = SpillDir::create("unwind").unwrap();
+            *seen.lock().unwrap() = dir.path().to_path_buf();
+            panic!("job failed mid-shuffle");
+        }));
+        assert!(outcome.is_err());
+        let path = seen.lock().unwrap().clone();
+        assert!(!path.exists(), "spill dir {path:?} survived an unwind");
+    }
+
+    #[test]
+    fn run_paths_are_distinct_per_partition_and_seq() {
+        let dir = SpillDir::create("paths").unwrap();
+        let mut all: Vec<PathBuf> = Vec::new();
+        for p in 0..3 {
+            for s in 0..3 {
+                all.push(dir.run_path(p, s));
+            }
+        }
+        let unique: std::collections::BTreeSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), all.len());
+    }
+
+    #[test]
+    fn dirs_of_concurrent_jobs_do_not_collide() {
+        let a = SpillDir::create("same-label").unwrap();
+        let b = SpillDir::create("same-label").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn explicit_spill_root_is_honored() {
+        let root = std::env::temp_dir().join(format!("gumbo-spill-root-{}", std::process::id()));
+        let dir = SpillDir::create_under(&root, "rooted").unwrap();
+        assert!(dir.path().starts_with(&root), "{:?}", dir.path());
+        let inner = dir.path().to_path_buf();
+        drop(dir);
+        assert!(!inner.exists());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_length_prefix_is_an_error_not_eof() {
+        let dir = SpillDir::create("torn").unwrap();
+        let path = dir.run_path(0, 0);
+        let mut w = RunWriter::create(&path).unwrap();
+        w.push(b"intact").unwrap();
+        w.finish().unwrap();
+        // Truncate mid-prefix of a would-be second frame.
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[7, 0]); // 2 of 4 length bytes
+        fs::write(&path, bytes).unwrap();
+
+        let mut r = RunReader::open(&path).unwrap();
+        assert_eq!(
+            r.next_frame().unwrap().as_deref(),
+            Some(b"intact".as_slice())
+        );
+        let err = r.next_frame().unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+    }
+
+    #[test]
+    fn empty_file_reads_as_no_frames() {
+        let dir = SpillDir::create("empty").unwrap();
+        let path = dir.run_path(0, 0);
+        let w = RunWriter::create(&path).unwrap();
+        assert_eq!(w.finish().unwrap(), (0, 0));
+        let mut r = RunReader::open(&path).unwrap();
+        assert!(r.next_frame().unwrap().is_none());
+    }
+}

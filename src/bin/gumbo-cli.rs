@@ -5,6 +5,7 @@
 //!           [--strategy greedy|par|sequnit|parunit|one-round|dynamic]
 //!           [--executor sim|parallel|parallel:N]
 //!           [--scheduler rounds|dag] [--max-jobs N]
+//!           [--mem-budget BYTES|unlimited]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
 //! ```
 //!
@@ -18,6 +19,14 @@
 //! `--scheduler dag` executes the planned jobs on the dependency-driven
 //! DAG scheduler (at most `--max-jobs` concurrent jobs) instead of the
 //! default round-barrier path; results and statistics are identical.
+//!
+//! `--mem-budget` bounds tracked shuffle memory (bytes, with optional
+//! `k`/`m`/`g` binary suffix): per-reducer buffers spill sorted runs to a
+//! job-scoped temp directory instead of exceeding the budget, and a
+//! `shuffle memory:` summary line (spilled bytes, run files, merge
+//! passes, peak) is printed after the run. Results are byte-identical to
+//! an unlimited run; the CLI exits nonzero if the tracked peak ever
+//! exceeded the budget.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +42,7 @@ struct Args {
     executor: gumbo::mr::ExecutorKind,
     scheduler: String,
     max_jobs: usize,
+    mem_budget: gumbo::mr::MemBudget,
     scale: u64,
     nodes: usize,
     out: Option<PathBuf>,
@@ -43,6 +53,7 @@ const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [-
                      [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
                      [--executor sim|parallel|parallel:N] \
                      [--scheduler rounds|dag] [--max-jobs N] \
+                     [--mem-budget BYTES|unlimited] \
                      [--scale N] [--nodes N] [--out DIR] [--explain]";
 
 fn parse_args() -> Result<Args, String> {
@@ -55,6 +66,7 @@ fn parse_args() -> Result<Args, String> {
         executor: gumbo::mr::ExecutorKind::Simulated,
         scheduler: "rounds".into(),
         max_jobs: 4,
+        mem_budget: gumbo::mr::MemBudget::UNLIMITED,
         scale: 1,
         nodes: 10,
         out: None,
@@ -97,6 +109,12 @@ fn parse_args() -> Result<Args, String> {
                 args.max_jobs = need(&mut i, &argv)?
                     .parse()
                     .map_err(|e| format!("--max-jobs: {e}"))?
+            }
+            "--mem-budget" => {
+                let spec = need(&mut i, &argv)?;
+                args.mem_budget = gumbo::mr::MemBudget::parse(&spec).ok_or_else(|| {
+                    format!("--mem-budget: BYTES (k/m/g suffix ok) or unlimited, got {spec}")
+                })?;
             }
             "--scale" => {
                 args.scale = need(&mut i, &argv)?
@@ -165,10 +183,12 @@ fn options_for(args: &Args) -> Result<EvalOptions, String> {
         },
         other => return Err(format!("unknown strategy {other}")),
     };
+    options.mem_budget = args.mem_budget;
     if args.scheduler == "dag" {
         options.scheduler = Some(SchedulerConfig {
             max_concurrent_jobs: args.max_jobs,
             threads_per_job: 0,
+            mem_budget: args.mem_budget,
         });
     }
     Ok(options)
@@ -262,8 +282,9 @@ fn run(args: Args) -> Result<(), String> {
         eprintln!();
     }
 
+    let runtime = engine.runtime();
     let stats = engine
-        .evaluate(&mut dfs, &query)
+        .evaluate_on(&*runtime, &mut dfs, &query)
         .map_err(|e| e.to_string())?;
 
     // Verify against the reference evaluator (cheap at CLI scales).
@@ -276,6 +297,30 @@ fn run(args: Args) -> Result<(), String> {
     }
 
     println!("{stats}");
+    let budget = runtime.budget();
+    // Under an unlimited budget the tracker charges in coarse granules,
+    // so the reported peak is an upper bound, not an exact figure.
+    let peak_key = if budget.limit().is_some() {
+        "peak_tracked="
+    } else {
+        "peak_tracked~="
+    };
+    println!(
+        "shuffle memory: budget={} {peak_key}{} spilled_bytes={} spill_files={} merge_passes={}",
+        budget.spec().label(),
+        budget.peak(),
+        stats.spilled_bytes(),
+        stats.spill_files(),
+        stats.spill_merge_passes(),
+    );
+    if let Some(limit) = budget.limit() {
+        if budget.peak() > limit {
+            return Err(format!(
+                "internal error: tracked shuffle memory peaked at {} over budget {limit}",
+                budget.peak()
+            ));
+        }
+    }
     println!("output {} has {} tuples", query.output(), got.len());
 
     if let Some(out_dir) = args.out {

@@ -74,7 +74,7 @@ fn dag_scheduler_matches_round_barrier_on_every_datagen_preset() {
         for max_jobs in [1usize, 4] {
             let scheduler = Some(SchedulerConfig {
                 max_concurrent_jobs: max_jobs,
-                threads_per_job: 1,
+                ..SchedulerConfig::default()
             });
             let mut dfs_dag = SimDfs::from_database(&db);
             let stats_dag = engine(scheduler, ExecutorKind::Simulated)
@@ -88,6 +88,47 @@ fn dag_scheduler_matches_round_barrier_on_every_datagen_preset() {
                 &stats_dag,
             );
         }
+    }
+}
+
+#[test]
+fn dag_scheduler_with_tiny_budget_matches_unbudgeted_round_barrier() {
+    // The scheduled path under a 4 KiB shuffle budget: concurrent jobs
+    // share one tracker, spill to disk, and must still leave the same
+    // bytes in the DFS with the same non-spill statistics as unlimited
+    // round-barrier execution — for every preset.
+    const BUDGET: u64 = 4096;
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(300).database(7);
+
+        let mut dfs_rounds = SimDfs::from_database(&db);
+        let stats_rounds = engine(None, ExecutorKind::Simulated)
+            .evaluate(&mut dfs_rounds, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (rounds): {e}", workload.name));
+
+        let scheduler = Some(SchedulerConfig {
+            max_concurrent_jobs: 4,
+            mem_budget: gumbo::mr::MemBudget::bytes(BUDGET),
+            ..SchedulerConfig::default()
+        });
+        let budgeted = engine(scheduler, ExecutorKind::Simulated);
+        let runtime = budgeted.runtime();
+        let mut dfs_dag = SimDfs::from_database(&db);
+        let stats_dag = budgeted
+            .evaluate_on(&*runtime, &mut dfs_dag, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (dag, budgeted): {e}", workload.name));
+
+        let label = format!("{} (dag, budget {BUDGET})", workload.name);
+        assert_equivalent(&label, &dfs_rounds, &stats_rounds, &dfs_dag, &stats_dag);
+        assert!(
+            stats_dag.spilled_bytes() > 0,
+            "{label}: a {BUDGET}-byte budget must force spilling"
+        );
+        assert!(
+            runtime.budget().peak() <= BUDGET,
+            "{label}: tracked peak {} exceeded the budget",
+            runtime.budget().peak()
+        );
     }
 }
 
@@ -109,6 +150,7 @@ fn dag_scheduler_composes_with_parallel_runtime() {
         Some(SchedulerConfig {
             max_concurrent_jobs: 4,
             threads_per_job: 2,
+            ..SchedulerConfig::default()
         }),
         ExecutorKind::Parallel { threads: 0 },
     )

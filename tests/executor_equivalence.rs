@@ -125,6 +125,51 @@ fn parallel_and_simulated_agree_on_every_datagen_preset() {
 }
 
 #[test]
+fn tiny_budget_spilling_is_observationally_identical_on_every_preset() {
+    // A 4 KiB budget is far below every preset's shuffle footprint at 300
+    // tuples: every job spills, many with multiple runs. Answer relations
+    // must stay byte-identical to the unlimited simulated run and every
+    // non-spill statistic must match, on both runtimes — and the tracked
+    // shuffle memory must never exceed the budget.
+    const BUDGET: u64 = 4096;
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(300).database(7);
+
+        let mut dfs_ref = SimDfs::from_database(&db);
+        let stats_ref = engine(ExecutorKind::Simulated)
+            .evaluate(&mut dfs_ref, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (unlimited): {e}", workload.name));
+        assert_eq!(stats_ref.spilled_bytes(), 0, "{}", workload.name);
+
+        for kind in [
+            ExecutorKind::Simulated,
+            ExecutorKind::Parallel { threads: 4 },
+        ] {
+            let mut budgeted = engine(kind);
+            budgeted.options.mem_budget = gumbo::mr::MemBudget::bytes(BUDGET);
+            let runtime = budgeted.runtime();
+            let mut dfs = SimDfs::from_database(&db);
+            let stats = budgeted
+                .evaluate_on(&*runtime, &mut dfs, &workload.query)
+                .unwrap_or_else(|e| panic!("{} ({}, budgeted): {e}", workload.name, kind.label()));
+
+            let label = format!("{} ({}, budget {BUDGET})", workload.name, kind.label());
+            gumbo::sched::assert_identical_dfs(&label, &dfs_ref, &dfs);
+            gumbo::sched::assert_identical_stats(&label, &stats_ref, &stats);
+            assert!(
+                stats.spilled_bytes() > 0,
+                "{label}: a {BUDGET}-byte budget must force spilling"
+            );
+            assert!(
+                runtime.budget().peak() <= BUDGET,
+                "{label}: tracked peak {} exceeded the budget",
+                runtime.budget().peak()
+            );
+        }
+    }
+}
+
+#[test]
 fn parallel_runtime_matches_naive_reference_on_a3() {
     // Independent ground truth: the parallel runtime agrees not just with
     // the simulator but with the direct semantics.
