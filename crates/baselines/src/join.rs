@@ -148,6 +148,7 @@ pub fn build_join_job(
         }),
         reducer: Box::new(JoinReducer { routes }),
         config,
+        estimate: None,
     }
 }
 

@@ -215,6 +215,7 @@ impl SeqStrategy {
                 output: q.output().clone(),
             }),
             config: self.job_config,
+            estimate: None,
         }))
     }
 }

@@ -631,13 +631,17 @@ pub fn spill(cfg: &RunConfig) -> Result<()> {
         ("1m", MemBudget::bytes(1 << 20)),
         ("256k", MemBudget::bytes(256 << 10)),
         ("64k", MemBudget::bytes(64 << 10)),
+        // The same smallest budget with RLE-compressed runs: identical
+        // answers and raw spill volume, smaller files on disk.
+        ("64k+rle", MemBudget::bytes(64 << 10).compressed(true)),
     ];
 
     println!(
-        "{:<12} {:>10} {:>14} {:>11} {:>13} {:>14}",
-        "budget", "wall (s)", "spilled (B)", "runs", "merge passes", "peak (B)"
+        "{:<12} {:>10} {:>14} {:>13} {:>11} {:>13} {:>14}",
+        "budget", "wall (s)", "spilled (B)", "disk (B)", "runs", "merge passes", "peak (B)"
     );
     let mut reference: Option<SimDfs> = None;
+    let mut plain_64k: Option<(u64, u64)> = None; // (raw, disk) uncompressed
     let mut rows: Vec<Json> = Vec::new();
     for (label, budget) in budgets {
         let engine = GumboEngine::with_executor(
@@ -669,16 +673,22 @@ pub fn spill(cfg: &RunConfig) -> Result<()> {
         }
 
         println!(
-            "{label:<12} {wall:>10.3} {:>14} {:>11} {:>13} {peak:>14}",
+            "{label:<12} {wall:>10.3} {:>14} {:>13} {:>11} {:>13} {peak:>14}",
             stats.spilled_bytes(),
+            stats.spilled_disk_bytes(),
             stats.spill_files(),
             stats.spill_merge_passes(),
         );
         rows.push(Json::obj([
             ("budget", Json::Str(label.into())),
             ("budget_bytes", Json::Int(budget.limit().unwrap_or(0))),
+            (
+                "compress",
+                Json::Str(if budget.compress() { "rle" } else { "off" }.into()),
+            ),
             ("wall_s", Json::Num(wall)),
             ("spilled_bytes", Json::Int(stats.spilled_bytes())),
+            ("spilled_disk_bytes", Json::Int(stats.spilled_disk_bytes())),
             ("spill_files", Json::Int(stats.spill_files())),
             ("merge_passes", Json::Int(stats.spill_merge_passes())),
             ("peak_tracked_bytes", Json::Int(peak)),
@@ -693,6 +703,21 @@ pub fn spill(cfg: &RunConfig) -> Result<()> {
                 spilled > 0,
                 "the 64 KiB budget must force spilling on this workload"
             );
+            if budget.compress() {
+                let (raw, disk) = plain_64k.expect("uncompressed 64k ran first");
+                assert_eq!(
+                    stats.spilled_bytes(),
+                    raw,
+                    "compression must not change the raw spill volume"
+                );
+                assert!(
+                    stats.spilled_disk_bytes() < disk,
+                    "RLE runs ({} B) should beat raw runs ({disk} B) on disk",
+                    stats.spilled_disk_bytes()
+                );
+            } else {
+                plain_64k = Some((stats.spilled_bytes(), stats.spilled_disk_bytes()));
+            }
         }
     }
 
@@ -889,6 +914,127 @@ pub fn dagsched(cfg: &RunConfig) -> Result<()> {
     ]);
     write_bench_json("dagsched", &report).map_err(|e| {
         gumbo_common::GumboError::Storage(format!("writing BENCH_dagsched.json: {e}"))
+    })?;
+    Ok(())
+}
+
+/// Placement policies × pool sizes over the datagen presets.
+///
+/// For every preset (A1–A5, B1/B2, C1–C4) the same database is evaluated
+/// once on the round-barrier path (the reference) and then under the DAG
+/// scheduler for each placement policy (`fifo`, `sjf`, `cp`) at each
+/// pool size. Every scheduled run is asserted byte-identical to the
+/// reference — placement may only move the wall clock. The recorded rows
+/// (real wall, per-round net time, and the estimation layer's predicted
+/// DAG net time) go to `BENCH_placement.json`.
+pub fn placement(cfg: &RunConfig) -> Result<()> {
+    use crate::report::{write_bench_json, Json};
+    use gumbo_core::{EvalOptions, GumboEngine};
+    use gumbo_sched::{PlacementPolicy, SchedulerConfig};
+    use std::time::Instant;
+
+    print_header("Placement policies — fifo vs sjf vs cp × pool sizes, all presets");
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "{} guard tuples; executor {}; {hw} hardware thread(s)",
+        cfg.tuples,
+        cfg.executor.label()
+    );
+
+    let mut presets = vec![
+        queries::a1(),
+        queries::a2(),
+        queries::a3(),
+        queries::a4(),
+        queries::a5(),
+        queries::b1(),
+        queries::b2(),
+    ];
+    presets.extend(queries::figure6());
+
+    let engine_cfg = gumbo_mr::EngineConfig {
+        scale: cfg.scale,
+        cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
+        ..gumbo_mr::EngineConfig::default()
+    };
+    let pools = [1usize, 2, 4];
+
+    println!(
+        "{:<8} {:<6} {:>5} {:>10} {:>12} {:>14} {:>6}",
+        "preset", "policy", "pool", "wall (s)", "net (s)", "predicted (s)", "jobs"
+    );
+    let mut rows: Vec<Json> = Vec::new();
+    for w in &presets {
+        let db = w.spec.clone().with_tuples(cfg.tuples).database(cfg.seed);
+
+        // Round-barrier reference: the answers every policy must match.
+        let reference =
+            GumboEngine::with_executor(engine_cfg, cfg.executor, EvalOptions::default());
+        let mut dfs_ref = SimDfs::from_database(&db);
+        let stats_ref = reference.evaluate(&mut dfs_ref, &w.query)?;
+
+        for policy in PlacementPolicy::ALL {
+            for pool in pools {
+                let engine = GumboEngine::with_executor(
+                    engine_cfg,
+                    cfg.executor,
+                    EvalOptions {
+                        scheduler: Some(SchedulerConfig {
+                            max_concurrent_jobs: pool,
+                            threads_per_job: 0,
+                            placement: policy,
+                            ..SchedulerConfig::default()
+                        }),
+                        ..EvalOptions::default()
+                    },
+                );
+                let mut dfs = SimDfs::from_database(&db);
+                let start = Instant::now();
+                let stats = engine.evaluate(&mut dfs, &w.query)?;
+                let wall = start.elapsed().as_secs_f64();
+
+                let label = format!("{} {} x{pool}", w.name, policy.label());
+                gumbo_sched::assert_identical_dfs(&label, &dfs_ref, &dfs);
+                gumbo_sched::assert_identical_stats(&label, &stats_ref, &stats);
+                let predicted = stats
+                    .predicted_net_time
+                    .expect("scheduled runs report a predicted DAG net time");
+
+                println!(
+                    "{:<8} {:<6} {:>5} {wall:>10.3} {:>12.1} {predicted:>14.1} {:>6}",
+                    w.name,
+                    policy.label(),
+                    pool,
+                    stats.net_time(),
+                    stats.num_jobs(),
+                );
+                rows.push(Json::obj([
+                    ("preset", Json::Str(w.name.clone())),
+                    ("policy", Json::Str(policy.label().into())),
+                    ("pool", Json::Int(pool as u64)),
+                    ("wall_s", Json::Num(wall)),
+                    ("net_s", Json::Num(stats.net_time())),
+                    ("predicted_net_s", Json::Num(predicted)),
+                    ("jobs", Json::Int(stats.num_jobs() as u64)),
+                    ("rounds", Json::Int(stats.num_rounds() as u64)),
+                ]));
+            }
+        }
+    }
+
+    let report = Json::obj([
+        ("experiment", Json::Str("placement".into())),
+        ("tuples", Json::Int(cfg.tuples as u64)),
+        ("scale", Json::Int(cfg.scale)),
+        ("nodes", Json::Int(cfg.nodes as u64)),
+        ("executor", Json::Str(cfg.executor.label())),
+        ("hardware_threads", Json::Int(hw as u64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    write_bench_json("placement", &report).map_err(|e| {
+        gumbo_common::GumboError::Storage(format!("writing BENCH_placement.json: {e}"))
     })?;
     Ok(())
 }

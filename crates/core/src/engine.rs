@@ -346,11 +346,14 @@ impl GumboEngine {
             let queries: Vec<BsgfQuery> =
                 first.iter().map(|&i| rest.queries()[i].clone()).collect();
             let ctx = QueryContext::new(queries)?;
-            let plan = {
+            let program = {
                 let est = self.estimator(dfs);
-                self.plan_group(&est, &ctx)?
+                let plan = self.plan_group(&est, &ctx)?;
+                // Annotate each job with the estimation layer's numbers,
+                // so the scheduler places/sizes from the same estimates
+                // the planner just optimized.
+                plan.build_annotated_program(&ctx, &est)?
             };
-            let program = plan.build_program(&ctx)?;
             stats.extend(self.execute_program(runtime, dfs, program)?);
             let mut keep = Vec::with_capacity(remaining.len() - first.len());
             for (i, q) in remaining.into_iter().enumerate() {
@@ -386,12 +389,15 @@ impl GumboEngine {
             let queries: Vec<BsgfQuery> =
                 group.iter().map(|&i| query.queries()[i].clone()).collect();
             let ctx = QueryContext::new(queries)?;
-            // Plan against live statistics: earlier groups are materialized.
-            let plan = {
+            // Plan against live statistics: earlier groups are
+            // materialized. The chosen plan's jobs are annotated with
+            // their estimates (the shared estimation layer) before
+            // execution, so the scheduled path can place by cost.
+            let program = {
                 let est = self.estimator(dfs);
-                self.plan_group(&est, &ctx)?
+                let plan = self.plan_group(&est, &ctx)?;
+                plan.build_annotated_program(&ctx, &est)?
             };
-            let program = plan.build_program(&ctx)?;
             stats.extend(self.execute_program(runtime, dfs, program)?);
         }
         Ok(stats)

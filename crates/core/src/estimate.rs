@@ -19,7 +19,9 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
 
 use gumbo_common::{ByteSize, GumboError, RelationName, Result};
-use gumbo_mr::{job_cost, CostConstants, CostModelKind, InputPartition, JobConfig, JobProfile};
+use gumbo_mr::{
+    job_cost, CostConstants, CostModelKind, InputPartition, JobConfig, JobEstimate, JobProfile,
+};
 use gumbo_sgf::Atom;
 use gumbo_storage::{reservoir_sample, SimDfs};
 
@@ -285,6 +287,24 @@ impl<'a> Estimator<'a> {
         })
     }
 
+    /// Full [`JobEstimate`] of `MSJ(group)` for the shared estimation
+    /// layer: the same profile [`Estimator::msj_cost`] prices, packaged
+    /// with its cost decomposition, shuffle/output sizes and suggested
+    /// parallelism so the DAG scheduler can place and size the job.
+    pub fn msj_estimate(
+        &self,
+        ctx: &QueryContext,
+        group: &[usize],
+        mode: PayloadMode,
+        cfg: &JobConfig,
+    ) -> Result<JobEstimate> {
+        Ok(JobEstimate::from_profile(
+            self.model,
+            &self.constants,
+            &self.msj_profile(ctx, group, mode, cfg)?,
+        ))
+    }
+
     /// Estimated cost of `MSJ(group)`.
     pub fn msj_cost(
         &self,
@@ -371,6 +391,20 @@ impl<'a> Estimator<'a> {
         })
     }
 
+    /// Full [`JobEstimate`] of the set's EVAL job.
+    pub fn eval_estimate(
+        &self,
+        ctx: &QueryContext,
+        mode: PayloadMode,
+        cfg: &JobConfig,
+    ) -> Result<JobEstimate> {
+        Ok(JobEstimate::from_profile(
+            self.model,
+            &self.constants,
+            &self.eval_profile(ctx, mode, cfg)?,
+        ))
+    }
+
     /// Estimated cost of the EVAL job.
     pub fn eval_cost(&self, ctx: &QueryContext, mode: PayloadMode, cfg: &JobConfig) -> Result<f64> {
         Ok(job_cost(
@@ -449,6 +483,20 @@ impl<'a> Estimator<'a> {
             reducers: cfg.reducer_policy.reducers(total_in, total_m),
             output,
         })
+    }
+
+    /// Full [`JobEstimate`] of a fused 1-ROUND job.
+    pub fn one_round_estimate(
+        &self,
+        ctx: &QueryContext,
+        kind: OneRoundKind,
+        cfg: &JobConfig,
+    ) -> Result<JobEstimate> {
+        Ok(JobEstimate::from_profile(
+            self.model,
+            &self.constants,
+            &self.one_round_profile(ctx, kind, cfg)?,
+        ))
     }
 
     /// Estimated total cost of a full plan for the query set (Eq. 9).

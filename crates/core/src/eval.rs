@@ -188,6 +188,7 @@ pub fn build_eval_job(ctx: &QueryContext, mode: PayloadMode, config: JobConfig) 
             num_queries,
         }),
         config,
+        estimate: None,
     }
 }
 

@@ -226,6 +226,7 @@ pub fn build_msj_job_salted(
         }),
         reducer: Box::new(MsjReducer { routes }),
         config,
+        estimate: None,
     }
 }
 

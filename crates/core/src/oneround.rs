@@ -330,6 +330,7 @@ fn build_job(
         mapper,
         reducer,
         config,
+        estimate: None,
     }
 }
 

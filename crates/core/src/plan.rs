@@ -10,6 +10,7 @@ use std::fmt;
 use gumbo_common::Result;
 use gumbo_mr::{JobConfig, MrProgram};
 
+use crate::estimate::Estimator;
 use crate::eval::build_eval_job;
 use crate::msj::build_msj_job;
 use crate::oneround::{build_disjunctive_job, build_same_key_job};
@@ -97,13 +98,35 @@ impl BsgfSetPlan {
     /// 2-round plans produce: round 1 = all MSJ jobs (concurrent),
     /// round 2 = the EVAL job. 1-ROUND plans produce a single job.
     pub fn build_program(&self, ctx: &QueryContext) -> Result<MrProgram> {
+        self.build(ctx, None)
+    }
+
+    /// [`BsgfSetPlan::build_program`] with estimation-layer annotations:
+    /// every job carries the [`gumbo_mr::JobEstimate`] the given
+    /// estimator prices it at (the same profiles the planner optimized),
+    /// so `MrProgram::into_dag()` yields a cost-annotated DAG the
+    /// scheduler can place by. Annotation is best-effort: a job whose
+    /// estimate cannot be computed (missing catalog statistics) is left
+    /// unannotated rather than failing the run.
+    pub fn build_annotated_program(
+        &self,
+        ctx: &QueryContext,
+        est: &Estimator<'_>,
+    ) -> Result<MrProgram> {
+        self.build(ctx, Some(est))
+    }
+
+    fn build(&self, ctx: &QueryContext, est: Option<&Estimator<'_>>) -> Result<MrProgram> {
         let mut program = MrProgram::new();
         match self.one_round {
-            Some(OneRoundKind::SameKey) => {
-                program.push_job(build_same_key_job(ctx, self.job_config)?);
-            }
-            Some(OneRoundKind::Disjunctive) => {
-                program.push_job(build_disjunctive_job(ctx, self.job_config)?);
+            Some(kind) => {
+                let mut job = match kind {
+                    OneRoundKind::SameKey => build_same_key_job(ctx, self.job_config)?,
+                    OneRoundKind::Disjunctive => build_disjunctive_job(ctx, self.job_config)?,
+                };
+                job.estimate =
+                    est.and_then(|e| e.one_round_estimate(ctx, kind, &self.job_config).ok());
+                program.push_job(job);
             }
             None => {
                 let mut covered = vec![false; ctx.semijoins().len()];
@@ -118,7 +141,11 @@ impl BsgfSetPlan {
                         covered[i] = true;
                     }
                     if !group.is_empty() {
-                        msj_jobs.push(build_msj_job(ctx, group, self.mode, self.job_config));
+                        let mut job = build_msj_job(ctx, group, self.mode, self.job_config);
+                        job.estimate = est.and_then(|e| {
+                            e.msj_estimate(ctx, group, self.mode, &self.job_config).ok()
+                        });
+                        msj_jobs.push(job);
                     }
                 }
                 if let Some(missing) = covered.iter().position(|&c| !c) {
@@ -127,7 +154,10 @@ impl BsgfSetPlan {
                     )));
                 }
                 program.push_round(msj_jobs);
-                program.push_job(build_eval_job(ctx, self.mode, self.job_config));
+                let mut eval = build_eval_job(ctx, self.mode, self.job_config);
+                eval.estimate =
+                    est.and_then(|e| e.eval_estimate(ctx, self.mode, &self.job_config).ok());
+                program.push_job(eval);
             }
         }
         Ok(program)

@@ -32,6 +32,7 @@ use std::collections::BTreeSet;
 
 use gumbo_common::RelationName;
 
+use crate::estimate::{critical_path_lengths, list_schedule_makespan, JobEstimate};
 use crate::job::Job;
 use crate::program::MrProgram;
 
@@ -57,6 +58,22 @@ impl DagNode {
     /// Indices of the nodes waiting for this job.
     pub fn dependents(&self) -> &[usize] {
         &self.dependents
+    }
+
+    /// The job's plan-time cost estimate, if the planner attached one.
+    pub fn estimate(&self) -> Option<&JobEstimate> {
+        self.job.estimate.as_ref()
+    }
+
+    /// The node's estimated cost for scheduling decisions: the
+    /// estimate's total cost, or `0` when unannotated (so unannotated
+    /// DAGs degrade to pure tie-break order rather than failing).
+    pub fn estimated_cost(&self) -> f64 {
+        self.job
+            .estimate
+            .as_ref()
+            .map(|e| e.total_cost)
+            .unwrap_or(0.0)
     }
 }
 
@@ -184,6 +201,28 @@ impl JobDag {
         edges
     }
 
+    /// Longest estimated path from each node to a sink (own cost
+    /// included), over the nodes' attached [`JobEstimate`]s — the
+    /// priority of critical-path (`cp`) placement. Unannotated nodes
+    /// contribute zero cost, so a fully unannotated DAG degrades to
+    /// FIFO-by-tie-break. The estimates are a function of each job alone
+    /// (attached at plan time), so these lengths are invariant under any
+    /// ready-queue order the scheduler chooses.
+    pub fn critical_paths(&self) -> Vec<f64> {
+        let durations: Vec<f64> = self.nodes.iter().map(DagNode::estimated_cost).collect();
+        let deps: Vec<&[usize]> = self.nodes.iter().map(|n| n.deps.as_slice()).collect();
+        critical_path_lengths(&durations, &deps)
+    }
+
+    /// Predicted net time of this DAG under `slots` concurrent job
+    /// slots: list-scheduling simulation with the given per-job
+    /// durations (estimated costs at plan time, or reconstructed per-job
+    /// wall clock after execution). See [`crate::estimate`].
+    pub fn predicted_net_time(&self, durations: &[f64], slots: usize) -> f64 {
+        let deps: Vec<&[usize]> = self.nodes.iter().map(|n| n.deps.as_slice()).collect();
+        list_schedule_makespan(durations, &deps, slots)
+    }
+
     /// A deterministic topological order (Kahn's algorithm, smallest ready
     /// index first). Because edges always point forward in the flat order,
     /// this returns `0..len` — the round-order flattening itself — which
@@ -292,6 +331,54 @@ mod tests {
         assert_eq!(dag.num_rounds(), 2);
         assert_eq!(dag.node(0).round, 0);
         assert_eq!(dag.node(1).round, 1);
+    }
+
+    #[test]
+    fn estimates_survive_the_lowering_and_drive_critical_paths() {
+        use crate::cost::{CostConstants, CostModelKind};
+        use crate::estimate::JobEstimate;
+        use crate::profile::{InputPartition, JobProfile};
+        use gumbo_common::ByteSize;
+
+        let est = |cost: f64| {
+            JobEstimate::from_profile(
+                CostModelKind::Gumbo,
+                &CostConstants {
+                    job_overhead: cost,
+                    ..CostConstants::appendix_a()
+                },
+                &JobProfile {
+                    partitions: vec![InputPartition {
+                        label: "s".into(),
+                        input: ByteSize::ZERO,
+                        map_output: ByteSize::ZERO,
+                        records_out: 0,
+                        mappers: 1,
+                    }],
+                    reducers: 1,
+                    output: ByteSize::ZERO,
+                },
+            )
+        };
+        // Chain A → B → C with costs 2, 3, 4.
+        let mut p = MrProgram::new();
+        p.push_job(job("A", &["R"], &["X"]).with_estimate(est(2.0)));
+        p.push_job(job("B", &["X"], &["Y"]).with_estimate(est(3.0)));
+        p.push_job(job("C", &["Y"], &["Z"]).with_estimate(est(4.0)));
+        let dag = p.into_dag();
+        for (node, want) in dag.nodes().iter().zip([2.0, 3.0, 4.0]) {
+            assert_eq!(node.estimate().unwrap().total_cost, want);
+            assert_eq!(node.estimated_cost(), want);
+        }
+        // Critical paths on a chain: suffix sums; prediction = total on
+        // any slot count (a chain cannot overlap).
+        assert_eq!(dag.critical_paths(), vec![9.0, 7.0, 4.0]);
+        assert_eq!(dag.predicted_net_time(&[2.0, 3.0, 4.0], 1), 9.0);
+        assert_eq!(dag.predicted_net_time(&[2.0, 3.0, 4.0], 4), 9.0);
+        // Unannotated DAGs degrade to zero-cost critical paths.
+        let mut q = MrProgram::new();
+        q.push_job(job("A", &["R"], &["X"]));
+        assert_eq!(q.into_dag().critical_paths(), vec![0.0]);
     }
 
     #[test]

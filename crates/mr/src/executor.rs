@@ -117,6 +117,18 @@ pub trait Executor: Send + Sync {
     /// runtimes implement differently (serial vs worker pool).
     fn run_phases(&self, job: &Job, plan: MapPlan) -> Result<ComputedJob>;
 
+    /// [`Executor::run_phases`] with an explicit per-job worker count
+    /// (`0` = keep this executor's own sizing). The DAG scheduler uses
+    /// this to size each job's pool from its cost estimate under a
+    /// total-core budget; runtimes without internal parallelism (the
+    /// simulator) ignore the hint. Observational identity is preserved
+    /// for any thread count, so per-job sizing can never change answers
+    /// or metered statistics.
+    fn run_phases_with(&self, job: &Job, plan: MapPlan, threads: usize) -> Result<ComputedJob> {
+        let _ = threads;
+        self.run_phases(job, plan)
+    }
+
     /// Execute a single job: map → shuffle → reduce, with full metering.
     fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
         let plan = plan_job(self.config(), dfs, job)?;
@@ -503,6 +515,7 @@ pub fn commit_job(
         reduce_task_durations,
         output_tuples,
         spilled_bytes: spill.spilled_bytes,
+        spilled_disk_bytes: spill.spilled_disk_bytes,
         spill_files: spill.spill_files,
         spill_merge_passes: spill.merge_passes,
     })

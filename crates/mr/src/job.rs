@@ -4,6 +4,7 @@ use std::fmt;
 
 use gumbo_common::{ByteSize, Fact, RelationName, Tuple};
 
+use crate::estimate::JobEstimate;
 use crate::message::Message;
 
 /// A map function `µ`.
@@ -131,9 +132,20 @@ pub struct Job {
     pub reducer: Box<dyn Reducer>,
     /// Job configuration.
     pub config: JobConfig,
+    /// Plan-time cost estimate from the shared estimation layer
+    /// ([`crate::estimate`]). Attached by the planner (`None` for jobs
+    /// built outside it); carried through `MrProgram::into_dag()` so the
+    /// scheduler can place, size and predict from the same numbers the
+    /// planner optimized.
+    pub estimate: Option<JobEstimate>,
 }
 
 impl Job {
+    /// Attach (or replace) this job's plan-time estimate.
+    pub fn with_estimate(mut self, estimate: JobEstimate) -> Job {
+        self.estimate = Some(estimate);
+        self
+    }
     /// Names of the relations this job reads, in read order.
     ///
     /// Together with [`Job::output_names`] this is the job's complete DFS
@@ -156,6 +168,7 @@ impl fmt::Debug for Job {
             .field("inputs", &self.inputs)
             .field("outputs", &self.outputs)
             .field("config", &self.config)
+            .field("estimate", &self.estimate)
             .finish_non_exhaustive()
     }
 }
@@ -195,6 +208,7 @@ pub(crate) mod test_support {
             mapper: Box::new(Noop),
             reducer: Box::new(Noop),
             config: JobConfig::default(),
+            estimate: None,
         }
     }
 }

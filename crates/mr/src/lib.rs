@@ -53,10 +53,19 @@
 //! Both cost models are provided: the paper's per-partition model
 //! ([`cost::CostModelKind::Gumbo`], Eq. 2) and the aggregate model of Wang &
 //! Chan / MRShare it refines ([`cost::CostModelKind::Wang`], Eq. 3).
+//!
+//! ## The estimation layer
+//!
+//! [`estimate`] packages plan-time cost estimates as [`JobEstimate`]s
+//! attached to [`Job`]s, so the same numbers the planner optimizes drive
+//! the DAG scheduler's placement (shortest-job-first / critical-path),
+//! per-job thread sizing, and the predicted DAG net-time metric
+//! ([`ProgramStats::predicted_net_time`]).
 
 pub mod cluster;
 pub mod cost;
 pub mod dag;
+pub mod estimate;
 pub mod executor;
 pub mod hash;
 pub mod job;
@@ -71,6 +80,9 @@ pub mod simulated;
 pub use cluster::Cluster;
 pub use cost::{job_cost, CostConstants, CostModelKind};
 pub use dag::{DagNode, JobDag};
+pub use estimate::{
+    critical_path_lengths, list_schedule_makespan, list_schedule_makespan_by, JobEstimate,
+};
 pub use executor::{
     commit_job, plan_job, ComputedJob, EngineConfig, Executor, ExecutorKind, MapPlan,
 };

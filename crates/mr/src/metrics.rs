@@ -41,6 +41,17 @@ pub struct JobStats {
     /// to run, so equivalence harnesses compare every field above but
     /// none of these.
     pub spilled_bytes: u64,
+    /// On-disk bytes of the *initial* spill-run flushes: actual run-file
+    /// bytes (length-prefixed encoded frames, RLE-block compressed when
+    /// the budget's `--spill-compress` flag is set). The companion
+    /// figure to `spilled_bytes`, which uses the budget's
+    /// *estimated-bytes* accounting for the same flushed data — so
+    /// compare the disk figures of a compressed and an uncompressed run
+    /// to measure the compression win (the `spill` bench's `64k` vs
+    /// `64k+rle` rows). Intermediate merge-pass outputs rewrite already
+    /// counted data; like `spilled_bytes` this counter excludes them
+    /// (`spill_files` includes them).
+    pub spilled_disk_bytes: u64,
     /// Spill run files written (initial flushes + merge outputs).
     pub spill_files: u64,
     /// Intermediate merge passes needed before the final streaming merge.
@@ -113,6 +124,18 @@ pub struct ProgramStats {
     pub jobs: Vec<JobStats>,
     /// Per-round wall-clock statistics.
     pub round_stats: Vec<RoundStats>,
+    /// Predicted **DAG net time** (seconds): the completion time of the
+    /// program's last job in a list-scheduling simulation over
+    /// `max_concurrent_jobs` slots, with each job's duration
+    /// reconstructed exactly as the per-round model prices a single-job
+    /// round (`cost_h` + pooled map makespan + pooled reduce makespan).
+    /// In multi-tenant runs the simulation is *global* — cross-submission
+    /// conflict edges and slot contention included — so each
+    /// submission's prediction is comparable to its wall clock. Set by
+    /// the DAG scheduler; `None` on the round-barrier path, whose
+    /// net-time model is the per-round sum. When the DAG is a chain and
+    /// only one job slot exists, the two models coincide.
+    pub predicted_net_time: Option<f64>,
 }
 
 impl ProgramStats {
@@ -152,6 +175,12 @@ impl ProgramStats {
         self.jobs.iter().map(|j| j.spilled_bytes).sum()
     }
 
+    /// Total on-disk bytes of flushed spill runs across all jobs (the
+    /// post-compression companion of [`ProgramStats::spilled_bytes`]).
+    pub fn spilled_disk_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.spilled_disk_bytes).sum()
+    }
+
     /// Total spill run files written across all jobs.
     pub fn spill_files(&self) -> u64 {
         self.jobs.iter().map(|j| j.spill_files).sum()
@@ -171,6 +200,13 @@ impl ProgramStats {
         }
         self.jobs.extend(other.jobs);
         self.round_stats.extend(other.round_stats);
+        // Sequential composition: predicted wall clocks add (a later
+        // program cannot start before the earlier one finishes).
+        self.predicted_net_time = match (self.predicted_net_time, other.predicted_net_time) {
+            (Some(a), Some(b)) => Some(a + b),
+            (one, None) => one,
+            (None, other) => other,
+        };
     }
 }
 
@@ -186,6 +222,12 @@ impl fmt::Display for ProgramStats {
             self.num_jobs(),
             self.num_rounds(),
         )?;
+        if let Some(predicted) = self.predicted_net_time {
+            writeln!(
+                f,
+                "  predicted dag net time: {predicted:.1}s (list-scheduled job DAG)"
+            )?;
+        }
         for j in &self.jobs {
             write!(
                 f,
@@ -202,8 +244,8 @@ impl fmt::Display for ProgramStats {
             if j.spill_files > 0 {
                 write!(
                     f,
-                    ", spilled {} B in {} runs ({} merge passes)",
-                    j.spilled_bytes, j.spill_files, j.spill_merge_passes,
+                    ", spilled {} B ({} B on disk) in {} runs ({} merge passes)",
+                    j.spilled_bytes, j.spilled_disk_bytes, j.spill_files, j.spill_merge_passes,
                 )?;
             }
             writeln!(f)?;
@@ -239,6 +281,7 @@ mod tests {
             reduce_task_durations: vec![0.5, 0.5],
             output_tuples: 1,
             spilled_bytes: 0,
+            spilled_disk_bytes: 0,
             spill_files: 0,
             spill_merge_passes: 0,
         }

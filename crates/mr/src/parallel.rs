@@ -140,8 +140,19 @@ impl Executor for ParallelExecutor {
         &self.budget
     }
 
-    fn run_phases(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
-        let workers = self.effective_threads();
+    fn run_phases(&self, job: &Job, plan: MapPlan) -> Result<ComputedJob> {
+        self.run_phases_with(job, plan, 0)
+    }
+
+    fn run_phases_with(&self, job: &Job, mut plan: MapPlan, threads: usize) -> Result<ComputedJob> {
+        // 0 = this executor's own sizing; the DAG scheduler passes a
+        // per-job count derived from the job's cost estimate under its
+        // total-core budget.
+        let workers = if threads > 0 {
+            threads
+        } else {
+            self.effective_threads()
+        };
 
         // ---- map phase: tasks fan out over the pool ---------------------
         // Planning (and its DFS read metering) happened on the caller's
@@ -282,6 +293,7 @@ mod tests {
                 reducer_policy: ReducerPolicy::Fixed(13),
                 ..JobConfig::default()
             },
+            estimate: None,
         }
     }
 
@@ -372,6 +384,7 @@ mod tests {
             mapper: Box::new(KeyByFirst),
             reducer: Box::new(BadReducer),
             config: JobConfig::default(),
+            estimate: None,
         };
         let mut d = dfs(50);
         let par = ParallelExecutor::with_threads(EngineConfig::unscaled(), 4);

@@ -37,7 +37,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use gumbo_common::{GumboError, Result, Tuple, Value};
-use gumbo_storage::{RunReader, RunWriter, SpillDir};
+use gumbo_storage::{Compression, RunReader, RunWriter, SpillDir};
 
 use crate::message::{Message, Payload};
 
@@ -57,33 +57,65 @@ const UNLIMITED_GRANULE: u64 = 64 * 1024;
 // Budget spec + tracker
 // ---------------------------------------------------------------------------
 
-/// A shuffle memory budget *specification*: a byte limit, or unlimited.
+/// A shuffle memory budget *specification*: a byte limit (or unlimited)
+/// plus whether spilled runs are RLE-block compressed on disk.
 ///
 /// This is the `Copy` value the configuration layers carry
 /// (`EngineConfig::mem_budget`, `EvalOptions::mem_budget`,
 /// `SchedulerConfig::mem_budget`); executors resolve it into a shared
 /// [`MemoryBudget`] tracker when built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct MemBudget(Option<u64>);
+pub struct MemBudget {
+    limit: Option<u64>,
+    compress: bool,
+}
 
 impl MemBudget {
     /// No limit: the shuffle buffers everything in memory (the historical
     /// behavior), while still tracking usage for observability.
-    pub const UNLIMITED: MemBudget = MemBudget(None);
+    pub const UNLIMITED: MemBudget = MemBudget {
+        limit: None,
+        compress: false,
+    };
 
     /// A hard limit on tracked shuffle memory, in bytes.
     pub fn bytes(limit: u64) -> MemBudget {
-        MemBudget(Some(limit))
+        MemBudget {
+            limit: Some(limit),
+            compress: false,
+        }
+    }
+
+    /// The same budget with spill-run compression switched on or off
+    /// (`--spill-compress` on the CLI). Compression changes only the
+    /// on-disk representation of runs — answers, grouping order and all
+    /// non-spill statistics are byte-identical either way.
+    pub fn compressed(self, compress: bool) -> MemBudget {
+        MemBudget { compress, ..self }
+    }
+
+    /// Whether spill runs are RLE-block compressed on disk.
+    pub fn compress(&self) -> bool {
+        self.compress
+    }
+
+    /// The run-file codec this budget selects.
+    pub fn run_compression(&self) -> Compression {
+        if self.compress {
+            Compression::Rle
+        } else {
+            Compression::None
+        }
     }
 
     /// The limit in bytes, or `None` when unlimited.
     pub fn limit(&self) -> Option<u64> {
-        self.0
+        self.limit
     }
 
     /// Whether a limit is set.
     pub fn is_limited(&self) -> bool {
-        self.0.is_some()
+        self.limit.is_some()
     }
 
     /// Parse a CLI spelling: `unlimited` / `none`, a plain byte count, or
@@ -108,9 +140,10 @@ impl MemBudget {
         Some(MemBudget::bytes(n.checked_mul(mult)?))
     }
 
-    /// The CLI spelling of this budget.
+    /// The CLI spelling of this budget (the compression flag is a
+    /// separate CLI switch and is not part of the label).
     pub fn label(&self) -> String {
-        match self.0 {
+        match self.limit {
             None => "unlimited".into(),
             Some(b) => b.to_string(),
         }
@@ -228,8 +261,15 @@ impl MemoryBudget {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpillStats {
     /// Estimated bytes of key-value data flushed to disk (same
-    /// `estimated_bytes` accounting the budget charges).
+    /// `estimated_bytes` accounting the budget charges) — the *raw* side
+    /// of the raw/on-disk pair.
     pub spilled_bytes: u64,
+    /// Actual file bytes of those initial flushes (length-prefixed
+    /// encoded frames, RLE-block compressed when the budget asks for
+    /// it) — the *on-disk* side. Encoded frames differ from the
+    /// estimated accounting, so measure compression by comparing the
+    /// disk figures of a compressed and an uncompressed run.
+    pub spilled_disk_bytes: u64,
     /// Run files written (initial flushes plus intermediate merge
     /// outputs).
     pub spill_files: u64,
@@ -242,6 +282,7 @@ impl SpillStats {
     /// Accumulate another partition's (or job's) counters.
     pub fn absorb(&mut self, other: SpillStats) {
         self.spilled_bytes += other.spilled_bytes;
+        self.spilled_disk_bytes += other.spilled_disk_bytes;
         self.spill_files += other.spill_files;
         self.merge_passes += other.merge_passes;
     }
@@ -459,6 +500,7 @@ pub(crate) struct SpillingPartition<'a> {
     share: u64,
     budget: &'a MemoryBudget,
     spill: &'a ShuffleSpill,
+    compression: Compression,
     pairs: Vec<(Tuple, Message)>,
     /// Bytes currently reserved in the budget for `pairs`.
     charged: u64,
@@ -484,6 +526,7 @@ impl<'a> SpillingPartition<'a> {
             share: budget.partition_share(partitions),
             budget,
             spill,
+            compression: budget.spec().run_compression(),
             pairs: Vec::new(),
             charged: 0,
             buffered: 0,
@@ -546,16 +589,17 @@ impl<'a> SpillingPartition<'a> {
         self.pairs.sort_by(|a, b| a.0.cmp(&b.0)); // stable: emission order kept per key
         let path = self.spill.run_path(self.partition, self.next_seq)?;
         self.next_seq += 1;
-        let mut writer = RunWriter::create(&path)?;
+        let mut writer = RunWriter::create_with(&path, self.compression)?;
         let mut frame = Vec::new();
         for (k, v) in self.pairs.drain(..) {
             encode_pair(&mut frame, &k, &v);
             writer.push(&frame)?;
         }
-        writer.finish()?;
+        let (_, disk_bytes) = writer.finish()?;
         self.runs.push(Run { path });
         self.stats.spill_files += 1;
         self.stats.spilled_bytes += self.buffered;
+        self.stats.spilled_disk_bytes += disk_bytes;
         self.budget.release(self.charged);
         self.charged = 0;
         self.buffered = 0;
@@ -573,11 +617,11 @@ impl<'a> SpillingPartition<'a> {
             let oldest: Vec<Run> = self.runs.drain(..take).collect();
             let mut sources = Vec::with_capacity(oldest.len());
             for run in &oldest {
-                sources.push(PairSource::open_run(&run.path)?);
+                sources.push(PairSource::open_run(&run.path, self.compression)?);
             }
             let path = self.spill.run_path(self.partition, self.next_seq)?;
             self.next_seq += 1;
-            let mut writer = RunWriter::create(&path)?;
+            let mut writer = RunWriter::create_with(&path, self.compression)?;
             let mut merge = MergePairs::new(sources);
             let mut frame = Vec::new();
             while let Some(i) = merge.min_source() {
@@ -595,7 +639,7 @@ impl<'a> SpillingPartition<'a> {
         self.pairs.sort_by(|a, b| a.0.cmp(&b.0));
         let mut sources = Vec::with_capacity(self.runs.len() + 1);
         for run in &self.runs {
-            sources.push(PairSource::open_run(&run.path)?);
+            sources.push(PairSource::open_run(&run.path, self.compression)?);
         }
         sources.push(PairSource::from_memory(std::mem::take(&mut self.pairs)));
         let stats = self.stats;
@@ -630,8 +674,8 @@ enum PairSource {
 }
 
 impl PairSource {
-    fn open_run(path: &std::path::Path) -> Result<Peeked> {
-        let mut source = PairSource::Run(RunReader::open(path)?);
+    fn open_run(path: &std::path::Path, compression: Compression) -> Result<Peeked> {
+        let mut source = PairSource::Run(RunReader::open_with(path, compression)?);
         let head = source.pull()?;
         Ok(Peeked { source, head })
     }
@@ -888,6 +932,34 @@ mod tests {
             stats.merge_passes > 0,
             "100 single-pair runs need intermediate merges"
         );
+    }
+
+    #[test]
+    fn compressed_runs_group_identically_and_shrink_on_disk() {
+        // Repetitive integer pairs (8-byte LE words full of zero bytes):
+        // RLE must cut the on-disk size while grouping stays identical.
+        let pairs: Vec<_> = (0..200).map(|i| pair(i % 7, i as u64)).collect();
+        let (reference, _, _) = group_with(MemBudget::UNLIMITED, &pairs);
+        let plain_spec = MemBudget::bytes(64);
+        let packed_spec = MemBudget::bytes(64).compressed(true);
+        assert!(packed_spec.compress() && !plain_spec.compress());
+        let (plain_groups, plain_stats, _) = group_with(plain_spec, &pairs);
+        let (packed_groups, packed_stats, peak) = group_with(packed_spec, &pairs);
+        assert_eq!(plain_groups, reference);
+        assert_eq!(
+            packed_groups, reference,
+            "compression must not change grouping"
+        );
+        // Same raw spill volume either way; compression only shrinks disk.
+        assert_eq!(packed_stats.spilled_bytes, plain_stats.spilled_bytes);
+        assert!(packed_stats.spilled_disk_bytes > 0);
+        assert!(
+            packed_stats.spilled_disk_bytes < plain_stats.spilled_disk_bytes,
+            "rle {} should beat raw {}",
+            packed_stats.spilled_disk_bytes,
+            plain_stats.spilled_disk_bytes
+        );
+        assert!(peak <= 64);
     }
 
     #[test]

@@ -175,6 +175,7 @@ mod tests {
             mapper: Box::new(SemiJoinMapper),
             reducer: Box::new(SemiJoinReducer),
             config: JobConfig::default(),
+            estimate: None,
         }
     }
 
@@ -260,6 +261,7 @@ mod tests {
             mapper: Box::new(SemiJoinMapper),
             reducer: Box::new(BadReducer),
             config: JobConfig::default(),
+            estimate: None,
         };
         let engine = Engine::new(EngineConfig::unscaled());
         assert!(engine.execute_job(&mut dfs, &job, 0).is_err());
@@ -348,6 +350,7 @@ mod tests {
             mapper: Box::new(SemiJoinMapper2),
             reducer: Box::new(SemiJoinReducer2),
             config: JobConfig::default(),
+            estimate: None,
         };
 
         struct SemiJoinMapper2;

@@ -17,6 +17,12 @@
 //!   an `RwLock` — inputs are planned under the read lock, the
 //!   map/shuffle/reduce compute holds no lock at all, outputs commit
 //!   under the write lock;
+//! * [`PlacementPolicy`] — how the ready queue is ordered: FIFO, or
+//!   cost-driven shortest-job-first / critical-path placement over the
+//!   estimation layer's per-job annotations
+//!   ([`gumbo_mr::estimate`]); the same annotations size per-job worker
+//!   pools under [`SchedulerConfig::core_budget`] and feed the predicted
+//!   DAG net-time metric ([`gumbo_mr::ProgramStats::predicted_net_time`]);
 //! * [`Submission`] / [`SubmissionReport`] — a multi-tenant front door:
 //!   many independent `MrProgram`s admitted concurrently onto one
 //!   cluster, with fair-share admission and per-submission statistics.
@@ -29,9 +35,14 @@
 //! preset.
 
 pub mod equivalence;
+pub mod placement;
 pub mod scheduler;
 pub mod submission;
 
 pub use equivalence::{assert_identical_dfs, assert_identical_stats};
+pub use placement::PlacementPolicy;
 pub use scheduler::{DagScheduler, SchedulerConfig};
 pub use submission::{Submission, SubmissionReport};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,77 @@
+//! Placement policies: which ready job the scheduler runs next.
+//!
+//! The PR-2 scheduler admitted fairly between submissions but placed
+//! blindly within one — a plain FIFO ready queue. With the estimation
+//! layer (`gumbo_mr::estimate`) attaching a [`gumbo_mr::JobEstimate`] to
+//! every DAG node, the ready queue becomes a policy decision:
+//!
+//! | policy | ready-queue order | rationale |
+//! |---|---|---|
+//! | [`PlacementPolicy::Fifo`] | arrival order | PR-2 behavior, the baseline |
+//! | [`PlacementPolicy::Sjf`] | smallest estimated `total_cost` first | shortest-job-first minimizes mean job turnaround |
+//! | [`PlacementPolicy::CriticalPath`] | longest estimated path to a sink first | keeps the DAG's makespan-determining chain moving |
+//!
+//! Placement only chooses among jobs whose dependencies are already
+//! satisfied, so **every policy produces byte-identical answer relations
+//! and identical non-timing statistics** — the `placement` benchmark and
+//! the workspace equivalence suite assert this over every datagen
+//! preset. Only the real wall clock (and the spill counters, which are
+//! machine observations) may differ.
+
+/// How the scheduler picks the next job among a submission's ready set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// First in, first out — arrival order, the cost-blind baseline.
+    #[default]
+    Fifo,
+    /// Shortest job first: smallest estimated total cost
+    /// ([`gumbo_mr::JobEstimate::total_cost`]). Jobs without an estimate
+    /// sort last; ties break by admission order.
+    Sjf,
+    /// Critical path: largest estimated longest-path-to-a-sink
+    /// ([`gumbo_mr::JobDag::critical_paths`]). Jobs without an estimate
+    /// contribute zero cost; ties break by admission order.
+    CriticalPath,
+}
+
+impl PlacementPolicy {
+    /// Parse a CLI spelling: `fifo`, `sjf`, or `cp`.
+    pub fn parse(s: &str) -> Option<PlacementPolicy> {
+        match s {
+            "fifo" => Some(PlacementPolicy::Fifo),
+            "sjf" => Some(PlacementPolicy::Sjf),
+            "cp" => Some(PlacementPolicy::CriticalPath),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Fifo => "fifo",
+            PlacementPolicy::Sjf => "sjf",
+            PlacementPolicy::CriticalPath => "cp",
+        }
+    }
+
+    /// All policies, for sweeps.
+    pub const ALL: [PlacementPolicy; 3] = [
+        PlacementPolicy::Fifo,
+        PlacementPolicy::Sjf,
+        PlacementPolicy::CriticalPath,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for p in PlacementPolicy::ALL {
+            assert_eq!(PlacementPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(PlacementPolicy::parse("lifo"), None);
+        assert_eq!(PlacementPolicy::default(), PlacementPolicy::Fifo);
+    }
+}

@@ -10,10 +10,12 @@ use gumbo_common::{GumboError, Result};
 use gumbo_mr::dag::JobFootprint;
 use gumbo_mr::metrics::RoundStats;
 use gumbo_mr::{
-    commit_job, plan_job, Executor, ExecutorKind, JobDag, JobStats, MrProgram, ProgramStats,
+    commit_job, plan_job, Executor, ExecutorKind, JobDag, JobEstimate, JobStats, MrProgram,
+    ProgramStats,
 };
 use gumbo_storage::SimDfs;
 
+use crate::placement::PlacementPolicy;
 use crate::submission::{Submission, SubmissionReport};
 
 /// Scheduler sizing knobs.
@@ -38,6 +40,21 @@ pub struct SchedulerConfig {
     /// shared by (and collectively bounds) every concurrently running
     /// job. Unlimited by default, deferring to the engine configuration.
     pub mem_budget: gumbo_mr::MemBudget,
+    /// How ready jobs are ordered for placement (`--placement` on the
+    /// CLI): FIFO (the cost-blind baseline), shortest-job-first, or
+    /// critical-path — the latter two driven by the estimation layer's
+    /// per-job annotations. Answers and non-timing statistics are
+    /// identical under every policy.
+    pub placement: PlacementPolicy,
+    /// Total cores the scheduler may spread over concurrently running
+    /// jobs. `0` (the default) disables cost-driven sizing and keeps the
+    /// executor's own per-job pool. When set, each job's worker pool is
+    /// its estimate's suggested parallelism clamped to an equal share of
+    /// this budget (`core_budget / worker-pool size`, at least 1) — so a
+    /// full pool of jobs collectively stays within the core budget.
+    /// Only the parallel runtime has per-job pools to size; the
+    /// simulator ignores the hint.
+    pub core_budget: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -46,6 +63,8 @@ impl Default for SchedulerConfig {
             max_concurrent_jobs: 4,
             threads_per_job: 1,
             mem_budget: gumbo_mr::MemBudget::UNLIMITED,
+            placement: PlacementPolicy::Fifo,
+            core_budget: 0,
         }
     }
 }
@@ -84,6 +103,22 @@ impl SchedulerConfig {
             (kind, _) => kind,
         }
     }
+
+    /// Per-job worker-pool size under the total-core budget: the job's
+    /// estimated widest phase ([`JobEstimate::suggested_parallelism`]),
+    /// clamped to an equal share of [`SchedulerConfig::core_budget`]
+    /// across the worker pool. Returns `0` ("keep the executor's own
+    /// sizing") when cost-driven sizing is disabled.
+    pub fn threads_for(&self, estimate: Option<&JobEstimate>) -> usize {
+        if self.core_budget == 0 {
+            return 0;
+        }
+        let share = (self.core_budget / self.effective_workers().max(1)).max(1);
+        match estimate {
+            Some(e) => e.suggested_parallelism.clamp(1, share),
+            None => share,
+        }
+    }
 }
 
 /// A global job id: which submission, which node within it.
@@ -115,15 +150,42 @@ struct SchedState {
 }
 
 impl SchedState {
-    /// Fair admission: among submissions with ready jobs, pick the one
-    /// with the fewest running jobs (ties: fewest completed, then lowest
-    /// id — round-robin-ish for symmetric tenants). Returns the claimed
-    /// global job id.
-    fn claim_next(&mut self) -> Option<usize> {
+    /// Fair admission, policy placement: among submissions with ready
+    /// jobs, pick the one with the fewest running jobs (ties: fewest
+    /// completed, then lowest id — round-robin-ish for symmetric
+    /// tenants); *within* it, pick the ready job the placement policy
+    /// prefers. Returns the claimed global job id.
+    fn claim_next(&mut self, policy: PlacementPolicy, priority: &[f64]) -> Option<usize> {
         let sub = (0..self.ready.len())
             .filter(|&s| !self.ready[s].is_empty())
             .min_by_key(|&s| (self.running[s], self.completed[s], s))?;
-        let gid = self.ready[sub].pop_front().expect("non-empty queue");
+        let queue = &mut self.ready[sub];
+        // One selection rule, per-policy key: smallest key wins, ties
+        // break on the lowest gid (= admission order), so unannotated
+        // DAGs degrade to deterministic FIFO. `sjf` prefers the smallest
+        // estimated cost, `cp` the longest estimated path to a sink;
+        // `fifo` takes the front of the queue (arrival order) without
+        // consulting priorities at all.
+        let pos = match policy {
+            PlacementPolicy::Fifo => 0,
+            PlacementPolicy::Sjf | PlacementPolicy::CriticalPath => {
+                let key = |gid: usize| match policy {
+                    PlacementPolicy::Sjf => priority[gid],
+                    _ => -priority[gid],
+                };
+                queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, &a), (_, &b)| {
+                        (key(a), a)
+                            .partial_cmp(&(key(b), b))
+                            .expect("finite priorities")
+                    })
+                    .map(|(pos, _)| pos)
+                    .expect("non-empty queue")
+            }
+        };
+        let gid = queue.remove(pos).expect("position in bounds");
         self.running[sub] += 1;
         Some(gid)
     }
@@ -227,21 +289,59 @@ impl DagScheduler {
         };
         let mut indegree = vec![0usize; total];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); total];
+        // Global dependency lists (intra-DAG edges + cross-DAG conflict
+        // edges), kept for the predicted-net-time simulation below so
+        // the prediction sees exactly the constraints the scheduler
+        // enforces.
+        let mut global_deps: Vec<Vec<usize>> = vec![Vec::new(); total];
         for (gid, j) in jobs.iter().enumerate() {
             let node = dags[j.sub].node(j.node);
             indegree[gid] = node.deps().len();
             for &d in node.deps() {
                 dependents[offset[j.sub] + d].push(gid);
+                global_deps[gid].push(offset[j.sub] + d);
             }
             if !footprints.is_empty() {
                 for (earlier_gid, e) in jobs.iter().enumerate().take(gid) {
                     if e.sub != j.sub && footprints[earlier_gid].conflicts_with(&footprints[gid]) {
                         indegree[gid] += 1;
                         dependents[earlier_gid].push(gid);
+                        global_deps[gid].push(earlier_gid);
                     }
                 }
             }
         }
+
+        // Placement priorities from the estimation layer's annotations.
+        // Estimates are attached to jobs at plan time, so priorities are
+        // a pure function of the DAGs — invariant under any ready-queue
+        // order, which is what keeps every policy observationally
+        // identical.
+        let policy = self.config.placement;
+        let priority: Vec<f64> = match policy {
+            PlacementPolicy::Fifo => vec![0.0; total],
+            PlacementPolicy::Sjf => jobs
+                .iter()
+                .map(|j| {
+                    dags[j.sub]
+                        .node(j.node)
+                        .estimate()
+                        .map(|e| e.total_cost)
+                        // Unannotated jobs sort last; ties fall back to
+                        // admission order.
+                        .unwrap_or(f64::INFINITY)
+                })
+                .collect(),
+            PlacementPolicy::CriticalPath => {
+                let mut cp = vec![0.0; total];
+                for (s, dag) in dags.iter().enumerate() {
+                    for (node, len) in dag.critical_paths().into_iter().enumerate() {
+                        cp[offset[s] + node] = len;
+                    }
+                }
+                cp
+            }
+        };
 
         let mut ready: Vec<VecDeque<usize>> = vec![VecDeque::new(); dags.len()];
         for (gid, j) in jobs.iter().enumerate() {
@@ -278,7 +378,7 @@ impl DagScheduler {
                                 if st.error.is_some() || st.remaining == 0 {
                                     return;
                                 }
-                                if let Some(gid) = st.claim_next() {
+                                if let Some(gid) = st.claim_next(policy, &priority) {
                                     break gid;
                                 }
                                 st = work_available.wait(st).expect("unpoisoned scheduler state");
@@ -290,13 +390,17 @@ impl DagScheduler {
                         // plan (read lock) → compute (no lock) → commit
                         // (write lock). The job's stats carry its original
                         // round, keeping per-job accounting identical to
-                        // the barrier path.
+                        // the barrier path. The per-job worker count comes
+                        // from the job's estimate under the core budget
+                        // (0 = the executor's own sizing); thread counts
+                        // can never change answers or metered statistics.
+                        let threads = self.config.threads_for(node.estimate());
                         let outcome = (|| {
                             let plan = {
                                 let guard = shared.read().expect("unpoisoned DFS lock");
                                 plan_job(executor.config(), &guard, &node.job)?
                             };
-                            let computed = executor.run_phases(&node.job, plan)?;
+                            let computed = executor.run_phases_with(&node.job, plan, threads)?;
                             let mut guard = shared.write().expect("unpoisoned DFS lock");
                             commit_job(
                                 executor.config(),
@@ -346,6 +450,31 @@ impl DagScheduler {
         // round-barrier executor computes it.
         let cluster = executor.config().cluster;
         let overhead = executor.config().constants.job_overhead;
+
+        // Predicted DAG net time: list-schedule *all* admitted jobs —
+        // intra-DAG edges, cross-submission conflict edges, and the
+        // shared pool of job slots, exactly the constraints the real
+        // scheduler enforced — pricing each job as the per-round model
+        // prices a single-job round (overhead + pooled map/reduce
+        // makespans). A submission's prediction is the finish time of
+        // its last job from admission, so it is directly comparable to
+        // its reported wall clock. On a chain with one slot the
+        // prediction coincides with per-round net time; with slack in
+        // the DAG and slots > 1 it is what barrier-free overlap should
+        // achieve.
+        let durations: Vec<f64> = (0..total)
+            .map(|gid| {
+                let js = state.results[gid].as_ref().expect("all jobs completed");
+                RoundStats::pooled(std::iter::once(js), cluster, overhead).net_time()
+            })
+            .collect();
+        let finish_times = gumbo_mr::estimate::list_schedule_finish_times_by(
+            &durations,
+            &global_deps,
+            self.config.effective_workers(),
+            |_| 0.0,
+        );
+
         let mut out = Vec::with_capacity(dags.len());
         for (s, dag) in dags.iter().enumerate() {
             let job_stats: Vec<JobStats> = (0..dag.len())
@@ -363,6 +492,11 @@ impl DagScheduler {
                     overhead,
                 ));
             }
+            stats.predicted_net_time = Some(
+                (0..dag.len())
+                    .map(|node| finish_times[offset[s] + node])
+                    .fold(0.0, f64::max),
+            );
             stats.jobs = job_stats;
             let wall = state.finished_at[s]
                 .map(|t| t.duration_since(started).as_secs_f64())
@@ -401,6 +535,7 @@ mod tests {
             mapper: Box::new(Copy),
             reducer: Box::new(CopyTo(output.into())),
             config: JobConfig::default(),
+            estimate: None,
         }
     }
 
@@ -466,6 +601,7 @@ mod tests {
             mapper: Box::new(Copy),
             reducer: Box::new(Bad),
             config: JobConfig::default(),
+            estimate: None,
         });
         let mut dfs = dfs_with(&["R"]);
         let err = DagScheduler::default()
@@ -577,6 +713,178 @@ mod tests {
             .unwrap();
         assert_eq!(stats.num_jobs(), 0);
         assert_eq!(stats.num_rounds(), 0);
+    }
+
+    /// The acceptance identity of the predicted DAG net-time model: on a
+    /// chain DAG with a single job slot, the list-scheduled prediction
+    /// *equals* the paper's per-round net time (each round holds exactly
+    /// one job, and one slot forbids any overlap).
+    #[test]
+    fn predicted_net_time_equals_round_net_time_on_a_chain_with_one_slot() {
+        let mut p = MrProgram::new();
+        p.push_job(copy_job("a", "R", "X1"));
+        p.push_job(copy_job("b", "X1", "X2"));
+        p.push_job(copy_job("c", "X2", "X3"));
+        let sched = DagScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 1,
+            ..SchedulerConfig::default()
+        });
+        let mut dfs = dfs_with(&["R"]);
+        let stats = sched.execute_program(&executor(), &mut dfs, p).unwrap();
+        let predicted = stats.predicted_net_time.expect("scheduled runs predict");
+        assert!(
+            (predicted - stats.net_time()).abs() < 1e-9,
+            "predicted {predicted} vs per-round net {}",
+            stats.net_time()
+        );
+        assert!(predicted > 0.0);
+    }
+
+    /// With slots to spare and an independent round, the prediction drops
+    /// below the serial sum but never below the longest job.
+    #[test]
+    fn predicted_net_time_reflects_overlap() {
+        let wide = || {
+            let mut p = MrProgram::new();
+            p.push_round(vec![copy_job("x", "R", "X"), copy_job("y", "R", "Y")]);
+            p
+        };
+        let run = |slots| {
+            let mut dfs = dfs_with(&["R"]);
+            DagScheduler::new(SchedulerConfig {
+                max_concurrent_jobs: slots,
+                ..SchedulerConfig::default()
+            })
+            .execute_program(&executor(), &mut dfs, wide())
+            .unwrap()
+        };
+        let serial = run(1);
+        let overlapped = run(2);
+        let p1 = serial.predicted_net_time.unwrap();
+        let p2 = overlapped.predicted_net_time.unwrap();
+        assert!(p2 < p1, "2 slots {p2} should predict under 1 slot {p1}");
+        // Identical jobs either way, so p1 is exactly the serial sum.
+        let per_job: f64 = p1 / 2.0;
+        assert!((p2 - per_job).abs() < 1e-9, "two equal jobs overlap fully");
+    }
+
+    /// Multi-tenant predictions come from one *global* simulation: a
+    /// later submission that serializes behind an earlier one (conflict
+    /// edge + single slot) is predicted to finish later, not priced as
+    /// if it ran alone on a free pool.
+    #[test]
+    fn multi_tenant_prediction_accounts_for_contention() {
+        let mut dfs = dfs_with(&["R", "S"]);
+        // Both tenants write Out: cross-submission conflict serializes
+        // them in admission order, and the pool has one slot anyway.
+        let mut p1 = MrProgram::new();
+        p1.push_job(copy_job("first", "R", "Out"));
+        let mut p2 = MrProgram::new();
+        p2.push_job(copy_job("second", "S", "Out"));
+        let subs = vec![Submission::new("t1", p1), Submission::new("t2", p2)];
+        let sched = DagScheduler::new(SchedulerConfig {
+            max_concurrent_jobs: 1,
+            ..SchedulerConfig::default()
+        });
+        let reports = sched.execute_many(&executor(), &mut dfs, &subs).unwrap();
+        let p_first = reports[0].stats.predicted_net_time.unwrap();
+        let p_second = reports[1].stats.predicted_net_time.unwrap();
+        assert!(
+            p_second > p_first,
+            "serialized tenant must be predicted later: {p_second} vs {p_first}"
+        );
+        // The second tenant's completion is the sum of both jobs' costs.
+        let total: f64 = reports
+            .iter()
+            .flat_map(|r| r.stats.jobs.iter())
+            .map(|js| {
+                RoundStats::pooled(
+                    std::iter::once(js),
+                    executor().config.cluster,
+                    executor().config.constants.job_overhead,
+                )
+                .net_time()
+            })
+            .sum();
+        assert!((p_second - total).abs() < 1e-9, "{p_second} vs {total}");
+    }
+
+    #[test]
+    fn placement_policies_agree_on_answers_and_stats() {
+        // A program with both width (round 1) and a dependent tail.
+        let program = || {
+            let mut p = MrProgram::new();
+            p.push_round(vec![
+                copy_job("x", "R", "X"),
+                copy_job("y", "R", "Y"),
+                copy_job("z", "R", "Z"),
+            ]);
+            p.push_job(copy_job("t", "X", "T"));
+            p
+        };
+        let exec = executor();
+        let mut dfs_fifo = dfs_with(&["R"]);
+        let fifo = DagScheduler::new(SchedulerConfig {
+            placement: PlacementPolicy::Fifo,
+            ..SchedulerConfig::default()
+        })
+        .execute_program(&exec, &mut dfs_fifo, program())
+        .unwrap();
+        for policy in [PlacementPolicy::Sjf, PlacementPolicy::CriticalPath] {
+            let mut dfs = dfs_with(&["R"]);
+            let stats = DagScheduler::new(SchedulerConfig {
+                placement: policy,
+                ..SchedulerConfig::default()
+            })
+            .execute_program(&exec, &mut dfs, program())
+            .unwrap();
+            crate::equivalence::assert_identical_dfs(policy.label(), &dfs_fifo, &dfs);
+            crate::equivalence::assert_identical_stats(policy.label(), &fifo, &stats);
+        }
+    }
+
+    #[test]
+    fn core_budget_sizes_per_job_threads_from_estimates() {
+        use gumbo_mr::{CostConstants, CostModelKind, InputPartition, JobEstimate, JobProfile};
+        let config = SchedulerConfig {
+            max_concurrent_jobs: 4,
+            core_budget: 16,
+            ..SchedulerConfig::default()
+        };
+        // Share = 16 / 4 = 4 cores per concurrent job.
+        let wide = JobEstimate::from_profile(
+            CostModelKind::Gumbo,
+            &CostConstants::default(),
+            &JobProfile {
+                partitions: vec![InputPartition {
+                    label: "R".into(),
+                    input: gumbo_common::ByteSize::mb(1000),
+                    map_output: gumbo_common::ByteSize::mb(1000),
+                    records_out: 0,
+                    mappers: 32,
+                }],
+                reducers: 8,
+                output: gumbo_common::ByteSize::mb(10),
+            },
+        );
+        assert_eq!(wide.suggested_parallelism, 32);
+        assert_eq!(config.threads_for(Some(&wide)), 4, "clamped to the share");
+        let narrow = JobEstimate {
+            suggested_parallelism: 2,
+            ..wide.clone()
+        };
+        assert_eq!(
+            config.threads_for(Some(&narrow)),
+            2,
+            "narrow jobs stay narrow"
+        );
+        assert_eq!(
+            config.threads_for(None),
+            4,
+            "unannotated jobs get the share"
+        );
+        let disabled = SchedulerConfig::default();
+        assert_eq!(disabled.threads_for(Some(&wide)), 0, "0 = executor sizing");
     }
 
     #[test]

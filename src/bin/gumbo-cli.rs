@@ -5,7 +5,8 @@
 //!           [--strategy greedy|par|sequnit|parunit|one-round|dynamic]
 //!           [--executor sim|parallel|parallel:N]
 //!           [--scheduler rounds|dag] [--max-jobs N]
-//!           [--mem-budget BYTES|unlimited]
+//!           [--placement fifo|sjf|cp] [--cores N]
+//!           [--mem-budget BYTES|unlimited] [--spill-compress]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
 //! ```
 //!
@@ -19,14 +20,23 @@
 //! `--scheduler dag` executes the planned jobs on the dependency-driven
 //! DAG scheduler (at most `--max-jobs` concurrent jobs) instead of the
 //! default round-barrier path; results and statistics are identical.
+//! `--placement` picks the ready-queue order (`fifo` arrival order,
+//! `sjf` shortest-estimated-job-first, `cp` critical-path) over the
+//! estimation layer's per-job cost annotations; `--cores N` sizes each
+//! job's worker pool from its estimate under a total-core budget (the
+//! parallel runtime only). All policies produce byte-identical results —
+//! scheduled runs additionally report the predicted DAG net time.
 //!
 //! `--mem-budget` bounds tracked shuffle memory (bytes, with optional
 //! `k`/`m`/`g` binary suffix): per-reducer buffers spill sorted runs to a
 //! job-scoped temp directory instead of exceeding the budget, and a
-//! `shuffle memory:` summary line (spilled bytes, run files, merge
-//! passes, peak) is printed after the run. Results are byte-identical to
-//! an unlimited run; the CLI exits nonzero if the tracked peak ever
-//! exceeded the budget.
+//! `shuffle memory:` summary line (spilled bytes — raw and on-disk —
+//! run files, merge passes, peak) is printed after the run.
+//! `--spill-compress` RLE-block-compresses the run files on disk.
+//! Results are byte-identical to an unlimited run; the CLI exits nonzero
+//! if the tracked peak ever exceeded the budget — printing the
+//! shuffle-memory summary *before* exiting, so the evidence of the
+//! violation always reaches the log.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -42,7 +52,10 @@ struct Args {
     executor: gumbo::mr::ExecutorKind,
     scheduler: String,
     max_jobs: usize,
+    placement: gumbo::sched::PlacementPolicy,
+    cores: usize,
     mem_budget: gumbo::mr::MemBudget,
+    spill_compress: bool,
     scale: u64,
     nodes: usize,
     out: Option<PathBuf>,
@@ -53,7 +66,8 @@ const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [-
                      [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
                      [--executor sim|parallel|parallel:N] \
                      [--scheduler rounds|dag] [--max-jobs N] \
-                     [--mem-budget BYTES|unlimited] \
+                     [--placement fifo|sjf|cp] [--cores N] \
+                     [--mem-budget BYTES|unlimited] [--spill-compress] \
                      [--scale N] [--nodes N] [--out DIR] [--explain]";
 
 fn parse_args() -> Result<Args, String> {
@@ -66,7 +80,10 @@ fn parse_args() -> Result<Args, String> {
         executor: gumbo::mr::ExecutorKind::Simulated,
         scheduler: "rounds".into(),
         max_jobs: 4,
+        placement: gumbo::sched::PlacementPolicy::Fifo,
+        cores: 0,
         mem_budget: gumbo::mr::MemBudget::UNLIMITED,
+        spill_compress: false,
         scale: 1,
         nodes: 10,
         out: None,
@@ -110,6 +127,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--max-jobs: {e}"))?
             }
+            "--placement" => {
+                let spec = need(&mut i, &argv)?;
+                args.placement = gumbo::sched::PlacementPolicy::parse(&spec)
+                    .ok_or_else(|| format!("--placement: fifo|sjf|cp, got {spec}"))?;
+            }
+            "--cores" => {
+                args.cores = need(&mut i, &argv)?
+                    .parse()
+                    .map_err(|e| format!("--cores: {e}"))?
+            }
+            "--spill-compress" => args.spill_compress = true,
             "--mem-budget" => {
                 let spec = need(&mut i, &argv)?;
                 args.mem_budget = gumbo::mr::MemBudget::parse(&spec).ok_or_else(|| {
@@ -183,15 +211,43 @@ fn options_for(args: &Args) -> Result<EvalOptions, String> {
         },
         other => return Err(format!("unknown strategy {other}")),
     };
-    options.mem_budget = args.mem_budget;
+    if args.spill_compress && !args.mem_budget.is_limited() {
+        // Nothing ever spills under an unlimited budget, so the flag
+        // would be a silent no-op — reject it like --placement below.
+        return Err("--spill-compress requires a limited --mem-budget".into());
+    }
+    let budget = args.mem_budget.compressed(args.spill_compress);
+    options.mem_budget = budget;
+    if args.scheduler != "dag"
+        && (args.placement != gumbo::sched::PlacementPolicy::Fifo || args.cores != 0)
+    {
+        // Silently ignoring these would let a user believe they
+        // benchmarked a placement policy on the round-barrier path.
+        return Err("--placement/--cores require --scheduler dag".into());
+    }
     if args.scheduler == "dag" {
         options.scheduler = Some(SchedulerConfig {
             max_concurrent_jobs: args.max_jobs,
             threads_per_job: 0,
-            mem_budget: args.mem_budget,
+            mem_budget: budget,
+            placement: args.placement,
+            core_budget: args.cores,
         });
     }
     Ok(options)
+}
+
+/// Nonzero-exit check for the shuffle-memory budget, split out so the
+/// call site *must* print the summary line first and the exit path is
+/// unit-testable: a tracked peak above the limit is an internal error
+/// (the CAS-guarded tracker is supposed to make it impossible).
+fn budget_check(peak: u64, limit: Option<u64>) -> Result<(), String> {
+    match limit {
+        Some(limit) if peak > limit => Err(format!(
+            "internal error: tracked shuffle memory peaked at {peak} over budget {limit}"
+        )),
+        _ => Ok(()),
+    }
 }
 
 /// Resolve one of the paper's generated workloads by name.
@@ -273,8 +329,9 @@ fn run(args: Args) -> Result<(), String> {
         eprintln!("estimated plan cost      : {cost:.1}");
         if let Some(sched) = options.scheduler {
             eprintln!(
-                "scheduler                : dag (max {} concurrent jobs)",
-                sched.effective_workers()
+                "scheduler                : dag (max {} concurrent jobs, placement {})",
+                sched.effective_workers(),
+                sched.placement.label(),
             );
         } else {
             eprintln!("scheduler                : round barrier");
@@ -305,22 +362,19 @@ fn run(args: Args) -> Result<(), String> {
     } else {
         "peak_tracked~="
     };
+    // The summary line always prints before the budget check below, so a
+    // nonzero exit still carries the evidence in the log.
     println!(
-        "shuffle memory: budget={} {peak_key}{} spilled_bytes={} spill_files={} merge_passes={}",
+        "shuffle memory: budget={} compress={} {peak_key}{} spilled_bytes={} spilled_disk_bytes={} spill_files={} merge_passes={}",
         budget.spec().label(),
+        if budget.spec().compress() { "rle" } else { "off" },
         budget.peak(),
         stats.spilled_bytes(),
+        stats.spilled_disk_bytes(),
         stats.spill_files(),
         stats.spill_merge_passes(),
     );
-    if let Some(limit) = budget.limit() {
-        if budget.peak() > limit {
-            return Err(format!(
-                "internal error: tracked shuffle memory peaked at {} over budget {limit}",
-                budget.peak()
-            ));
-        }
-    }
+    budget_check(budget.peak(), budget.limit())?;
     println!("output {} has {} tuples", query.output(), got.len());
 
     if let Some(out_dir) = args.out {
@@ -342,5 +396,34 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_check_fails_only_when_peak_exceeds_a_limit() {
+        // The nonzero exit path: peak over the limit.
+        let err = budget_check(10, Some(5)).unwrap_err();
+        assert!(err.contains("peaked at 10 over budget 5"), "{err}");
+        // At the limit or under it: clean exit.
+        assert!(budget_check(5, Some(5)).is_ok());
+        assert!(budget_check(0, Some(5)).is_ok());
+        // Unlimited budgets never fail, whatever the tracked peak.
+        assert!(budget_check(u64::MAX, None).is_ok());
+    }
+
+    #[test]
+    fn placement_policies_parse_from_cli_spellings() {
+        use gumbo::sched::PlacementPolicy;
+        assert_eq!(PlacementPolicy::parse("fifo"), Some(PlacementPolicy::Fifo));
+        assert_eq!(PlacementPolicy::parse("sjf"), Some(PlacementPolicy::Sjf));
+        assert_eq!(
+            PlacementPolicy::parse("cp"),
+            Some(PlacementPolicy::CriticalPath)
+        );
+        assert_eq!(PlacementPolicy::parse("best"), None);
     }
 }

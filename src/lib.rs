@@ -94,9 +94,12 @@ pub mod prelude {
     pub use gumbo_datagen::{DataSpec, Workload};
     pub use gumbo_mr::{
         Cluster, CostConstants, CostModelKind, Engine, EngineConfig, Executor, ExecutorKind,
-        JobConfig, JobDag, MrProgram, ParallelExecutor, ProgramStats, SimulatedExecutor,
+        JobConfig, JobDag, JobEstimate, MrProgram, ParallelExecutor, ProgramStats,
+        SimulatedExecutor,
     };
-    pub use gumbo_sched::{DagScheduler, SchedulerConfig, Submission, SubmissionReport};
+    pub use gumbo_sched::{
+        DagScheduler, PlacementPolicy, SchedulerConfig, Submission, SubmissionReport,
+    };
     pub use gumbo_sgf::{
         parse_program, parse_query, Atom, BsgfQuery, Condition, DependencyGraph, NaiveEvaluator,
         SgfQuery, Term, Var,

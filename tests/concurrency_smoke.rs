@@ -111,6 +111,7 @@ fn value_order_within_groups_is_deterministic_across_thread_counts() {
         mapper: Box::new(HotKeyMapper),
         reducer: Box::new(OrderSensitiveReducer),
         config: JobConfig::default(),
+        estimate: None,
     };
     let mk_dfs = || {
         let mut db = Database::new();

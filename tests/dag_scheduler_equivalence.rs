@@ -133,6 +133,90 @@ fn dag_scheduler_with_tiny_budget_matches_unbudgeted_round_barrier() {
 }
 
 #[test]
+fn placement_policies_match_round_barrier_on_every_preset() {
+    // The ISSUE-4 acceptance matrix: all three placement policies ×
+    // both executors × {unlimited, tiny budget}, on every datagen
+    // preset — byte-identical relations and identical non-timing
+    // statistics versus the round barrier. Placement reorders only
+    // ready jobs, so nothing observable may change.
+    const BUDGET: u64 = 4096;
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(120).database(11);
+
+        let mut dfs_rounds = SimDfs::from_database(&db);
+        let stats_rounds = engine(None, ExecutorKind::Simulated)
+            .evaluate(&mut dfs_rounds, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (rounds): {e}", workload.name));
+        assert!(
+            stats_rounds.predicted_net_time.is_none(),
+            "the barrier path has no DAG to predict over"
+        );
+
+        for policy in PlacementPolicy::ALL {
+            for executor in [
+                ExecutorKind::Simulated,
+                ExecutorKind::Parallel { threads: 2 },
+            ] {
+                for budget in [None, Some(BUDGET)] {
+                    let scheduler = Some(SchedulerConfig {
+                        max_concurrent_jobs: 3,
+                        placement: policy,
+                        mem_budget: budget
+                            .map(gumbo::mr::MemBudget::bytes)
+                            .unwrap_or(gumbo::mr::MemBudget::UNLIMITED),
+                        ..SchedulerConfig::default()
+                    });
+                    let mut dfs_dag = SimDfs::from_database(&db);
+                    let stats_dag = engine(scheduler, executor)
+                        .evaluate(&mut dfs_dag, &workload.query)
+                        .unwrap_or_else(|e| {
+                            panic!("{} ({} {:?}): {e}", workload.name, policy.label(), executor)
+                        });
+                    let label = format!(
+                        "{} (policy {}, executor {}, budget {budget:?})",
+                        workload.name,
+                        policy.label(),
+                        executor.label(),
+                    );
+                    assert_equivalent(&label, &dfs_rounds, &stats_rounds, &dfs_dag, &stats_dag);
+                    assert!(
+                        stats_dag.predicted_net_time.is_some(),
+                        "{label}: scheduled runs report a predicted DAG net time"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn predicted_net_time_is_policy_invariant_and_positive() {
+    // The prediction is deterministic list scheduling over the job DAG
+    // with policy-independent tie-breaking: every placement policy must
+    // report exactly the same number for the same program.
+    let workload = queries::c1().with_tuples(200);
+    let db = workload.spec.database(5);
+    let mut predictions = Vec::new();
+    for policy in PlacementPolicy::ALL {
+        let scheduler = Some(SchedulerConfig {
+            max_concurrent_jobs: 4,
+            placement: policy,
+            ..SchedulerConfig::default()
+        });
+        let mut dfs = SimDfs::from_database(&db);
+        let stats = engine(scheduler, ExecutorKind::Simulated)
+            .evaluate(&mut dfs, &workload.query)
+            .unwrap();
+        let predicted = stats.predicted_net_time.unwrap();
+        assert!(predicted > 0.0, "{}: {predicted}", policy.label());
+        predictions.push(predicted);
+    }
+    for p in &predictions[1..] {
+        assert!((p - predictions[0]).abs() < 1e-9, "{predictions:?}");
+    }
+}
+
+#[test]
 fn dag_scheduler_composes_with_parallel_runtime() {
     // The scheduler supplies inter-job concurrency while each job's own
     // map/shuffle/reduce fans out on the parallel runtime — stats must
