@@ -1,0 +1,43 @@
+//! Heap-allocation counting for the experiment binaries.
+//!
+//! Every binary linking `gumbo-bench` routes its heap traffic through a
+//! [`System`]-backed allocator that counts `alloc` and `realloc` calls in
+//! one relaxed atomic. The counter costs a single uncontended `fetch_add`
+//! per allocation, so the figure experiments are unaffected; `tuplebench`
+//! reads it around each measured region to report allocations per plane
+//! alongside wall-clock throughput.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Allocator wrapper counting every `alloc`/`realloc` since process start.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation verbatim to `System`; the counter has no
+// effect on the returned pointers or layouts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Total `alloc` + `realloc` calls since process start. Subtract two
+/// snapshots to charge a region.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}

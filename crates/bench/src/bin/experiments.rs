@@ -1,7 +1,7 @@
 //! Experiment driver: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup|dagsched|spill|placement>
+//! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup|dagsched|spill|tuplebench|placement>
 //!             [--tuples N] [--scale N] [--nodes N] [--seed N] [--no-verify]
 //!             [--executor sim|parallel|parallel:N]
 //! ```
@@ -82,6 +82,7 @@ fn main() {
         "speedup" => experiments::speedup(&cfg),
         "dagsched" => experiments::dagsched(&cfg),
         "spill" => experiments::spill(&cfg),
+        "tuplebench" => experiments::tuplebench(&cfg),
         "placement" => experiments::placement(&cfg),
         other => {
             eprintln!("unknown experiment {other}");

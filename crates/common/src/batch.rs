@@ -1,0 +1,880 @@
+//! Columnar tuple batches: the arena-backed data plane.
+//!
+//! [`Tuple`] is the right *interface* for the paper's operators — an
+//! immutable `ā ∈ Dⁿ` — but a poor *carrier* for the MapReduce hot path:
+//! every tuple is a separate `Arc<[Value]>` heap block, so a shuffle moving
+//! millions of pairs pays an allocation (and later a drop) per tuple.
+//! [`TupleBatch`] keeps the same data in columnar form instead:
+//!
+//! * each of the `n` columns is one contiguous `Vec<i64>` cell arena —
+//!   integers are stored verbatim, strings as dictionary codes;
+//! * a per-batch [`StringDict`] interns every distinct `Value::Str` once,
+//!   so repeated strings cost 4–8 bytes per occurrence, not a clone;
+//! * per-column type tags are allocated lazily — a batch of all-integer
+//!   tuples (the paper's synthetic workloads, §5.1) carries *no* per-cell
+//!   type metadata at all;
+//! * [`TupleView`]/[`ValueRef`] give zero-copy access to one row, with the
+//!   exact same total order as [`Tuple`]/[`Value`], so sorted runs built
+//!   from batches merge identically to runs of owned tuples.
+//!
+//! Byte accounting is unchanged from the row representation: a batch's
+//! [`estimated_bytes`](TupleBatch::estimated_bytes) is the sum over rows of
+//! the paper's §5.1 layout — 10 bytes per integer value
+//! ([`INT_VALUE_BYTES`]), `max(len, 10)` per string — so cost-model inputs
+//! and `JobStats` byte counters are identical whichever representation
+//! carried the data.
+//!
+//! Conversion at the edges is lossless: [`TupleBatch::push_tuple`] /
+//! [`TupleBatch::tuple`] round-trip every tuple (order, arity, values, and
+//! estimated bytes all preserved), which the property tests in this crate
+//! verify over random int/str mixes and dictionary collisions.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::{GumboError, Result};
+use crate::tuple::Tuple;
+use crate::value::{Value, INT_VALUE_BYTES};
+
+/// Per-cell type tag: the cell holds an integer verbatim.
+const TAG_INT: u8 = 0;
+/// Per-cell type tag: the cell holds a [`StringDict`] code.
+const TAG_STR: u8 = 1;
+
+/// A borrowed view of one value inside a batch.
+///
+/// The derived ordering (`Int` before `Str`, payloads compared within a
+/// variant) matches [`Value`]'s derived ordering exactly, so sorting by
+/// views produces the same permutation as sorting owned values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ValueRef<'a> {
+    /// An integer value, copied out of the cell arena.
+    Int(i64),
+    /// A string value, borrowed from the batch's dictionary.
+    Str(&'a str),
+}
+
+/// One undecoded cell of a [`TupleBatch`]: integers verbatim, strings as
+/// dictionary codes (resolve with [`StringDict::get`], or rank them for
+/// integer-only sorting). Returned by [`TupleBatch::cell`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// An integer cell.
+    Int(i64),
+    /// A string cell, as its dictionary code.
+    Str(u32),
+}
+
+impl ValueRef<'_> {
+    /// Materialize an owned [`Value`]. Allocates a fresh `Arc<str>` for
+    /// strings; prefer [`TupleBatch::tuple`], which clones the dictionary's
+    /// existing `Arc` instead.
+    pub fn to_value(&self) -> Value {
+        match self {
+            ValueRef::Int(i) => Value::Int(*i),
+            ValueRef::Str(s) => Value::str(s),
+        }
+    }
+
+    /// Estimated bytes under the paper's §5.1 layout — identical to
+    /// [`Value::estimated_bytes`].
+    pub fn estimated_bytes(&self) -> u64 {
+        match self {
+            ValueRef::Int(_) => INT_VALUE_BYTES,
+            ValueRef::Str(s) => (s.len() as u64).max(INT_VALUE_BYTES),
+        }
+    }
+
+    /// Compare against an owned [`Value`] with the same total order as
+    /// `Value`'s own `Ord`.
+    pub fn cmp_value(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (ValueRef::Int(a), Value::Int(b)) => a.cmp(b),
+            (ValueRef::Int(_), Value::Str(_)) => Ordering::Less,
+            (ValueRef::Str(_), Value::Int(_)) => Ordering::Greater,
+            (ValueRef::Str(a), Value::Str(b)) => (*a).cmp(&**b),
+        }
+    }
+}
+
+/// One column: a contiguous cell arena plus lazily-allocated type tags.
+#[derive(Debug, Clone, Default)]
+struct Column {
+    /// Cell payloads: integers verbatim, string dictionary codes as `i64`.
+    cells: Vec<i64>,
+    /// Per-cell type tags; `None` while every cell is an integer, so
+    /// all-int columns carry no per-cell metadata.
+    tags: Option<Vec<u8>>,
+}
+
+impl Column {
+    fn push_int(&mut self, v: i64) {
+        self.cells.push(v);
+        if let Some(tags) = &mut self.tags {
+            tags.push(TAG_INT);
+        }
+    }
+
+    fn push_str_code(&mut self, code: u32) {
+        self.tags
+            .get_or_insert_with(|| vec![TAG_INT; self.cells.len()])
+            .push(TAG_STR);
+        self.cells.push(i64::from(code));
+    }
+
+    fn tag(&self, row: usize) -> u8 {
+        self.tags.as_ref().map_or(TAG_INT, |t| t[row])
+    }
+
+    fn clear(&mut self) {
+        self.cells.clear();
+        if let Some(tags) = &mut self.tags {
+            tags.clear();
+        }
+    }
+}
+
+/// A per-batch string dictionary: every distinct `Value::Str` is stored
+/// once and referenced by a dense `u32` code.
+#[derive(Debug, Clone, Default)]
+pub struct StringDict {
+    strings: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+    /// Data-pointer fast path: the payload address of an `Arc` this
+    /// dictionary itself retains in `strings`, mapped to its code. Only
+    /// such addresses are cached — `strings` keeps the allocation alive
+    /// for the dictionary's lifetime, so a remembered address can never
+    /// be freed and reused for different content. (A pointer from an
+    /// equal-content *foreign* `Arc` must not be cached: its allocation
+    /// can be dropped and recycled.) Hashing a `usize` is much cheaper
+    /// than hashing string bytes, and shuffles re-intern the same shared
+    /// `Arc`s constantly — row copies between batches always present the
+    /// source dictionary's retained instance.
+    by_ptr: HashMap<usize, u32, BuildPtrHasher>,
+}
+
+/// A multiply-shift hasher for the pointer fast path: pointers are
+/// already well-distributed allocation addresses, so one odd-constant
+/// multiply (Fibonacci hashing) beats SipHash by an order of magnitude on
+/// this hot loop. Not DoS-resistant — fine, the keys are our own heap
+/// addresses, never attacker-controlled input.
+#[derive(Default)]
+struct PtrHasher(u64);
+
+impl std::hash::Hasher for PtrHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only `write_usize` is exercised by `HashMap<usize, _>`; keep a
+        // correct (if slow) fallback for completeness.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type BuildPtrHasher = std::hash::BuildHasherDefault<PtrHasher>;
+
+impl StringDict {
+    /// Intern a string, returning its code. Distinct strings get distinct
+    /// codes in first-seen order; re-interning is a lookup plus at most an
+    /// `Arc` clone — never a string copy.
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        let ptr = s.as_ptr() as usize;
+        if let Some(&code) = self.by_ptr.get(&ptr) {
+            return code;
+        }
+        if let Some(&code) = self.index.get(s) {
+            // Equal content in a foreign allocation: do not cache the
+            // pointer — we hold no clone of *this* allocation, so its
+            // address may be recycled after the caller drops it.
+            return code;
+        }
+        let code = u32::try_from(self.strings.len()).expect("string dictionary overflow");
+        self.strings.push(s.clone());
+        self.index.insert(s.clone(), code);
+        self.by_ptr.insert(ptr, code);
+        code
+    }
+
+    /// The interned string for a code.
+    ///
+    /// # Panics
+    /// If the code was not produced by this dictionary.
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.strings.clear();
+        self.index.clear();
+        self.by_ptr.clear();
+    }
+}
+
+/// A columnar batch of same-arity tuples.
+///
+/// See the [module docs](self) for the layout. Batches grow by
+/// [`push_tuple`](Self::push_tuple) (decomposing an owned tuple at the
+/// edge) or [`push_row`](Self::push_row) (copying a row from another batch
+/// without materializing a `Tuple`); rows are read through zero-copy
+/// [`TupleView`]s.
+#[derive(Debug, Clone, Default)]
+pub struct TupleBatch {
+    arity: usize,
+    rows: usize,
+    cols: Vec<Column>,
+    dict: StringDict,
+    bytes: u64,
+}
+
+impl TupleBatch {
+    /// An empty batch of `arity`-ary tuples.
+    pub fn new(arity: usize) -> Self {
+        TupleBatch {
+            arity,
+            rows: 0,
+            cols: (0..arity).map(|_| Column::default()).collect(),
+            dict: StringDict::default(),
+            bytes: 0,
+        }
+    }
+
+    /// The arity every row of this batch has.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Estimated bytes over all rows, under the paper's §5.1 layout —
+    /// equal to the sum of `Tuple::estimated_bytes` over the same rows.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The batch's string dictionary.
+    pub fn dict(&self) -> &StringDict {
+        &self.dict
+    }
+
+    /// Append one owned tuple (the row-to-column edge conversion).
+    ///
+    /// # Panics
+    /// If the tuple's arity differs from the batch's.
+    pub fn push_tuple(&mut self, t: &Tuple) {
+        assert_eq!(t.arity(), self.arity, "batch arity mismatch");
+        for (col, v) in self.cols.iter_mut().zip(t.values()) {
+            match v {
+                Value::Int(i) => col.push_int(*i),
+                Value::Str(s) => {
+                    let code = self.dict.intern(s);
+                    col.push_str_code(code);
+                }
+            }
+            self.bytes += v.estimated_bytes();
+        }
+        self.rows += 1;
+    }
+
+    /// Append row `row` of `src` (which may be `self`-shaped but a
+    /// different batch). Integers are plain `i64` copies; strings re-intern
+    /// the source dictionary's `Arc` (a pointer clone, never a byte copy).
+    ///
+    /// # Panics
+    /// If the arities differ or `row` is out of bounds.
+    pub fn push_row(&mut self, src: &TupleBatch, row: usize) {
+        assert_eq!(src.arity, self.arity, "batch arity mismatch");
+        assert!(row < src.rows, "row out of bounds");
+        for c in 0..self.arity {
+            let cell = src.cols[c].cells[row];
+            if src.cols[c].tag(row) == TAG_INT {
+                self.cols[c].push_int(cell);
+                self.bytes += INT_VALUE_BYTES;
+            } else {
+                let s = src.dict.get(cell as u32);
+                self.bytes += (s.len() as u64).max(INT_VALUE_BYTES);
+                let code = self.dict.intern(s);
+                self.cols[c].push_str_code(code);
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Zero-copy view of one row.
+    ///
+    /// # Panics
+    /// If `row` is out of bounds.
+    pub fn view(&self, row: usize) -> TupleView<'_> {
+        assert!(row < self.rows, "row out of bounds");
+        TupleView { batch: self, row }
+    }
+
+    /// Raw cell access: the undecoded `(tag, payload)` of one cell, with
+    /// string cells left as dictionary codes. This is the hook for
+    /// rank-based sorting — resolve codes through a precomputed rank
+    /// table and row comparisons become pure integer comparisons.
+    ///
+    /// # Panics
+    /// If `row` or `col` is out of bounds.
+    pub fn cell(&self, row: usize, col: usize) -> Cell {
+        assert!(row < self.rows, "row out of bounds");
+        let cell = self.cols[col].cells[row];
+        if self.cols[col].tag(row) == TAG_INT {
+            Cell::Int(cell)
+        } else {
+            Cell::Str(cell as u32)
+        }
+    }
+
+    /// Materialize row `row` as an owned [`Tuple`]. String fields clone the
+    /// dictionary's `Arc<str>` (a refcount bump, not a copy); the whole
+    /// tuple is a single `Arc<[Value]>` allocation.
+    pub fn tuple(&self, row: usize) -> Tuple {
+        assert!(row < self.rows, "row out of bounds");
+        (0..self.arity)
+            .map(|c| {
+                let cell = self.cols[c].cells[row];
+                if self.cols[c].tag(row) == TAG_INT {
+                    Value::Int(cell)
+                } else {
+                    Value::Str(self.dict.get(cell as u32).clone())
+                }
+            })
+            .collect()
+    }
+
+    /// Estimated bytes of one row (paper layout), equal to
+    /// `self.tuple(row).estimated_bytes()` without materializing.
+    pub fn row_bytes(&self, row: usize) -> u64 {
+        (0..self.arity)
+            .map(|c| {
+                let cell = self.cols[c].cells[row];
+                if self.cols[c].tag(row) == TAG_INT {
+                    INT_VALUE_BYTES
+                } else {
+                    (self.dict.get(cell as u32).len() as u64).max(INT_VALUE_BYTES)
+                }
+            })
+            .sum()
+    }
+
+    /// Materialize every row (edge conversion back to the row world).
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.rows).map(|r| self.tuple(r)).collect()
+    }
+
+    /// Project every row onto `positions` — pure column slicing: selected
+    /// cell arenas (and their tag vectors) are copied wholesale with
+    /// `memcpy`, no per-row or per-value work. The dictionary is cloned
+    /// only when a selected column actually holds strings.
+    ///
+    /// Row `i` of the result equals `self.tuple(i).project(positions)`.
+    pub fn project(&self, positions: &[usize]) -> TupleBatch {
+        let cols: Vec<Column> = positions.iter().map(|&i| self.cols[i].clone()).collect();
+        let any_str = cols.iter().any(|c| c.tags.is_some());
+        let mut out = TupleBatch {
+            arity: positions.len(),
+            rows: self.rows,
+            cols,
+            dict: if any_str {
+                self.dict.clone()
+            } else {
+                StringDict::default()
+            },
+            bytes: 0,
+        };
+        out.bytes = (0..out.rows).map(|r| out.row_bytes(r)).sum();
+        out
+    }
+
+    /// Drop every row but keep the cell arenas' capacity for reuse.
+    pub fn clear(&mut self) {
+        for col in &mut self.cols {
+            col.clear();
+        }
+        self.dict.clear();
+        self.rows = 0;
+        self.bytes = 0;
+    }
+
+    /// Append the batch's wire encoding to `out`.
+    ///
+    /// Layout (all integers little-endian):
+    ///
+    /// ```text
+    /// [arity u32] [rows u32]
+    /// [dict_len u32] dict_len × ( [len u32] [utf-8 bytes] )
+    /// arity × ( [has_tags u8] rows × [cell i64] { rows × [tag u8] if has_tags } )
+    /// ```
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<()> {
+        let rows = u32::try_from(self.rows)
+            .map_err(|_| GumboError::Storage("columnar frame exceeds 2^32 rows".into()))?;
+        out.extend_from_slice(&(self.arity as u32).to_le_bytes());
+        out.extend_from_slice(&rows.to_le_bytes());
+        out.extend_from_slice(&(self.dict.len() as u32).to_le_bytes());
+        for s in &self.dict.strings {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        for col in &self.cols {
+            out.push(u8::from(col.tags.is_some()));
+            for cell in &col.cells {
+                out.extend_from_slice(&cell.to_le_bytes());
+            }
+            if let Some(tags) = &col.tags {
+                out.extend_from_slice(tags);
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode one batch starting at `*pos` in `buf`, advancing `*pos` past
+    /// it. Rejects corrupt input (truncation, bad tags, out-of-range
+    /// dictionary codes, non-UTF-8 strings) instead of guessing.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<TupleBatch> {
+        let arity = read_u32(buf, pos)? as usize;
+        let rows = read_u32(buf, pos)? as usize;
+        let dict_len = read_u32(buf, pos)? as usize;
+        let mut dict = StringDict::default();
+        for _ in 0..dict_len {
+            let len = read_u32(buf, pos)? as usize;
+            let bytes = read_bytes(buf, pos, len)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| {
+                GumboError::Storage("corrupt columnar frame: non-UTF-8 dictionary entry".into())
+            })?;
+            let arc: Arc<str> = Arc::from(s);
+            // Codes are positional; re-interning preserves them because the
+            // writer emitted strings in code order and they are distinct.
+            dict.intern(&arc);
+        }
+        let mut cols = Vec::with_capacity(arity);
+        let mut bytes_total = 0u64;
+        for _ in 0..arity {
+            let has_tags = match read_u8(buf, pos)? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(GumboError::Storage(format!(
+                        "corrupt columnar frame: bad column header {other}"
+                    )))
+                }
+            };
+            let mut cells = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                cells.push(read_i64(buf, pos)?);
+            }
+            let tags = if has_tags {
+                let raw = read_bytes(buf, pos, rows)?;
+                for (tag, cell) in raw.iter().zip(&cells) {
+                    match *tag {
+                        TAG_INT => {}
+                        TAG_STR => {
+                            if *cell < 0 || *cell as usize >= dict.len() {
+                                return Err(GumboError::Storage(
+                                    "corrupt columnar frame: string code out of range".into(),
+                                ));
+                            }
+                        }
+                        other => {
+                            return Err(GumboError::Storage(format!(
+                                "corrupt columnar frame: unknown cell tag {other}"
+                            )))
+                        }
+                    }
+                }
+                Some(raw.to_vec())
+            } else {
+                None
+            };
+            for row in 0..rows {
+                bytes_total += match tags.as_ref().map_or(TAG_INT, |t| t[row]) {
+                    TAG_INT => INT_VALUE_BYTES,
+                    _ => (dict.get(cells[row] as u32).len() as u64).max(INT_VALUE_BYTES),
+                };
+            }
+            cols.push(Column { cells, tags });
+        }
+        Ok(TupleBatch {
+            arity,
+            rows,
+            cols,
+            dict,
+            bytes: bytes_total,
+        })
+    }
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| GumboError::Storage("truncated columnar frame".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    let bytes = read_bytes(buf, pos, 4)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
+    let bytes = read_bytes(buf, pos, 8)?;
+    Ok(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn read_bytes<'a>(buf: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8]> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| GumboError::Storage("truncated columnar frame".into()))?;
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+/// A zero-copy view of one row of a [`TupleBatch`].
+///
+/// Views are `Copy` (a batch pointer plus a row index) and totally ordered
+/// with exactly [`Tuple`]'s derived order — element-wise [`Value`]
+/// comparison with shorter-tuple tiebreak — including across *different*
+/// batches (string cells compare by content, not by dictionary code).
+#[derive(Clone, Copy)]
+pub struct TupleView<'a> {
+    batch: &'a TupleBatch,
+    row: usize,
+}
+
+impl<'a> TupleView<'a> {
+    /// The row's arity.
+    pub fn arity(&self) -> usize {
+        self.batch.arity
+    }
+
+    /// The value at position `i`.
+    ///
+    /// # Panics
+    /// If `i >= arity`.
+    pub fn value(&self, i: usize) -> ValueRef<'a> {
+        let col = &self.batch.cols[i];
+        let cell = col.cells[self.row];
+        if col.tag(self.row) == TAG_INT {
+            ValueRef::Int(cell)
+        } else {
+            ValueRef::Str(self.batch.dict.get(cell as u32))
+        }
+    }
+
+    /// Iterate the row's values left to right.
+    pub fn values(&self) -> impl Iterator<Item = ValueRef<'a>> + '_ {
+        (0..self.batch.arity).map(|i| self.value(i))
+    }
+
+    /// Materialize the row as an owned [`Tuple`] (one allocation; string
+    /// fields bump the dictionary `Arc`s).
+    pub fn to_tuple(&self) -> Tuple {
+        self.batch.tuple(self.row)
+    }
+
+    /// Estimated bytes of the row under the paper's layout.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.batch.row_bytes(self.row)
+    }
+
+    /// Compare against an owned [`Tuple`] with the same total order as
+    /// `Tuple`'s `Ord`.
+    pub fn cmp_tuple(&self, t: &Tuple) -> Ordering {
+        let mut vals = t.values().iter();
+        for i in 0..self.batch.arity {
+            match vals.next() {
+                None => return Ordering::Greater,
+                Some(v) => match self.value(i).cmp_value(v) {
+                    Ordering::Equal => {}
+                    non_eq => return non_eq,
+                },
+            }
+        }
+        if vals.next().is_some() {
+            Ordering::Less
+        } else {
+            Ordering::Equal
+        }
+    }
+}
+
+impl PartialEq for TupleView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for TupleView<'_> {}
+
+impl PartialOrd for TupleView<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TupleView<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lexicographic with length tiebreak: identical to the derived
+        // `Ord` on `Tuple`'s `Arc<[Value]>`.
+        self.values().cmp(other.values())
+    }
+}
+
+impl fmt::Debug for TupleView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(vec![Value::Int(3), Value::str("carrier"), Value::Int(-1)]),
+            Tuple::new(vec![Value::Int(1), Value::str("bad"), Value::Int(7)]),
+            Tuple::new(vec![Value::Int(3), Value::str("bad"), Value::Int(9)]),
+            Tuple::new(vec![
+                Value::str("bad"),
+                Value::str("bad"),
+                Value::Int(i64::MIN),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn push_and_materialize_round_trip() {
+        let tuples = mixed_tuples();
+        let mut batch = TupleBatch::new(3);
+        for t in &tuples {
+            batch.push_tuple(t);
+        }
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.to_tuples(), tuples);
+        assert_eq!(
+            batch.estimated_bytes(),
+            tuples.iter().map(Tuple::estimated_bytes).sum::<u64>()
+        );
+        for (i, t) in tuples.iter().enumerate() {
+            assert_eq!(batch.row_bytes(i), t.estimated_bytes());
+            assert_eq!(batch.view(i).cmp_tuple(t), Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn dictionary_interns_each_distinct_string_once() {
+        let mut batch = TupleBatch::new(1);
+        for s in ["x", "y", "x", "x", "y"] {
+            batch.push_tuple(&Tuple::new(vec![Value::str(s)]));
+        }
+        assert_eq!(batch.dict().len(), 2);
+        assert_eq!(
+            batch.to_tuples(),
+            ["x", "y", "x", "x", "y"]
+                .iter()
+                .map(|s| Tuple::new(vec![Value::str(s)]))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn all_int_batches_carry_no_tags() {
+        let mut batch = TupleBatch::new(2);
+        for i in 0..100 {
+            batch.push_tuple(&Tuple::from_ints(&[i, i * 2]));
+        }
+        assert!(batch.cols.iter().all(|c| c.tags.is_none()));
+        assert!(batch.dict().is_empty());
+        assert_eq!(batch.estimated_bytes(), 100 * 2 * INT_VALUE_BYTES);
+    }
+
+    #[test]
+    fn view_order_matches_tuple_order() {
+        let tuples = mixed_tuples();
+        let mut batch = TupleBatch::new(3);
+        for t in &tuples {
+            batch.push_tuple(t);
+        }
+        let mut by_view: Vec<usize> = (0..tuples.len()).collect();
+        by_view.sort_by(|&a, &b| batch.view(a).cmp(&batch.view(b)));
+        let mut by_tuple: Vec<usize> = (0..tuples.len()).collect();
+        by_tuple.sort_by(|&a, &b| tuples[a].cmp(&tuples[b]));
+        assert_eq!(by_view, by_tuple);
+    }
+
+    #[test]
+    fn views_compare_across_batches_by_content() {
+        let mut a = TupleBatch::new(1);
+        let mut b = TupleBatch::new(1);
+        // Same string, different dictionary codes (b interned "z" first).
+        a.push_tuple(&Tuple::new(vec![Value::str("same")]));
+        b.push_tuple(&Tuple::new(vec![Value::str("z")]));
+        b.push_tuple(&Tuple::new(vec![Value::str("same")]));
+        assert_eq!(a.view(0), b.view(1));
+        assert!(a.view(0) < b.view(0));
+    }
+
+    #[test]
+    fn push_row_copies_between_batches() {
+        let tuples = mixed_tuples();
+        let mut src = TupleBatch::new(3);
+        for t in &tuples {
+            src.push_tuple(t);
+        }
+        let mut dst = TupleBatch::new(3);
+        for row in [3, 1, 1, 0] {
+            dst.push_row(&src, row);
+        }
+        assert_eq!(
+            dst.to_tuples(),
+            vec![
+                tuples[3].clone(),
+                tuples[1].clone(),
+                tuples[1].clone(),
+                tuples[0].clone()
+            ]
+        );
+        assert_eq!(
+            dst.estimated_bytes(),
+            [3usize, 1, 1, 0]
+                .iter()
+                .map(|&i| tuples[i].estimated_bytes())
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn projection_is_column_slicing() {
+        let tuples = mixed_tuples();
+        let mut batch = TupleBatch::new(3);
+        for t in &tuples {
+            batch.push_tuple(t);
+        }
+        let proj = batch.project(&[2, 0]);
+        assert_eq!(proj.arity(), 2);
+        assert_eq!(
+            proj.to_tuples(),
+            tuples
+                .iter()
+                .map(|t| t.project(&[2, 0]))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            proj.estimated_bytes(),
+            tuples
+                .iter()
+                .map(|t| t.project(&[2, 0]).estimated_bytes())
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn int_only_projection_of_int_batch_has_no_dict() {
+        let mut batch = TupleBatch::new(3);
+        for i in 0..10 {
+            batch.push_tuple(&Tuple::from_ints(&[i, i + 1, i + 2]));
+        }
+        let proj = batch.project(&[0, 2]);
+        assert!(proj.dict().is_empty());
+        assert!(proj.cols.iter().all(|c| c.tags.is_none()));
+        assert_eq!(
+            proj.to_tuples(),
+            (0..10)
+                .map(|i| Tuple::from_ints(&[i, i + 2]))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn nullary_batches_count_rows() {
+        let mut batch = TupleBatch::new(0);
+        let unit = Tuple::new(vec![]);
+        batch.push_tuple(&unit);
+        batch.push_tuple(&unit);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.estimated_bytes(), 0);
+        assert_eq!(batch.to_tuples(), vec![unit.clone(), unit]);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let tuples = mixed_tuples();
+        let mut batch = TupleBatch::new(3);
+        for t in &tuples {
+            batch.push_tuple(t);
+        }
+        let mut buf = Vec::new();
+        batch.encode_into(&mut buf).unwrap();
+        let mut pos = 0;
+        let back = TupleBatch::decode_from(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        assert_eq!(back.to_tuples(), tuples);
+        assert_eq!(back.estimated_bytes(), batch.estimated_bytes());
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_bad_codes() {
+        let mut batch = TupleBatch::new(1);
+        batch.push_tuple(&Tuple::new(vec![Value::str("q")]));
+        let mut buf = Vec::new();
+        batch.encode_into(&mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(
+                TupleBatch::decode_from(&buf[..cut], &mut pos).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // Corrupt the string code (last 8 cell bytes before the tag byte).
+        let mut bad = buf.clone();
+        let cell_at = bad.len() - 1 - 8;
+        bad[cell_at..cell_at + 8].copy_from_slice(&99i64.to_le_bytes());
+        let mut pos = 0;
+        let err = TupleBatch::decode_from(&bad, &mut pos).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets_accounting() {
+        let mut batch = TupleBatch::new(2);
+        batch.push_tuple(&Tuple::new(vec![Value::Int(1), Value::str("s")]));
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.estimated_bytes(), 0);
+        assert!(batch.dict().is_empty());
+        batch.push_tuple(&Tuple::from_ints(&[4, 5]));
+        assert_eq!(batch.to_tuples(), vec![Tuple::from_ints(&[4, 5])]);
+    }
+}

@@ -17,6 +17,7 @@
 //! encodes exactly that convention so that cost-model inputs measured on
 //! scaled-down data have the same per-tuple weights as the paper's.
 
+pub mod batch;
 pub mod bytes;
 pub mod database;
 pub mod error;
@@ -25,6 +26,7 @@ pub mod relation;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{Cell, StringDict, TupleBatch, TupleView, ValueRef};
 pub use bytes::{ByteSize, MB};
 pub use database::Database;
 pub use error::{GumboError, Result};

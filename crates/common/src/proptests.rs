@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use crate::{ByteSize, Database, Fact, Relation, Tuple, Value};
+use crate::{ByteSize, Database, Fact, Relation, Tuple, TupleBatch, Value};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -15,6 +15,33 @@ fn arb_value() -> impl Strategy<Value = Value> {
 
 fn arb_tuple(max_arity: usize) -> impl Strategy<Value = Tuple> {
     proptest::collection::vec(arb_value(), 0..=max_arity).prop_map(Tuple::new)
+}
+
+/// A value from a deliberately tiny string alphabet, so generated
+/// batches hit dictionary collisions (the same string interned from
+/// many rows) as well as int/str mixes within one column.
+fn arb_colliding_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-3i64..3).prop_map(Value::Int),
+        "[ab]{0,2}".prop_map(Value::str),
+    ]
+}
+
+/// A batch-shaped input: one fixed arity and a list of tuples of that
+/// arity (a `TupleBatch` holds same-arity rows by construction).
+fn arb_batch_rows() -> impl Strategy<Value = (usize, Vec<Tuple>)> {
+    let wide_rows =
+        proptest::collection::vec(proptest::collection::vec(arb_colliding_value(), 4), 0..40);
+    (0usize..=4, wide_rows).prop_map(|(arity, rows)| {
+        let rows = rows
+            .into_iter()
+            .map(|mut values| {
+                values.truncate(arity);
+                Tuple::new(values)
+            })
+            .collect();
+        (arity, rows)
+    })
 }
 
 proptest! {
@@ -85,6 +112,79 @@ proptest! {
             let name = ["A", "B", "C"][*r as usize];
             prop_assert!(db.contains_fact(&name.into(), &Tuple::from_ints(t)));
         }
+    }
+
+    /// Columnar batches are lossless: any same-arity tuple sequence
+    /// (random int/str mixes, dictionary collisions included) round-trips
+    /// through a `TupleBatch` — row by row, in bulk, and through the wire
+    /// encoding — with byte accounting intact.
+    #[test]
+    fn batch_round_trips_tuples_losslessly(input in arb_batch_rows()) {
+        let (arity, rows) = input;
+        let mut batch = TupleBatch::new(arity);
+        for t in &rows {
+            batch.push_tuple(t);
+        }
+        prop_assert_eq!(batch.len(), rows.len());
+
+        // Row-by-row and bulk materialization both reproduce the input.
+        for (i, t) in rows.iter().enumerate() {
+            prop_assert_eq!(&batch.tuple(i), t);
+            prop_assert_eq!(batch.view(i).to_tuple(), t.clone());
+            prop_assert_eq!(batch.row_bytes(i), t.estimated_bytes());
+        }
+        prop_assert_eq!(batch.to_tuples(), rows.clone());
+        let total: u64 = rows.iter().map(Tuple::estimated_bytes).sum();
+        prop_assert_eq!(batch.estimated_bytes(), total);
+
+        // View order agrees with Tuple order on every row pair.
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                prop_assert_eq!(
+                    batch.view(i).cmp(&batch.view(j)),
+                    rows[i].cmp(&rows[j]),
+                    "rows {} vs {}", i, j
+                );
+            }
+        }
+
+        // The wire encoding reproduces the same batch.
+        let mut buf = Vec::new();
+        batch.encode_into(&mut buf).unwrap();
+        let mut pos = 0;
+        let decoded = TupleBatch::decode_from(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len(), "decode must consume the frame");
+        prop_assert_eq!(decoded.to_tuples(), rows);
+        prop_assert_eq!(decoded.estimated_bytes(), total);
+    }
+
+    /// Cross-batch row copies preserve content and byte accounting, and
+    /// the target dictionary interns each distinct string at most once
+    /// however many source rows repeat it.
+    #[test]
+    fn batch_row_copies_are_lossless(input in arb_batch_rows()) {
+        let (arity, rows) = input;
+        let mut src = TupleBatch::new(arity);
+        for t in &rows {
+            src.push_tuple(t);
+        }
+        let mut dst = TupleBatch::new(arity);
+        // Copy in reverse so source and target row indices differ.
+        for i in (0..rows.len()).rev() {
+            dst.push_row(&src, i);
+        }
+        let expected: Vec<Tuple> = rows.iter().rev().cloned().collect();
+        prop_assert_eq!(dst.to_tuples(), expected);
+        prop_assert_eq!(dst.estimated_bytes(), src.estimated_bytes());
+        let distinct: std::collections::BTreeSet<&str> = rows
+            .iter()
+            .flat_map(|t| t.values())
+            .filter_map(|v| match v {
+                Value::Str(s) => Some(&**s),
+                Value::Int(_) => None,
+            })
+            .collect();
+        prop_assert_eq!(dst.dict().len(), distinct.len());
     }
 
     /// ByteSize arithmetic is associative/commutative where it should be

@@ -51,8 +51,12 @@ impl Tuple {
     /// This is the mechanical core of the paper's `π_{α;x̄}(f)` operation:
     /// position resolution (variables → coordinates) happens at the atom
     /// level (in `gumbo-sgf`); here we just pick coordinates.
+    ///
+    /// The projection collects straight into the `Arc<[Value]>` — one
+    /// allocation total, and plain `i64` copies (no `Arc` refcount
+    /// traffic) for every integer field.
     pub fn project(&self, positions: &[usize]) -> Tuple {
-        Tuple::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+        positions.iter().map(|&i| self.values[i].clone()).collect()
     }
 
     /// Estimated storage footprint in bytes (sum over the fields).
@@ -81,8 +85,13 @@ impl From<Vec<Value>> for Tuple {
 }
 
 impl FromIterator<Value> for Tuple {
+    /// Collects directly into the backing `Arc<[Value]>`: for
+    /// exactly-sized iterators this is a single allocation, with no
+    /// intermediate `Vec`.
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
-        Tuple::new(iter.into_iter().collect())
+        Tuple {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -151,6 +160,33 @@ mod tests {
     fn fact_display() {
         let f = Fact::new("R", Tuple::from_ints(&[1, 2]));
         assert_eq!(f.to_string(), "R(1, 2)");
+    }
+
+    #[test]
+    fn int_projection_performs_no_arc_bumps() {
+        // Projecting away a string field must not touch its refcount: the
+        // int path of `project` copies plain i64s, and only the selected
+        // fields are cloned at all.
+        let s: Arc<str> = Arc::from("shared");
+        let t = Tuple::new(vec![
+            Value::Int(1),
+            Value::Str(s.clone()),
+            Value::Int(2),
+            Value::Int(3),
+        ]);
+        let before = Arc::strong_count(&s);
+        let p = t.project(&[0, 2, 3]);
+        assert_eq!(
+            Arc::strong_count(&s),
+            before,
+            "all-int projection bumped a string Arc"
+        );
+        assert_eq!(p, Tuple::from_ints(&[1, 2, 3]));
+        // Selecting the string field bumps it exactly once.
+        let q = t.project(&[1]);
+        assert_eq!(Arc::strong_count(&s), before + 1);
+        drop(q);
+        assert_eq!(Arc::strong_count(&s), before);
     }
 
     #[test]

@@ -1,0 +1,1269 @@
+//! The columnar (batch-at-a-time) data plane of the shuffle.
+//!
+//! [`crate::shuffle::SpillingPartition`] moves owned `(Tuple, Message)`
+//! pairs — one heap allocation per tuple, one budget interaction and one
+//! codec call per pair. This module is the same machinery re-expressed
+//! over [`gumbo_common::TupleBatch`] columns:
+//!
+//! * [`PairBatch`] — a columnar batch of `(key, message)` pairs: keys and
+//!   payload tuples live in per-arity [`TupleBatch`] arenas (contiguous
+//!   `i64` cells plus a string dictionary), message metadata in parallel
+//!   flat vectors. Pushing a pair appends plain integers — no per-pair
+//!   heap blocks;
+//! * [`BatchPartition`] — the reducer-partition buffer. It sorts by key
+//!   *by index* (a `u32` permutation; tuples never move), charges the
+//!   shared [`MemoryBudget`] once per frame-sized chunk instead of once
+//!   per pair, and spills length-prefixed **columnar frames**
+//!   ([`gumbo_storage::FrameFormat::Columnar`]) of up to
+//!   [`ROWS_PER_FRAME`] rows;
+//! * [`BatchGroupStream`] — the k-way merge the reducer consumes,
+//!   iterating zero-copy [`TupleView`]s over decoded frame buffers and
+//!   materializing one owned key per *group* (not per pair).
+//!
+//! **Equivalence.** Grouping order is identical to the pair plane: runs
+//! are stable-sorted contiguous slices of the emission-order sequence,
+//! keys ascend under `Tuple`'s order (which [`TupleView`]'s order
+//! replicates exactly), and ties drain earlier sources first. Byte
+//! accounting is identical too — a row's bytes are
+//! `key.estimated_bytes() + message.estimated_bytes()` computed from the
+//! columnar form — so `reducer_bytes`, spill volumes and every
+//! `JobStats` counter match the pair plane number for number. Spill
+//! *statistics* remain excluded from cross-runtime equivalence, as
+//! before.
+
+use std::cmp::Ordering;
+
+use gumbo_common::{Cell, GumboError, Result, Tuple, TupleBatch, TupleView};
+use gumbo_storage::{Compression, RunReader, RunWriter};
+
+use crate::message::{Message, Payload};
+use crate::shuffle::{MemoryBudget, Run, ShuffleSpill, SpillStats, MERGE_FANIN, UNLIMITED_GRANULE};
+
+/// Maximum rows per spilled columnar frame: large enough to amortize the
+/// frame header and the dictionary, small enough that a reading merge
+/// holds only a bounded window of each run in memory.
+pub const ROWS_PER_FRAME: usize = 512;
+
+// ---------------------------------------------------------------------------
+// Tuple store: mixed-arity tuples over per-arity columnar arenas
+// ---------------------------------------------------------------------------
+
+/// Where one stored tuple lives: which per-arity batch, which row.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    arity: u32,
+    row: u32,
+}
+
+/// Columnar storage for a sequence of tuples of *mixed* arity: one
+/// [`TupleBatch`] per arity (the batch index is the arity) plus a
+/// per-tuple locator, so slot `i` still names the `i`-th pushed tuple.
+#[derive(Debug, Default)]
+pub struct TupleStore {
+    by_arity: Vec<TupleBatch>,
+    locs: Vec<Loc>,
+}
+
+impl TupleStore {
+    /// Number of tuples stored.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// True when no tuple has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    fn batch_for(&mut self, arity: usize) -> &mut TupleBatch {
+        while self.by_arity.len() <= arity {
+            self.by_arity.push(TupleBatch::new(self.by_arity.len()));
+        }
+        &mut self.by_arity[arity]
+    }
+
+    /// Append an owned tuple; returns its slot.
+    pub fn push_tuple(&mut self, t: &Tuple) -> u32 {
+        let arity = t.arity();
+        let batch = self.batch_for(arity);
+        let row = u32::try_from(batch.len()).expect("batch under 2^32 rows");
+        batch.push_tuple(t);
+        let slot = u32::try_from(self.locs.len()).expect("store under 2^32 tuples");
+        self.locs.push(Loc {
+            arity: arity as u32,
+            row,
+        });
+        slot
+    }
+
+    /// Copy slot `slot` of `src` into this store (columnar row copy, no
+    /// `Tuple` materialized); returns the new slot.
+    pub fn push_from(&mut self, src: &TupleStore, slot: u32) -> u32 {
+        let loc = src.locs[slot as usize];
+        let src_batch = &src.by_arity[loc.arity as usize];
+        let batch = self.batch_for(loc.arity as usize);
+        let row = u32::try_from(batch.len()).expect("batch under 2^32 rows");
+        batch.push_row(src_batch, loc.row as usize);
+        let new_slot = u32::try_from(self.locs.len()).expect("store under 2^32 tuples");
+        self.locs.push(Loc {
+            arity: loc.arity,
+            row,
+        });
+        new_slot
+    }
+
+    /// Zero-copy view of slot `slot`.
+    pub fn view(&self, slot: u32) -> TupleView<'_> {
+        let loc = self.locs[slot as usize];
+        self.by_arity[loc.arity as usize].view(loc.row as usize)
+    }
+
+    /// Materialize slot `slot` as an owned [`Tuple`].
+    pub fn tuple(&self, slot: u32) -> Tuple {
+        let loc = self.locs[slot as usize];
+        self.by_arity[loc.arity as usize].tuple(loc.row as usize)
+    }
+
+    /// Global string ranks across every per-arity dictionary:
+    /// `tables[arity][code]` is the rank of that dictionary entry within
+    /// the sorted set of all distinct strings in the store. Equal strings
+    /// share a rank even across dictionaries, so comparing ranks is
+    /// exactly comparing the strings — once per *distinct* string instead
+    /// of once per row comparison.
+    fn rank_tables(&self) -> Vec<Vec<u32>> {
+        let mut entries: Vec<(&str, usize, u32)> = Vec::new();
+        for (b, batch) in self.by_arity.iter().enumerate() {
+            let dict = batch.dict();
+            for code in 0..dict.len() as u32 {
+                entries.push((dict.get(code), b, code));
+            }
+        }
+        let mut tables: Vec<Vec<u32>> = self
+            .by_arity
+            .iter()
+            .map(|b| vec![0; b.dict().len()])
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        let mut rank = 0u32;
+        let mut prev: Option<&str> = None;
+        for (s, b, code) in entries {
+            match prev {
+                Some(p) if p == s => {}
+                Some(_) => {
+                    rank += 1;
+                    prev = Some(s);
+                }
+                None => prev = Some(s),
+            }
+            tables[b][code as usize] = rank;
+        }
+        tables
+    }
+
+    /// Compare two slots in `Tuple` order using precomputed rank tables
+    /// ([`rank_tables`](Self::rank_tables)) — every cell comparison is an
+    /// integer comparison, strings are never touched.
+    fn cmp_ranked(&self, a: u32, b: u32, ranks: &[Vec<u32>]) -> Ordering {
+        let la = self.locs[a as usize];
+        let lb = self.locs[b as usize];
+        let ba = &self.by_arity[la.arity as usize];
+        let bb = &self.by_arity[lb.arity as usize];
+        let shared = la.arity.min(lb.arity) as usize;
+        for c in 0..shared {
+            let ord = match (ba.cell(la.row as usize, c), bb.cell(lb.row as usize, c)) {
+                (Cell::Int(x), Cell::Int(y)) => x.cmp(&y),
+                (Cell::Int(_), Cell::Str(_)) => Ordering::Less,
+                (Cell::Str(_), Cell::Int(_)) => Ordering::Greater,
+                (Cell::Str(x), Cell::Str(y)) => {
+                    ranks[la.arity as usize][x as usize].cmp(&ranks[lb.arity as usize][y as usize])
+                }
+            };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        la.arity.cmp(&lb.arity)
+    }
+
+    /// Estimated bytes of slot `slot` (paper layout).
+    pub fn bytes(&self, slot: u32) -> u64 {
+        let loc = self.locs[slot as usize];
+        self.by_arity[loc.arity as usize].row_bytes(loc.row as usize)
+    }
+
+    fn clear(&mut self) {
+        for batch in &mut self.by_arity {
+            batch.clear();
+        }
+        self.locs.clear();
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) -> Result<()> {
+        out.extend_from_slice(&(self.by_arity.len() as u32).to_le_bytes());
+        for batch in &self.by_arity {
+            batch.encode_into(out)?;
+        }
+        out.extend_from_slice(&(self.locs.len() as u32).to_le_bytes());
+        for loc in &self.locs {
+            out.extend_from_slice(&loc.arity.to_le_bytes());
+            out.extend_from_slice(&loc.row.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Result<TupleStore> {
+        let n_batches = read_u32(buf, pos)? as usize;
+        let mut by_arity = Vec::with_capacity(n_batches);
+        for _ in 0..n_batches {
+            by_arity.push(TupleBatch::decode_from(buf, pos)?);
+        }
+        let n_locs = read_u32(buf, pos)? as usize;
+        let mut locs = Vec::with_capacity(n_locs);
+        for _ in 0..n_locs {
+            let arity = read_u32(buf, pos)?;
+            let row = read_u32(buf, pos)?;
+            let valid = by_arity
+                .get(arity as usize)
+                .is_some_and(|b| (row as usize) < b.len());
+            if !valid {
+                return Err(GumboError::Storage(
+                    "corrupt columnar frame: tuple locator out of range".into(),
+                ));
+            }
+            locs.push(Loc { arity, row });
+        }
+        Ok(TupleStore { by_arity, locs })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Message store: struct-of-arrays for the message vocabulary
+// ---------------------------------------------------------------------------
+
+const KIND_ASSERT: u8 = 0;
+const KIND_REQ_TUPLE: u8 = 1;
+const KIND_REQ_REF: u8 = 2;
+const KIND_TAG: u8 = 3;
+const KIND_GUARD_TUPLE: u8 = 4;
+
+/// Columnar storage for [`Message`]s: one kind byte plus three parallel
+/// metadata columns per message, with payload tuples in a [`TupleStore`].
+///
+/// | kind | `small` | `aux` | `wide` |
+/// |---|---|---|---|
+/// | `Assert` | `cond` | – | – |
+/// | `Req`+`Payload::Tuple` | `cond` | payload slot | – |
+/// | `Req`+`Payload::Ref` | `cond` | `guard` | `id` |
+/// | `Tag` | `rel` | – | – |
+/// | `GuardTuple` | `guard` | payload slot | – |
+#[derive(Debug, Default)]
+struct MsgStore {
+    kinds: Vec<u8>,
+    small: Vec<u32>,
+    aux: Vec<u32>,
+    wide: Vec<u64>,
+    tuples: TupleStore,
+}
+
+impl MsgStore {
+    fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    fn push(&mut self, m: &Message) {
+        let (kind, small, aux, wide) = match m {
+            Message::Assert { cond } => (KIND_ASSERT, *cond, 0, 0),
+            Message::Req {
+                cond,
+                payload: Payload::Tuple(t),
+            } => (KIND_REQ_TUPLE, *cond, self.tuples.push_tuple(t), 0),
+            Message::Req {
+                cond,
+                payload: Payload::Ref { guard, id },
+            } => (KIND_REQ_REF, *cond, *guard, *id),
+            Message::Tag { rel } => (KIND_TAG, *rel, 0, 0),
+            Message::GuardTuple { guard, tuple } => {
+                (KIND_GUARD_TUPLE, *guard, self.tuples.push_tuple(tuple), 0)
+            }
+        };
+        self.kinds.push(kind);
+        self.small.push(small);
+        self.aux.push(aux);
+        self.wide.push(wide);
+    }
+
+    fn push_from(&mut self, src: &MsgStore, row: usize) {
+        let kind = src.kinds[row];
+        let aux = match kind {
+            KIND_REQ_TUPLE | KIND_GUARD_TUPLE => self.tuples.push_from(&src.tuples, src.aux[row]),
+            _ => src.aux[row],
+        };
+        self.kinds.push(kind);
+        self.small.push(src.small[row]);
+        self.aux.push(aux);
+        self.wide.push(src.wide[row]);
+    }
+
+    /// Materialize message `row` (payload tuples are single-allocation
+    /// copies whose string fields bump dictionary `Arc`s).
+    fn message(&self, row: usize) -> Message {
+        match self.kinds[row] {
+            KIND_ASSERT => Message::Assert {
+                cond: self.small[row],
+            },
+            KIND_REQ_TUPLE => Message::Req {
+                cond: self.small[row],
+                payload: Payload::Tuple(self.tuples.tuple(self.aux[row])),
+            },
+            KIND_REQ_REF => Message::Req {
+                cond: self.small[row],
+                payload: Payload::Ref {
+                    guard: self.aux[row],
+                    id: self.wide[row],
+                },
+            },
+            KIND_TAG => Message::Tag {
+                rel: self.small[row],
+            },
+            KIND_GUARD_TUPLE => Message::GuardTuple {
+                guard: self.small[row],
+                tuple: self.tuples.tuple(self.aux[row]),
+            },
+            other => unreachable!("validated message kind {other}"),
+        }
+    }
+
+    /// `Message::estimated_bytes` of row `row`, computed columnar.
+    fn bytes(&self, row: usize) -> u64 {
+        match self.kinds[row] {
+            KIND_ASSERT | KIND_TAG => 4,
+            KIND_REQ_REF => 4 + 10,
+            // Req+Tuple and GuardTuple: header plus the payload tuple.
+            _ => 4 + self.tuples.bytes(self.aux[row]),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.kinds.clear();
+        self.small.clear();
+        self.aux.clear();
+        self.wide.clear();
+        self.tuples.clear();
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) -> Result<()> {
+        out.extend_from_slice(&(self.kinds.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.kinds);
+        for v in &self.small {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for v in &self.aux {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let has_wide = self.wide.iter().any(|&w| w != 0);
+        out.push(u8::from(has_wide));
+        if has_wide {
+            for v in &self.wide {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        self.tuples.encode_into(out)
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Result<MsgStore> {
+        let rows = read_u32(buf, pos)? as usize;
+        let kinds = read_slice(buf, pos, rows)?.to_vec();
+        let mut small = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            small.push(read_u32(buf, pos)?);
+        }
+        let mut aux = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            aux.push(read_u32(buf, pos)?);
+        }
+        let wide = match read_slice(buf, pos, 1)?[0] {
+            0 => vec![0u64; rows],
+            1 => {
+                let mut wide = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    wide.push(read_u64(buf, pos)?);
+                }
+                wide
+            }
+            other => {
+                return Err(GumboError::Storage(format!(
+                    "corrupt columnar frame: bad wide-column flag {other}"
+                )))
+            }
+        };
+        let tuples = TupleStore::decode_from(buf, pos)?;
+        for (row, &kind) in kinds.iter().enumerate() {
+            let payload_ok = match kind {
+                KIND_ASSERT | KIND_REQ_REF | KIND_TAG => true,
+                KIND_REQ_TUPLE | KIND_GUARD_TUPLE => (aux[row] as usize) < tuples.len(),
+                other => {
+                    return Err(GumboError::Storage(format!(
+                        "corrupt columnar frame: unknown message kind {other}"
+                    )))
+                }
+            };
+            if !payload_ok {
+                return Err(GumboError::Storage(
+                    "corrupt columnar frame: payload slot out of range".into(),
+                ));
+            }
+        }
+        Ok(MsgStore {
+            kinds,
+            small,
+            aux,
+            wide,
+            tuples,
+        })
+    }
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32> {
+    Ok(u32::from_le_bytes(
+        read_slice(buf, pos, 4)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    Ok(u64::from_le_bytes(
+        read_slice(buf, pos, 8)?.try_into().expect("8 bytes"),
+    ))
+}
+
+fn read_slice<'a>(buf: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8]> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| GumboError::Storage("truncated columnar frame".into()))?;
+    let out = &buf[*pos..end];
+    *pos = end;
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Pair batch
+// ---------------------------------------------------------------------------
+
+/// A columnar batch of `(key, message)` pairs in emission order.
+#[derive(Debug, Default)]
+pub struct PairBatch {
+    keys: TupleStore,
+    msgs: MsgStore,
+    bytes: u64,
+}
+
+impl PairBatch {
+    /// An empty batch.
+    pub fn new() -> PairBatch {
+        PairBatch::default()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no pair has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Estimated bytes over all rows: exactly
+    /// `Σ key.estimated_bytes() + message.estimated_bytes()`.
+    pub fn estimated_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one pair, decomposing it into the columnar arenas.
+    pub fn push_pair(&mut self, key: &Tuple, msg: &Message) {
+        let slot = self.keys.push_tuple(key);
+        self.msgs.push(msg);
+        self.bytes += self.keys.bytes(slot) + self.msgs.bytes(slot as usize);
+    }
+
+    /// Copy row `row` of `src` into this batch — a columnar cell copy, no
+    /// owned `Tuple` or `Message` in between.
+    pub fn push_row(&mut self, src: &PairBatch, row: usize) {
+        let slot = self.keys.push_from(&src.keys, row as u32);
+        self.msgs.push_from(&src.msgs, row);
+        self.bytes += self.keys.bytes(slot) + self.msgs.bytes(slot as usize);
+    }
+
+    /// Zero-copy view of row `row`'s key.
+    pub fn key_view(&self, row: usize) -> TupleView<'_> {
+        self.keys.view(row as u32)
+    }
+
+    /// Materialize row `row`'s key.
+    pub fn key_tuple(&self, row: usize) -> Tuple {
+        self.keys.tuple(row as u32)
+    }
+
+    /// Materialize row `row`'s message.
+    pub fn message(&self, row: usize) -> Message {
+        self.msgs.message(row)
+    }
+
+    /// Estimated bytes of row `row` (key + message, paper layout).
+    pub fn row_bytes(&self, row: usize) -> u64 {
+        self.keys.bytes(row as u32) + self.msgs.bytes(row)
+    }
+
+    /// The stable key-sorted permutation of `0..len()`: an index sort —
+    /// four bytes per row move, the tuples themselves never do. Equal
+    /// keys keep emission order.
+    pub fn sort_indices(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.len() as u32).collect();
+        // Rank the dictionaries once, then sort on integers only: string
+        // cells compare by rank, never by bytes.
+        let ranks = self.keys.rank_tables();
+        order.sort_by(|&a, &b| self.keys.cmp_ranked(a, b, &ranks));
+        order
+    }
+
+    /// Drop every row, keeping arena capacity.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        self.msgs.clear();
+        self.bytes = 0;
+    }
+
+    /// Materialize every row (tests and edge conversions).
+    pub fn to_pairs(&self) -> Vec<(Tuple, Message)> {
+        (0..self.len())
+            .map(|r| (self.key_tuple(r), self.message(r)))
+            .collect()
+    }
+
+    /// Append the batch's wire encoding (a columnar spill frame body).
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<()> {
+        self.keys.encode_into(out)?;
+        self.msgs.encode_into(out)
+    }
+
+    /// Decode one frame body produced by [`encode_into`](Self::encode_into).
+    pub fn decode(buf: &[u8]) -> Result<PairBatch> {
+        let mut pos = 0;
+        let keys = TupleStore::decode_from(buf, &mut pos)?;
+        let msgs = MsgStore::decode_from(buf, &mut pos)?;
+        if pos != buf.len() {
+            return Err(GumboError::Storage(
+                "corrupt columnar frame: trailing bytes".into(),
+            ));
+        }
+        if keys.len() != msgs.len() {
+            return Err(GumboError::Storage(
+                "corrupt columnar frame: key/message row mismatch".into(),
+            ));
+        }
+        let mut batch = PairBatch {
+            keys,
+            msgs,
+            bytes: 0,
+        };
+        batch.bytes = (0..batch.len()).map(|r| batch.row_bytes(r)).sum();
+        Ok(batch)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spilling batch partition
+// ---------------------------------------------------------------------------
+
+/// The columnar twin of [`crate::shuffle::SpillingPartition`]: one
+/// reducer partition's buffer, charging the shared budget *per appended
+/// batch* and spilling index-sorted columnar frames.
+pub struct BatchPartition<'a> {
+    partition: usize,
+    share: u64,
+    granule: u64,
+    budget: &'a MemoryBudget,
+    spill: &'a ShuffleSpill,
+    compression: Compression,
+    batch: PairBatch,
+    /// Bytes currently reserved in the budget for `batch` (may exceed the
+    /// buffer by part of a granule, and fall short by at most one
+    /// append that could not be reserved before its flush).
+    charged: u64,
+    total_bytes: u64,
+    runs: Vec<Run>,
+    next_seq: u64,
+    stats: SpillStats,
+}
+
+impl<'a> BatchPartition<'a> {
+    /// An empty buffer for reducer `partition` of `partitions`.
+    pub fn new(
+        partition: usize,
+        budget: &'a MemoryBudget,
+        spill: &'a ShuffleSpill,
+        partitions: usize,
+    ) -> BatchPartition<'a> {
+        let share = budget.partition_share(partitions);
+        // Charge in granules so a batch append is one budget interaction:
+        // a quarter-share granule keeps the tracked figure within the
+        // limit's resolution while bounding atomic traffic.
+        let granule = match budget.limit() {
+            None => UNLIMITED_GRANULE,
+            Some(_) => (share / 4).clamp(64, UNLIMITED_GRANULE),
+        };
+        BatchPartition {
+            partition,
+            share,
+            granule,
+            budget,
+            spill,
+            compression: budget.spec().run_compression(),
+            batch: PairBatch::new(),
+            charged: 0,
+            total_bytes: 0,
+            runs: Vec::new(),
+            next_seq: 0,
+            stats: SpillStats::default(),
+        }
+    }
+
+    /// Total estimated bytes pushed into this partition so far.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Accept one pair (edge entry point; the executors append whole
+    /// batches via [`push_rows`](Self::push_rows) /
+    /// [`push_batch`](Self::push_batch) instead).
+    pub fn push_pair(&mut self, key: &Tuple, msg: &Message) -> Result<()> {
+        let before = self.batch.estimated_bytes();
+        self.batch.push_pair(key, msg);
+        self.total_bytes += self.batch.estimated_bytes() - before;
+        self.settle()
+    }
+
+    /// Append the selected rows of `src` (in `rows` order), settling the
+    /// budget once per frame-sized chunk so the buffer never runs more
+    /// than one frame past what the budget has granted.
+    pub fn push_rows(&mut self, src: &PairBatch, rows: &[u32]) -> Result<()> {
+        for chunk in rows.chunks(ROWS_PER_FRAME) {
+            let before = self.batch.estimated_bytes();
+            for &row in chunk {
+                self.batch.push_row(src, row as usize);
+            }
+            self.total_bytes += self.batch.estimated_bytes() - before;
+            self.settle()?;
+        }
+        Ok(())
+    }
+
+    /// Append every row of `src`; one budget interaction per frame-sized
+    /// chunk, as in [`push_rows`](Self::push_rows).
+    pub fn push_batch(&mut self, src: &PairBatch) -> Result<()> {
+        let mut row = 0;
+        while row < src.len() {
+            let end = (row + ROWS_PER_FRAME).min(src.len());
+            let before = self.batch.estimated_bytes();
+            while row < end {
+                self.batch.push_row(src, row);
+                row += 1;
+            }
+            self.total_bytes += self.batch.estimated_bytes() - before;
+            self.settle()?;
+        }
+        Ok(())
+    }
+
+    /// Bring the budget charge in line with the buffer: grant in
+    /// granules, flush when the budget refuses or the share is crossed.
+    fn settle(&mut self) -> Result<()> {
+        let buffered = self.batch.estimated_bytes();
+        if self.budget.limit().is_none() {
+            if buffered > self.charged {
+                let grant = (buffered - self.charged).div_ceil(self.granule) * self.granule;
+                let granted = self.budget.try_charge(grant);
+                debug_assert!(granted, "an unlimited budget always grants");
+                self.charged += grant;
+            }
+            return Ok(());
+        }
+        if buffered > self.charged {
+            let need = buffered - self.charged;
+            let grant = need.div_ceil(self.granule) * self.granule;
+            if self.budget.try_charge(grant) {
+                self.charged += grant;
+            } else if self.budget.try_charge(need) {
+                // The rounded-up granule did not fit but the exact need
+                // does: take it rather than spilling early.
+                self.charged += need;
+            } else {
+                // Global budget exhausted: flush what we hold — including
+                // the (briefly unreserved) freshly appended rows.
+                return self.flush();
+            }
+        }
+        if buffered > self.share {
+            return self.flush();
+        }
+        Ok(())
+    }
+
+    /// Index-sort the buffer by key and write it out as one run of
+    /// columnar frames.
+    fn flush(&mut self) -> Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        let order = self.batch.sort_indices();
+        let path = self.spill.run_path(self.partition, self.next_seq)?;
+        self.next_seq += 1;
+        let mut writer = RunWriter::create_with(&path, self.compression)?;
+        let mut chunk = PairBatch::new();
+        let mut frame = Vec::new();
+        for rows in order.chunks(ROWS_PER_FRAME) {
+            chunk.clear();
+            for &row in rows {
+                chunk.push_row(&self.batch, row as usize);
+            }
+            frame.clear();
+            chunk.encode_into(&mut frame)?;
+            writer.push_columnar(&frame)?;
+        }
+        let (_, disk_bytes) = writer.finish()?;
+        self.runs.push(Run { path });
+        self.stats.spill_files += 1;
+        self.stats.spilled_bytes += self.batch.estimated_bytes();
+        self.stats.spilled_disk_bytes += disk_bytes;
+        self.budget.release(self.charged);
+        self.charged = 0;
+        self.batch.clear();
+        Ok(())
+    }
+
+    /// Finish the partition: collapse runs under the merge fan-in,
+    /// index-sort the in-memory tail, and hand back the grouped stream
+    /// plus this partition's spill statistics.
+    pub fn into_groups(mut self) -> Result<(BatchGroupStream<'a>, SpillStats)> {
+        // Intermediate passes, identical in shape to the pair plane:
+        // merge the *oldest* runs into one (ties drain earlier runs
+        // first) until runs + tail fit the fan-in; the merged run holds
+        // the oldest data and stays first.
+        while self.runs.len() + 1 > MERGE_FANIN {
+            let take = MERGE_FANIN.min(self.runs.len());
+            let oldest: Vec<Run> = self.runs.drain(..take).collect();
+            let mut sources = Vec::with_capacity(oldest.len());
+            for run in &oldest {
+                sources.push(BatchSource::open_run(&run.path)?);
+            }
+            let path = self.spill.run_path(self.partition, self.next_seq)?;
+            self.next_seq += 1;
+            let mut writer = RunWriter::create_with(&path, self.compression)?;
+            let mut merge = BatchMerge { sources };
+            let mut staging = PairBatch::new();
+            let mut frame = Vec::new();
+            while let Some(i) = merge.min_source() {
+                let s = &mut merge.sources[i];
+                staging.push_row(&s.batch, s.head_row());
+                s.advance()?;
+                if staging.len() == ROWS_PER_FRAME {
+                    frame.clear();
+                    staging.encode_into(&mut frame)?;
+                    writer.push_columnar(&frame)?;
+                    staging.clear();
+                }
+            }
+            if !staging.is_empty() {
+                frame.clear();
+                staging.encode_into(&mut frame)?;
+                writer.push_columnar(&frame)?;
+            }
+            writer.finish()?;
+            self.runs.insert(0, Run { path });
+            self.stats.spill_files += 1;
+            self.stats.merge_passes += 1;
+        }
+
+        let mut sources = Vec::with_capacity(self.runs.len() + 1);
+        for run in &self.runs {
+            sources.push(BatchSource::open_run(&run.path)?);
+        }
+        sources.push(BatchSource::from_memory(std::mem::take(&mut self.batch)));
+        let stats = self.stats;
+        Ok((
+            BatchGroupStream {
+                merge: BatchMerge { sources },
+                budget: self.budget,
+                charged: std::mem::take(&mut self.charged),
+                _runs: std::mem::take(&mut self.runs),
+            },
+            stats,
+        ))
+    }
+}
+
+impl Drop for BatchPartition<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.charged);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming merge over columnar sources
+// ---------------------------------------------------------------------------
+
+/// One merge input: a run of columnar frames on disk (decoded one frame
+/// at a time — a bounded window of the run) or the index-sorted
+/// in-memory tail.
+struct BatchSource {
+    reader: Option<RunReader>,
+    batch: PairBatch,
+    /// Row visit order within `batch`: the sort permutation for the
+    /// in-memory tail, identity for run frames (flushed pre-sorted).
+    order: Vec<u32>,
+    at: usize,
+}
+
+impl BatchSource {
+    fn open_run(path: &std::path::Path) -> Result<BatchSource> {
+        let mut source = BatchSource {
+            reader: Some(RunReader::open(path)?),
+            batch: PairBatch::new(),
+            order: Vec::new(),
+            at: 0,
+        };
+        source.refill()?;
+        Ok(source)
+    }
+
+    fn from_memory(batch: PairBatch) -> BatchSource {
+        let order = batch.sort_indices();
+        BatchSource {
+            reader: None,
+            batch,
+            order,
+            at: 0,
+        }
+    }
+
+    /// The current row's key, or `None` when drained.
+    fn head(&self) -> Option<TupleView<'_>> {
+        (self.at < self.order.len()).then(|| self.batch.key_view(self.order[self.at] as usize))
+    }
+
+    /// The current row index into `batch` (caller checked `head()`).
+    fn head_row(&self) -> usize {
+        self.order[self.at] as usize
+    }
+
+    fn advance(&mut self) -> Result<()> {
+        self.at += 1;
+        if self.at >= self.order.len() {
+            self.refill()?;
+        }
+        Ok(())
+    }
+
+    fn refill(&mut self) -> Result<()> {
+        let Some(reader) = &mut self.reader else {
+            return Ok(());
+        };
+        if let Some(frame) = reader.next_columnar_frame()? {
+            self.batch = PairBatch::decode(&frame)?;
+            self.order = (0..self.batch.len() as u32).collect();
+            self.at = 0;
+        }
+        Ok(())
+    }
+}
+
+/// K-way stable merge over sorted columnar sources: keys ascend; equal
+/// keys drain earlier sources first, reconstructing global emission
+/// order within each key (source order *is* emission order).
+struct BatchMerge {
+    sources: Vec<BatchSource>,
+}
+
+impl BatchMerge {
+    /// Index of the source holding the smallest head key (earliest
+    /// source wins ties), or `None` when everything is drained.
+    fn min_source(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, s) in self.sources.iter().enumerate() {
+            let Some(key) = s.head() else { continue };
+            match best {
+                Some(b) if self.sources[b].head().expect("has head") <= key => {}
+                _ => best = Some(i),
+            }
+        }
+        best
+    }
+}
+
+/// The grouped stream the reducer consumes on the columnar plane — the
+/// same contract as [`crate::shuffle::GroupStream`]: keys ascend, values
+/// stay in global emission order, and exactly one owned key `Tuple` is
+/// materialized per group.
+pub struct BatchGroupStream<'a> {
+    merge: BatchMerge,
+    budget: &'a MemoryBudget,
+    charged: u64,
+    _runs: Vec<Run>,
+}
+
+impl BatchGroupStream<'_> {
+    /// The next key group, or `None` when the partition is exhausted.
+    pub fn next_group(&mut self) -> Result<Option<(Tuple, Vec<Message>)>> {
+        let mut values = Vec::new();
+        Ok(self.next_group_into(&mut values)?.map(|key| (key, values)))
+    }
+
+    /// The next key group with its values appended into a caller-owned
+    /// scratch vector (cleared first).
+    pub fn next_group_into(&mut self, values: &mut Vec<Message>) -> Result<Option<Tuple>> {
+        values.clear();
+        let Some(i) = self.merge.min_source() else {
+            return Ok(None);
+        };
+        let source = &self.merge.sources[i];
+        let row = source.head_row();
+        let key = source.batch.key_tuple(row);
+        values.push(source.batch.message(row));
+        self.merge.sources[i].advance()?;
+        while let Some(i) = self.merge.min_source() {
+            let source = &self.merge.sources[i];
+            let row = source.head_row();
+            if source.batch.key_view(row).cmp_tuple(&key) != Ordering::Equal {
+                break;
+            }
+            values.push(source.batch.message(row));
+            self.merge.sources[i].advance()?;
+        }
+        Ok(Some(key))
+    }
+}
+
+impl Drop for BatchGroupStream<'_> {
+    fn drop(&mut self) {
+        self.budget.release(self.charged);
+    }
+}
+
+/// Deterministic FNV-1a partition hash of a key view — byte-for-byte the
+/// same mixing as [`crate::hash::hash_tuple`], so a key lands on the same
+/// reducer whichever data plane carried it.
+pub fn hash_view(view: TupleView<'_>) -> u64 {
+    crate::hash::hash_view(view)
+}
+
+/// Reducer index for a key view under `reducers` reducers — agrees with
+/// [`crate::hash::partition`] on the materialized key.
+pub fn partition_view(view: TupleView<'_>, reducers: usize) -> usize {
+    crate::hash::partition_view(view, reducers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shuffle::{MemBudget, SpillingPartition};
+    use gumbo_common::Value;
+
+    fn msg_shapes() -> Vec<Message> {
+        vec![
+            Message::Assert { cond: 3 },
+            Message::Tag { rel: u32::MAX },
+            Message::Req {
+                cond: 1,
+                payload: Payload::Tuple(Tuple::new(vec![
+                    Value::Int(5),
+                    Value::str("bad"),
+                    Value::Int(-6),
+                ])),
+            },
+            Message::Req {
+                cond: 2,
+                payload: Payload::Ref {
+                    guard: 9,
+                    id: 1 << 40,
+                },
+            },
+            Message::GuardTuple {
+                guard: 0,
+                tuple: Tuple::new(vec![Value::str("g")]),
+            },
+        ]
+    }
+
+    fn mixed_pairs() -> Vec<(Tuple, Message)> {
+        let keys = [
+            Tuple::from_ints(&[]),
+            Tuple::from_ints(&[1, -7, i64::MAX]),
+            Tuple::new(vec![Value::str("hello"), Value::Int(0), Value::str("")]),
+            Tuple::from_ints(&[2]),
+        ];
+        let mut pairs = Vec::new();
+        for k in &keys {
+            for m in msg_shapes() {
+                pairs.push((k.clone(), m));
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn batch_round_trips_every_pair_shape() {
+        let pairs = mixed_pairs();
+        let mut batch = PairBatch::new();
+        for (k, m) in &pairs {
+            batch.push_pair(k, m);
+        }
+        assert_eq!(batch.to_pairs(), pairs);
+        assert_eq!(
+            batch.estimated_bytes(),
+            pairs
+                .iter()
+                .map(|(k, m)| k.estimated_bytes() + m.estimated_bytes())
+                .sum::<u64>()
+        );
+        for (i, (k, m)) in pairs.iter().enumerate() {
+            assert_eq!(
+                batch.row_bytes(i),
+                k.estimated_bytes() + m.estimated_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn frame_codec_round_trips() {
+        let pairs = mixed_pairs();
+        let mut batch = PairBatch::new();
+        for (k, m) in &pairs {
+            batch.push_pair(k, m);
+        }
+        let mut frame = Vec::new();
+        batch.encode_into(&mut frame).unwrap();
+        let back = PairBatch::decode(&frame).unwrap();
+        assert_eq!(back.to_pairs(), pairs);
+        assert_eq!(back.estimated_bytes(), batch.estimated_bytes());
+    }
+
+    #[test]
+    fn frame_codec_rejects_truncation() {
+        let mut batch = PairBatch::new();
+        for (k, m) in mixed_pairs() {
+            batch.push_pair(&k, &m);
+        }
+        let mut frame = Vec::new();
+        batch.encode_into(&mut frame).unwrap();
+        for cut in 0..frame.len() {
+            assert!(
+                PairBatch::decode(&frame[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_batch_row_copy_preserves_pairs_and_bytes() {
+        let pairs = mixed_pairs();
+        let mut src = PairBatch::new();
+        for (k, m) in &pairs {
+            src.push_pair(k, m);
+        }
+        let mut dst = PairBatch::new();
+        for row in (0..src.len()).rev() {
+            dst.push_row(&src, row);
+        }
+        let expected: Vec<_> = pairs.iter().rev().cloned().collect();
+        assert_eq!(dst.to_pairs(), expected);
+        assert_eq!(dst.estimated_bytes(), src.estimated_bytes());
+    }
+
+    #[test]
+    fn sort_indices_is_stable_by_key() {
+        let mut batch = PairBatch::new();
+        for (i, key) in [3i64, 1, 3, 2, 1].iter().enumerate() {
+            batch.push_pair(
+                &Tuple::from_ints(&[*key]),
+                &Message::Assert { cond: i as u32 },
+            );
+        }
+        let order = batch.sort_indices();
+        assert_eq!(order, vec![1, 4, 3, 0, 2]);
+    }
+
+    /// Group a pair sequence through a `BatchPartition` under `spec`.
+    fn group_batched(
+        spec: MemBudget,
+        pairs: &[(Tuple, Message)],
+    ) -> (Vec<(Tuple, Vec<Message>)>, SpillStats, u64) {
+        let budget = MemoryBudget::new(spec);
+        let spill = ShuffleSpill::new("batch-test");
+        let mut part = BatchPartition::new(0, &budget, &spill, 1);
+        for (k, v) in pairs {
+            part.push_pair(k, v).unwrap();
+        }
+        let (mut stream, stats) = part.into_groups().unwrap();
+        let mut groups = Vec::new();
+        while let Some(g) = stream.next_group().unwrap() {
+            groups.push(g);
+        }
+        drop(stream);
+        assert_eq!(budget.used(), 0, "all charges released");
+        (groups, stats, budget.peak())
+    }
+
+    /// The pair-plane reference grouping of the same sequence.
+    fn group_legacy(pairs: &[(Tuple, Message)]) -> Vec<(Tuple, Vec<Message>)> {
+        let budget = MemoryBudget::unlimited();
+        let spill = ShuffleSpill::new("legacy-test");
+        let mut part = SpillingPartition::new(0, &budget, &spill, 1);
+        for (k, v) in pairs {
+            part.push(k.clone(), v.clone()).unwrap();
+        }
+        let (mut stream, _) = part.into_groups().unwrap();
+        let mut groups = Vec::new();
+        while let Some(g) = stream.next_group().unwrap() {
+            groups.push(g);
+        }
+        groups
+    }
+
+    fn seq_pairs(keys: &[i64]) -> Vec<(Tuple, Message)> {
+        keys.iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                (
+                    Tuple::from_ints(&[k]),
+                    Message::Req {
+                        cond: i as u32,
+                        payload: Payload::Ref {
+                            guard: 0,
+                            id: i as u64,
+                        },
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_grouping_matches_pair_grouping_across_budgets() {
+        let keys = [3i64, 1, 3, 2, 1, 3, 1, 2, 2, 3, 1, 1];
+        let pairs = seq_pairs(&keys);
+        let reference = group_legacy(&pairs);
+        let (unlimited, stats, _) = group_batched(MemBudget::UNLIMITED, &pairs);
+        assert_eq!(unlimited, reference);
+        assert_eq!(stats, SpillStats::default());
+        for budget in [1u64, 16, 64, 200] {
+            let (groups, stats, peak) = group_batched(MemBudget::bytes(budget), &pairs);
+            assert_eq!(groups, reference, "budget {budget}");
+            assert!(stats.spilled_bytes > 0, "budget {budget} never spilled");
+            assert!(peak <= budget, "budget {budget}: peak {peak}");
+        }
+    }
+
+    #[test]
+    fn mixed_type_pairs_group_identically() {
+        let pairs = mixed_pairs();
+        let reference = group_legacy(&pairs);
+        for spec in [
+            MemBudget::UNLIMITED,
+            MemBudget::bytes(1),
+            MemBudget::bytes(128),
+            MemBudget::bytes(128).compressed(true),
+        ] {
+            let (groups, _, _) = group_batched(spec, &pairs);
+            assert_eq!(groups, reference, "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn many_runs_trigger_intermediate_merge_passes() {
+        let keys: Vec<i64> = (0..100).map(|i| i % 5).collect();
+        let pairs = seq_pairs(&keys);
+        let reference = group_legacy(&pairs);
+        let (groups, stats, _) = group_batched(MemBudget::bytes(1), &pairs);
+        assert_eq!(groups, reference);
+        assert_eq!(
+            stats.spill_files as usize,
+            100 + stats.merge_passes as usize
+        );
+        assert!(
+            stats.merge_passes > 0,
+            "100 single-pair runs need intermediate merges"
+        );
+    }
+
+    #[test]
+    fn compressed_columnar_runs_group_identically_and_shrink_on_disk() {
+        let keys: Vec<i64> = (0..200).map(|i| i % 7).collect();
+        let pairs = seq_pairs(&keys);
+        let reference = group_legacy(&pairs);
+        let (plain_groups, plain_stats, _) = group_batched(MemBudget::bytes(64), &pairs);
+        let (packed_groups, packed_stats, peak) =
+            group_batched(MemBudget::bytes(64).compressed(true), &pairs);
+        assert_eq!(plain_groups, reference);
+        assert_eq!(packed_groups, reference);
+        assert_eq!(packed_stats.spilled_bytes, plain_stats.spilled_bytes);
+        assert!(
+            packed_stats.spilled_disk_bytes < plain_stats.spilled_disk_bytes,
+            "rle {} should beat raw {}",
+            packed_stats.spilled_disk_bytes,
+            plain_stats.spilled_disk_bytes
+        );
+        assert!(peak <= 64);
+    }
+
+    #[test]
+    fn large_batch_spills_multiple_frames_per_run() {
+        // More rows than ROWS_PER_FRAME in one flush: the run must carry
+        // several frames and still merge correctly.
+        let keys: Vec<i64> = (0..(ROWS_PER_FRAME as i64 * 3)).map(|i| i % 11).collect();
+        let pairs = seq_pairs(&keys);
+        let reference = group_legacy(&pairs);
+        // A share large enough to hold everything, then force one flush by
+        // exhausting the budget exactly once via a tiny limit.
+        let (groups, stats, _) = group_batched(MemBudget::bytes(40_000), &pairs);
+        assert_eq!(groups, reference);
+        // Whether it spilled depends on sizes; the equality is the point.
+        let _ = stats;
+        let (groups, stats, _) = group_batched(MemBudget::bytes(200), &pairs);
+        assert_eq!(groups, reference);
+        assert!(stats.spilled_bytes > 0);
+    }
+
+    #[test]
+    fn empty_partition_yields_no_groups() {
+        let (groups, stats, peak) = group_batched(MemBudget::bytes(10), &[]);
+        assert!(groups.is_empty());
+        assert_eq!(stats, SpillStats::default());
+        assert_eq!(peak, 0);
+    }
+
+    #[test]
+    fn partition_view_agrees_with_partition() {
+        let mut batch = PairBatch::new();
+        let keys: Vec<Tuple> = (0..50)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Tuple::new(vec![Value::str(format!("k{i}")), Value::Int(i)])
+                } else {
+                    Tuple::from_ints(&[i, i * i])
+                }
+            })
+            .collect();
+        for k in &keys {
+            batch.push_pair(k, &Message::Assert { cond: 0 });
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(hash_view(batch.key_view(i)), crate::hash::hash_tuple(k));
+            for reducers in [1usize, 7, 16] {
+                assert_eq!(
+                    partition_view(batch.key_view(i), reducers),
+                    crate::hash::partition(k, reducers)
+                );
+            }
+        }
+    }
+}

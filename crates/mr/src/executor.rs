@@ -25,6 +25,7 @@ use std::collections::BTreeMap;
 use gumbo_common::{ByteSize, Fact, GumboError, Relation, RelationName, Result, Tuple};
 use gumbo_storage::SimDfs;
 
+use crate::batch_shuffle::{BatchGroupStream, PairBatch};
 use crate::cluster::Cluster;
 use crate::cost::{job_cost, CostConstants, CostModelKind};
 use crate::job::Job;
@@ -33,6 +34,43 @@ use crate::metrics::{JobStats, ProgramStats, RoundStats};
 use crate::profile::{InputPartition, JobProfile};
 use crate::program::MrProgram;
 use crate::shuffle::{GroupStream, MemBudget, MemoryBudget, SpillStats};
+
+/// Which in-memory representation carries pairs from the mappers through
+/// the shuffle to the reducers. Purely representational: both planes
+/// produce byte-identical answers and identical [`JobStats`]
+/// (`tests/data_plane_equivalence.rs` enforces this across runtimes,
+/// schedulers and memory budgets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPlane {
+    /// Owned `(Tuple, Message)` pairs — one heap allocation per tuple,
+    /// one budget interaction per pair ([`crate::shuffle`]). The
+    /// historical representation, kept as the reference plane.
+    Pairs,
+    /// Columnar batches ([`crate::batch_shuffle`]): contiguous `i64`
+    /// cells plus per-batch string dictionaries, index sorts, batched
+    /// budget charges and columnar spill frames.
+    #[default]
+    Columnar,
+}
+
+impl DataPlane {
+    /// Parse a CLI spelling: `pairs` or `columnar`.
+    pub fn parse(s: &str) -> Option<DataPlane> {
+        match s {
+            "pairs" => Some(DataPlane::Pairs),
+            "columnar" => Some(DataPlane::Columnar),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling of this plane.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DataPlane::Pairs => "pairs",
+            DataPlane::Columnar => "columnar",
+        }
+    }
+}
 
 /// Engine configuration, shared by every executor.
 #[derive(Debug, Clone, Copy)]
@@ -55,6 +93,10 @@ pub struct EngineConfig {
     /// buffers, spilling sorted runs to disk (see [`crate::shuffle`])
     /// instead of exceeding it. Answers are byte-identical either way.
     pub mem_budget: MemBudget,
+    /// Which representation carries the shuffle (see [`DataPlane`]).
+    /// Representation only — answers and statistics are identical on
+    /// either plane.
+    pub data_plane: DataPlane,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +107,7 @@ impl Default for EngineConfig {
             constants: CostConstants::default(),
             model: CostModelKind::Gumbo,
             mem_budget: MemBudget::UNLIMITED,
+            data_plane: DataPlane::default(),
         }
     }
 }
@@ -357,16 +400,81 @@ pub(crate) fn run_map_task(job: &Job, facts: &[(u64, Fact)]) -> MapTaskResult {
     }
 }
 
+/// What one map task produced on the columnar plane: the same pairs as
+/// [`MapTaskResult`] in the same emission order, held as one
+/// [`PairBatch`] instead of a vector of owned pairs.
+pub(crate) struct BatchMapResult {
+    /// Emitted pairs in emission order, columnar.
+    pub batch: PairBatch,
+    /// Charged map-output bytes (packing-aware), unscaled.
+    pub output_bytes: u64,
+    /// Charged map-output records (packing-aware).
+    pub records_out: u64,
+}
+
+/// The columnar twin of [`run_map_task`]: mapper output lands directly in
+/// a [`PairBatch`], and the packing byte-accounting (§5.1 (1)) runs as an
+/// index sort plus one linear scan instead of a `BTreeMap` build. Per-key
+/// byte sums are order-independent, so `output_bytes` / `records_out`
+/// equal the pair plane's exactly.
+pub(crate) fn run_map_task_batch(job: &Job, facts: &[(u64, Fact)]) -> BatchMapResult {
+    let mut batch = PairBatch::new();
+    for (index, fact) in facts {
+        job.mapper
+            .map(fact, *index, &mut |k, v| batch.push_pair(&k, &v));
+    }
+    let (output_bytes, records_out) = if job.config.packing {
+        let order = batch.sort_indices();
+        let mut bytes = 0u64;
+        let mut records = 0u64;
+        let mut at = 0;
+        while at < order.len() {
+            let first = order[at] as usize;
+            let key = batch.key_view(first);
+            // Key bytes counted once per distinct key within the task;
+            // message bytes always.
+            bytes += key.estimated_bytes();
+            records += 1;
+            while at < order.len() {
+                let row = order[at] as usize;
+                if batch.key_view(row) != key {
+                    break;
+                }
+                bytes += batch.row_bytes(row) - key.estimated_bytes();
+                at += 1;
+            }
+        }
+        (bytes, records)
+    } else {
+        (batch.estimated_bytes(), batch.len() as u64)
+    };
+    BatchMapResult {
+        batch,
+        output_bytes,
+        records_out,
+    }
+}
+
 impl MapPlan {
     /// Fold per-task results (in task order) into the per-input partition
     /// metering, applying the byte scale once per partition.
     pub(crate) fn apply(&mut self, scale: u64, results: &[MapTaskResult]) {
-        debug_assert_eq!(results.len(), self.tasks.len());
+        let counts: Vec<(u64, u64)> = results
+            .iter()
+            .map(|r| (r.output_bytes, r.records_out))
+            .collect();
+        self.apply_counts(scale, &counts);
+    }
+
+    /// [`MapPlan::apply`] over bare `(output_bytes, records_out)` pairs —
+    /// the shape both data planes produce.
+    pub(crate) fn apply_counts(&mut self, scale: u64, counts: &[(u64, u64)]) {
+        debug_assert_eq!(counts.len(), self.tasks.len());
         let mut raw_bytes = vec![0u64; self.partitions.len()];
         let mut raw_records = vec![0u64; self.partitions.len()];
-        for (task, result) in self.tasks.iter().zip(results) {
-            raw_bytes[task.input_idx] += result.output_bytes;
-            raw_records[task.input_idx] += result.records_out;
+        for (task, &(bytes, records)) in self.tasks.iter().zip(counts) {
+            raw_bytes[task.input_idx] += bytes;
+            raw_records[task.input_idx] += records;
         }
         for (i, p) in self.partitions.iter_mut().enumerate() {
             p.map_output = ByteSize::bytes(raw_bytes[i]).scaled(scale);
@@ -375,21 +483,45 @@ impl MapPlan {
     }
 }
 
+/// One reducer partition's grouped stream, from either data plane. Both
+/// variants observe the same contract — keys ascend in `Tuple` order,
+/// values stay in global emission order — so [`run_reduce_stream`] is
+/// plane-agnostic.
+pub(crate) enum Groups<'a> {
+    /// The pair plane's merge ([`crate::shuffle`]).
+    Pairs(GroupStream<'a>),
+    /// The columnar plane's merge ([`crate::batch_shuffle`]).
+    Columnar(BatchGroupStream<'a>),
+}
+
+impl Groups<'_> {
+    /// The next key group, its values appended into a caller-owned
+    /// scratch vector (cleared first).
+    fn next_group_into(&mut self, values: &mut Vec<Message>) -> Result<Option<Tuple>> {
+        match self {
+            Groups::Pairs(stream) => stream.next_group_into(values),
+            Groups::Columnar(stream) => stream.next_group_into(values),
+        }
+    }
+}
+
 /// Reduce one shuffle partition by streaming its key groups (keys in
 /// canonical order, values in emission order — the order the bounded and
 /// unlimited shuffles both guarantee) and collect the reducer's output
 /// into fresh per-partition relations, rejecting emissions to undeclared
-/// outputs exactly like the original engine did.
+/// outputs exactly like the original engine did. One scratch value vector
+/// is reused across groups.
 pub(crate) fn run_reduce_stream(
     job: &Job,
-    mut groups: GroupStream<'_>,
+    mut groups: Groups<'_>,
 ) -> Result<BTreeMap<RelationName, Relation>> {
     let mut outputs: BTreeMap<RelationName, Relation> = job
         .outputs
         .iter()
         .map(|(name, arity)| (name.clone(), Relation::new(name.clone(), *arity)))
         .collect();
-    while let Some((key, values)) = groups.next_group()? {
+    let mut values: Vec<Message> = Vec::new();
+    while let Some(key) = groups.next_group_into(&mut values)? {
         let mut err: Option<GumboError> = None;
         job.reducer.reduce(&key, &values, &mut |rel_name, tuple| {
             if err.is_some() {

@@ -4,7 +4,7 @@
 //! simulated schedules (and therefore reported times) non-reproducible.
 //! We use FNV-1a over a canonical byte rendering of the key instead.
 
-use gumbo_common::{Tuple, Value};
+use gumbo_common::{Tuple, TupleView, Value, ValueRef};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -44,10 +44,45 @@ pub fn hash_tuple(tuple: &Tuple) -> u64 {
     h
 }
 
+/// Deterministic hash of a columnar key view — byte-for-byte the same
+/// mixing as [`hash_tuple`], so `hash_view(batch.view(r))` always equals
+/// `hash_tuple(&batch.tuple(r))` and both data planes route every key to
+/// the same reducer.
+pub fn hash_view(view: TupleView<'_>) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for v in view.values() {
+        match v {
+            ValueRef::Int(i) => {
+                mix(&[0u8]);
+                mix(&i.to_le_bytes());
+            }
+            ValueRef::Str(s) => {
+                mix(&[1u8]);
+                mix(s.as_bytes());
+                mix(&[0xff]);
+            }
+        }
+    }
+    h
+}
+
 /// Reducer index for a key under `r` reducers.
 pub fn partition(tuple: &Tuple, reducers: usize) -> usize {
     debug_assert!(reducers > 0);
     (hash_tuple(tuple) % reducers as u64) as usize
+}
+
+/// Reducer index for a columnar key view — agrees with [`partition`] on
+/// the materialized key.
+pub fn partition_view(view: TupleView<'_>, reducers: usize) -> usize {
+    debug_assert!(reducers > 0);
+    (hash_view(view) % reducers as u64) as usize
 }
 
 #[cfg(test)]
@@ -89,6 +124,22 @@ mod tests {
             counts[partition(&Tuple::from_ints(&[i]), 10)] += 1;
         }
         assert!(counts.iter().all(|&c| c > 0), "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn view_hash_matches_tuple_hash() {
+        use gumbo_common::TupleBatch;
+        let tuples = [
+            Tuple::from_ints(&[]),
+            Tuple::from_ints(&[1, -2, i64::MAX]),
+            Tuple::new(vec![Value::str("1"), Value::Int(1), Value::str("")]),
+        ];
+        for t in &tuples {
+            let mut batch = TupleBatch::new(t.arity());
+            batch.push_tuple(t);
+            assert_eq!(hash_view(batch.view(0)), hash_tuple(t), "{t}");
+            assert_eq!(partition_view(batch.view(0), 7), partition(t, 7), "{t}");
+        }
     }
 
     #[test]

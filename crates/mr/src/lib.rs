@@ -62,6 +62,7 @@
 //! per-job thread sizing, and the predicted DAG net-time metric
 //! ([`ProgramStats::predicted_net_time`]).
 
+pub mod batch_shuffle;
 pub mod cluster;
 pub mod cost;
 pub mod dag;
@@ -77,6 +78,7 @@ pub mod program;
 pub mod shuffle;
 pub mod simulated;
 
+pub use batch_shuffle::{BatchGroupStream, BatchPartition, PairBatch, TupleStore};
 pub use cluster::Cluster;
 pub use cost::{job_cost, CostConstants, CostModelKind};
 pub use dag::{DagNode, JobDag};
@@ -84,7 +86,7 @@ pub use estimate::{
     critical_path_lengths, list_schedule_makespan, list_schedule_makespan_by, JobEstimate,
 };
 pub use executor::{
-    commit_job, plan_job, ComputedJob, EngineConfig, Executor, ExecutorKind, MapPlan,
+    commit_job, plan_job, ComputedJob, DataPlane, EngineConfig, Executor, ExecutorKind, MapPlan,
 };
 pub use job::{Job, JobConfig, Mapper, Reducer, ReducerPolicy};
 pub use message::{Message, Payload};
@@ -92,7 +94,9 @@ pub use metrics::{JobStats, ProgramStats};
 pub use parallel::ParallelExecutor;
 pub use profile::{InputPartition, JobProfile};
 pub use program::MrProgram;
-pub use shuffle::{MemBudget, MemoryBudget, SpillStats};
+pub use shuffle::{
+    GroupStream, MemBudget, MemoryBudget, ShuffleSpill, SpillStats, SpillingPartition,
+};
 pub use simulated::{Engine, SimulatedExecutor};
 
 #[cfg(test)]

@@ -35,10 +35,12 @@ use std::thread;
 
 use gumbo_common::{Relation, RelationName, Result, Tuple};
 
+use crate::batch_shuffle::{BatchPartition, PairBatch};
 use crate::executor::{
-    run_map_task, run_reduce_stream, ComputedJob, EngineConfig, Executor, MapPlan,
+    run_map_task, run_map_task_batch, run_reduce_stream, ComputedJob, DataPlane, EngineConfig,
+    Executor, Groups, MapPlan,
 };
-use crate::hash::partition;
+use crate::hash::{partition, partition_view};
 use crate::job::Job;
 use crate::message::Message;
 use crate::shuffle::{MemoryBudget, ShuffleSpill, SpillStats, SpillingPartition};
@@ -144,7 +146,7 @@ impl Executor for ParallelExecutor {
         self.run_phases_with(job, plan, 0)
     }
 
-    fn run_phases_with(&self, job: &Job, mut plan: MapPlan, threads: usize) -> Result<ComputedJob> {
+    fn run_phases_with(&self, job: &Job, plan: MapPlan, threads: usize) -> Result<ComputedJob> {
         // 0 = this executor's own sizing; the DAG scheduler passes a
         // per-job count derived from the job's cost estimate under its
         // total-core budget.
@@ -153,7 +155,22 @@ impl Executor for ParallelExecutor {
         } else {
             self.effective_threads()
         };
+        match self.config.data_plane {
+            DataPlane::Pairs => self.run_phases_pairs(job, plan, workers),
+            DataPlane::Columnar => self.run_phases_columnar(job, plan, workers),
+        }
+    }
+}
 
+impl ParallelExecutor {
+    /// The pair-plane pipeline: owned `(Tuple, Message)` pairs moved
+    /// through per-reducer buckets.
+    fn run_phases_pairs(
+        &self,
+        job: &Job,
+        mut plan: MapPlan,
+        workers: usize,
+    ) -> Result<ComputedJob> {
         // ---- map phase: tasks fan out over the pool ---------------------
         // Planning (and its DFS read metering) happened on the caller's
         // thread; the tasks own their fact slices, so workers never touch
@@ -206,10 +223,95 @@ impl Executor for ParallelExecutor {
             }
             let bytes = part.total_bytes();
             let (groups, stats) = part.into_groups()?;
-            Ok((run_reduce_stream(job, groups)?, bytes, stats))
+            Ok((run_reduce_stream(job, Groups::Pairs(groups))?, bytes, stats))
         });
         // First error in partition order — the simulator's error too,
         // since it scans partitions in order and stops at the first.
+        let mut partition_outputs = Vec::with_capacity(reduced.len());
+        let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
+        let mut spill_stats = SpillStats::default();
+        for outcome in reduced {
+            let (outputs, bytes, stats) = outcome?;
+            partition_outputs.push(outputs);
+            reducer_bytes.push(bytes);
+            spill_stats.absorb(stats);
+        }
+
+        Ok(ComputedJob {
+            partitions: plan.partitions,
+            reducers,
+            reducer_bytes,
+            partition_outputs,
+            spill: spill_stats,
+        })
+    }
+
+    /// The columnar pipeline: identical phase structure over
+    /// [`crate::batch_shuffle`] batches. The bucket pass scatters rows
+    /// into per-(task, reducer) [`PairBatch`]es (columnar cell copies,
+    /// each key hashed exactly once via a zero-copy view); the fused
+    /// drain appends whole buckets in task order — one budget
+    /// interaction per bucket — preserving the pair plane's
+    /// per-partition emission order exactly.
+    fn run_phases_columnar(
+        &self,
+        job: &Job,
+        mut plan: MapPlan,
+        workers: usize,
+    ) -> Result<ComputedJob> {
+        // ---- map phase: tasks fan out over the pool ---------------------
+        let results = parallel_for(plan.tasks.len(), workers, |i| {
+            run_map_task_batch(job, plan.task_facts(&plan.tasks[i]))
+        });
+        let counts: Vec<(u64, u64)> = results
+            .iter()
+            .map(|r| (r.output_bytes, r.records_out))
+            .collect();
+        plan.apply_counts(self.config.scale.max(1), &counts);
+
+        // ---- shuffle: partitioned into per-reducer batches --------------
+        let reducers = plan.resolve_reducers(job);
+
+        // Phase 1 — bucket: workers take ownership of map-task batches (in
+        // task order) and scatter each row into per-reducer batches.
+        let chunks: Vec<Mutex<Option<PairBatch>>> = results
+            .into_iter()
+            .map(|r| Mutex::new(Some(r.batch)))
+            .collect();
+        let buckets: Vec<Vec<Mutex<PairBatch>>> = parallel_for(chunks.len(), workers, |c| {
+            let batch = chunks[c]
+                .lock()
+                .expect("unpoisoned chunk")
+                .take()
+                .expect("chunk taken once");
+            let mut bucket: Vec<PairBatch> = (0..reducers).map(|_| PairBatch::new()).collect();
+            for row in 0..batch.len() {
+                bucket[partition_view(batch.key_view(row), reducers)].push_row(&batch, row);
+            }
+            bucket.into_iter().map(Mutex::new).collect()
+        });
+
+        // Phase 2 + reduce, fused per reducer: append the buckets in chunk
+        // order through a budget-charged spilling batch buffer, then
+        // stream the merged groups straight into the reduce function.
+        let spill = ShuffleSpill::new(&job.name);
+        let budget = &*self.budget;
+        type ReducedPartition = Result<(BTreeMap<RelationName, Relation>, u64, SpillStats)>;
+        let reduced: Vec<ReducedPartition> = parallel_for(reducers, workers, |p| {
+            let mut part = BatchPartition::new(p, budget, &spill, reducers);
+            for bucket in &buckets {
+                let batch = std::mem::take(&mut *bucket[p].lock().expect("unpoisoned bucket"));
+                part.push_batch(&batch)?;
+            }
+            let bytes = part.total_bytes();
+            let (groups, stats) = part.into_groups()?;
+            Ok((
+                run_reduce_stream(job, Groups::Columnar(groups))?,
+                bytes,
+                stats,
+            ))
+        });
+        // First error in partition order — the simulator's error too.
         let mut partition_outputs = Vec::with_capacity(reduced.len());
         let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
         let mut spill_stats = SpillStats::default();

@@ -9,6 +9,7 @@ use proptest::prelude::*;
 
 use gumbo_common::{ByteSize, Tuple};
 
+use crate::batch_shuffle::{BatchPartition, PairBatch};
 use crate::cluster::lpt_makespan;
 use crate::cost::{job_cost, CostConstants, CostModelKind};
 use crate::dag::jobs_conflict;
@@ -183,6 +184,89 @@ proptest! {
         drop(stream);
 
         let expected: Vec<(Tuple, Vec<Message>)> = expected.into_iter().collect();
+        prop_assert_eq!(got, expected, "budget {} (stats {:?})", budget, stats);
+        if let Some(limit) = tracker.limit() {
+            prop_assert!(tracker.peak() <= limit);
+        }
+        prop_assert_eq!(tracker.used(), 0, "all charges released");
+    }
+
+    /// The columnar plane reproduces the pair plane's reducer groupings
+    /// byte for byte: for any pair sequence (mixed message shapes, string
+    /// keys and payloads included) and any budget — however many columnar
+    /// spill frames and intermediate merge passes it forces — the batch
+    /// partition's grouped stream equals the pair partition's, with
+    /// identical total byte accounting.
+    #[test]
+    fn columnar_spill_merge_matches_pair_plane_grouping(
+        keys in proptest::collection::vec(0i64..12, 0usize..120),
+        budget in 0u64..400,
+    ) {
+        // Vary message shape with the emission index so frames carry
+        // every kind, including dictionary-encoded payload tuples.
+        let pairs: Vec<(Tuple, Message)> = keys
+            .iter()
+            .enumerate()
+            .map(|(seq, &k)| {
+                let key = if k % 3 == 0 {
+                    Tuple::new(vec![gumbo_common::Value::str(format!("k{k}"))])
+                } else {
+                    Tuple::from_ints(&[k])
+                };
+                let msg = match seq % 4 {
+                    0 => Message::Assert { cond: seq as u32 },
+                    1 => Message::Req {
+                        cond: seq as u32,
+                        payload: Payload::Ref { guard: 0, id: seq as u64 },
+                    },
+                    2 => Message::Req {
+                        cond: seq as u32,
+                        payload: Payload::Tuple(Tuple::new(vec![
+                            gumbo_common::Value::Int(seq as i64),
+                            gumbo_common::Value::str("p"),
+                        ])),
+                    },
+                    _ => Message::GuardTuple {
+                        guard: seq as u32,
+                        tuple: Tuple::from_ints(&[seq as i64]),
+                    },
+                };
+                (key, msg)
+            })
+            .collect();
+
+        // Pair plane under the same budget: the reference grouping.
+        let pair_tracker = MemoryBudget::new(MemBudget::bytes(budget));
+        let pair_spill = ShuffleSpill::new("proptest-pairs");
+        let mut pair_part = SpillingPartition::new(0, &pair_tracker, &pair_spill, 1);
+        for (k, v) in pairs.clone() {
+            pair_part.push(k, v).unwrap();
+        }
+        let pair_bytes = pair_part.total_bytes();
+        let (mut pair_stream, _) = pair_part.into_groups().unwrap();
+        let mut expected: Vec<(Tuple, Vec<Message>)> = Vec::new();
+        while let Some(group) = pair_stream.next_group().unwrap() {
+            expected.push(group);
+        }
+        drop(pair_stream);
+
+        // Columnar plane: one batch through a budget-charged partition.
+        let tracker = MemoryBudget::new(MemBudget::bytes(budget));
+        let spill = ShuffleSpill::new("proptest-columnar");
+        let mut part = BatchPartition::new(0, &tracker, &spill, 1);
+        let mut batch = PairBatch::new();
+        for (k, v) in &pairs {
+            batch.push_pair(k, v);
+        }
+        part.push_batch(&batch).unwrap();
+        prop_assert_eq!(part.total_bytes(), pair_bytes, "total byte accounting");
+        let (mut stream, stats) = part.into_groups().unwrap();
+        let mut got: Vec<(Tuple, Vec<Message>)> = Vec::new();
+        while let Some(group) = stream.next_group().unwrap() {
+            got.push(group);
+        }
+        drop(stream);
+
         prop_assert_eq!(got, expected, "budget {} (stats {:?})", budget, stats);
         if let Some(limit) = tracker.limit() {
             prop_assert!(tracker.peak() <= limit);

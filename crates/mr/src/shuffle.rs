@@ -51,7 +51,7 @@ pub const MERGE_FANIN: usize = 16;
 /// once per pair, so the default path pays almost no shared-atomic
 /// traffic while `used`/`peak` stay observable (over-reported by at most
 /// one granule per live partition).
-const UNLIMITED_GRANULE: u64 = 64 * 1024;
+pub(crate) const UNLIMITED_GRANULE: u64 = 64 * 1024;
 
 // ---------------------------------------------------------------------------
 // Budget spec + tracker
@@ -447,13 +447,18 @@ pub(crate) fn decode_pair(frame: &[u8]) -> Result<(Tuple, Message)> {
 /// of one job's shuffle. The directory only touches the filesystem on
 /// the first actual flush and is removed when this handle drops (success
 /// and error paths alike).
-pub(crate) struct ShuffleSpill {
+///
+/// Public (like [`SpillingPartition`] and [`GroupStream`]) so the bench
+/// crate and the workspace-level allocation smoke test can drive the
+/// shuffle layer directly; not a stability surface.
+pub struct ShuffleSpill {
     label: String,
     dir: Mutex<Option<SpillDir>>,
 }
 
 impl ShuffleSpill {
-    pub(crate) fn new(job_name: &str) -> ShuffleSpill {
+    /// A lazily-created spill scope for one job's shuffle.
+    pub fn new(job_name: &str) -> ShuffleSpill {
         ShuffleSpill {
             label: job_name.to_string(),
             dir: Mutex::new(None),
@@ -462,7 +467,7 @@ impl ShuffleSpill {
 
     /// Allocate the path for a new run file, creating the directory on
     /// first use.
-    fn run_path(&self, partition: usize, seq: u64) -> Result<std::path::PathBuf> {
+    pub(crate) fn run_path(&self, partition: usize, seq: u64) -> Result<std::path::PathBuf> {
         let mut guard = self.dir.lock().expect("unpoisoned spill dir");
         if guard.is_none() {
             *guard = Some(SpillDir::create(&self.label)?);
@@ -480,8 +485,8 @@ impl ShuffleSpill {
 
 /// One run on disk: pairs stable-sorted by key, a contiguous slice of the
 /// partition's emission-order pair sequence.
-struct Run {
-    path: std::path::PathBuf,
+pub(crate) struct Run {
+    pub(crate) path: std::path::PathBuf,
 }
 
 impl Drop for Run {
@@ -495,7 +500,10 @@ impl Drop for Run {
 /// The shuffle buffer of one reducer partition, charging the shared
 /// [`MemoryBudget`] as pairs arrive and spilling sorted runs when its
 /// share of the budget is exceeded (or the global budget is exhausted).
-pub(crate) struct SpillingPartition<'a> {
+///
+/// This is the *pair* (row-at-a-time) data plane; the columnar
+/// equivalent is [`crate::batch_shuffle::BatchPartition`].
+pub struct SpillingPartition<'a> {
     partition: usize,
     share: u64,
     budget: &'a MemoryBudget,
@@ -515,7 +523,8 @@ pub(crate) struct SpillingPartition<'a> {
 }
 
 impl<'a> SpillingPartition<'a> {
-    pub(crate) fn new(
+    /// An empty buffer for reducer `partition` of `partitions`.
+    pub fn new(
         partition: usize,
         budget: &'a MemoryBudget,
         spill: &'a ShuffleSpill,
@@ -538,13 +547,13 @@ impl<'a> SpillingPartition<'a> {
     }
 
     /// Total estimated bytes pushed into this partition so far.
-    pub(crate) fn total_bytes(&self) -> u64 {
+    pub fn total_bytes(&self) -> u64 {
         self.total_bytes
     }
 
     /// Accept one pair (in global emission order), charging the budget
     /// and flushing a sorted run when over the share or out of budget.
-    pub(crate) fn push(&mut self, key: Tuple, value: Message) -> Result<()> {
+    pub fn push(&mut self, key: Tuple, value: Message) -> Result<()> {
         let bytes = key.estimated_bytes() + value.estimated_bytes();
         self.total_bytes += bytes;
         if self.budget.limit().is_none() {
@@ -609,7 +618,7 @@ impl<'a> SpillingPartition<'a> {
     /// Finish the partition: collapse runs under the merge fan-in, sort
     /// the in-memory tail, and hand back the grouped stream the reducer
     /// consumes plus this partition's spill statistics.
-    pub(crate) fn into_groups(mut self) -> Result<(GroupStream<'a>, SpillStats)> {
+    pub fn into_groups(mut self) -> Result<(GroupStream<'a>, SpillStats)> {
         // Intermediate passes: merge the *oldest* runs into one (stable:
         // ties drain earlier runs first) until runs + tail fit the fan-in.
         while self.runs.len() + 1 > MERGE_FANIN {
@@ -617,7 +626,7 @@ impl<'a> SpillingPartition<'a> {
             let oldest: Vec<Run> = self.runs.drain(..take).collect();
             let mut sources = Vec::with_capacity(oldest.len());
             for run in &oldest {
-                sources.push(PairSource::open_run(&run.path, self.compression)?);
+                sources.push(PairSource::open_run(&run.path)?);
             }
             let path = self.spill.run_path(self.partition, self.next_seq)?;
             self.next_seq += 1;
@@ -639,7 +648,7 @@ impl<'a> SpillingPartition<'a> {
         self.pairs.sort_by(|a, b| a.0.cmp(&b.0));
         let mut sources = Vec::with_capacity(self.runs.len() + 1);
         for run in &self.runs {
-            sources.push(PairSource::open_run(&run.path, self.compression)?);
+            sources.push(PairSource::open_run(&run.path)?);
         }
         sources.push(PairSource::from_memory(std::mem::take(&mut self.pairs)));
         let stats = self.stats;
@@ -674,8 +683,8 @@ enum PairSource {
 }
 
 impl PairSource {
-    fn open_run(path: &std::path::Path, compression: Compression) -> Result<Peeked> {
-        let mut source = PairSource::Run(RunReader::open_with(path, compression)?);
+    fn open_run(path: &std::path::Path) -> Result<Peeked> {
+        let mut source = PairSource::Run(RunReader::open(path)?);
         let head = source.pull()?;
         Ok(Peeked { source, head })
     }
@@ -742,7 +751,7 @@ impl MergePairs {
 /// The grouped stream a reducer consumes: `(key, values)` with keys in
 /// ascending order and values in global emission order — exactly the
 /// iteration order of the unlimited path's `BTreeMap` grouping.
-pub(crate) struct GroupStream<'a> {
+pub struct GroupStream<'a> {
     merge: MergePairs,
     budget: &'a MemoryBudget,
     charged: u64,
@@ -751,21 +760,29 @@ pub(crate) struct GroupStream<'a> {
 
 impl GroupStream<'_> {
     /// The next key group, or `None` when the partition is exhausted.
-    /// One `min_source` scan per pair: the selected index is popped
-    /// directly rather than recomputed.
-    pub(crate) fn next_group(&mut self) -> Result<Option<(Tuple, Vec<Message>)>> {
+    pub fn next_group(&mut self) -> Result<Option<(Tuple, Vec<Message>)>> {
+        let mut values = Vec::new();
+        Ok(self.next_group_into(&mut values)?.map(|key| (key, values)))
+    }
+
+    /// The next key group with its values appended into a caller-owned
+    /// scratch vector (cleared first), so one allocation serves every
+    /// group of a reduce. One `min_source` scan per pair: the selected
+    /// index is popped directly rather than recomputed.
+    pub fn next_group_into(&mut self, values: &mut Vec<Message>) -> Result<Option<Tuple>> {
+        values.clear();
         let Some(i) = self.merge.min_source() else {
             return Ok(None);
         };
         let (key, first) = self.merge.pop(i)?;
-        let mut values = vec![first];
+        values.push(first);
         while let Some(i) = self.merge.min_source() {
             match &self.merge.sources[i].head {
                 Some((k, _)) if *k == key => values.push(self.merge.pop(i)?.1),
                 _ => break,
             }
         }
-        Ok(Some((key, values)))
+        Ok(Some(key))
     }
 }
 

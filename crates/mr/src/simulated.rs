@@ -12,10 +12,12 @@ use std::sync::Arc;
 
 use gumbo_common::Result;
 
+use crate::batch_shuffle::BatchPartition;
 use crate::executor::{
-    run_map_task, run_reduce_stream, ComputedJob, EngineConfig, Executor, MapPlan,
+    run_map_task, run_map_task_batch, run_reduce_stream, ComputedJob, DataPlane, EngineConfig,
+    Executor, Groups, MapPlan,
 };
-use crate::hash::partition;
+use crate::hash::{partition, partition_view};
 use crate::job::Job;
 use crate::shuffle::{MemoryBudget, ShuffleSpill, SpillStats, SpillingPartition};
 
@@ -59,7 +61,18 @@ impl Executor for SimulatedExecutor {
         &self.budget
     }
 
-    fn run_phases(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
+    fn run_phases(&self, job: &Job, plan: MapPlan) -> Result<ComputedJob> {
+        match self.config.data_plane {
+            DataPlane::Pairs => self.run_phases_pairs(job, plan),
+            DataPlane::Columnar => self.run_phases_columnar(job, plan),
+        }
+    }
+}
+
+impl SimulatedExecutor {
+    /// The pair-plane pipeline: owned `(Tuple, Message)` pairs scattered
+    /// one at a time.
+    fn run_phases_pairs(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         // ---- map phase -------------------------------------------------
         let results: Vec<_> = plan
             .tasks
@@ -95,7 +108,66 @@ impl Executor for SimulatedExecutor {
             reducer_bytes.push(part.total_bytes());
             let (groups, stats) = part.into_groups()?;
             spill_stats.absorb(stats);
-            partition_outputs.push(run_reduce_stream(job, groups)?);
+            partition_outputs.push(run_reduce_stream(job, Groups::Pairs(groups))?);
+        }
+
+        Ok(ComputedJob {
+            partitions: plan.partitions,
+            reducers,
+            reducer_bytes,
+            partition_outputs,
+            spill: spill_stats,
+        })
+    }
+
+    /// The columnar pipeline: the same phases over
+    /// [`crate::batch_shuffle`] batches. Per-task row routing replaces
+    /// the per-pair scatter — rows are appended to each reducer's buffer
+    /// in task order with ascending row indices, which is exactly the
+    /// pair plane's per-partition emission order.
+    fn run_phases_columnar(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
+        // ---- map phase -------------------------------------------------
+        let results: Vec<_> = plan
+            .tasks
+            .iter()
+            .map(|t| run_map_task_batch(job, plan.task_facts(t)))
+            .collect();
+        let counts: Vec<(u64, u64)> = results
+            .iter()
+            .map(|r| (r.output_bytes, r.records_out))
+            .collect();
+        plan.apply_counts(self.config.scale.max(1), &counts);
+
+        // ---- shuffle ----------------------------------------------------
+        let reducers = plan.resolve_reducers(job);
+        let spill = ShuffleSpill::new(&job.name);
+        let mut parts: Vec<BatchPartition<'_>> = (0..reducers)
+            .map(|p| BatchPartition::new(p, &self.budget, &spill, reducers))
+            .collect();
+        let mut routes: Vec<Vec<u32>> = vec![Vec::new(); reducers];
+        for result in &results {
+            for route in &mut routes {
+                route.clear();
+            }
+            for row in 0..result.batch.len() {
+                routes[partition_view(result.batch.key_view(row), reducers)].push(row as u32);
+            }
+            for (part, rows) in parts.iter_mut().zip(&routes) {
+                if !rows.is_empty() {
+                    part.push_rows(&result.batch, rows)?;
+                }
+            }
+        }
+
+        // ---- reduce phase ----------------------------------------------
+        let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
+        let mut spill_stats = SpillStats::default();
+        let mut partition_outputs = Vec::with_capacity(reducers);
+        for part in parts {
+            reducer_bytes.push(part.total_bytes());
+            let (groups, stats) = part.into_groups()?;
+            spill_stats.absorb(stats);
+            partition_outputs.push(run_reduce_stream(job, Groups::Columnar(groups))?);
         }
 
         Ok(ComputedJob {

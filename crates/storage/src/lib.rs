@@ -20,4 +20,4 @@ pub mod spill;
 
 pub use dfs::{DfsFile, SimDfs};
 pub use sample::reservoir_sample;
-pub use spill::{Compression, RunReader, RunWriter, SpillDir};
+pub use spill::{Compression, FrameFormat, RunReader, RunWriter, SpillDir};

@@ -11,16 +11,22 @@
 //!   alike — `cargo test` leaves no spill litter behind.
 //! * [`RunWriter`] / [`RunReader`] — length-prefixed binary frames,
 //!   buffered in both directions. Frames are opaque bytes here; the
-//!   encoding of `(key, message)` pairs lives next to those types in
-//!   `gumbo-mr`.
-//! * [`Compression`] — an optional per-frame RLE block codec. The pair
-//!   encoding stores integer values as 8-byte little-endian words, so
-//!   real shuffle data carries long zero runs; byte-level RLE shrinks
-//!   run files (roughly a quarter on the reference spill sweep, more on
-//!   wide-tuple data) at the small budgets where merge passes appear.
-//!   Each frame independently records whether it was stored raw or
-//!   RLE-encoded (the writer picks whichever is smaller), so
-//!   incompressible frames cost one tag byte, never an expansion.
+//!   encodings (the `(key, message)` pair codec and the columnar batch
+//!   frames) live next to those types in `gumbo-mr` and `gumbo-common`.
+//! * [`FrameFormat`] — every frame is stored as
+//!   `[len u32][format u8][block]`, the format byte naming both the
+//!   payload kind (pair-encoded vs columnar batch) and whether the block
+//!   is raw or RLE-compressed. Readers reject unknown format bytes and
+//!   frames of the wrong kind instead of guessing, so future formats are
+//!   additive, never a breaking re-interpretation of old files.
+//! * [`Compression`] — an optional per-frame RLE block codec. Both the
+//!   pair and the columnar encodings store integer values as 8-byte
+//!   little-endian words, so real shuffle data carries long zero runs;
+//!   byte-level RLE shrinks run files (roughly a quarter on the
+//!   reference spill sweep, more on wide-tuple data) at the small
+//!   budgets where merge passes appear. The writer picks raw or RLE per
+//!   frame, whichever is smaller, so incompressible frames cost only the
+//!   format byte, never an expansion.
 
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -98,18 +104,53 @@ impl Drop for SpillDir {
     }
 }
 
-/// The block codec applied to run-file frames. Writer and reader of one
-/// run must agree (the shuffle derives it from the memory budget's
-/// `compress` flag, which is fixed for the life of an executor).
+/// The block codec a [`RunWriter`] *may* apply to frames (the shuffle
+/// derives it from the memory budget's `compress` flag). Readers no
+/// longer need to agree up front: each frame's [`FrameFormat`] byte
+/// records what was actually stored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Compression {
-    /// Frames stored verbatim: `[len u32][payload]`.
+    /// Frames stored verbatim.
     #[default]
     None,
-    /// Frames stored as `[stored_len u32][tag u8][block]`, where the tag
-    /// says whether the block is the raw payload (`0`) or its byte-level
-    /// RLE encoding (`1`) — per frame, whichever is smaller.
+    /// Frames stored byte-level RLE-encoded whenever that is smaller
+    /// than the raw payload — per frame, whichever wins.
     Rle,
+}
+
+/// The per-frame format byte: payload kind × block codec.
+///
+/// Every run-file frame is `[len u32][format u8][block]` with
+/// `len = 1 + block.len()`. The format byte is authoritative — a reader
+/// rejects frames whose kind it did not expect and format bytes it does
+/// not know, so corrupt or future-format files surface as errors rather
+/// than silently wrong data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameFormat {
+    /// A pair-encoded frame, raw block.
+    Raw = 0,
+    /// A pair-encoded frame, byte-level RLE block.
+    Rle = 1,
+    /// A columnar batch frame, raw block.
+    Columnar = 2,
+    /// A columnar batch frame, byte-level RLE block.
+    ColumnarRle = 3,
+}
+
+impl FrameFormat {
+    /// Decode a format byte; unknown values are an error, not a guess.
+    pub fn from_byte(b: u8) -> Result<FrameFormat> {
+        match b {
+            0 => Ok(FrameFormat::Raw),
+            1 => Ok(FrameFormat::Rle),
+            2 => Ok(FrameFormat::Columnar),
+            3 => Ok(FrameFormat::ColumnarRle),
+            other => Err(GumboError::Storage(format!(
+                "unknown spill frame format {other}"
+            ))),
+        }
+    }
 }
 
 /// Byte-level run-length encoding: a sequence of `(count, byte)` pairs
@@ -160,12 +201,7 @@ fn rle_decode(data: &[u8]) -> Result<Vec<u8>> {
     Ok(out)
 }
 
-/// Frame tag under [`Compression::Rle`]: raw payload follows.
-const TAG_RAW: u8 = 0;
-/// Frame tag under [`Compression::Rle`]: RLE block follows.
-const TAG_RLE: u8 = 1;
-
-/// Buffered writer of length-prefixed binary frames.
+/// Buffered writer of length-prefixed, format-tagged binary frames.
 pub struct RunWriter {
     writer: BufWriter<File>,
     compression: Compression,
@@ -192,28 +228,36 @@ impl RunWriter {
         })
     }
 
-    /// Append one frame.
+    /// Append one pair-encoded frame ([`FrameFormat::Raw`] /
+    /// [`FrameFormat::Rle`]).
     pub fn push(&mut self, frame: &[u8]) -> Result<()> {
-        let (block, tag): (&[u8], Option<u8>) = match self.compression {
-            Compression::None => (frame, None),
+        self.push_tagged(frame, FrameFormat::Raw, FrameFormat::Rle)
+    }
+
+    /// Append one columnar batch frame ([`FrameFormat::Columnar`] /
+    /// [`FrameFormat::ColumnarRle`]).
+    pub fn push_columnar(&mut self, frame: &[u8]) -> Result<()> {
+        self.push_tagged(frame, FrameFormat::Columnar, FrameFormat::ColumnarRle)
+    }
+
+    fn push_tagged(&mut self, frame: &[u8], raw: FrameFormat, rle: FrameFormat) -> Result<()> {
+        let (block, format): (&[u8], FrameFormat) = match self.compression {
+            Compression::None => (frame, raw),
             Compression::Rle => {
                 rle_encode_into(frame, &mut self.scratch);
                 if self.scratch.len() < frame.len() {
-                    (&self.scratch, Some(TAG_RLE))
+                    (&self.scratch, rle)
                 } else {
-                    (frame, Some(TAG_RAW))
+                    (frame, raw)
                 }
             }
         };
-        let stored = block.len() + tag.map_or(0, |_| 1);
+        let stored = block.len() + 1;
         let len = u32::try_from(stored)
             .map_err(|_| GumboError::Storage("spill frame exceeds 4 GiB".into()))?;
         self.writer
             .write_all(&len.to_le_bytes())
-            .and_then(|()| match tag {
-                Some(t) => self.writer.write_all(&[t]),
-                None => Ok(()),
-            })
+            .and_then(|()| self.writer.write_all(&[format as u8]))
             .and_then(|()| self.writer.write_all(block))
             .map_err(|e| storage_err("writing spill run", e))?;
         self.frames += 1;
@@ -230,34 +274,58 @@ impl RunWriter {
     }
 }
 
-/// Buffered reader of length-prefixed binary frames.
+/// Buffered reader of length-prefixed, format-tagged binary frames.
 pub struct RunReader {
     reader: BufReader<File>,
-    compression: Compression,
 }
 
 impl RunReader {
-    /// Open an uncompressed run file for sequential reading.
+    /// Open a run file for sequential reading. No codec needs to be
+    /// declared: each frame's format byte says how it was stored.
     pub fn open(path: &Path) -> Result<RunReader> {
-        RunReader::open_with(path, Compression::None)
-    }
-
-    /// Open a run file written with the given block codec.
-    pub fn open_with(path: &Path, compression: Compression) -> Result<RunReader> {
         let file = File::open(path).map_err(|e| storage_err("opening spill run", e))?;
         Ok(RunReader {
             reader: BufReader::new(file),
-            compression,
         })
     }
 
-    /// Read the next frame, or `None` at a clean end of file.
-    ///
-    /// A *torn* length prefix (EOF after 1–3 bytes) is an error, not an
-    /// end of file: silently ending a truncated run early would make the
-    /// shuffle merge drop data and return a wrong answer with exit
-    /// code 0.
+    /// Read the next pair-encoded frame, or `None` at a clean end of
+    /// file. A columnar frame here means the file was written by the
+    /// other data plane — an error, never a misparse.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.next_tagged()? {
+            None => Ok(None),
+            Some((FrameFormat::Raw, block)) => Ok(Some(block)),
+            Some((FrameFormat::Rle, block)) => Ok(Some(rle_decode(&block)?)),
+            Some((f @ (FrameFormat::Columnar | FrameFormat::ColumnarRle), _)) => {
+                Err(GumboError::Storage(format!(
+                    "columnar spill frame ({f:?}) in a pair-format read"
+                )))
+            }
+        }
+    }
+
+    /// Read the next columnar batch frame, or `None` at a clean end of
+    /// file. Pair-encoded frames are rejected symmetrically to
+    /// [`next_frame`](Self::next_frame).
+    pub fn next_columnar_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.next_tagged()? {
+            None => Ok(None),
+            Some((FrameFormat::Columnar, block)) => Ok(Some(block)),
+            Some((FrameFormat::ColumnarRle, block)) => Ok(Some(rle_decode(&block)?)),
+            Some((f @ (FrameFormat::Raw | FrameFormat::Rle), _)) => Err(GumboError::Storage(
+                format!("pair-encoded spill frame ({f:?}) in a columnar read"),
+            )),
+        }
+    }
+
+    /// Read the next `(format, block)`, or `None` at a clean end of file.
+    ///
+    /// A *torn* length prefix (EOF after 1–3 bytes), a missing format
+    /// byte, and a truncated block are all errors, not ends of file:
+    /// silently ending a truncated run early would make the shuffle merge
+    /// drop data and return a wrong answer with exit code 0.
+    fn next_tagged(&mut self) -> Result<Option<(FrameFormat, Vec<u8>)>> {
         let mut len = [0u8; 4];
         let mut got = 0;
         while got < len.len() {
@@ -273,32 +341,21 @@ impl RunReader {
                 Err(e) => return Err(storage_err("reading spill frame length", e)),
             }
         }
-        let mut frame = vec![0u8; u32::from_le_bytes(len) as usize];
+        let stored = u32::from_le_bytes(len) as usize;
+        if stored == 0 {
+            return Err(GumboError::Storage(
+                "empty spill frame (missing format byte)".into(),
+            ));
+        }
+        let mut frame = vec![0u8; stored];
         self.reader
             .read_exact(&mut frame)
-            .map_err(|e| storage_err("reading spill frame", e))?;
-        match self.compression {
-            Compression::None => Ok(Some(frame)),
-            Compression::Rle => {
-                let Some(&tag) = frame.first() else {
-                    return Err(GumboError::Storage(
-                        "empty compressed spill frame (missing tag)".into(),
-                    ));
-                };
-                match tag {
-                    TAG_RAW => {
-                        // Strip the tag in place: no second allocation on
-                        // the merge/read hot path.
-                        frame.drain(..1);
-                        Ok(Some(frame))
-                    }
-                    TAG_RLE => Ok(Some(rle_decode(&frame[1..])?)),
-                    other => Err(GumboError::Storage(format!(
-                        "unknown spill frame tag {other}"
-                    ))),
-                }
-            }
-        }
+            .map_err(|e| storage_err("reading spill frame (torn run file)", e))?;
+        let format = FrameFormat::from_byte(frame[0])?;
+        // Strip the format byte in place: no second allocation on the
+        // merge/read hot path.
+        frame.drain(..1);
+        Ok(Some((format, frame)))
     }
 }
 
@@ -317,9 +374,10 @@ mod tests {
         }
         let (n, bytes) = w.finish().unwrap();
         assert_eq!(n, 100);
+        // 4-byte length + 1 format byte + payload, per frame.
         assert_eq!(
             bytes,
-            frames.iter().map(|f| 4 + f.len() as u64).sum::<u64>()
+            frames.iter().map(|f| 4 + 1 + f.len() as u64).sum::<u64>()
         );
 
         let mut r = RunReader::open(&path).unwrap();
@@ -438,7 +496,7 @@ mod tests {
                 f
             })
             .collect();
-        let raw_total: u64 = frames.iter().map(|f| 4 + f.len() as u64).sum();
+        let raw_total: u64 = frames.iter().map(|f| 4 + 1 + f.len() as u64).sum();
 
         let plain = dir.run_path(0, 0);
         let mut w = RunWriter::create_with(&plain, Compression::None).unwrap();
@@ -460,7 +518,7 @@ mod tests {
             "RLE should at least halve zero-heavy runs: {packed_bytes} vs {plain_bytes}"
         );
 
-        let mut r = RunReader::open_with(&packed, Compression::Rle).unwrap();
+        let mut r = RunReader::open(&packed).unwrap();
         for f in &frames {
             assert_eq!(r.next_frame().unwrap().as_deref(), Some(f.as_slice()));
         }
@@ -477,20 +535,93 @@ mod tests {
         let mut w = RunWriter::create_with(&path, Compression::Rle).unwrap();
         w.push(&frame).unwrap();
         let (_, bytes) = w.finish().unwrap();
-        assert_eq!(bytes, 4 + 1 + frame.len() as u64, "raw + tag byte only");
-        let mut r = RunReader::open_with(&path, Compression::Rle).unwrap();
+        assert_eq!(bytes, 4 + 1 + frame.len() as u64, "raw + format byte only");
+        let mut r = RunReader::open(&path).unwrap();
         assert_eq!(r.next_frame().unwrap().as_deref(), Some(frame.as_slice()));
     }
 
     #[test]
-    fn unknown_compressed_tag_is_an_error() {
-        let dir = SpillDir::create("rle-tag").unwrap();
+    fn unknown_format_byte_is_an_error() {
+        let dir = SpillDir::create("bad-format").unwrap();
         let path = dir.run_path(0, 0);
-        // Hand-craft a frame with an invalid tag.
+        // Hand-craft a frame with an invalid format byte (9).
         fs::write(&path, [2u8, 0, 0, 0, 9, 9]).unwrap();
-        let mut r = RunReader::open_with(&path, Compression::Rle).unwrap();
+        let mut r = RunReader::open(&path).unwrap();
         let err = r.next_frame().unwrap_err();
-        assert!(err.to_string().contains("unknown spill frame tag"), "{err}");
+        assert!(
+            err.to_string().contains("unknown spill frame format"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn columnar_frames_round_trip_in_both_codecs() {
+        let dir = SpillDir::create("columnar").unwrap();
+        let frames: Vec<Vec<u8>> = (0..20i64)
+            .map(|i| {
+                let mut f = i.to_le_bytes().to_vec();
+                f.extend_from_slice(&[0u8; 24]); // zero-heavy, like int columns
+                f
+            })
+            .collect();
+        for compression in [Compression::None, Compression::Rle] {
+            let path = dir.run_path(0, u64::from(compression == Compression::Rle));
+            let mut w = RunWriter::create_with(&path, compression).unwrap();
+            for f in &frames {
+                w.push_columnar(f).unwrap();
+            }
+            let (n, _) = w.finish().unwrap();
+            assert_eq!(n, 20);
+            let mut r = RunReader::open(&path).unwrap();
+            for f in &frames {
+                assert_eq!(r.next_columnar_frame().unwrap().as_deref(), Some(&f[..]));
+            }
+            assert!(r.next_columnar_frame().unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn frame_kind_mismatch_is_rejected_both_ways() {
+        let dir = SpillDir::create("kind-mismatch").unwrap();
+        let pair_run = dir.run_path(0, 0);
+        let mut w = RunWriter::create(&pair_run).unwrap();
+        w.push(b"pair frame").unwrap();
+        w.finish().unwrap();
+        let err = RunReader::open(&pair_run)
+            .unwrap()
+            .next_columnar_frame()
+            .unwrap_err();
+        assert!(err.to_string().contains("pair-encoded"), "{err}");
+
+        let col_run = dir.run_path(0, 1);
+        let mut w = RunWriter::create(&col_run).unwrap();
+        w.push_columnar(b"columnar frame").unwrap();
+        w.finish().unwrap();
+        let err = RunReader::open(&col_run).unwrap().next_frame().unwrap_err();
+        assert!(err.to_string().contains("columnar"), "{err}");
+    }
+
+    #[test]
+    fn torn_frame_header_and_body_are_errors() {
+        let dir = SpillDir::create("torn-header").unwrap();
+        // A full length prefix claiming 5 bytes, but only the format byte
+        // present: the body read must fail loudly.
+        let torn_body = dir.run_path(0, 0);
+        fs::write(&torn_body, [5u8, 0, 0, 0, 0]).unwrap();
+        let err = RunReader::open(&torn_body)
+            .unwrap()
+            .next_frame()
+            .unwrap_err();
+        assert!(err.to_string().contains("torn"), "{err}");
+
+        // A zero-length frame has no room for its format byte.
+        let headless = dir.run_path(0, 1);
+        fs::write(&headless, [0u8, 0, 0, 0]).unwrap();
+        let err = RunReader::open(&headless)
+            .unwrap()
+            .next_frame()
+            .unwrap_err();
+        assert!(err.to_string().contains("missing format byte"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //!           [--scheduler rounds|dag] [--max-jobs N]
 //!           [--placement fifo|sjf|cp] [--cores N]
 //!           [--mem-budget BYTES|unlimited] [--spill-compress]
+//!           [--data-plane pairs|columnar]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
 //! ```
 //!
@@ -33,6 +34,10 @@
 //! `shuffle memory:` summary line (spilled bytes — raw and on-disk —
 //! run files, merge passes, peak) is printed after the run.
 //! `--spill-compress` RLE-block-compresses the run files on disk.
+//! `--data-plane` selects the shuffle representation: `columnar` (the
+//! default — batch arenas, dictionary-encoded strings, columnar spill
+//! frames) or `pairs` (the historical owned-pair plane). Answers and
+//! statistics are byte-identical either way.
 //! Results are byte-identical to an unlimited run; the CLI exits nonzero
 //! if the tracked peak ever exceeded the budget — printing the
 //! shuffle-memory summary *before* exiting, so the evidence of the
@@ -56,6 +61,7 @@ struct Args {
     cores: usize,
     mem_budget: gumbo::mr::MemBudget,
     spill_compress: bool,
+    data_plane: gumbo::mr::DataPlane,
     scale: u64,
     nodes: usize,
     out: Option<PathBuf>,
@@ -68,6 +74,7 @@ const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [-
                      [--scheduler rounds|dag] [--max-jobs N] \
                      [--placement fifo|sjf|cp] [--cores N] \
                      [--mem-budget BYTES|unlimited] [--spill-compress] \
+                     [--data-plane pairs|columnar] \
                      [--scale N] [--nodes N] [--out DIR] [--explain]";
 
 fn parse_args() -> Result<Args, String> {
@@ -84,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
         cores: 0,
         mem_budget: gumbo::mr::MemBudget::UNLIMITED,
         spill_compress: false,
+        data_plane: gumbo::mr::DataPlane::default(),
         scale: 1,
         nodes: 10,
         out: None,
@@ -138,6 +146,11 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--cores: {e}"))?
             }
             "--spill-compress" => args.spill_compress = true,
+            "--data-plane" => {
+                let spec = need(&mut i, &argv)?;
+                args.data_plane = gumbo::mr::DataPlane::parse(&spec)
+                    .ok_or_else(|| format!("--data-plane: pairs|columnar, got {spec}"))?;
+            }
             "--mem-budget" => {
                 let spec = need(&mut i, &argv)?;
                 args.mem_budget = gumbo::mr::MemBudget::parse(&spec).ok_or_else(|| {
@@ -313,6 +326,7 @@ fn run(args: Args) -> Result<(), String> {
         EngineConfig {
             scale: args.scale,
             cluster: Cluster::with_nodes(args.nodes),
+            data_plane: args.data_plane,
             ..EngineConfig::default()
         },
         args.executor,

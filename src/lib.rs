@@ -93,8 +93,8 @@ pub mod prelude {
     };
     pub use gumbo_datagen::{DataSpec, Workload};
     pub use gumbo_mr::{
-        Cluster, CostConstants, CostModelKind, Engine, EngineConfig, Executor, ExecutorKind,
-        JobConfig, JobDag, JobEstimate, MrProgram, ParallelExecutor, ProgramStats,
+        Cluster, CostConstants, CostModelKind, DataPlane, Engine, EngineConfig, Executor,
+        ExecutorKind, JobConfig, JobDag, JobEstimate, MrProgram, ParallelExecutor, ProgramStats,
         SimulatedExecutor,
     };
     pub use gumbo_sched::{

@@ -1,0 +1,125 @@
+//! Cross-plane equivalence: the columnar batch data plane and the
+//! historical pair plane must be observationally identical.
+//!
+//! For every `datagen` query preset (A1–A5, B1/B2 and the nested C1–C4
+//! programs of Figure 6), a single reference run — pair plane, simulator,
+//! round barrier, unlimited memory — is compared against **both** planes
+//! across the full execution matrix
+//!
+//! `{simulated, parallel} × {round barrier, DAG scheduler} × {unlimited,
+//! 4 KiB budget}`
+//!
+//! requiring byte-identical answer relations (every file left in the
+//! DFS), identical `JobStats` profiles (all byte counters, task
+//! durations, record counts) and exact agreement on the paper's four
+//! metrics. Spill *statistics* are runtime-dependent and excluded, as
+//! everywhere else. Budgeted runs must additionally spill and keep the
+//! tracked peak within the budget — proving the columnar plane's batched
+//! budget charging still never overshoots.
+
+use gumbo::datagen::queries;
+use gumbo::prelude::*;
+
+const BUDGET: u64 = 4096;
+
+fn presets() -> Vec<gumbo::datagen::Workload> {
+    let mut all = vec![
+        queries::a1(),
+        queries::a2(),
+        queries::a3(),
+        queries::a4(),
+        queries::a5(),
+        queries::b1(),
+        queries::b2(),
+    ];
+    all.extend(queries::figure6());
+    all
+}
+
+fn engine(plane: DataPlane, kind: ExecutorKind, dag: bool, budget: Option<u64>) -> GumboEngine {
+    let mem_budget = match budget {
+        Some(bytes) => gumbo::mr::MemBudget::bytes(bytes),
+        None => gumbo::mr::MemBudget::UNLIMITED,
+    };
+    let mut options = EvalOptions {
+        mem_budget,
+        ..EvalOptions::default()
+    };
+    if dag {
+        options.scheduler = Some(SchedulerConfig {
+            max_concurrent_jobs: 3,
+            mem_budget,
+            ..SchedulerConfig::default()
+        });
+    }
+    GumboEngine::with_executor(
+        EngineConfig {
+            scale: 5_000,
+            data_plane: plane,
+            ..EngineConfig::default()
+        },
+        kind,
+        options,
+    )
+}
+
+/// Run every (plane, runtime, budget) combination on one scheduling path
+/// and compare each against the pair-plane reference run.
+fn check_matrix(dag: bool) {
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(300).database(7);
+
+        let mut dfs_ref = SimDfs::from_database(&db);
+        let stats_ref = engine(DataPlane::Pairs, ExecutorKind::Simulated, false, None)
+            .evaluate(&mut dfs_ref, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (reference): {e}", workload.name));
+
+        for plane in [DataPlane::Pairs, DataPlane::Columnar] {
+            for kind in [
+                ExecutorKind::Simulated,
+                ExecutorKind::Parallel { threads: 4 },
+            ] {
+                for budget in [None, Some(BUDGET)] {
+                    let subject = engine(plane, kind, dag, budget);
+                    let runtime = subject.runtime();
+                    let mut dfs = SimDfs::from_database(&db);
+                    let label = format!(
+                        "{} ({}, {}, {}, budget {:?})",
+                        workload.name,
+                        plane.label(),
+                        kind.label(),
+                        if dag { "dag" } else { "rounds" },
+                        budget
+                    );
+                    let stats = subject
+                        .evaluate_on(&*runtime, &mut dfs, &workload.query)
+                        .unwrap_or_else(|e| panic!("{label}: {e}"));
+
+                    gumbo::sched::assert_identical_dfs(&label, &dfs_ref, &dfs);
+                    gumbo::sched::assert_identical_stats(&label, &stats_ref, &stats);
+                    if let Some(limit) = budget {
+                        assert!(
+                            stats.spilled_bytes() > 0,
+                            "{label}: a {limit}-byte budget must force spilling"
+                        );
+                        assert!(
+                            runtime.budget().peak() <= limit,
+                            "{label}: tracked peak {} exceeded the budget",
+                            runtime.budget().peak()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn both_planes_agree_on_every_preset_under_the_round_barrier() {
+    check_matrix(false);
+}
+
+#[test]
+fn both_planes_agree_on_every_preset_under_the_dag_scheduler() {
+    check_matrix(true);
+}
