@@ -4,7 +4,12 @@
 //! experiments <all|fig3|fig4|fig5|fig7a|fig7b|fig7c|fig8|table3|costmodel|optimality|ablation|speedup|dagsched|spill|tuplebench|placement>
 //!             [--tuples N] [--scale N] [--nodes N] [--seed N] [--no-verify]
 //!             [--executor sim|parallel|parallel:N]
+//!             [--trace PATH] [--trace-format chrome|jsonl] [--metrics-dump]
 //! ```
+//!
+//! `--trace` records one trace covering the whole experiment run
+//! (Chrome trace-event JSON by default — load it into Perfetto);
+//! `--metrics-dump` prints the process-wide counter registry afterward.
 
 use gumbo_bench::experiments;
 use gumbo_bench::RunConfig;
@@ -47,11 +52,38 @@ fn main() {
                     });
                 i += 2;
             }
+            "--trace" => {
+                cfg.trace = Some(args.get(i + 1).expect("--trace PATH").into());
+                i += 2;
+            }
+            "--trace-format" => {
+                cfg.trace_format = args
+                    .get(i + 1)
+                    .map(String::as_str)
+                    .map_or(Err("missing value".into()), gumbo_obs::TraceFormat::parse)
+                    .unwrap_or_else(|e| {
+                        eprintln!("--trace-format: {e}");
+                        std::process::exit(2);
+                    });
+                i += 2;
+            }
+            "--metrics-dump" => {
+                cfg.metrics_dump = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
             }
         }
+    }
+
+    let traced = cfg.install_trace().unwrap_or_else(|e| {
+        eprintln!("--trace: {e}");
+        std::process::exit(2);
+    });
+    if cfg.metrics_dump {
+        gumbo_obs::set_metrics_enabled(true);
     }
 
     println!(
@@ -89,6 +121,20 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Finalize the trace file (closes the Chrome array) before exiting,
+    // whatever the experiment outcome.
+    if traced {
+        gumbo_obs::uninstall();
+    }
+    if cfg.metrics_dump {
+        for (name, kind, value) in gumbo_obs::metrics_snapshot() {
+            let kind = match kind {
+                gumbo_obs::MetricKind::Counter => "counter",
+                gumbo_obs::MetricKind::Gauge => "gauge",
+            };
+            println!("metric {kind} {name}={value}");
+        }
+    }
     if let Err(e) = result {
         eprintln!("experiment failed: {e}");
         std::process::exit(1);

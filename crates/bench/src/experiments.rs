@@ -292,7 +292,7 @@ pub fn fig7a(cfg: &RunConfig) -> Result<Vec<RunResult>> {
         // scale × tuples = 200M/400M/800M/1600M equivalents.
         let c = RunConfig {
             scale: cfg.scale * mult / 2,
-            ..*cfg
+            ..cfg.clone()
         };
         for s in SWEEP_STRATEGIES {
             let mut r = run_strategy(s, &queries::a3(), &c)?;
@@ -312,7 +312,7 @@ pub fn fig7b(cfg: &RunConfig) -> Result<Vec<RunResult>> {
         let c = RunConfig {
             nodes,
             scale: cfg.scale * 4,
-            ..*cfg
+            ..cfg.clone()
         };
         for s in SWEEP_STRATEGIES {
             let mut r = run_strategy(s, &queries::a3(), &c)?;
@@ -332,7 +332,7 @@ pub fn fig7c(cfg: &RunConfig) -> Result<Vec<RunResult>> {
         let c = RunConfig {
             nodes,
             scale: cfg.scale * mult,
-            ..*cfg
+            ..cfg.clone()
         };
         for s in SWEEP_STRATEGIES {
             let mut r = run_strategy(s, &queries::a3(), &c)?;
@@ -374,7 +374,7 @@ pub fn table3(cfg: &RunConfig) -> Result<()> {
                 w,
                 &RunConfig {
                     selectivity: 0.1,
-                    ..*cfg
+                    ..cfg.clone()
                 },
             )?;
             let hi = run_strategy(
@@ -382,7 +382,7 @@ pub fn table3(cfg: &RunConfig) -> Result<()> {
                 w,
                 &RunConfig {
                     selectivity: 0.9,
-                    ..*cfg
+                    ..cfg.clone()
                 },
             )?;
             println!(

@@ -2,83 +2,14 @@
 //!
 //! Perf-trajectory experiments (`speedup`, `dagsched`) emit a
 //! `BENCH_<name>.json` next to the working directory so successive PRs
-//! can be compared mechanically. The offline build has no serde; this is
-//! a deliberately tiny JSON value model with correct string escaping.
+//! can be compared mechanically. The offline build has no serde; the
+//! JSON value model lives in [`gumbo_obs::json`] (shared with the trace
+//! sinks and `trace-check`) and is re-exported here so existing bench
+//! call sites keep compiling unchanged.
 
-use std::fmt;
 use std::path::Path;
 
-/// A JSON value.
-#[derive(Debug, Clone)]
-pub enum Json {
-    /// A float (serialized with enough precision to round-trip).
-    Num(f64),
-    /// An integer.
-    Int(u64),
-    /// A string (escaped on output).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for objects.
-    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-}
-
-impl fmt::Display for Json {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Num(x) if x.is_finite() => write!(f, "{x}"),
-            Json::Num(_) => write!(f, "null"), // NaN/inf have no JSON form
-            Json::Int(n) => write!(f, "{n}"),
-            Json::Str(s) => {
-                write!(f, "\"")?;
-                for c in s.chars() {
-                    match c {
-                        '"' => write!(f, "\\\"")?,
-                        '\\' => write!(f, "\\\\")?,
-                        '\n' => write!(f, "\\n")?,
-                        '\t' => write!(f, "\\t")?,
-                        '\r' => write!(f, "\\r")?,
-                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
-                        c => write!(f, "{c}")?,
-                    }
-                }
-                write!(f, "\"")
-            }
-            Json::Arr(items) => {
-                write!(f, "[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                write!(f, "]")
-            }
-            Json::Obj(fields) => {
-                write!(f, "{{")?;
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ",")?;
-                    }
-                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
-                }
-                write!(f, "}}")
-            }
-        }
-    }
-}
+pub use gumbo_obs::json::Json;
 
 /// Write a report to `BENCH_<name>.json` in the current directory and
 /// announce the path on stdout.

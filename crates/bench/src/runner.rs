@@ -56,7 +56,7 @@ impl Strategy {
 }
 
 /// Shared run configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Real tuples per guard relation.
     pub tuples: usize,
@@ -72,6 +72,12 @@ pub struct RunConfig {
     pub verify: bool,
     /// Which MapReduce runtime executes the plans (`--executor`).
     pub executor: ExecutorKind,
+    /// Record a trace of the whole experiment to this path (`--trace`).
+    pub trace: Option<std::path::PathBuf>,
+    /// Trace encoding (`--trace-format`).
+    pub trace_format: gumbo_obs::TraceFormat,
+    /// Print the counter/gauge registry after the run (`--metrics-dump`).
+    pub metrics_dump: bool,
 }
 
 impl Default for RunConfig {
@@ -85,6 +91,9 @@ impl Default for RunConfig {
             seed: 1,
             verify: true,
             executor: ExecutorKind::Simulated,
+            trace: None,
+            trace_format: gumbo_obs::TraceFormat::Chrome,
+            metrics_dump: false,
         }
     }
 }
@@ -93,6 +102,22 @@ impl RunConfig {
     /// The paper-equivalent guard tuple count.
     pub fn equivalent_tuples(&self) -> u64 {
         self.tuples as u64 * self.scale
+    }
+
+    /// Install the configured trace sink, if any. Returns whether one
+    /// was installed — the caller owns the matching
+    /// [`gumbo_obs::uninstall`] (which finalizes the file).
+    pub fn install_trace(&self) -> std::io::Result<bool> {
+        use std::sync::Arc;
+        let Some(path) = &self.trace else {
+            return Ok(false);
+        };
+        let sink: Arc<dyn gumbo_obs::TraceSink> = match self.trace_format {
+            gumbo_obs::TraceFormat::Chrome => Arc::new(gumbo_obs::ChromeTraceSink::create(path)?),
+            gumbo_obs::TraceFormat::Jsonl => Arc::new(gumbo_obs::JsonlSink::create(path)?),
+        };
+        gumbo_obs::install(sink);
+        Ok(true)
     }
 
     fn engine_config(&self) -> EngineConfig {

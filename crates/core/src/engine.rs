@@ -181,10 +181,16 @@ impl GumboEngine {
         dfs: &mut SimDfs,
         program: MrProgram,
     ) -> Result<ProgramStats> {
-        match self.options.scheduler {
+        let span = gumbo_obs::span_with("execute", |f| {
+            f.u64("jobs", program.num_jobs() as u64);
+            f.bool("dag", self.options.scheduler.is_some());
+        });
+        let result = match self.options.scheduler {
             Some(config) => DagScheduler::new(config).execute_program(runtime, dfs, program),
             None => runtime.execute(dfs, &program),
-        }
+        };
+        drop(span);
+        result
     }
 
     fn estimator<'a>(&self, dfs: &'a SimDfs) -> Estimator<'a> {

@@ -700,6 +700,13 @@ impl<'a> BatchPartition<'a> {
             } else {
                 // Global budget exhausted: flush what we hold — including
                 // the (briefly unreserved) freshly appended rows.
+                crate::shuffle::BUDGET_DENIALS.incr();
+                gumbo_obs::event("budget:exhausted", |f| {
+                    f.str("job", self.spill.label());
+                    f.u64("partition", self.partition as u64);
+                    f.u64("denied_bytes", need);
+                    f.u64("buffered_bytes", buffered);
+                });
                 return self.flush();
             }
         }
@@ -715,6 +722,14 @@ impl<'a> BatchPartition<'a> {
         if self.batch.is_empty() {
             return Ok(());
         }
+        // The span's `bytes` field is exactly this flush's increment of
+        // `JobStats.spilled_bytes` — traces and stats stay reconcilable.
+        let mut span = gumbo_obs::span_with("spill:run", |f| {
+            f.str("job", self.spill.label());
+            f.u64("partition", self.partition as u64);
+            f.u64("bytes", self.batch.estimated_bytes());
+            f.u64("pairs", self.batch.len() as u64);
+        });
         let order = self.batch.sort_indices();
         let path = self.spill.run_path(self.partition, self.next_seq)?;
         self.next_seq += 1;
@@ -731,6 +746,9 @@ impl<'a> BatchPartition<'a> {
             writer.push_columnar(&frame)?;
         }
         let (_, disk_bytes) = writer.finish()?;
+        span.record(|f| f.u64("disk_bytes", disk_bytes));
+        crate::shuffle::SPILL_RUNS.incr();
+        crate::shuffle::SPILL_BYTES.add(self.batch.estimated_bytes());
         self.runs.push(Run { path });
         self.stats.spill_files += 1;
         self.stats.spilled_bytes += self.batch.estimated_bytes();
@@ -751,6 +769,11 @@ impl<'a> BatchPartition<'a> {
         // the oldest data and stays first.
         while self.runs.len() + 1 > MERGE_FANIN {
             let take = MERGE_FANIN.min(self.runs.len());
+            let _span = gumbo_obs::span_with("spill:merge", |f| {
+                f.str("job", self.spill.label());
+                f.u64("partition", self.partition as u64);
+                f.u64("fan_in", take as u64);
+            });
             let oldest: Vec<Run> = self.runs.drain(..take).collect();
             let mut sources = Vec::with_capacity(oldest.len());
             for run in &oldest {
@@ -780,6 +803,7 @@ impl<'a> BatchPartition<'a> {
             }
             writer.finish()?;
             self.runs.insert(0, Run { path });
+            crate::shuffle::MERGE_PASSES.incr();
             self.stats.spill_files += 1;
             self.stats.merge_passes += 1;
         }

@@ -174,6 +174,10 @@ pub trait Executor: Send + Sync {
 
     /// Execute a single job: map → shuffle → reduce, with full metering.
     fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+        let _span = gumbo_obs::span_with("job", |f| {
+            f.str("job", &job.name);
+            f.u64("round", round as u64);
+        });
         let plan = plan_job(self.config(), dfs, job)?;
         let computed = self.run_phases(job, plan)?;
         commit_job(self.config(), dfs, job, round, computed)
@@ -317,6 +321,7 @@ impl MapPlan {
 /// Shared DFS access suffices: reads are metered through atomic counters
 /// and the returned plan owns its fact snapshots.
 pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPlan> {
+    let mut span = gumbo_obs::span_with("plan", |f| f.str("job", &job.name));
     let scale = config.scale.max(1);
     let mut partitions = Vec::with_capacity(job.inputs.len());
     let mut input_facts = Vec::with_capacity(job.inputs.len());
@@ -360,6 +365,10 @@ pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPla
             mappers,
         });
     }
+    span.record(|f| {
+        f.u64("inputs", partitions.len() as u64);
+        f.u64("map_tasks", tasks.len() as u64);
+    });
     Ok(MapPlan {
         partitions,
         input_facts,
@@ -371,6 +380,10 @@ pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPla
 /// account bytes/records, charging key bytes once per distinct key within
 /// the task when packing is enabled (§5.1 (1)).
 pub(crate) fn run_map_task(job: &Job, facts: &[(u64, Fact)]) -> MapTaskResult {
+    let mut span = gumbo_obs::span_with("map:task", |f| {
+        f.str("job", &job.name);
+        f.u64("facts", facts.len() as u64);
+    });
     let mut emitted: Vec<(Tuple, Message)> = Vec::new();
     for (index, fact) in facts {
         job.mapper
@@ -393,6 +406,7 @@ pub(crate) fn run_map_task(job: &Job, facts: &[(u64, Fact)]) -> MapTaskResult {
         }
         records_out += emitted.len() as u64;
     }
+    span.record(|f| f.u64("records_out", records_out));
     MapTaskResult {
         emitted,
         output_bytes,
@@ -418,6 +432,10 @@ pub(crate) struct BatchMapResult {
 /// byte sums are order-independent, so `output_bytes` / `records_out`
 /// equal the pair plane's exactly.
 pub(crate) fn run_map_task_batch(job: &Job, facts: &[(u64, Fact)]) -> BatchMapResult {
+    let mut span = gumbo_obs::span_with("map:task", |f| {
+        f.str("job", &job.name);
+        f.u64("facts", facts.len() as u64);
+    });
     let mut batch = PairBatch::new();
     for (index, fact) in facts {
         job.mapper
@@ -448,6 +466,7 @@ pub(crate) fn run_map_task_batch(job: &Job, facts: &[(u64, Fact)]) -> BatchMapRe
     } else {
         (batch.estimated_bytes(), batch.len() as u64)
     };
+    span.record(|f| f.u64("records_out", records_out));
     BatchMapResult {
         batch,
         output_bytes,
@@ -515,6 +534,7 @@ pub(crate) fn run_reduce_stream(
     job: &Job,
     mut groups: Groups<'_>,
 ) -> Result<BTreeMap<RelationName, Relation>> {
+    let mut span = gumbo_obs::span_with("reduce:task", |f| f.str("job", &job.name));
     let mut outputs: BTreeMap<RelationName, Relation> = job
         .outputs
         .iter()
@@ -545,6 +565,12 @@ pub(crate) fn run_reduce_stream(
             return Err(e);
         }
     }
+    span.record(|f| {
+        f.u64(
+            "output_tuples",
+            outputs.values().map(|r| r.len() as u64).sum(),
+        );
+    });
     Ok(outputs)
 }
 
@@ -569,6 +595,7 @@ pub fn commit_job(
     round: usize,
     computed: ComputedJob,
 ) -> Result<JobStats> {
+    let mut span = gumbo_obs::span_with("commit", |f| f.str("job", &job.name));
     let ComputedJob {
         partitions,
         reducers,
@@ -636,6 +663,29 @@ pub fn commit_job(
             .collect()
     };
 
+    static JOBS_COMMITTED: gumbo_obs::Counter = gumbo_obs::Counter::new("executor.jobs_committed");
+    JOBS_COMMITTED.incr();
+
+    let estimated_cost = job.estimate.as_ref().map(|e| e.total_cost);
+    // The calibration ledger: every estimated job's span ends with the
+    // estimated/observed cost pair and their ratio.
+    span.record(|f| {
+        // The job name again on the End event, so ledger consumers can
+        // match commits without pairing Begin/End records first.
+        f.str("job", &job.name);
+        f.u64("output_tuples", output_tuples);
+        f.f64("observed_cost", total_cost);
+        if let Some(est) = estimated_cost {
+            f.f64("estimated_cost", est);
+            if est > 0.0 {
+                f.f64("estimate_error", total_cost / est);
+            }
+        }
+        if spill.spilled_bytes > 0 {
+            f.u64("spilled_bytes", spill.spilled_bytes);
+        }
+    });
+
     Ok(JobStats {
         name: job.name.clone(),
         round,
@@ -650,6 +700,7 @@ pub fn commit_job(
         spilled_disk_bytes: spill.spilled_disk_bytes,
         spill_files: spill.spill_files,
         spill_merge_passes: spill.merge_passes,
+        estimated_cost,
     })
 }
 

@@ -56,6 +56,12 @@ pub struct JobStats {
     pub spill_files: u64,
     /// Intermediate merge passes needed before the final streaming merge.
     pub spill_merge_passes: u64,
+    /// Planner-estimated total cost (`JobEstimate::total_cost`), when the
+    /// job carried an estimate. The observed side is `total_cost`; the
+    /// pair is the raw input of the feedback-calibration roadmap item.
+    /// Deterministic — a pure function of the plan — so equivalence
+    /// harnesses compare it like any other modeled field.
+    pub estimated_cost: Option<f64>,
 }
 
 impl JobStats {
@@ -72,6 +78,16 @@ impl JobStats {
     /// Bytes written to the DFS by this job.
     pub fn output_bytes(&self) -> ByteSize {
         self.profile.output
+    }
+
+    /// Observed-over-estimated cost ratio: 1.0 = perfectly calibrated,
+    /// above 1 = the planner was optimistic. `None` when the job carried
+    /// no estimate or the estimate was non-positive.
+    pub fn estimate_error(&self) -> Option<f64> {
+        match self.estimated_cost {
+            Some(est) if est > 0.0 => Some(self.total_cost / est),
+            _ => None,
+        }
     }
 }
 
@@ -191,6 +207,21 @@ impl ProgramStats {
         self.jobs.iter().map(|j| j.spill_merge_passes).sum()
     }
 
+    /// Mean observed/estimated cost ratio over the jobs that carried an
+    /// estimate; `None` when no job did.
+    pub fn mean_estimate_error(&self) -> Option<f64> {
+        let errors: Vec<f64> = self
+            .jobs
+            .iter()
+            .filter_map(JobStats::estimate_error)
+            .collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(errors.iter().sum::<f64>() / errors.len() as f64)
+        }
+    }
+
     /// Merge another program's stats after this one (sequential composition,
     /// used when an SGF plan runs group after group).
     pub fn extend(&mut self, mut other: ProgramStats) {
@@ -284,6 +315,7 @@ mod tests {
             spilled_disk_bytes: 0,
             spill_files: 0,
             spill_merge_passes: 0,
+            estimated_cost: None,
         }
     }
 

@@ -175,13 +175,23 @@ impl ParallelExecutor {
         // Planning (and its DFS read metering) happened on the caller's
         // thread; the tasks own their fact slices, so workers never touch
         // the DFS.
+        let map_span = gumbo_obs::span_with("map", |f| {
+            f.str("job", &job.name);
+            f.u64("tasks", plan.tasks.len() as u64);
+            f.u64("workers", workers as u64);
+        });
         let results = parallel_for(plan.tasks.len(), workers, |i| {
             run_map_task(job, plan.task_facts(&plan.tasks[i]))
         });
         plan.apply(self.config.scale.max(1), &results);
+        drop(map_span);
 
         // ---- shuffle: partitioned into per-reducer buffers --------------
         let reducers = plan.resolve_reducers(job);
+        let shuffle_span = gumbo_obs::span_with("shuffle:flush", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
 
         // Phase 1 — bucket: workers take ownership of map-task outputs (in
         // task order, preserving global emission order within each chunk)
@@ -203,6 +213,7 @@ impl ParallelExecutor {
             }
             bucket.into_iter().map(Mutex::new).collect()
         });
+        drop(shuffle_span);
 
         // Phase 2 + reduce, fused per reducer: drain the buckets in chunk
         // order (so values within a key group end up in global emission
@@ -210,6 +221,10 @@ impl ParallelExecutor {
         // spilling buffer, then stream the merged groups straight into
         // the reduce function. Reducer workers run concurrently and all
         // charge the executor's shared memory budget.
+        let reduce_span = gumbo_obs::span_with("reduce", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
         let spill = ShuffleSpill::new(&job.name);
         let budget = &*self.budget;
         type ReducedPartition = Result<(BTreeMap<RelationName, Relation>, u64, SpillStats)>;
@@ -236,6 +251,7 @@ impl ParallelExecutor {
             reducer_bytes.push(bytes);
             spill_stats.absorb(stats);
         }
+        drop(reduce_span);
 
         Ok(ComputedJob {
             partitions: plan.partitions,
@@ -260,6 +276,11 @@ impl ParallelExecutor {
         workers: usize,
     ) -> Result<ComputedJob> {
         // ---- map phase: tasks fan out over the pool ---------------------
+        let map_span = gumbo_obs::span_with("map", |f| {
+            f.str("job", &job.name);
+            f.u64("tasks", plan.tasks.len() as u64);
+            f.u64("workers", workers as u64);
+        });
         let results = parallel_for(plan.tasks.len(), workers, |i| {
             run_map_task_batch(job, plan.task_facts(&plan.tasks[i]))
         });
@@ -268,9 +289,14 @@ impl ParallelExecutor {
             .map(|r| (r.output_bytes, r.records_out))
             .collect();
         plan.apply_counts(self.config.scale.max(1), &counts);
+        drop(map_span);
 
         // ---- shuffle: partitioned into per-reducer batches --------------
         let reducers = plan.resolve_reducers(job);
+        let shuffle_span = gumbo_obs::span_with("shuffle:flush", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
 
         // Phase 1 — bucket: workers take ownership of map-task batches (in
         // task order) and scatter each row into per-reducer batches.
@@ -290,10 +316,15 @@ impl ParallelExecutor {
             }
             bucket.into_iter().map(Mutex::new).collect()
         });
+        drop(shuffle_span);
 
         // Phase 2 + reduce, fused per reducer: append the buckets in chunk
         // order through a budget-charged spilling batch buffer, then
         // stream the merged groups straight into the reduce function.
+        let reduce_span = gumbo_obs::span_with("reduce", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
         let spill = ShuffleSpill::new(&job.name);
         let budget = &*self.budget;
         type ReducedPartition = Result<(BTreeMap<RelationName, Relation>, u64, SpillStats)>;
@@ -321,6 +352,7 @@ impl ParallelExecutor {
             reducer_bytes.push(bytes);
             spill_stats.absorb(stats);
         }
+        drop(reduce_span);
 
         Ok(ComputedJob {
             partitions: plan.partitions,

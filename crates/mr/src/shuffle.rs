@@ -53,6 +53,16 @@ pub const MERGE_FANIN: usize = 16;
 /// one granule per live partition).
 pub(crate) const UNLIMITED_GRANULE: u64 = 64 * 1024;
 
+/// Workspace-wide shuffle metrics, shared by both data planes. Inert (one
+/// relaxed load) unless tracing or `--metrics-dump` is on.
+pub(crate) static SPILL_RUNS: gumbo_obs::Counter = gumbo_obs::Counter::new("shuffle.spill_runs");
+pub(crate) static SPILL_BYTES: gumbo_obs::Counter =
+    gumbo_obs::Counter::new("shuffle.spilled_bytes");
+pub(crate) static BUDGET_DENIALS: gumbo_obs::Counter =
+    gumbo_obs::Counter::new("shuffle.budget_denials");
+pub(crate) static MERGE_PASSES: gumbo_obs::Counter =
+    gumbo_obs::Counter::new("shuffle.merge_passes");
+
 // ---------------------------------------------------------------------------
 // Budget spec + tracker
 // ---------------------------------------------------------------------------
@@ -465,6 +475,11 @@ impl ShuffleSpill {
         }
     }
 
+    /// The job name this spill scope belongs to (trace event labels).
+    pub(crate) fn label(&self) -> &str {
+        &self.label
+    }
+
     /// Allocate the path for a new run file, creating the directory on
     /// first use.
     pub(crate) fn run_path(&self, partition: usize, seq: u64) -> Result<std::path::PathBuf> {
@@ -583,6 +598,13 @@ impl<'a> SpillingPartition<'a> {
         } else {
             // Global budget exhausted: flush what we hold — including
             // this (briefly unreserved) pair — straight to disk.
+            BUDGET_DENIALS.incr();
+            gumbo_obs::event("budget:exhausted", |f| {
+                f.str("job", self.spill.label());
+                f.u64("partition", self.partition as u64);
+                f.u64("denied_bytes", bytes);
+                f.u64("buffered_bytes", self.buffered);
+            });
             self.buffered += bytes;
             self.pairs.push((key, value));
             self.flush()?;
@@ -595,6 +617,14 @@ impl<'a> SpillingPartition<'a> {
         if self.pairs.is_empty() {
             return Ok(());
         }
+        // The span's `bytes` field is exactly this flush's increment of
+        // `JobStats.spilled_bytes` — traces and stats stay reconcilable.
+        let mut span = gumbo_obs::span_with("spill:run", |f| {
+            f.str("job", self.spill.label());
+            f.u64("partition", self.partition as u64);
+            f.u64("bytes", self.buffered);
+            f.u64("pairs", self.pairs.len() as u64);
+        });
         self.pairs.sort_by(|a, b| a.0.cmp(&b.0)); // stable: emission order kept per key
         let path = self.spill.run_path(self.partition, self.next_seq)?;
         self.next_seq += 1;
@@ -605,6 +635,9 @@ impl<'a> SpillingPartition<'a> {
             writer.push(&frame)?;
         }
         let (_, disk_bytes) = writer.finish()?;
+        span.record(|f| f.u64("disk_bytes", disk_bytes));
+        SPILL_RUNS.incr();
+        SPILL_BYTES.add(self.buffered);
         self.runs.push(Run { path });
         self.stats.spill_files += 1;
         self.stats.spilled_bytes += self.buffered;
@@ -623,6 +656,11 @@ impl<'a> SpillingPartition<'a> {
         // ties drain earlier runs first) until runs + tail fit the fan-in.
         while self.runs.len() + 1 > MERGE_FANIN {
             let take = MERGE_FANIN.min(self.runs.len());
+            let _span = gumbo_obs::span_with("spill:merge", |f| {
+                f.str("job", self.spill.label());
+                f.u64("partition", self.partition as u64);
+                f.u64("fan_in", take as u64);
+            });
             let oldest: Vec<Run> = self.runs.drain(..take).collect();
             let mut sources = Vec::with_capacity(oldest.len());
             for run in &oldest {
@@ -641,6 +679,7 @@ impl<'a> SpillingPartition<'a> {
             writer.finish()?;
             // The merged run holds the oldest data: it must stay first.
             self.runs.insert(0, Run { path });
+            MERGE_PASSES.incr();
             self.stats.spill_files += 1;
             self.stats.merge_passes += 1;
         }

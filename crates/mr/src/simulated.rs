@@ -74,12 +74,17 @@ impl SimulatedExecutor {
     /// one at a time.
     fn run_phases_pairs(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         // ---- map phase -------------------------------------------------
+        let map_span = gumbo_obs::span_with("map", |f| {
+            f.str("job", &job.name);
+            f.u64("tasks", plan.tasks.len() as u64);
+        });
         let results: Vec<_> = plan
             .tasks
             .iter()
             .map(|t| run_map_task(job, plan.task_facts(t)))
             .collect();
         plan.apply(self.config.scale.max(1), &results);
+        drop(map_span);
 
         // ---- shuffle ----------------------------------------------------
         // One spilling buffer per reducer, all charging the shared budget;
@@ -87,6 +92,10 @@ impl SimulatedExecutor {
         // partition's pair sequence is identical to the historical
         // in-memory shuffle and to the parallel runtime's.
         let reducers = plan.resolve_reducers(job);
+        let shuffle_span = gumbo_obs::span_with("shuffle:flush", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
         let spill = ShuffleSpill::new(&job.name);
         let mut parts: Vec<SpillingPartition<'_>> = (0..reducers)
             .map(|p| SpillingPartition::new(p, &self.budget, &spill, reducers))
@@ -96,11 +105,16 @@ impl SimulatedExecutor {
                 parts[partition(&k, reducers)].push(k, v)?;
             }
         }
+        drop(shuffle_span);
 
         // ---- reduce phase ----------------------------------------------
         // Each partition streams a merge of its spill runs plus the
         // in-memory tail; per-reducer byte loads feed the simulated
         // reduce-task durations, so data skew shows up in net time.
+        let reduce_span = gumbo_obs::span_with("reduce", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
         let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
         let mut spill_stats = SpillStats::default();
         let mut partition_outputs = Vec::with_capacity(reducers);
@@ -110,6 +124,7 @@ impl SimulatedExecutor {
             spill_stats.absorb(stats);
             partition_outputs.push(run_reduce_stream(job, Groups::Pairs(groups))?);
         }
+        drop(reduce_span);
 
         Ok(ComputedJob {
             partitions: plan.partitions,
@@ -127,6 +142,10 @@ impl SimulatedExecutor {
     /// pair plane's per-partition emission order.
     fn run_phases_columnar(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
         // ---- map phase -------------------------------------------------
+        let map_span = gumbo_obs::span_with("map", |f| {
+            f.str("job", &job.name);
+            f.u64("tasks", plan.tasks.len() as u64);
+        });
         let results: Vec<_> = plan
             .tasks
             .iter()
@@ -137,9 +156,14 @@ impl SimulatedExecutor {
             .map(|r| (r.output_bytes, r.records_out))
             .collect();
         plan.apply_counts(self.config.scale.max(1), &counts);
+        drop(map_span);
 
         // ---- shuffle ----------------------------------------------------
         let reducers = plan.resolve_reducers(job);
+        let shuffle_span = gumbo_obs::span_with("shuffle:flush", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
         let spill = ShuffleSpill::new(&job.name);
         let mut parts: Vec<BatchPartition<'_>> = (0..reducers)
             .map(|p| BatchPartition::new(p, &self.budget, &spill, reducers))
@@ -158,8 +182,13 @@ impl SimulatedExecutor {
                 }
             }
         }
+        drop(shuffle_span);
 
         // ---- reduce phase ----------------------------------------------
+        let reduce_span = gumbo_obs::span_with("reduce", |f| {
+            f.str("job", &job.name);
+            f.u64("reducers", reducers as u64);
+        });
         let mut reducer_bytes: Vec<u64> = Vec::with_capacity(reducers);
         let mut spill_stats = SpillStats::default();
         let mut partition_outputs = Vec::with_capacity(reducers);
@@ -169,6 +198,7 @@ impl SimulatedExecutor {
             spill_stats.absorb(stats);
             partition_outputs.push(run_reduce_stream(job, Groups::Columnar(groups))?);
         }
+        drop(reduce_span);
 
         Ok(ComputedJob {
             partitions: plan.partitions,

@@ -81,6 +81,13 @@ pub fn assert_identical_stats(label: &str, expected: &ProgramStats, actual: &Pro
             "{label}: job {} reduce tasks",
             a.name
         );
+        // Plan-time estimates are a pure function of the plan, so the
+        // calibration ledger's estimated side must agree exactly.
+        assert_eq!(
+            a.estimated_cost, b.estimated_cost,
+            "{label}: job {} estimated cost",
+            a.name
+        );
     }
     assert!(
         (expected.net_time() - actual.net_time()).abs() < 1e-9,

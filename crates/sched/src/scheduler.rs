@@ -221,7 +221,7 @@ impl DagScheduler {
         dag: &JobDag,
     ) -> Result<ProgramStats> {
         let dags = [dag];
-        let mut stats = self.run(executor, dfs, &dags)?;
+        let mut stats = self.run(executor, dfs, &dags, &["default"])?;
         Ok(stats.pop().expect("one dag in, one stats out").0)
     }
 
@@ -245,7 +245,8 @@ impl DagScheduler {
         submissions: &[Submission],
     ) -> Result<Vec<SubmissionReport>> {
         let dags: Vec<&JobDag> = submissions.iter().map(|s| &s.dag).collect();
-        let stats = self.run(executor, dfs, &dags)?;
+        let tenants: Vec<&str> = submissions.iter().map(|s| s.tenant.as_str()).collect();
+        let stats = self.run(executor, dfs, &dags, &tenants)?;
         Ok(submissions
             .iter()
             .zip(stats)
@@ -265,13 +266,20 @@ impl DagScheduler {
         executor: &dyn Executor,
         dfs: &mut SimDfs,
         dags: &[&JobDag],
+        tenants: &[&str],
     ) -> Result<Vec<(ProgramStats, f64)>> {
+        debug_assert_eq!(dags.len(), tenants.len());
         // Global ids: DAGs flattened in admission order.
         let mut jobs: Vec<JobRef> = Vec::new();
         let mut offset = vec![0usize; dags.len()];
         for (s, dag) in dags.iter().enumerate() {
             offset[s] = jobs.len();
             jobs.extend((0..dag.len()).map(|node| JobRef { sub: s, node }));
+            gumbo_obs::event("sched:submit", |f| {
+                f.str("tenant", tenants[s]);
+                f.u64("jobs", dag.len() as u64);
+                f.str("policy", self.config.placement.label());
+            });
         }
         let total = jobs.len();
 
@@ -310,6 +318,11 @@ impl DagScheduler {
                     }
                 }
             }
+            gumbo_obs::event("sched:admit", |f| {
+                f.str("tenant", tenants[j.sub]);
+                f.str("job", &node.job.name);
+                f.u64("deps", indegree[gid] as u64);
+            });
         }
 
         // Placement priorities from the estimation layer's annotations.
@@ -347,6 +360,10 @@ impl DagScheduler {
         for (gid, j) in jobs.iter().enumerate() {
             if indegree[gid] == 0 {
                 ready[j.sub].push_back(gid);
+                gumbo_obs::event("sched:ready", |f| {
+                    f.str("tenant", tenants[j.sub]);
+                    f.str("job", &dags[j.sub].node(j.node).job.name);
+                });
             }
         }
 
@@ -395,7 +412,29 @@ impl DagScheduler {
                         // (0 = the executor's own sizing); thread counts
                         // can never change answers or metered statistics.
                         let threads = self.config.threads_for(node.estimate());
+                        gumbo_obs::event("sched:claim", |f| {
+                            f.str("tenant", tenants[j.sub]);
+                            f.str("job", &node.job.name);
+                            f.str("policy", policy.label());
+                        });
+                        gumbo_obs::event("sched:threads_assigned", |f| {
+                            f.str("tenant", tenants[j.sub]);
+                            f.str("job", &node.job.name);
+                            f.u64("threads", threads as u64);
+                        });
                         let outcome = (|| {
+                            // The whole claimed execution runs under one
+                            // "job" span on this worker's lane, so the
+                            // plan/phase/commit spans nest beneath the
+                            // claim that scheduled them.
+                            let _span = gumbo_obs::span_with("job", |f| {
+                                f.str("tenant", tenants[j.sub]);
+                                f.str("job", &node.job.name);
+                                f.u64("round", node.round as u64);
+                                if let Some(e) = node.estimate() {
+                                    f.f64("estimated_cost", e.total_cost);
+                                }
+                            });
                             let plan = {
                                 let guard = shared.read().expect("unpoisoned DFS lock");
                                 plan_job(executor.config(), &guard, &node.job)?
@@ -415,6 +454,11 @@ impl DagScheduler {
                         st.running[j.sub] -= 1;
                         match outcome {
                             Ok(stats) => {
+                                gumbo_obs::event("sched:complete", |f| {
+                                    f.str("tenant", tenants[j.sub]);
+                                    f.str("job", &node.job.name);
+                                    f.f64("observed_cost", stats.total_cost);
+                                });
                                 st.results[gid] = Some(stats);
                                 st.completed[j.sub] += 1;
                                 st.remaining -= 1;
@@ -425,6 +469,11 @@ impl DagScheduler {
                                     st.indegree[dep] -= 1;
                                     if st.indegree[dep] == 0 {
                                         st.ready[jobs[dep].sub].push_back(dep);
+                                        gumbo_obs::event("sched:ready", |f| {
+                                            let d = jobs[dep];
+                                            f.str("tenant", tenants[d.sub]);
+                                            f.str("job", &dags[d.sub].node(d.node).job.name);
+                                        });
                                     }
                                 }
                             }

@@ -54,3 +54,23 @@ pub struct SubmissionReport {
     /// committed job of this submission, in seconds.
     pub wall_seconds: f64,
 }
+
+impl SubmissionReport {
+    /// Per-job calibration records: `(job name, observed/estimated cost
+    /// ratio)` for every job of this submission that carried a plan-time
+    /// estimate, in execution order. The raw input of the
+    /// feedback-calibration roadmap item.
+    pub fn estimate_errors(&self) -> Vec<(&str, f64)> {
+        self.stats
+            .jobs
+            .iter()
+            .filter_map(|j| j.estimate_error().map(|e| (j.name.as_str(), e)))
+            .collect()
+    }
+
+    /// Mean observed/estimated cost ratio over this submission's
+    /// estimated jobs; `None` when no job carried an estimate.
+    pub fn mean_estimate_error(&self) -> Option<f64> {
+        self.stats.mean_estimate_error()
+    }
+}

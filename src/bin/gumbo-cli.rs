@@ -8,6 +8,8 @@
 //!           [--placement fifo|sjf|cp] [--cores N]
 //!           [--mem-budget BYTES|unlimited] [--spill-compress]
 //!           [--data-plane pairs|columnar]
+//!           [--trace PATH] [--trace-format chrome|jsonl]
+//!           [--metrics-dump] [--stats-json PATH]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
 //! ```
 //!
@@ -42,6 +44,17 @@
 //! if the tracked peak ever exceeded the budget — printing the
 //! shuffle-memory summary *before* exiting, so the evidence of the
 //! violation always reaches the log.
+//!
+//! `--trace PATH` records every phase span, scheduler event and budget
+//! event of the run to `PATH`; `--trace-format` picks the encoding —
+//! `chrome` (the default) writes a Chrome trace-event JSON array that
+//! loads directly into Perfetto or `chrome://tracing`, `jsonl` writes
+//! one JSON object per line for scripting. `--metrics-dump` prints the
+//! process-wide counter/gauge registry (spill runs, budget denials,
+//! committed jobs, …) after the run. `--stats-json PATH` dumps the full
+//! [`ProgramStats`] — the paper's four metrics, per-job costs, spill
+//! counters, and the estimated-vs-observed calibration ledger — as one
+//! JSON document.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -62,6 +75,10 @@ struct Args {
     mem_budget: gumbo::mr::MemBudget,
     spill_compress: bool,
     data_plane: gumbo::mr::DataPlane,
+    trace: Option<PathBuf>,
+    trace_format: Option<gumbo::obs::TraceFormat>,
+    metrics_dump: bool,
+    stats_json: Option<PathBuf>,
     scale: u64,
     nodes: usize,
     out: Option<PathBuf>,
@@ -75,6 +92,8 @@ const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [-
                      [--placement fifo|sjf|cp] [--cores N] \
                      [--mem-budget BYTES|unlimited] [--spill-compress] \
                      [--data-plane pairs|columnar] \
+                     [--trace PATH] [--trace-format chrome|jsonl] \
+                     [--metrics-dump] [--stats-json PATH] \
                      [--scale N] [--nodes N] [--out DIR] [--explain]";
 
 fn parse_args() -> Result<Args, String> {
@@ -92,6 +111,10 @@ fn parse_args() -> Result<Args, String> {
         mem_budget: gumbo::mr::MemBudget::UNLIMITED,
         spill_compress: false,
         data_plane: gumbo::mr::DataPlane::default(),
+        trace: None,
+        trace_format: None,
+        metrics_dump: false,
+        stats_json: None,
         scale: 1,
         nodes: 10,
         out: None,
@@ -167,6 +190,16 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--nodes: {e}"))?
             }
+            "--trace" => args.trace = Some(PathBuf::from(need(&mut i, &argv)?)),
+            "--trace-format" => {
+                let spec = need(&mut i, &argv)?;
+                args.trace_format = Some(
+                    gumbo::obs::TraceFormat::parse(&spec)
+                        .map_err(|e| format!("--trace-format: {e}"))?,
+                );
+            }
+            "--metrics-dump" => args.metrics_dump = true,
+            "--stats-json" => args.stats_json = Some(PathBuf::from(need(&mut i, &argv)?)),
             "--out" => args.out = Some(PathBuf::from(need(&mut i, &argv)?)),
             "--explain" => args.explain = true,
             "--help" | "-h" => return Err(USAGE.into()),
@@ -187,6 +220,10 @@ fn parse_args() -> Result<Args, String> {
         if args.tuples.is_some() {
             return Err("--tuples only applies to --preset workloads".into());
         }
+    }
+    if args.trace_format.is_some() && args.trace.is_none() {
+        // A format without a destination would be a silent no-op.
+        return Err("--trace-format requires --trace PATH".into());
     }
     Ok(args)
 }
@@ -261,6 +298,55 @@ fn budget_check(peak: u64, limit: Option<u64>) -> Result<(), String> {
         )),
         _ => Ok(()),
     }
+}
+
+/// Lower a [`ProgramStats`] to one JSON document: the paper's four
+/// metrics, the spill counters, the predicted DAG net time, and the
+/// per-job calibration ledger (estimated vs observed cost).
+fn stats_to_json(stats: &ProgramStats) -> gumbo::obs::json::Json {
+    use gumbo::obs::json::Json;
+    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    let jobs: Vec<Json> = stats
+        .jobs
+        .iter()
+        .map(|j| {
+            Json::obj([
+                ("name", Json::Str(j.name.clone())),
+                ("round", Json::Int(j.round as u64)),
+                ("total_cost", Json::Num(j.total_cost)),
+                ("map_cost", Json::Num(j.map_cost)),
+                ("reduce_cost", Json::Num(j.reduce_cost)),
+                ("output_tuples", Json::Int(j.output_tuples)),
+                ("input_bytes", Json::Int(j.input_bytes().0)),
+                ("communication_bytes", Json::Int(j.communication_bytes().0)),
+                ("output_bytes", Json::Int(j.output_bytes().0)),
+                ("spilled_bytes", Json::Int(j.spilled_bytes)),
+                ("spilled_disk_bytes", Json::Int(j.spilled_disk_bytes)),
+                ("spill_files", Json::Int(j.spill_files)),
+                ("spill_merge_passes", Json::Int(j.spill_merge_passes)),
+                ("estimated_cost", opt(j.estimated_cost)),
+                ("estimate_error", opt(j.estimate_error())),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("net_time", Json::Num(stats.net_time())),
+        ("total_time", Json::Num(stats.total_time())),
+        ("input_bytes", Json::Int(stats.input_bytes().0)),
+        (
+            "communication_bytes",
+            Json::Int(stats.communication_bytes().0),
+        ),
+        ("num_jobs", Json::Int(stats.num_jobs() as u64)),
+        ("num_rounds", Json::Int(stats.num_rounds() as u64)),
+        ("predicted_net_time", opt(stats.predicted_net_time)),
+        ("spilled_bytes", Json::Int(stats.spilled_bytes())),
+        ("spilled_disk_bytes", Json::Int(stats.spilled_disk_bytes())),
+        ("spill_files", Json::Int(stats.spill_files())),
+        ("spill_merge_passes", Json::Int(stats.spill_merge_passes())),
+        ("mean_estimate_error", opt(stats.mean_estimate_error())),
+        ("jobs", Json::Arr(jobs)),
+    ])
 }
 
 /// Resolve one of the paper's generated workloads by name.
@@ -353,10 +439,33 @@ fn run(args: Args) -> Result<(), String> {
         eprintln!();
     }
 
+    if let Some(path) = &args.trace {
+        let format = args.trace_format.unwrap_or(gumbo::obs::TraceFormat::Chrome);
+        let sink: std::sync::Arc<dyn gumbo::obs::TraceSink> = match format {
+            gumbo::obs::TraceFormat::Chrome => std::sync::Arc::new(
+                gumbo::obs::ChromeTraceSink::create(path)
+                    .map_err(|e| format!("--trace {path:?}: {e}"))?,
+            ),
+            gumbo::obs::TraceFormat::Jsonl => std::sync::Arc::new(
+                gumbo::obs::JsonlSink::create(path)
+                    .map_err(|e| format!("--trace {path:?}: {e}"))?,
+            ),
+        };
+        gumbo::obs::install(sink);
+    }
+    if args.metrics_dump {
+        gumbo::obs::set_metrics_enabled(true);
+    }
+
     let runtime = engine.runtime();
-    let stats = engine
-        .evaluate_on(&*runtime, &mut dfs, &query)
-        .map_err(|e| e.to_string())?;
+    let result = engine.evaluate_on(&*runtime, &mut dfs, &query);
+    // Uninstall *before* propagating errors so the trace file is always
+    // finalized (the Chrome array closed) — a failed run's trace is
+    // exactly the one worth loading into Perfetto.
+    if args.trace.is_some() {
+        gumbo::obs::uninstall();
+    }
+    let stats = result.map_err(|e| e.to_string())?;
 
     // Verify against the reference evaluator (cheap at CLI scales).
     let expected = NaiveEvaluator::new()
@@ -368,6 +477,19 @@ fn run(args: Args) -> Result<(), String> {
     }
 
     println!("{stats}");
+    // The calibration ledger: how well the planner's cost estimates
+    // predicted what actually ran (observed/estimated, 1.0 = perfect).
+    if let Some(mean) = stats.mean_estimate_error() {
+        let estimated = stats
+            .jobs
+            .iter()
+            .filter(|j| j.estimate_error().is_some())
+            .count();
+        println!(
+            "estimates: jobs_with_estimates={estimated}/{} mean_error={mean:.3}",
+            stats.num_jobs(),
+        );
+    }
     let budget = runtime.budget();
     // Under an unlimited budget the tracker charges in coarse granules,
     // so the reported peak is an upper bound, not an exact figure.
@@ -390,6 +512,22 @@ fn run(args: Args) -> Result<(), String> {
     );
     budget_check(budget.peak(), budget.limit())?;
     println!("output {} has {} tuples", query.output(), got.len());
+
+    if let Some(path) = &args.stats_json {
+        let json = stats_to_json(&stats);
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| format!("--stats-json {path:?}: {e}"))?;
+        println!("wrote {path:?} (program stats)");
+    }
+    if args.metrics_dump {
+        for (name, kind, value) in gumbo::obs::metrics_snapshot() {
+            let kind = match kind {
+                gumbo::obs::MetricKind::Counter => "counter",
+                gumbo::obs::MetricKind::Gauge => "gauge",
+            };
+            println!("metric {kind} {name}={value}");
+        }
+    }
 
     if let Some(out_dir) = args.out {
         std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir:?}: {e}"))?;

@@ -1,0 +1,146 @@
+//! `trace-check` — validate a trace file emitted by `gumbo-cli --trace`.
+//!
+//! Usage: `trace-check PATH [--format chrome|jsonl]`
+//!
+//! For Chrome traces the whole file must parse as a JSON array of
+//! trace events, and within every `tid` lane the `B`/`E` phase events
+//! must balance like brackets (each `E` closes the most recent open `B`
+//! with the same name). For JSONL traces every line must parse as a
+//! JSON object carrying `ts_ns`, `lane`, `ph`, and `name`.
+//!
+//! Exits 0 and prints a one-line summary on success; prints the first
+//! problem to stderr and exits 1 otherwise. CI runs this against the
+//! trace artifact so a malformed exporter fails the build, not the
+//! person who later loads the file into Perfetto.
+
+use std::process::ExitCode;
+
+use gumbo::obs::json::Json;
+use gumbo::obs::TraceFormat;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(summary) => {
+            println!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("trace-check: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let mut path: Option<&str> = None;
+    let mut format = TraceFormat::Chrome;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| "--format requires a value".to_string())?;
+                format = TraceFormat::parse(value)?;
+                i += 2;
+            }
+            "--help" | "-h" => {
+                return Ok("usage: trace-check PATH [--format chrome|jsonl]".to_string());
+            }
+            arg if arg.starts_with("--") => return Err(format!("unknown flag {arg:?}")),
+            arg => {
+                if path.replace(arg).is_some() {
+                    return Err("expected exactly one PATH argument".to_string());
+                }
+                i += 1;
+            }
+        }
+    }
+    let path = path.ok_or_else(|| "usage: trace-check PATH [--format chrome|jsonl]".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    match format {
+        TraceFormat::Chrome => check_chrome(&text),
+        TraceFormat::Jsonl => check_jsonl(&text),
+    }
+}
+
+/// Validate a Chrome trace-event file: one JSON array, balanced `B`/`E`
+/// per `tid` lane with matching names, LIFO order.
+fn check_chrome(text: &str) -> Result<String, String> {
+    let root = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = root.as_arr().ok_or("top-level value is not an array")?;
+    // One open-span stack per tid; Chrome nesting is per-thread LIFO.
+    let mut stacks: Vec<(u64, Vec<String>)> = Vec::new();
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    for (idx, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {idx}: missing \"ph\""))?;
+        let name = event
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {idx}: missing \"name\""))?;
+        let tid = event
+            .get("tid")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event {idx}: missing \"tid\""))?;
+        if event.get("ts").and_then(Json::as_f64).is_none() {
+            return Err(format!("event {idx}: missing \"ts\""));
+        }
+        let stack = match stacks.iter_mut().find(|(lane, _)| *lane == tid) {
+            Some((_, stack)) => stack,
+            None => {
+                stacks.push((tid, Vec::new()));
+                &mut stacks.last_mut().expect("just pushed").1
+            }
+        };
+        match ph {
+            "B" => stack.push(name.to_string()),
+            "E" => {
+                let open = stack.pop().ok_or_else(|| {
+                    format!("event {idx}: \"E\" {name:?} with no open span on tid {tid}")
+                })?;
+                if open != name {
+                    return Err(format!(
+                        "event {idx}: \"E\" {name:?} closes open span {open:?} on tid {tid}"
+                    ));
+                }
+                spans += 1;
+            }
+            "i" => instants += 1,
+            other => return Err(format!("event {idx}: unexpected phase {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed span {open:?} on tid {tid}"));
+        }
+    }
+    Ok(format!(
+        "ok: {spans} spans, {instants} instants across {} lanes",
+        stacks.len()
+    ))
+}
+
+/// Validate a JSONL trace: every line is a JSON object with the fields
+/// the sink promises.
+fn check_jsonl(text: &str) -> Result<String, String> {
+    let mut lines = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event =
+            Json::parse(line).map_err(|e| format!("line {}: invalid JSON: {e}", idx + 1))?;
+        for key in ["ts_ns", "lane", "ph", "name"] {
+            if event.get(key).is_none() {
+                return Err(format!("line {}: missing {key:?}", idx + 1));
+            }
+        }
+        lines += 1;
+    }
+    Ok(format!("ok: {lines} events"))
+}

@@ -46,6 +46,7 @@
 //! | [`gumbo_common`] | values, tuples, facts, relations, databases |
 //! | [`gumbo_sgf`] | SGF/BSGF ASTs, parser, dependency graphs, naive evaluator |
 //! | [`gumbo_storage`] | simulated DFS with byte accounting and sampling |
+//! | [`gumbo_obs`] | zero-dependency tracing and metrics: spans, events, counters, ring/JSONL/Chrome-trace sinks |
 //! | [`gumbo_mr`] | `Executor` trait with simulated + multi-threaded runtimes, job DAGs, cluster model, cost models |
 //! | [`gumbo_sched`] | dependency-driven DAG scheduler, multi-tenant submissions |
 //! | [`gumbo_core`] | MSJ, EVAL, 1-ROUND fusion, plans, greedy + optimal planners |
@@ -77,6 +78,7 @@ pub use gumbo_common as common;
 pub use gumbo_core as core;
 pub use gumbo_datagen as datagen;
 pub use gumbo_mr as mr;
+pub use gumbo_obs as obs;
 pub use gumbo_sched as sched;
 pub use gumbo_sgf as sgf;
 pub use gumbo_storage as storage;
@@ -96,6 +98,9 @@ pub mod prelude {
         Cluster, CostConstants, CostModelKind, DataPlane, Engine, EngineConfig, Executor,
         ExecutorKind, JobConfig, JobDag, JobEstimate, MrProgram, ParallelExecutor, ProgramStats,
         SimulatedExecutor,
+    };
+    pub use gumbo_obs::{
+        ChromeTraceSink, Counter, Gauge, JsonlSink, RingSink, TraceFormat, TraceSink,
     };
     pub use gumbo_sched::{
         DagScheduler, PlacementPolicy, SchedulerConfig, Submission, SubmissionReport,

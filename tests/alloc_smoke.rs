@@ -152,6 +152,32 @@ fn columnar_shuffle_allocates_ten_times_less() {
     }
 }
 
+/// With no trace sink installed, the observability hot path performs
+/// zero heap allocations: dead spans carry an empty `Vec`, field-fill
+/// closures never run, and metrics skip lazy registration entirely.
+#[test]
+fn disabled_tracing_allocates_nothing() {
+    let _serial = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    assert!(
+        !gumbo::obs::enabled(),
+        "no sink is ever installed in this test binary"
+    );
+    static PROBE: gumbo::obs::Counter = gumbo::obs::Counter::new("alloc_smoke.probe");
+    let (allocs, ()) = count_allocations(|| {
+        for i in 0..1000u64 {
+            let mut span = gumbo::obs::span_with("map", |f| {
+                f.u64("i", i);
+                f.str("job", "never-evaluated");
+            });
+            gumbo::obs::event("budget:exhausted", |f| f.u64("bytes", i));
+            span.record(|f| f.u64("post", i));
+            drop(span);
+            PROBE.incr();
+        }
+    });
+    assert_eq!(allocs, 0, "disabled tracing must not allocate");
+}
+
 /// `Tuple::project` on all-int tuples performs one allocation per call
 /// (the projected `Vec<Value>` + its `Arc` header) — no per-value clones.
 #[test]
