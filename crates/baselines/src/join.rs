@@ -182,12 +182,12 @@ mod tests {
     #[test]
     fn join_job_computes_semijoin() {
         let (ctx, db) = setup();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let job = build_join_job(&ctx, &[0], "HJOIN", JobConfig::baseline(), 0);
         let mut program = MrProgram::new();
         program.push_job(job);
         Engine::new(EngineConfig::unscaled())
-            .execute(&mut dfs, &program)
+            .execute(&dfs, &program)
             .unwrap();
         let x = dfs.peek(&"Z#X0".into()).unwrap();
         assert_eq!(x.len(), 1);
@@ -199,18 +199,18 @@ mod tests {
         let (ctx, db) = setup();
         let engine = Engine::new(EngineConfig::unscaled());
 
-        let mut dfs1 = SimDfs::from_database(&db);
+        let dfs1 = SimDfs::from_database(&db);
         let join = build_join_job(&ctx, &[0], "HJOIN", JobConfig::baseline(), 0);
-        let js = engine.execute_job(&mut dfs1, &join, 0).unwrap();
+        let js = engine.execute_job(&dfs1, &join, 0).unwrap();
 
-        let mut dfs2 = SimDfs::from_database(&db);
+        let dfs2 = SimDfs::from_database(&db);
         let msj = gumbo_core::msj::build_msj_job(
             &ctx,
             &[0],
             gumbo_core::PayloadMode::Reference,
             JobConfig::default(),
         );
-        let ms = engine.execute_job(&mut dfs2, &msj, 0).unwrap();
+        let ms = engine.execute_job(&dfs2, &msj, 0).unwrap();
         assert!(
             js.communication_bytes() > ms.communication_bytes(),
             "join {} <= msj {}",
@@ -223,12 +223,12 @@ mod tests {
     fn extra_guard_reads_increase_input() {
         let (ctx, db) = setup();
         let engine = Engine::new(EngineConfig::unscaled());
-        let mut d1 = SimDfs::from_database(&db);
-        let mut d2 = SimDfs::from_database(&db);
+        let d1 = SimDfs::from_database(&db);
+        let d2 = SimDfs::from_database(&db);
         let j0 = build_join_job(&ctx, &[0], "J", JobConfig::baseline(), 0);
         let j1 = build_join_job(&ctx, &[0], "J", JobConfig::baseline(), 1);
-        let s0 = engine.execute_job(&mut d1, &j0, 0).unwrap();
-        let s1 = engine.execute_job(&mut d2, &j1, 0).unwrap();
+        let s0 = engine.execute_job(&d1, &j0, 0).unwrap();
+        let s1 = engine.execute_job(&d2, &j1, 0).unwrap();
         assert!(s1.input_bytes() > s0.input_bytes());
         // Results identical regardless.
         assert_eq!(

@@ -19,7 +19,7 @@ use gumbo_core::semijoin::{identity_vars, QueryContext};
 use gumbo_core::{BsgfSetPlan, PayloadMode};
 use gumbo_mr::{Executor, Job, JobConfig, Mapper, Message, MrProgram, ProgramStats, Reducer};
 use gumbo_sgf::{Atom, BsgfQuery, Condition, Term, Var};
-use gumbo_storage::SimDfs;
+use gumbo_storage::Dfs;
 
 /// A (possibly negated) conditional atom.
 type LiteralAtom = (Atom, bool);
@@ -63,7 +63,7 @@ impl SeqStrategy {
     pub fn evaluate(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         queries: &[BsgfQuery],
     ) -> Result<ProgramStats> {
         let program = self.build_program(queries)?;
@@ -246,6 +246,7 @@ mod tests {
     use gumbo_common::{Database, Fact, Relation};
     use gumbo_mr::{Engine, EngineConfig};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
+    use gumbo_storage::SimDfs;
 
     fn db(facts: &[(&str, &[i64])], arities: &[(&str, usize)]) -> Database {
         let mut db = Database::new();
@@ -262,13 +263,13 @@ mod tests {
     fn check_seq(query_text: &str, d: &Database) -> ProgramStats {
         let q = parse_query(query_text).unwrap();
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, d).unwrap();
-        let mut dfs = SimDfs::from_database(d);
+        let dfs = SimDfs::from_database(d);
         let engine = Engine::new(EngineConfig::unscaled());
         let stats = SeqStrategy::default()
-            .evaluate(&engine, &mut dfs, std::slice::from_ref(&q))
+            .evaluate(&engine, &dfs, std::slice::from_ref(&q))
             .unwrap();
         assert_eq!(
-            dfs.peek(q.output()).unwrap(),
+            dfs.peek(q.output()).unwrap().as_ref(),
             &expected,
             "query: {query_text}"
         );
@@ -311,10 +312,10 @@ mod tests {
             d.insert_fact(Fact::new(*rel, Tuple::from_ints(t))).unwrap();
         }
         let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(y);").unwrap();
-        let mut dfs = SimDfs::from_database(&d);
+        let dfs = SimDfs::from_database(&d);
         let engine = Engine::new(EngineConfig::unscaled());
         let stats = SeqStrategy::default()
-            .evaluate(&engine, &mut dfs, &[q])
+            .evaluate(&engine, &dfs, &[q])
             .unwrap();
         let first = &stats.jobs[0];
         let second = &stats.jobs[1];
@@ -412,10 +413,10 @@ mod tests {
         );
         let q1 = parse_query("Z1 := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(y);").unwrap();
         let q2 = parse_query("Z2 := SELECT (x, y) FROM G(x, y) WHERE U(x) AND V(y);").unwrap();
-        let mut dfs = SimDfs::from_database(&d);
+        let dfs = SimDfs::from_database(&d);
         let engine = Engine::new(EngineConfig::unscaled());
         let stats = SeqStrategy::default()
-            .evaluate(&engine, &mut dfs, &[q1, q2])
+            .evaluate(&engine, &dfs, &[q1, q2])
             .unwrap();
         // Chains share rounds: 2 rounds of 2 jobs, no union.
         assert_eq!(stats.num_rounds(), 2);

@@ -23,7 +23,7 @@ use gumbo_core::semijoin::QueryContext;
 use gumbo_core::PayloadMode;
 use gumbo_mr::{Executor, JobConfig, MrProgram, ProgramStats, ReducerPolicy};
 use gumbo_sgf::BsgfQuery;
-use gumbo_storage::SimDfs;
+use gumbo_storage::Dfs;
 
 /// Hive simulation.
 #[derive(Debug, Clone, Copy)]
@@ -87,7 +87,7 @@ impl HiveSim {
     pub fn evaluate(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         queries: &[BsgfQuery],
     ) -> Result<ProgramStats> {
         let ctx = QueryContext::new(queries.to_vec())?;
@@ -137,7 +137,7 @@ impl PigSim {
     pub fn evaluate(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         queries: &[BsgfQuery],
     ) -> Result<ProgramStats> {
         let ctx = QueryContext::new(queries.to_vec())?;
@@ -151,6 +151,7 @@ mod tests {
     use gumbo_common::{Database, Relation, Tuple};
     use gumbo_mr::{Engine, EngineConfig};
     use gumbo_sgf::{parse_query, NaiveEvaluator};
+    use gumbo_storage::SimDfs;
 
     fn a1_small() -> (BsgfQuery, Database) {
         let q = parse_query(
@@ -189,20 +190,20 @@ mod tests {
     fn hpar_is_sequential_and_correct() {
         let (q, db) = a1_small();
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = HiveSim::hpar().evaluate(&engine, &mut dfs, &[q]).unwrap();
+        let stats = HiveSim::hpar().evaluate(&engine, &dfs, &[q]).unwrap();
         // 4 distinct keys -> 4 sequential join rounds + EVAL.
         assert_eq!(stats.num_rounds(), 5);
-        assert_eq!(dfs.peek(&"Out".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Out".into()).unwrap().as_ref(), &expected);
     }
 
     #[test]
     fn hpar_groups_same_key_joins_for_a3() {
         let (q, db) = a3_small();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = HiveSim::hpar().evaluate(&engine, &mut dfs, &[q]).unwrap();
+        let stats = HiveSim::hpar().evaluate(&engine, &dfs, &[q]).unwrap();
         // All four joins share key x -> 1 join job + EVAL = 2 jobs.
         assert_eq!(stats.num_jobs(), 2);
     }
@@ -211,25 +212,25 @@ mod tests {
     fn hpars_is_parallel_and_correct() {
         let (q, db) = a1_small();
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = HiveSim::hpars().evaluate(&engine, &mut dfs, &[q]).unwrap();
+        let stats = HiveSim::hpars().evaluate(&engine, &dfs, &[q]).unwrap();
         // One parallel round of 4 semi-join jobs + EVAL.
         assert_eq!(stats.num_rounds(), 2);
         assert_eq!(stats.num_jobs(), 5);
-        assert_eq!(dfs.peek(&"Out".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Out".into()).unwrap().as_ref(), &expected);
     }
 
     #[test]
     fn hpars_reads_more_input_than_hpar() {
         let (q, db) = a1_small();
         let engine = Engine::new(EngineConfig::unscaled());
-        let mut d1 = SimDfs::from_database(&db);
+        let d1 = SimDfs::from_database(&db);
         let s1 = HiveSim::hpar()
-            .evaluate(&engine, &mut d1, std::slice::from_ref(&q))
+            .evaluate(&engine, &d1, std::slice::from_ref(&q))
             .unwrap();
-        let mut d2 = SimDfs::from_database(&db);
-        let s2 = HiveSim::hpars().evaluate(&engine, &mut d2, &[q]).unwrap();
+        let d2 = SimDfs::from_database(&db);
+        let s2 = HiveSim::hpars().evaluate(&engine, &d2, &[q]).unwrap();
         assert!(s2.input_bytes() > s1.input_bytes());
     }
 
@@ -237,15 +238,15 @@ mod tests {
     fn ppar_is_parallel_with_few_reducers() {
         let (q, db) = a1_small();
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         // Paper-scale factor so the 1 GB/reducer policy is meaningful.
         let engine = Engine::new(EngineConfig {
             scale: 1,
             ..EngineConfig::default()
         });
-        let stats = PigSim::ppar().evaluate(&engine, &mut dfs, &[q]).unwrap();
+        let stats = PigSim::ppar().evaluate(&engine, &dfs, &[q]).unwrap();
         assert_eq!(stats.num_rounds(), 2);
-        assert_eq!(dfs.peek(&"Out".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Out".into()).unwrap().as_ref(), &expected);
         // Input-based allocation with tiny input -> exactly 1 reducer/job.
         assert!(stats.jobs.iter().all(|j| j.profile.reducers == 1));
     }

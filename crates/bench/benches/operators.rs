@@ -25,9 +25,9 @@ fn msj_group_sizes(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             let ids: Vec<usize> = (0..k).collect();
             b.iter(|| {
-                let mut dfs = SimDfs::from_database(&db);
+                let dfs = SimDfs::from_database(&db);
                 let job = build_msj_job(&ctx, &ids, PayloadMode::Reference, JobConfig::default());
-                engine.execute_job(&mut dfs, &job, 0).unwrap()
+                engine.execute_job(&dfs, &job, 0).unwrap()
             });
         });
     }
@@ -47,9 +47,9 @@ fn payload_modes(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut dfs = SimDfs::from_database(&db);
+                let dfs = SimDfs::from_database(&db);
                 let job = build_msj_job(&ctx, &[0, 1, 2, 3], mode, JobConfig::default());
-                engine.execute_job(&mut dfs, &job, 0).unwrap()
+                engine.execute_job(&dfs, &job, 0).unwrap()
             });
         });
     }
@@ -62,21 +62,21 @@ fn eval_job(c: &mut Criterion) {
     let ctx = QueryContext::new(w.query.queries().to_vec()).unwrap();
     let engine = Engine::new(EngineConfig::unscaled());
     // Materialize the X relations once.
-    let mut base = SimDfs::from_database(&db);
+    let base = SimDfs::from_database(&db);
     let msj = build_msj_job(
         &ctx,
         &[0, 1, 2, 3],
         PayloadMode::Reference,
         JobConfig::default(),
     );
-    engine.execute_job(&mut base, &msj, 0).unwrap();
+    engine.execute_job(&base, &msj, 0).unwrap();
     let prepared = base.to_database();
 
     c.bench_function("eval_job", |b| {
         b.iter(|| {
-            let mut dfs = SimDfs::from_database(&prepared);
+            let dfs = SimDfs::from_database(&prepared);
             let job = build_eval_job(&ctx, PayloadMode::Reference, JobConfig::default());
-            engine.execute_job(&mut dfs, &job, 0).unwrap()
+            engine.execute_job(&dfs, &job, 0).unwrap()
         });
     });
 }
@@ -90,15 +90,15 @@ fn one_round_vs_two_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("a3_pipeline");
     group.bench_function("one_round", |b| {
         b.iter(|| {
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let mut program = MrProgram::new();
             program.push_job(build_same_key_job(&ctx, JobConfig::default()).unwrap());
-            engine.execute(&mut dfs, &program).unwrap()
+            engine.execute(&dfs, &program).unwrap()
         });
     });
     group.bench_function("two_round", |b| {
         b.iter(|| {
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let mut program = MrProgram::new();
             program.push_job(build_msj_job(
                 &ctx,
@@ -111,7 +111,7 @@ fn one_round_vs_two_round(c: &mut Criterion) {
                 PayloadMode::Reference,
                 JobConfig::default(),
             ));
-            engine.execute(&mut dfs, &program).unwrap()
+            engine.execute(&dfs, &program).unwrap()
         });
     });
     group.finish();

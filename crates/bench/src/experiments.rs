@@ -144,7 +144,7 @@ pub fn costmodel(cfg: &RunConfig) -> Result<()> {
         ("cost_gumbo", CostModelKind::Gumbo),
         ("cost_wang", CostModelKind::Wang),
     ] {
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let mut engine = greedy_engine(gumbo_mr::EngineConfig {
             scale: cfg.scale,
             cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
@@ -152,7 +152,7 @@ pub fn costmodel(cfg: &RunConfig) -> Result<()> {
         });
         engine.executor = cfg.executor;
         engine.options.planner_model = model;
-        let stats = engine.evaluate(&mut dfs, &w.query)?;
+        let stats = engine.evaluate(&dfs, &w.query)?;
         println!(
             "GREEDY planned with {label:<11}: net {:>8.0}s  total {:>10.0}s  jobs {}",
             stats.net_time(),
@@ -229,14 +229,13 @@ pub fn costmodel(cfg: &RunConfig) -> Result<()> {
                 cfg.seed,
             );
             let cw = est_w.msj_cost(&ctx, &group, PayloadMode::Reference, &JobConfig::default())?;
-            let mut dfs = dfs;
             let job = gumbo_core::msj::build_msj_job(
                 &ctx,
                 &group,
                 PayloadMode::Reference,
                 JobConfig::default(),
             );
-            let measured = executor.execute_job(&mut dfs, &job, 0)?.total_cost;
+            let measured = executor.execute_job(&dfs, &job, 0)?.total_cost;
             jobs.push((cg, cw, measured));
         }
     }
@@ -525,9 +524,9 @@ pub fn speedup(cfg: &RunConfig) -> Result<()> {
     };
     let time_with = |kind: ExecutorKind| -> Result<(f64, u64)> {
         let engine = GumboEngine::with_executor(engine_cfg, kind, options);
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let start = Instant::now();
-        let stats = engine.evaluate(&mut dfs, &w.query)?;
+        let stats = engine.evaluate(&dfs, &w.query)?;
         let elapsed = start.elapsed().as_secs_f64();
         Ok((elapsed, stats.jobs.iter().map(|j| j.output_tuples).sum()))
     };
@@ -653,9 +652,9 @@ pub fn spill(cfg: &RunConfig) -> Result<()> {
             },
         );
         let runtime = engine.runtime();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let start = Instant::now();
-        let stats = engine.evaluate_on(&*runtime, &mut dfs, &w.query)?;
+        let stats = engine.eval().on(&*runtime).run(&dfs, &w.query)?;
         let wall = start.elapsed().as_secs_f64();
 
         let peak = runtime.budget().peak();
@@ -731,6 +730,128 @@ pub fn spill(cfg: &RunConfig) -> Result<()> {
     ]);
     write_bench_json("spill", &report)
         .map_err(|e| gumbo_common::GumboError::Storage(format!("writing BENCH_spill.json: {e}")))?;
+    Ok(())
+}
+
+/// Durable DFS backends: the same workload evaluated on the in-memory
+/// `SimDfs` and the file-segment `FileDfs`, the latter twice — cold
+/// (block cache starts empty) and warm (cache populated by the cold
+/// run). Asserts cross-backend equivalence (identical relations and
+/// byte meters) and writes wall times plus block-cache counters to
+/// `BENCH_dfs.json`.
+pub fn dfs(cfg: &RunConfig) -> Result<()> {
+    use crate::report::{write_bench_json, Json};
+    use gumbo_storage::{Dfs as _, FileDfs, DEFAULT_CACHE_BYTES};
+    use std::time::Instant;
+
+    print_header("Durable DFS — sim vs file backend, cold and warm block cache");
+    let w = queries::a3().with_tuples(cfg.tuples);
+    let db = w.spec.database(cfg.seed);
+    let engine_cfg = gumbo_mr::EngineConfig {
+        scale: cfg.scale,
+        cluster: gumbo_mr::Cluster::with_nodes(cfg.nodes),
+        ..gumbo_mr::EngineConfig::default()
+    };
+    let mut engine = greedy_engine(engine_cfg);
+    engine.executor = cfg.executor;
+
+    let dfs_sim = SimDfs::from_database(&db);
+    let start = Instant::now();
+    let stats_sim = engine.evaluate(&dfs_sim, &w.query)?;
+    let wall_sim = start.elapsed().as_secs_f64();
+
+    let root = std::env::temp_dir().join(format!("gumbo-bench-dfs-{}", std::process::id()));
+    if root.exists() {
+        std::fs::remove_dir_all(&root)
+            .map_err(|e| gumbo_common::GumboError::Storage(format!("clearing {root:?}: {e}")))?;
+    }
+    let dfs_file = FileDfs::from_database(&root, DEFAULT_CACHE_BYTES, &db)?;
+    let start = Instant::now();
+    let stats_cold = engine.evaluate(&dfs_file, &w.query)?;
+    let wall_cold = start.elapsed().as_secs_f64();
+    let cache_cold = dfs_file.cache_stats();
+
+    // Byte meters are logical and backend-invariant: the file backend
+    // must report the exact relations and I/O counters sim does.
+    gumbo_sched::assert_identical_dfs("dfs sim vs file", &dfs_sim, &dfs_file);
+    gumbo_sched::assert_identical_stats("dfs sim vs file", &stats_sim, &stats_cold);
+
+    let start = Instant::now();
+    let stats_warm = engine.evaluate(&dfs_file, &w.query)?;
+    let wall_warm = start.elapsed().as_secs_f64();
+    gumbo_sched::assert_identical_stats("dfs file warm", &stats_cold, &stats_warm);
+    let cache_total = dfs_file.cache_stats();
+    let warm_hits = cache_total.hits - cache_cold.hits;
+    let warm_misses = cache_total.misses - cache_cold.misses;
+    assert!(
+        warm_hits > 0,
+        "the warm pass must serve some blocks from cache"
+    );
+
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>11}",
+        "backend", "wall (s)", "cache hits", "misses", "evictions"
+    );
+    println!(
+        "{:<10} {wall_sim:>10.3} {:>12} {:>12} {:>11}",
+        "sim", "-", "-", "-"
+    );
+    println!(
+        "{:<10} {wall_cold:>10.3} {:>12} {:>12} {:>11}",
+        "file-cold", cache_cold.hits, cache_cold.misses, cache_cold.evictions
+    );
+    println!(
+        "{:<10} {wall_warm:>10.3} {:>12} {:>12} {:>11}",
+        "file-warm",
+        warm_hits,
+        warm_misses,
+        cache_total.evictions - cache_cold.evictions
+    );
+
+    let row = |backend: &str, wall: f64, hits: u64, misses: u64, evictions: u64| {
+        Json::obj([
+            ("backend", Json::Str(backend.into())),
+            ("wall_s", Json::Num(wall)),
+            ("cache_hits", Json::Int(hits)),
+            ("cache_misses", Json::Int(misses)),
+            ("cache_evictions", Json::Int(evictions)),
+        ])
+    };
+    let report = Json::obj([
+        ("experiment", Json::Str("dfs".into())),
+        ("tuples", Json::Int(cfg.tuples as u64)),
+        ("scale", Json::Int(cfg.scale)),
+        ("nodes", Json::Int(cfg.nodes as u64)),
+        ("executor", Json::Str(cfg.executor.label())),
+        ("cache_bytes", Json::Int(DEFAULT_CACHE_BYTES)),
+        (
+            "output_tuples",
+            Json::Int(stats_sim.jobs.iter().map(|j| j.output_tuples).sum()),
+        ),
+        (
+            "rows",
+            Json::Arr(vec![
+                row("sim", wall_sim, 0, 0, 0),
+                row(
+                    "file_cold",
+                    wall_cold,
+                    cache_cold.hits,
+                    cache_cold.misses,
+                    cache_cold.evictions,
+                ),
+                row(
+                    "file_warm",
+                    wall_warm,
+                    warm_hits,
+                    warm_misses,
+                    cache_total.evictions - cache_cold.evictions,
+                ),
+            ]),
+        ),
+    ]);
+    write_bench_json("dfs", &report)
+        .map_err(|e| gumbo_common::GumboError::Storage(format!("writing BENCH_dfs.json: {e}")))?;
+    std::fs::remove_dir_all(&root).ok();
     Ok(())
 }
 
@@ -1040,12 +1161,12 @@ pub fn dagsched(cfg: &RunConfig) -> Result<()> {
         // Round-barrier path: client programs run back to back, each with
         // a barrier after every round.
         let executor = cfg.executor.build(engine_cfg);
-        let mut dfs_rounds = SimDfs::from_database(&combined);
+        let dfs_rounds = SimDfs::from_database(&combined);
         let programs = build_programs(&queries, &dfs_rounds)?;
         let start = Instant::now();
         let mut rounds_stats = Vec::with_capacity(clients);
         for program in &programs {
-            rounds_stats.push(executor.execute(&mut dfs_rounds, program)?);
+            rounds_stats.push(executor.execute(&dfs_rounds, program)?);
         }
         let rounds_wall = start.elapsed().as_secs_f64();
 
@@ -1061,7 +1182,7 @@ pub fn dagsched(cfg: &RunConfig) -> Result<()> {
             .config
             .executor_kind(cfg.executor)
             .build(engine_cfg);
-        let mut dfs_dag = SimDfs::from_database(&combined);
+        let dfs_dag = SimDfs::from_database(&combined);
         let programs = build_programs(&queries, &dfs_dag)?;
         let submissions: Vec<Submission> = programs
             .into_iter()
@@ -1069,7 +1190,7 @@ pub fn dagsched(cfg: &RunConfig) -> Result<()> {
             .map(|(i, p)| Submission::new(format!("client{i}"), p))
             .collect();
         let start = Instant::now();
-        let reports = scheduler.execute_many(&*dag_executor, &mut dfs_dag, &submissions)?;
+        let reports = scheduler.execute_many(&*dag_executor, &dfs_dag, &submissions)?;
         let dag_wall = start.elapsed().as_secs_f64();
 
         // Equivalence: byte-identical DFS contents, identical per-job and
@@ -1181,8 +1302,8 @@ pub fn placement(cfg: &RunConfig) -> Result<()> {
         // Round-barrier reference: the answers every policy must match.
         let reference =
             GumboEngine::with_executor(engine_cfg, cfg.executor, EvalOptions::default());
-        let mut dfs_ref = SimDfs::from_database(&db);
-        let stats_ref = reference.evaluate(&mut dfs_ref, &w.query)?;
+        let dfs_ref = SimDfs::from_database(&db);
+        let stats_ref = reference.evaluate(&dfs_ref, &w.query)?;
 
         for policy in PlacementPolicy::ALL {
             for pool in pools {
@@ -1199,9 +1320,9 @@ pub fn placement(cfg: &RunConfig) -> Result<()> {
                         ..EvalOptions::default()
                     },
                 );
-                let mut dfs = SimDfs::from_database(&db);
+                let dfs = SimDfs::from_database(&db);
                 let start = Instant::now();
-                let stats = engine.evaluate(&mut dfs, &w.query)?;
+                let stats = engine.evaluate(&dfs, &w.query)?;
                 let wall = start.elapsed().as_secs_f64();
 
                 let label = format!("{} {} x{pool}", w.name, policy.label());
@@ -1355,7 +1476,7 @@ pub fn ablation(cfg: &RunConfig) -> Result<()> {
             "variant", "net(s)", "total(s)", "input(GB)", "comm(GB)", "reducers"
         );
         for (label, options) in variants {
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let engine = GumboEngine::with_executor(
                 gumbo_mr::EngineConfig {
                     scale: cfg.scale,
@@ -1365,10 +1486,10 @@ pub fn ablation(cfg: &RunConfig) -> Result<()> {
                 cfg.executor,
                 options,
             );
-            let stats = engine.evaluate(&mut dfs, &w.query)?;
+            let stats = engine.evaluate(&dfs, &w.query)?;
             for q in w.query.queries() {
                 assert_eq!(
-                    dfs.peek(q.output())?,
+                    dfs.peek(q.output())?.as_ref(),
                     expected.relation(q.output()).expect("naive computed"),
                     "ablation variant {label} broke correctness"
                 );

@@ -213,7 +213,7 @@ pub fn run_strategy(strategy: Strategy, workload: &Workload, cfg: &RunConfig) ->
         .with_tuples(cfg.tuples)
         .with_selectivity(cfg.selectivity);
     let db = spec.database(cfg.seed);
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = SimDfs::from_database(&db);
     let engine_cfg = cfg.engine_config();
     let queries = workload.query.queries().to_vec();
 
@@ -226,16 +226,14 @@ pub fn run_strategy(strategy: Strategy, workload: &Workload, cfg: &RunConfig) ->
         engine
     };
     let stats = match strategy {
-        Strategy::Seq => SeqStrategy::default().evaluate(&*executor, &mut dfs, &queries)?,
-        Strategy::Hpar => HiveSim::hpar().evaluate(&*executor, &mut dfs, &queries)?,
-        Strategy::Hpars => HiveSim::hpars().evaluate(&*executor, &mut dfs, &queries)?,
-        Strategy::Ppar => PigSim::ppar().evaluate(&*executor, &mut dfs, &queries)?,
-        Strategy::Par => on(par_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
-        Strategy::ParUnit => on(parunit_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
-        Strategy::Greedy => on(greedy_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
-        Strategy::GreedySgf => {
-            on(greedy_sgf_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?
-        }
+        Strategy::Seq => SeqStrategy::default().evaluate(&*executor, &dfs, &queries)?,
+        Strategy::Hpar => HiveSim::hpar().evaluate(&*executor, &dfs, &queries)?,
+        Strategy::Hpars => HiveSim::hpars().evaluate(&*executor, &dfs, &queries)?,
+        Strategy::Ppar => PigSim::ppar().evaluate(&*executor, &dfs, &queries)?,
+        Strategy::Par => on(par_engine(engine_cfg)).evaluate(&dfs, &workload.query)?,
+        Strategy::ParUnit => on(parunit_engine(engine_cfg)).evaluate(&dfs, &workload.query)?,
+        Strategy::Greedy => on(greedy_engine(engine_cfg)).evaluate(&dfs, &workload.query)?,
+        Strategy::GreedySgf => on(greedy_sgf_engine(engine_cfg)).evaluate(&dfs, &workload.query)?,
         Strategy::OneRound => {
             if !applicable(strategy, workload) {
                 return Err(GumboError::Plan(format!(
@@ -243,9 +241,9 @@ pub fn run_strategy(strategy: Strategy, workload: &Workload, cfg: &RunConfig) ->
                     workload.name
                 )));
             }
-            on(one_round_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?
+            on(one_round_engine(engine_cfg)).evaluate(&dfs, &workload.query)?
         }
-        Strategy::SeqUnit => on(sequnit_engine(engine_cfg)).evaluate(&mut dfs, &workload.query)?,
+        Strategy::SeqUnit => on(sequnit_engine(engine_cfg)).evaluate(&dfs, &workload.query)?,
     };
 
     let mut output_tuples = 0;
@@ -263,7 +261,7 @@ pub fn run_strategy(strategy: Strategy, workload: &Workload, cfg: &RunConfig) ->
                 .relation(q.output())
                 .expect("naive computed all outputs");
             let got = dfs.peek(q.output())?;
-            if got != expected {
+            if got.as_ref() != expected {
                 return Err(GumboError::Plan(format!(
                     "strategy {} produced a wrong result for {} of {} ({} vs {} tuples)",
                     strategy.label(),

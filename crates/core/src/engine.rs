@@ -15,7 +15,7 @@ use gumbo_mr::{
 };
 use gumbo_sched::{DagScheduler, SchedulerConfig};
 use gumbo_sgf::{BsgfQuery, DependencyGraph, MultiwayTopoSort, SgfQuery};
-use gumbo_storage::SimDfs;
+use gumbo_storage::Dfs;
 
 use crate::estimate::Estimator;
 use crate::plan::{BsgfSetPlan, OneRoundKind, PayloadMode};
@@ -91,6 +91,13 @@ pub struct EvalOptions {
     /// [`SchedulerConfig::mem_budget`] takes precedence on the scheduled
     /// path.
     pub mem_budget: gumbo_mr::MemBudget,
+    /// Block-cache budget, in bytes, for durable DFS backends
+    /// (`--dfs-cache` on the CLI). The engine itself never constructs a
+    /// DFS — whoever does (the CLI, the bench harness, a test) reads this
+    /// knob when building a [`gumbo_storage::FileDfs`]. `None` keeps
+    /// [`gumbo_storage::DEFAULT_CACHE_BYTES`]. Cache sizing can change
+    /// wall clock and cache counters only, never answers or byte meters.
+    pub dfs_cache: Option<u64>,
 }
 
 impl Default for EvalOptions {
@@ -106,7 +113,28 @@ impl Default for EvalOptions {
             seed: 0x6d5b_0000,
             scheduler: None,
             mem_budget: gumbo_mr::MemBudget::UNLIMITED,
+            dfs_cache: None,
         }
+    }
+}
+
+impl EvalOptions {
+    /// Builder-style: set the shuffle memory budget.
+    pub fn with_mem_budget(mut self, budget: gumbo_mr::MemBudget) -> Self {
+        self.mem_budget = budget;
+        self
+    }
+
+    /// Builder-style: route execution through the DAG scheduler.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
+    /// Builder-style: set the durable-DFS block-cache budget in bytes.
+    pub fn with_dfs_cache(mut self, bytes: u64) -> Self {
+        self.dfs_cache = Some(bytes);
+        self
     }
 }
 
@@ -178,7 +206,7 @@ impl GumboEngine {
     fn execute_program(
         &self,
         runtime: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         program: MrProgram,
     ) -> Result<ProgramStats> {
         let span = gumbo_obs::span_with("execute", |f| {
@@ -193,7 +221,7 @@ impl GumboEngine {
         result
     }
 
-    fn estimator<'a>(&self, dfs: &'a SimDfs) -> Estimator<'a> {
+    fn estimator<'a>(&self, dfs: &'a dyn Dfs) -> Estimator<'a> {
         Estimator::new(
             dfs,
             self.config.scale,
@@ -205,7 +233,7 @@ impl GumboEngine {
     }
 
     /// Choose the multiway topological sort for an SGF query.
-    pub fn sort_for(&self, dfs: &SimDfs, query: &SgfQuery) -> Result<MultiwayTopoSort> {
+    pub fn sort_for(&self, dfs: &dyn Dfs, query: &SgfQuery) -> Result<MultiwayTopoSort> {
         let graph = DependencyGraph::new(query);
         Ok(match self.options.sort {
             SortStrategy::Sequential => graph.sequential_sort(),
@@ -222,7 +250,7 @@ impl GumboEngine {
     /// registering output upper bounds between groups.
     pub fn sort_cost(
         &self,
-        dfs: &SimDfs,
+        dfs: &dyn Dfs,
         query: &SgfQuery,
         sort: &MultiwayTopoSort,
     ) -> Result<f64> {
@@ -296,51 +324,93 @@ impl GumboEngine {
         Ok(BsgfSetPlan::two_round(groups, mode, cfg))
     }
 
+    /// Start a builder-style evaluation request — the one entrypoint
+    /// behind the former `evaluate*` sprawl. Configure with
+    /// [`EvalRequest::on`] / [`EvalRequest::with_sort`] /
+    /// [`EvalRequest::dynamic`], then finish with one of the `run*`
+    /// methods against any [`Dfs`] backend.
+    ///
+    /// ```ignore
+    /// let stats = engine.eval().run(&dfs, &query)?;                  // was evaluate
+    /// let stats = engine.eval().on(&*rt).run(&dfs, &query)?;         // was evaluate_on
+    /// let stats = engine.eval().with_sort(&sort).run(&dfs, &query)?; // was evaluate_with_sort
+    /// ```
+    pub fn eval(&self) -> EvalRequest<'_> {
+        EvalRequest {
+            engine: self,
+            runtime: None,
+            sort: None,
+            dynamic: false,
+        }
+    }
+
     /// Evaluate a full SGF query: sort, then plan and execute each group.
     ///
     /// All outputs (final and intermediate `Z`s, plus `X` temporaries) are
-    /// left in the DFS; returns the execution statistics.
-    pub fn evaluate(&self, dfs: &mut SimDfs, query: &SgfQuery) -> Result<ProgramStats> {
-        self.evaluate_on(&*self.runtime(), dfs, query)
+    /// left in the DFS; returns the execution statistics. Shorthand for
+    /// `self.eval().run(dfs, query)`.
+    pub fn evaluate(&self, dfs: &dyn Dfs, query: &SgfQuery) -> Result<ProgramStats> {
+        self.eval().run(dfs, query)
     }
 
-    /// [`GumboEngine::evaluate`] on a caller-supplied runtime (normally
-    /// one built by [`GumboEngine::runtime`]). Handing the runtime in
-    /// keeps it inspectable afterwards — e.g. reading
-    /// [`Executor::budget`] for peak tracked shuffle memory — and lets
-    /// several evaluations share one memory budget.
+    /// Deprecated shim for [`GumboEngine::eval`]`().on(runtime).run(..)`.
+    #[deprecated(note = "use engine.eval().on(runtime).run(dfs, query)")]
     pub fn evaluate_on(
         &self,
         runtime: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         query: &SgfQuery,
     ) -> Result<ProgramStats> {
-        if self.options.sort == SortStrategy::DynamicGreedy {
-            return self.evaluate_dynamic_on(runtime, dfs, query);
-        }
-        let sort = self.sort_for(dfs, query)?;
-        self.evaluate_with_sort_on(runtime, dfs, query, &sort)
+        self.eval().on(runtime).run(dfs, query)
     }
 
-    /// Evaluate several SGF queries together over the union of their BSGF
-    /// subqueries (§4.7), exploiting cross-query overlap.
-    pub fn evaluate_many(&self, dfs: &mut SimDfs, queries: &[SgfQuery]) -> Result<ProgramStats> {
-        let combined = SgfQuery::union(queries)?;
-        self.evaluate(dfs, &combined)
+    /// Deprecated shim for [`GumboEngine::eval`]`().run_many(..)`.
+    #[deprecated(note = "use engine.eval().run_many(dfs, queries)")]
+    pub fn evaluate_many(&self, dfs: &dyn Dfs, queries: &[SgfQuery]) -> Result<ProgramStats> {
+        self.eval().run_many(dfs, queries)
+    }
+
+    /// Deprecated shim for [`GumboEngine::eval`]`().dynamic().run(..)`.
+    #[deprecated(note = "use engine.eval().dynamic().run(dfs, query)")]
+    pub fn evaluate_dynamic(&self, dfs: &dyn Dfs, query: &SgfQuery) -> Result<ProgramStats> {
+        self.eval().dynamic().run(dfs, query)
+    }
+
+    /// Deprecated shim for [`GumboEngine::eval`]`().with_sort(sort).run(..)`.
+    #[deprecated(note = "use engine.eval().with_sort(sort).run(dfs, query)")]
+    pub fn evaluate_with_sort(
+        &self,
+        dfs: &dyn Dfs,
+        query: &SgfQuery,
+        sort: &MultiwayTopoSort,
+    ) -> Result<ProgramStats> {
+        self.eval().with_sort(sort).run(dfs, query)
+    }
+
+    /// Deprecated shim for [`GumboEngine::eval`]`().run_with_output(..)`.
+    #[deprecated(note = "use engine.eval().run_with_output(dfs, query)")]
+    pub fn evaluate_with_output(
+        &self,
+        dfs: &dyn Dfs,
+        query: &SgfQuery,
+    ) -> Result<(ProgramStats, Relation)> {
+        self.eval().run_with_output(dfs, query)
+    }
+
+    /// Deprecated shim for [`GumboEngine::eval`]`().run_bsgf(..)`.
+    #[deprecated(note = "use engine.eval().run_bsgf(dfs, query)")]
+    pub fn evaluate_bsgf(&self, dfs: &dyn Dfs, query: &BsgfQuery) -> Result<ProgramStats> {
+        self.eval().run_bsgf(dfs, query)
     }
 
     /// Dynamic `Greedy-SGF` (§4.6, closing remark): after each group is
     /// executed, re-run the greedy sort on the *remaining* subqueries —
     /// whose already-computed inputs are now materialized base relations —
     /// and execute the new first group.
-    pub fn evaluate_dynamic(&self, dfs: &mut SimDfs, query: &SgfQuery) -> Result<ProgramStats> {
-        self.evaluate_dynamic_on(&*self.runtime(), dfs, query)
-    }
-
     fn evaluate_dynamic_on(
         &self,
         runtime: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         query: &SgfQuery,
     ) -> Result<ProgramStats> {
         let mut stats = ProgramStats::default();
@@ -372,20 +442,11 @@ impl GumboEngine {
         Ok(stats)
     }
 
-    /// Evaluate under an explicit multiway topological sort.
-    pub fn evaluate_with_sort(
-        &self,
-        dfs: &mut SimDfs,
-        query: &SgfQuery,
-        sort: &MultiwayTopoSort,
-    ) -> Result<ProgramStats> {
-        self.evaluate_with_sort_on(&*self.runtime(), dfs, query, sort)
-    }
-
+    /// Evaluate under an explicit (validated) multiway topological sort.
     fn evaluate_with_sort_on(
         &self,
         runtime: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         query: &SgfQuery,
         sort: &MultiwayTopoSort,
     ) -> Result<ProgramStats> {
@@ -408,21 +469,94 @@ impl GumboEngine {
         }
         Ok(stats)
     }
+}
 
-    /// Evaluate and return the final output relation alongside statistics.
-    pub fn evaluate_with_output(
-        &self,
-        dfs: &mut SimDfs,
-        query: &SgfQuery,
-    ) -> Result<(ProgramStats, Relation)> {
-        let stats = self.evaluate(dfs, query)?;
-        let out = dfs.peek(query.output())?.clone();
-        Ok((stats, out))
+/// One evaluation, assembled builder-style from [`GumboEngine::eval`].
+///
+/// The request borrows the engine (options, config, executor kind), an
+/// optional caller-supplied runtime, and an optional explicit sort; the
+/// DFS backend is handed to the terminal `run*` call, so one request can
+/// be reused across backends. Handing a runtime in with
+/// [`EvalRequest::on`] keeps it inspectable afterwards — e.g. reading
+/// [`Executor::budget`] for peak tracked shuffle memory — and lets
+/// several evaluations share one memory budget.
+#[derive(Clone, Copy)]
+pub struct EvalRequest<'a> {
+    engine: &'a GumboEngine,
+    runtime: Option<&'a dyn Executor>,
+    sort: Option<&'a MultiwayTopoSort>,
+    dynamic: bool,
+}
+
+impl<'a> EvalRequest<'a> {
+    /// Run on a caller-supplied runtime instead of building one from the
+    /// engine's configuration.
+    pub fn on(mut self, runtime: &'a dyn Executor) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Pin an explicit multiway topological sort (validated at run time)
+    /// instead of deriving one from [`EvalOptions::sort`].
+    pub fn with_sort(mut self, sort: &'a MultiwayTopoSort) -> Self {
+        self.sort = Some(sort);
+        self
+    }
+
+    /// Force dynamic `Greedy-SGF` re-sorting between groups, regardless
+    /// of [`EvalOptions::sort`].
+    pub fn dynamic(mut self) -> Self {
+        self.dynamic = true;
+        self
+    }
+
+    /// Evaluate a full SGF query against `dfs`. All outputs (final and
+    /// intermediate `Z`s, plus `X` temporaries) are left in the DFS.
+    pub fn run(&self, dfs: &dyn Dfs, query: &SgfQuery) -> Result<ProgramStats> {
+        match self.runtime {
+            Some(rt) => self.run_on(rt, dfs, query),
+            None => self.run_on(&*self.engine.runtime(), dfs, query),
+        }
+    }
+
+    /// Evaluate several SGF queries together over the union of their BSGF
+    /// subqueries (§4.7), exploiting cross-query overlap.
+    pub fn run_many(&self, dfs: &dyn Dfs, queries: &[SgfQuery]) -> Result<ProgramStats> {
+        let combined = SgfQuery::union(queries)?;
+        self.run(dfs, &combined)
     }
 
     /// Evaluate a single BSGF query.
-    pub fn evaluate_bsgf(&self, dfs: &mut SimDfs, query: &BsgfQuery) -> Result<ProgramStats> {
-        self.evaluate(dfs, &SgfQuery::single(query.clone()))
+    pub fn run_bsgf(&self, dfs: &dyn Dfs, query: &BsgfQuery) -> Result<ProgramStats> {
+        self.run(dfs, &SgfQuery::single(query.clone()))
+    }
+
+    /// Evaluate and return the final output relation alongside statistics.
+    pub fn run_with_output(
+        &self,
+        dfs: &dyn Dfs,
+        query: &SgfQuery,
+    ) -> Result<(ProgramStats, Relation)> {
+        let stats = self.run(dfs, query)?;
+        let out = dfs.peek(query.output())?;
+        Ok((stats, out.as_ref().clone()))
+    }
+
+    fn run_on(
+        &self,
+        runtime: &dyn Executor,
+        dfs: &dyn Dfs,
+        query: &SgfQuery,
+    ) -> Result<ProgramStats> {
+        if let Some(sort) = self.sort {
+            return self.engine.evaluate_with_sort_on(runtime, dfs, query, sort);
+        }
+        if self.dynamic || self.engine.options.sort == SortStrategy::DynamicGreedy {
+            return self.engine.evaluate_dynamic_on(runtime, dfs, query);
+        }
+        let sort = self.engine.sort_for(dfs, query)?;
+        self.engine
+            .evaluate_with_sort_on(runtime, dfs, query, &sort)
     }
 }
 
@@ -552,8 +686,8 @@ mod tests {
             let db = random_db(seed);
             let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db).unwrap();
             for (name, engine) in engines() {
-                let mut dfs = gumbo_storage::SimDfs::from_database(&db);
-                let (_, got) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
+                let dfs = gumbo_storage::SimDfs::from_database(&db);
+                let (_, got) = engine.eval().run_with_output(&dfs, &query).unwrap();
                 assert_eq!(got, expected, "strategy {name}, seed {seed}");
             }
         }
@@ -564,13 +698,13 @@ mod tests {
         let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(x);").unwrap();
         let db = random_db(3);
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-        let mut dfs = gumbo_storage::SimDfs::from_database(&db);
-        let stats = engine.evaluate_bsgf(&mut dfs, &q).unwrap();
+        let dfs = gumbo_storage::SimDfs::from_database(&db);
+        let stats = engine.eval().run_bsgf(&dfs, &q).unwrap();
         // Fused: exactly one job, one round.
         assert_eq!(stats.num_jobs(), 1);
         assert_eq!(stats.num_rounds(), 1);
         let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
-        assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().as_ref(), &expected);
     }
 
     #[test]
@@ -614,13 +748,12 @@ mod tests {
         );
 
         // And execution still matches naive.
-        let mut dfs = dfs;
         let program = plan.build_program(&ctx).unwrap();
-        engine.runtime().execute(&mut dfs, &program).unwrap();
+        engine.runtime().execute(&dfs, &program).unwrap();
         let expected = NaiveEvaluator::new()
             .evaluate_bsgf(&ctx.queries()[0], &db)
             .unwrap();
-        assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().as_ref(), &expected);
     }
 
     #[test]
@@ -631,11 +764,11 @@ mod tests {
         )
         .unwrap();
         let db = random_db(5);
-        let mut dfs = gumbo_storage::SimDfs::from_database(&db);
+        let dfs = gumbo_storage::SimDfs::from_database(&db);
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
         // Z2 before Z1: invalid.
         let bad = vec![vec![1], vec![0]];
-        assert!(engine.evaluate_with_sort(&mut dfs, &query, &bad).is_err());
+        assert!(engine.eval().with_sort(&bad).run(&dfs, &query).is_err());
     }
 
     #[test]
@@ -661,6 +794,7 @@ mod extension_tests {
     use super::*;
     use gumbo_common::{Database, Fact, Relation, Tuple};
     use gumbo_sgf::{parse_program, NaiveEvaluator};
+    use gumbo_storage::SimDfs;
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -700,16 +834,17 @@ mod extension_tests {
         let e2 = naive.evaluate_sgf_all(&q2, &database).unwrap();
 
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-        let mut dfs = SimDfs::from_database(&database);
+        let dfs = SimDfs::from_database(&database);
         let stats = engine
-            .evaluate_many(&mut dfs, &[q1.clone(), q2.clone()])
+            .eval()
+            .run_many(&dfs, &[q1.clone(), q2.clone()])
             .unwrap();
         assert_eq!(
-            dfs.peek(&"Z2".into()).unwrap(),
+            dfs.peek(&"Z2".into()).unwrap().as_ref(),
             e1.relation(&"Z2".into()).unwrap()
         );
         assert_eq!(
-            dfs.peek(&"Y1".into()).unwrap(),
+            dfs.peek(&"Y1".into()).unwrap().as_ref(),
             e2.relation(&"Y1".into()).unwrap()
         );
 
@@ -722,8 +857,8 @@ mod extension_tests {
     fn evaluate_many_rejects_name_clashes() {
         let q1 = parse_program("Z1 := SELECT x FROM R(x, y) WHERE S(x);").unwrap();
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-        let mut dfs = SimDfs::from_database(&db());
-        assert!(engine.evaluate_many(&mut dfs, &[q1.clone(), q1]).is_err());
+        let dfs = SimDfs::from_database(&db());
+        assert!(engine.eval().run_many(&dfs, &[q1.clone(), q1]).is_err());
     }
 
     #[test]
@@ -745,8 +880,8 @@ mod extension_tests {
                 ..EvalOptions::default()
             },
         );
-        let mut dfs = SimDfs::from_database(&database);
-        let (_, got) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
+        let dfs = SimDfs::from_database(&database);
+        let (_, got) = engine.eval().run_with_output(&dfs, &query).unwrap();
         assert_eq!(got, expected);
     }
 
@@ -766,8 +901,8 @@ mod extension_tests {
                 ..EvalOptions::default()
             },
         );
-        let mut dfs = SimDfs::from_database(&db());
-        let stats = engine.evaluate_dynamic(&mut dfs, &query).unwrap();
+        let dfs = SimDfs::from_database(&db());
+        let stats = engine.eval().dynamic().run(&dfs, &query).unwrap();
         // Two dynamic iterations: {Z1, Z2} then {Z3}. Each fuses to one
         // 1-ROUND job here.
         assert_eq!(stats.num_rounds(), 2);

@@ -23,7 +23,7 @@ use gumbo_mr::{
     job_cost, CostConstants, CostModelKind, InputPartition, JobConfig, JobEstimate, JobProfile,
 };
 use gumbo_sgf::Atom;
-use gumbo_storage::{reservoir_sample, SimDfs};
+use gumbo_storage::{reservoir_sample, Dfs};
 
 use crate::plan::{BsgfSetPlan, OneRoundKind, PayloadMode};
 use crate::semijoin::{cond_groups, identity_vars, QueryContext, SemiJoin};
@@ -52,12 +52,15 @@ pub struct Catalog {
 
 impl Catalog {
     /// Build a catalog from every file currently in the DFS, scaled.
-    pub fn from_dfs(dfs: &SimDfs, scale: u64) -> Self {
+    ///
+    /// Uses [`Dfs::peek`], so building plan-time statistics never charges
+    /// the byte meters — on any backend.
+    pub fn from_dfs(dfs: &dyn Dfs, scale: u64) -> Self {
         let mut stats = BTreeMap::new();
         for name in dfs.file_names() {
-            let rel = dfs.peek(name).expect("listed file exists");
+            let rel = dfs.peek(&name).expect("listed file exists");
             stats.insert(
-                name.clone(),
+                name,
                 RelStats {
                     bytes: ByteSize::bytes(rel.estimated_bytes()).scaled(scale),
                     tuples: rel.len() as u64 * scale,
@@ -90,7 +93,7 @@ pub struct Estimator<'a> {
     model: CostModelKind,
     /// Sampling source for conformance rates (None = assume full conformance,
     /// the simplification the paper's own Eq. 5/6 analysis makes).
-    dfs: Option<&'a SimDfs>,
+    dfs: Option<&'a dyn Dfs>,
     sample_size: usize,
     seed: u64,
     conform_cache: RefCell<HashMap<Atom, f64>>,
@@ -99,7 +102,7 @@ pub struct Estimator<'a> {
 impl<'a> Estimator<'a> {
     /// Estimator over a DFS with sampling.
     pub fn new(
-        dfs: &'a SimDfs,
+        dfs: &'a dyn Dfs,
         scale: u64,
         constants: CostConstants,
         model: CostModelKind,
@@ -161,7 +164,7 @@ impl<'a> Estimator<'a> {
         let rate = match self.dfs {
             Some(dfs) => match dfs.peek(atom.relation()) {
                 Ok(rel) if !rel.is_empty() && rel.arity() == atom.arity() => {
-                    let sample = reservoir_sample(rel, self.sample_size.max(1), self.seed);
+                    let sample = reservoir_sample(&rel, self.sample_size.max(1), self.seed);
                     let hits = sample.iter().filter(|t| atom.conforms_tuple(t)).count();
                     hits as f64 / sample.len() as f64
                 }
@@ -523,6 +526,7 @@ mod tests {
     use super::*;
     use gumbo_common::{Database, Relation, Tuple};
     use gumbo_sgf::parse_query;
+    use gumbo_storage::SimDfs;
 
     fn test_db(guard_n: i64, cond_n: i64, match_every: i64) -> Database {
         let mut db = Database::new();

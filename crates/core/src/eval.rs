@@ -235,7 +235,7 @@ mod tests {
             }
             let expected = NaiveEvaluator::new().evaluate_bsgf(&q, &db).unwrap();
 
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let mut program = MrProgram::new();
             let all: Vec<usize> = (0..ctx.semijoins().len()).collect();
             if !all.is_empty() {
@@ -243,12 +243,12 @@ mod tests {
             }
             program.push_job(build_eval_job(&ctx, mode, JobConfig::default()));
             kind.build(EngineConfig::unscaled())
-                .execute(&mut dfs, &program)
+                .execute(&dfs, &program)
                 .unwrap();
 
             let got = dfs.peek(&q.output().clone()).unwrap();
             assert_eq!(
-                got,
+                got.as_ref(),
                 &expected.renamed(q.output().clone()),
                 "mode {mode:?}, executor {}",
                 kind.label()
@@ -342,16 +342,24 @@ mod tests {
         let e2 = naive.evaluate_bsgf(&q2, &db).unwrap();
 
         for mode in [PayloadMode::Full, PayloadMode::Reference] {
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let mut program = MrProgram::new();
             program.push_job(build_msj_job(&ctx, &[0, 1], mode, JobConfig::default()));
             program.push_job(build_eval_job(&ctx, mode, JobConfig::default()));
             ExecutorKind::default()
                 .build(EngineConfig::unscaled())
-                .execute(&mut dfs, &program)
+                .execute(&dfs, &program)
                 .unwrap();
-            assert_eq!(dfs.peek(&"Z1".into()).unwrap(), &e1, "mode {mode:?}");
-            assert_eq!(dfs.peek(&"Z2".into()).unwrap(), &e2, "mode {mode:?}");
+            assert_eq!(
+                dfs.peek(&"Z1".into()).unwrap().as_ref(),
+                &e1,
+                "mode {mode:?}"
+            );
+            assert_eq!(
+                dfs.peek(&"Z2".into()).unwrap().as_ref(),
+                &e2,
+                "mode {mode:?}"
+            );
         }
     }
 

@@ -23,7 +23,7 @@ pub mod plan;
 pub mod planner;
 pub mod semijoin;
 
-pub use engine::{EvalOptions, Grouping, GumboEngine, SortStrategy};
+pub use engine::{EvalOptions, EvalRequest, Grouping, GumboEngine, SortStrategy};
 pub use estimate::Estimator;
 pub use plan::{BsgfSetPlan, PayloadMode};
 pub use semijoin::{QueryContext, SemiJoin};

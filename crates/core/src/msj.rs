@@ -250,7 +250,7 @@ mod tests {
         SimDfs::from_database(&db)
     }
 
-    fn run_msj(ctx: &QueryContext, group: &[usize], mode: PayloadMode, dfs: &mut SimDfs) {
+    fn run_msj(ctx: &QueryContext, group: &[usize], mode: PayloadMode, dfs: &SimDfs) {
         let job = build_msj_job(ctx, group, mode, JobConfig::default());
         let executor = ExecutorKind::default().build(EngineConfig::unscaled());
         let mut program = MrProgram::new();
@@ -265,7 +265,7 @@ mod tests {
             parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE (S(x, y) OR S(y, x)) AND T(x, z);")
                 .unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
-        let mut dfs = dfs_with(
+        let dfs = dfs_with(
             &[
                 ("R", &[1, 2]),
                 ("R", &[3, 4]),
@@ -275,7 +275,7 @@ mod tests {
             ],
             &[("R", 2), ("S", 2), ("T", 2)],
         );
-        run_msj(&ctx, &[0, 1, 2], PayloadMode::Full, &mut dfs);
+        run_msj(&ctx, &[0, 1, 2], PayloadMode::Full, &dfs);
         let x1 = dfs.peek(&"Z#X0".into()).unwrap();
         let x2 = dfs.peek(&"Z#X1".into()).unwrap();
         let x3 = dfs.peek(&"Z#X2".into()).unwrap();
@@ -292,11 +292,11 @@ mod tests {
         let q = parse_query("Z := SELECT x FROM R(x, z) WHERE S(z, y);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
         // Example 3 data.
-        let mut dfs = dfs_with(
+        let dfs = dfs_with(
             &[("R", &[1, 2]), ("R", &[4, 5]), ("S", &[2, 3])],
             &[("R", 2), ("S", 2)],
         );
-        run_msj(&ctx, &[0], PayloadMode::Full, &mut dfs);
+        run_msj(&ctx, &[0], PayloadMode::Full, &dfs);
         let x = dfs.peek(&"Z#X0".into()).unwrap();
         // Identity tuples of matching guards: (1, 2).
         assert_eq!(x.len(), 1);
@@ -307,11 +307,11 @@ mod tests {
     fn reference_mode_stores_guard_ids() {
         let q = parse_query("Z := SELECT x FROM R(x, z) WHERE S(z, y);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
-        let mut dfs = dfs_with(
+        let dfs = dfs_with(
             &[("R", &[1, 2]), ("R", &[4, 5]), ("S", &[2, 3])],
             &[("R", 2), ("S", 2)],
         );
-        run_msj(&ctx, &[0], PayloadMode::Reference, &mut dfs);
+        run_msj(&ctx, &[0], PayloadMode::Reference, &dfs);
         let x = dfs.peek(&"Z#X0".into()).unwrap();
         // R(1,2) is index 0 in R's canonical order; guard_idx = 0.
         assert_eq!(x.len(), 1);
@@ -334,11 +334,11 @@ mod tests {
     fn partial_groups_compute_only_their_semijoins() {
         let q = parse_query("Z := SELECT (x, y) FROM R(x, y) WHERE S(x) AND T(y);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
-        let mut dfs = dfs_with(
+        let dfs = dfs_with(
             &[("R", &[1, 2]), ("S", &[1]), ("T", &[2])],
             &[("R", 2), ("S", 1), ("T", 1)],
         );
-        run_msj(&ctx, &[1], PayloadMode::Full, &mut dfs);
+        run_msj(&ctx, &[1], PayloadMode::Full, &dfs);
         assert!(dfs.exists(&"Z#X1".into()));
         assert!(!dfs.exists(&"Z#X0".into()));
     }
@@ -347,8 +347,8 @@ mod tests {
     fn empty_conditional_relation_yields_empty_x() {
         let q = parse_query("Z := SELECT x FROM R(x) WHERE S(x);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
-        let mut dfs = dfs_with(&[("R", &[1])], &[("R", 1), ("S", 1)]);
-        run_msj(&ctx, &[0], PayloadMode::Full, &mut dfs);
+        let dfs = dfs_with(&[("R", &[1])], &[("R", 1), ("S", 1)]);
+        run_msj(&ctx, &[0], PayloadMode::Full, &dfs);
         assert_eq!(dfs.peek(&"Z#X0".into()).unwrap().len(), 0);
     }
 
@@ -358,8 +358,8 @@ mod tests {
         // satisfy a T-request with the same key value.
         let q = parse_query("Z := SELECT x FROM R(x) WHERE S(x) AND T(x);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
-        let mut dfs = dfs_with(&[("R", &[5]), ("S", &[5])], &[("R", 1), ("S", 1), ("T", 1)]);
-        run_msj(&ctx, &[0, 1], PayloadMode::Full, &mut dfs);
+        let dfs = dfs_with(&[("R", &[5]), ("S", &[5])], &[("R", 1), ("S", 1), ("T", 1)]);
+        run_msj(&ctx, &[0, 1], PayloadMode::Full, &dfs);
         assert_eq!(dfs.peek(&"Z#X0".into()).unwrap().len(), 1);
         assert_eq!(dfs.peek(&"Z#X1".into()).unwrap().len(), 0);
     }
@@ -369,11 +369,11 @@ mod tests {
         // κ = S(x, 9): only S facts with second field 9 assert.
         let q = parse_query("Z := SELECT x FROM R(x) WHERE S(x, 9);").unwrap();
         let ctx = QueryContext::new(vec![q]).unwrap();
-        let mut dfs = dfs_with(
+        let dfs = dfs_with(
             &[("R", &[1]), ("R", &[2]), ("S", &[1, 9]), ("S", &[2, 8])],
             &[("R", 1), ("S", 2)],
         );
-        run_msj(&ctx, &[0], PayloadMode::Full, &mut dfs);
+        run_msj(&ctx, &[0], PayloadMode::Full, &dfs);
         let x = dfs.peek(&"Z#X0".into()).unwrap();
         assert_eq!(x.len(), 1);
         assert!(x.contains(&Tuple::from_ints(&[1])));

@@ -369,14 +369,14 @@ mod tests {
     }
 
     fn run_fused(job: Job, database: &Database) -> SimDfs {
-        let mut dfs = SimDfs::from_database(database);
+        let dfs = SimDfs::from_database(database);
         let mut program = MrProgram::new();
         program.push_job(job);
         // Fused 1-ROUND jobs run on the multi-threaded runtime here, so
         // every naive-evaluator comparison below also covers it.
         ExecutorKind::Parallel { threads: 2 }
             .build(EngineConfig::unscaled())
-            .execute(&mut dfs, &program)
+            .execute(&dfs, &program)
             .unwrap();
         dfs
     }
@@ -402,7 +402,7 @@ mod tests {
         let ctx = QueryContext::new(vec![q]).unwrap();
         let job = build_same_key_job(&ctx, JobConfig::default()).unwrap();
         let dfs = run_fused(job, &d);
-        assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().as_ref(), &expected);
     }
 
     #[test]
@@ -437,7 +437,7 @@ mod tests {
         let ctx = QueryContext::new(vec![q]).unwrap();
         let job = build_same_key_job(&ctx, JobConfig::default()).unwrap();
         let dfs = run_fused(job, &d);
-        assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().as_ref(), &expected);
         assert_eq!(expected.len(), 2);
     }
 
@@ -461,7 +461,7 @@ mod tests {
         let ctx = QueryContext::new(vec![q]).unwrap();
         let job = build_disjunctive_job(&ctx, JobConfig::default()).unwrap();
         let dfs = run_fused(job, &d);
-        assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
+        assert_eq!(dfs.peek(&"Z".into()).unwrap().as_ref(), &expected);
         // R(1,10): T(10) holds so NOT T fails, but S fires -> included once.
         assert!(expected.contains(&Tuple::from_ints(&[1, 10])));
     }
@@ -497,7 +497,7 @@ mod tests {
         let job = build_same_key_job(&ctx, JobConfig::default()).unwrap();
         // Assert sharing: S(x)@[x] appears once in the assert table.
         let dfs = run_fused(job, &d);
-        assert_eq!(dfs.peek(&"Z1".into()).unwrap(), &e1);
-        assert_eq!(dfs.peek(&"Z2".into()).unwrap(), &e2);
+        assert_eq!(dfs.peek(&"Z1".into()).unwrap().as_ref(), &e1);
+        assert_eq!(dfs.peek(&"Z2".into()).unwrap().as_ref(), &e2);
     }
 }

@@ -235,12 +235,12 @@ mod tests {
             for mode in [PayloadMode::Full, PayloadMode::Reference] {
                 let plan = BsgfSetPlan::two_round(groups.clone(), mode, JobConfig::default());
                 let program = plan.build_program(&ctx).unwrap();
-                let mut dfs = SimDfs::from_database(&db);
+                let dfs = SimDfs::from_database(&db);
                 Engine::new(EngineConfig::unscaled())
-                    .execute(&mut dfs, &program)
+                    .execute(&dfs, &program)
                     .unwrap();
                 let got = dfs.peek(&"Z".into()).unwrap();
-                assert_eq!(got, &expected, "plan {i} mode {mode:?}");
+                assert_eq!(got.as_ref(), &expected, "plan {i} mode {mode:?}");
             }
         }
     }
@@ -291,9 +291,9 @@ mod tests {
         let mut db = Database::new();
         db.insert_fact(Fact::new("R", Tuple::from_ints(&[1, 2])))
             .unwrap();
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         Engine::new(EngineConfig::unscaled())
-            .execute(&mut dfs, &program)
+            .execute(&dfs, &program)
             .unwrap();
         assert_eq!(dfs.peek(&"Z".into()).unwrap().len(), 1);
     }

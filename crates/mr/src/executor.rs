@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use gumbo_common::{ByteSize, Fact, GumboError, Relation, RelationName, Result, Tuple};
-use gumbo_storage::SimDfs;
+use gumbo_storage::{Dfs, RelationScan};
 
 use crate::batch_shuffle::{BatchGroupStream, PairBatch};
 use crate::cluster::Cluster;
@@ -120,6 +120,18 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// Builder-style: set the shuffle memory budget.
+    pub fn with_mem_budget(mut self, budget: MemBudget) -> Self {
+        self.mem_budget = budget;
+        self
+    }
+
+    /// Builder-style: set the shuffle data plane.
+    pub fn with_data_plane(mut self, plane: DataPlane) -> Self {
+        self.data_plane = plane;
+        self
+    }
 }
 
 /// A MapReduce runtime: executes jobs and programs against a DFS while
@@ -173,7 +185,7 @@ pub trait Executor: Send + Sync {
     }
 
     /// Execute a single job: map → shuffle → reduce, with full metering.
-    fn execute_job(&self, dfs: &mut SimDfs, job: &Job, round: usize) -> Result<JobStats> {
+    fn execute_job(&self, dfs: &dyn Dfs, job: &Job, round: usize) -> Result<JobStats> {
         let _span = gumbo_obs::span_with("job", |f| {
             f.str("job", &job.name);
             f.u64("round", round as u64);
@@ -185,7 +197,7 @@ pub trait Executor: Send + Sync {
 
     /// Execute a program round by round against the DFS, returning the
     /// paper's four metrics plus per-job detail.
-    fn execute(&self, dfs: &mut SimDfs, program: &MrProgram) -> Result<ProgramStats> {
+    fn execute(&self, dfs: &dyn Dfs, program: &MrProgram) -> Result<ProgramStats> {
         let mut stats = ProgramStats::default();
         for (round_idx, round) in program.rounds().iter().enumerate() {
             let mut round_jobs = Vec::with_capacity(round.len());
@@ -280,25 +292,42 @@ pub(crate) struct MapTaskResult {
 /// The planned map phase of one job: per-input partitions (with mapper
 /// counts fixed by the split-size rule) plus the concrete task list.
 ///
-/// Facts are materialized once per input; tasks reference them by range,
-/// so handing a task to a worker thread costs nothing beyond the borrow.
-/// The plan owns its fact snapshots: once built, it carries no borrow of
-/// the DFS, which is what lets a concurrent scheduler release the DFS
-/// lock during [`Executor::run_phases`].
+/// Inputs are held as *scans*, not materialized relations: a task's
+/// facts are fetched from its input's [`RelationScan`] only when the
+/// task runs (`MapPlan::task_facts`), so the whole relation is never
+/// resident at once — on the file backend a task touches only the
+/// segment frames covering its split. The scans are snapshots with no
+/// borrow of the DFS instance, which is what lets a concurrent
+/// scheduler run [`Executor::run_phases`] without holding any storage
+/// lock. All read metering already happened at [`plan_job`] time.
 pub struct MapPlan {
     /// Per-input metering skeletons; `map_output`/`records_out` are filled
     /// in by [`MapPlan::apply`].
     pub(crate) partitions: Vec<InputPartition>,
-    /// `(tuple id, fact)` pairs of each input relation, in canonical order.
-    pub(crate) input_facts: Vec<Vec<(u64, Fact)>>,
+    /// One open scan per input relation, in `job.inputs` order.
+    pub(crate) input_scans: Vec<RelationScan>,
     /// All map tasks of the job, grouped by input and ordered by split.
     pub(crate) tasks: Vec<MapTaskSpec>,
 }
 
 impl MapPlan {
-    /// The facts a task covers.
-    pub(crate) fn task_facts(&self, task: &MapTaskSpec) -> &[(u64, Fact)] {
-        &self.input_facts[task.input_idx][task.split.clone()]
+    /// Fetch the facts a task covers from its input's scan. Tuple ids are
+    /// positions in the relation's canonical order (the guard-reference
+    /// ids of §5.1 (2)) — the split's offset pins them regardless of
+    /// which frames back the fetch.
+    pub(crate) fn task_facts(&self, task: &MapTaskSpec) -> Result<Vec<(u64, Fact)>> {
+        let scan = &self.input_scans[task.input_idx];
+        let tuples = scan.fetch(task.split.clone())?;
+        Ok(tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                (
+                    (task.split.start + i) as u64,
+                    Fact::new(scan.name().clone(), t),
+                )
+            })
+            .collect())
     }
 
     /// Resolve the job's reduce-task count from the measured input and
@@ -314,23 +343,24 @@ impl MapPlan {
     }
 }
 
-/// Plan the map phase: read every input (metered), derive mapper counts
-/// from the *scaled* sizes (the paper's regime), and cut each relation
-/// into per-task splits.
+/// Plan the map phase: open a metered scan over every input, derive
+/// mapper counts from the *scaled* sizes (the paper's regime), and cut
+/// each relation into per-task splits.
 ///
-/// Shared DFS access suffices: reads are metered through atomic counters
-/// and the returned plan owns its fact snapshots.
-pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPlan> {
+/// Shared DFS access suffices: scans are metered through atomic counters
+/// and the returned plan holds snapshot scans, not materialized
+/// relations — facts stream in per task during the map phase.
+pub fn plan_job(config: &EngineConfig, dfs: &dyn Dfs, job: &Job) -> Result<MapPlan> {
     let mut span = gumbo_obs::span_with("plan", |f| f.str("job", &job.name));
     let scale = config.scale.max(1);
     let mut partitions = Vec::with_capacity(job.inputs.len());
-    let mut input_facts = Vec::with_capacity(job.inputs.len());
+    let mut input_scans = Vec::with_capacity(job.inputs.len());
     let mut tasks = Vec::new();
     for (input_idx, input_name) in job.inputs.iter().enumerate() {
-        let rel = dfs.read(input_name)?;
-        let real_input = ByteSize::bytes(rel.estimated_bytes());
+        let scan = dfs.scan(input_name)?;
+        let real_input = scan.bytes();
         let scaled_input = real_input.scaled(scale);
-        let n_facts = rel.len();
+        let n_facts = scan.len();
         // Mapper (split) count from the *scaled* size, clamped so every
         // task has at least one real fact.
         let mut mappers = job.config.mappers_for(scaled_input);
@@ -343,11 +373,6 @@ pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPla
             n_facts.div_ceil(mappers)
         };
 
-        let facts: Vec<(u64, Fact)> = rel
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (i as u64, Fact::new(input_name.clone(), t.clone())))
-            .collect();
         let chunk = chunk.max(1);
         for start in (0..n_facts).step_by(chunk) {
             tasks.push(MapTaskSpec {
@@ -355,7 +380,7 @@ pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPla
                 split: start..(start + chunk).min(n_facts),
             });
         }
-        input_facts.push(facts);
+        input_scans.push(scan);
 
         partitions.push(InputPartition {
             label: input_name.to_string(),
@@ -371,7 +396,7 @@ pub fn plan_job(config: &EngineConfig, dfs: &SimDfs, job: &Job) -> Result<MapPla
     });
     Ok(MapPlan {
         partitions,
-        input_facts,
+        input_scans,
         tasks,
     })
 }
@@ -590,7 +615,7 @@ pub struct ComputedJob {
 /// This is the only phase that mutates the DFS.
 pub fn commit_job(
     config: &EngineConfig,
-    dfs: &mut SimDfs,
+    dfs: &dyn Dfs,
     job: &Job,
     round: usize,
     computed: ComputedJob,
@@ -625,7 +650,7 @@ pub fn commit_job(
     for rel in outputs.into_values() {
         output_tuples += rel.len() as u64;
         output_bytes += ByteSize::bytes(rel.estimated_bytes()).scaled(scale);
-        dfs.store(rel);
+        dfs.store(rel)?;
     }
 
     let profile = JobProfile {

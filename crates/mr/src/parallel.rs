@@ -180,9 +180,12 @@ impl ParallelExecutor {
             f.u64("tasks", plan.tasks.len() as u64);
             f.u64("workers", workers as u64);
         });
-        let results = parallel_for(plan.tasks.len(), workers, |i| {
-            run_map_task(job, plan.task_facts(&plan.tasks[i]))
-        });
+        let results: Vec<_> = parallel_for(plan.tasks.len(), workers, |i| {
+            plan.task_facts(&plan.tasks[i])
+                .map(|facts| run_map_task(job, &facts))
+        })
+        .into_iter()
+        .collect::<Result<_>>()?;
         plan.apply(self.config.scale.max(1), &results);
         drop(map_span);
 
@@ -281,9 +284,12 @@ impl ParallelExecutor {
             f.u64("tasks", plan.tasks.len() as u64);
             f.u64("workers", workers as u64);
         });
-        let results = parallel_for(plan.tasks.len(), workers, |i| {
-            run_map_task_batch(job, plan.task_facts(&plan.tasks[i]))
-        });
+        let results: Vec<_> = parallel_for(plan.tasks.len(), workers, |i| {
+            plan.task_facts(&plan.tasks[i])
+                .map(|facts| run_map_task_batch(job, &facts))
+        })
+        .into_iter()
+        .collect::<Result<_>>()?;
         let counts: Vec<(u64, u64)> = results
             .iter()
             .map(|r| (r.output_bytes, r.records_out))
@@ -432,7 +438,7 @@ mod tests {
     }
 
     fn dfs(n: i64) -> SimDfs {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(
             Relation::from_tuples("R", 2, (0..n).map(|i| Tuple::from_ints(&[i % 97, i]))).unwrap(),
         );
@@ -448,14 +454,14 @@ mod tests {
             scale: 100_000,
             ..EngineConfig::default()
         };
-        let mut d_sim = dfs(500);
+        let d_sim = dfs(500);
         let sim_stats = SimulatedExecutor::new(config)
-            .execute_job(&mut d_sim, &job(), 0)
+            .execute_job(&d_sim, &job(), 0)
             .unwrap();
         for threads in [1usize, 3, 8] {
-            let mut d_par = dfs(500);
+            let d_par = dfs(500);
             let par = ParallelExecutor::with_threads(config, threads);
-            let par_stats = par.execute_job(&mut d_par, &job(), 0).unwrap();
+            let par_stats = par.execute_job(&d_par, &job(), 0).unwrap();
             assert_eq!(
                 d_sim.peek(&"Z".into()).unwrap(),
                 d_par.peek(&"Z".into()).unwrap(),
@@ -494,11 +500,11 @@ mod tests {
 
     #[test]
     fn empty_inputs_and_zero_tasks_work() {
-        let mut d = SimDfs::new();
+        let d = SimDfs::new();
         d.store(Relation::new("R", 2));
         d.store(Relation::new("S", 1));
         let par = ParallelExecutor::with_threads(EngineConfig::unscaled(), 4);
-        let stats = par.execute_job(&mut d, &job(), 0).unwrap();
+        let stats = par.execute_job(&d, &job(), 0).unwrap();
         assert_eq!(stats.output_tuples, 0);
         assert!(d.exists(&"Z".into()));
     }
@@ -520,12 +526,12 @@ mod tests {
             config: JobConfig::default(),
             estimate: None,
         };
-        let mut d = dfs(50);
+        let d = dfs(50);
         let par = ParallelExecutor::with_threads(EngineConfig::unscaled(), 4);
-        let err = par.execute_job(&mut d, &bad, 0).unwrap_err();
-        let mut d2 = dfs(50);
+        let err = par.execute_job(&d, &bad, 0).unwrap_err();
+        let d2 = dfs(50);
         let sim_err = SimulatedExecutor::new(EngineConfig::unscaled())
-            .execute_job(&mut d2, &bad, 0)
+            .execute_job(&d2, &bad, 0)
             .unwrap_err();
         assert_eq!(err.to_string(), sim_err.to_string());
     }

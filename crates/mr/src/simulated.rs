@@ -81,8 +81,8 @@ impl SimulatedExecutor {
         let results: Vec<_> = plan
             .tasks
             .iter()
-            .map(|t| run_map_task(job, plan.task_facts(t)))
-            .collect();
+            .map(|t| Ok(run_map_task(job, &plan.task_facts(t)?)))
+            .collect::<Result<_>>()?;
         plan.apply(self.config.scale.max(1), &results);
         drop(map_span);
 
@@ -149,8 +149,8 @@ impl SimulatedExecutor {
         let results: Vec<_> = plan
             .tasks
             .iter()
-            .map(|t| run_map_task_batch(job, plan.task_facts(t)))
-            .collect();
+            .map(|t| Ok(run_map_task_batch(job, &plan.task_facts(t)?)))
+            .collect::<Result<_>>()?;
         let counts: Vec<(u64, u64)> = results
             .iter()
             .map(|r| (r.output_bytes, r.records_out))
@@ -283,7 +283,7 @@ mod tests {
 
     fn example3_dfs() -> SimDfs {
         // Example 3: I = {R(1,2), R(4,5), S(2,3)}.
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(
             Relation::from_tuples(
                 "R",
@@ -298,11 +298,11 @@ mod tests {
 
     #[test]
     fn example3_semijoin_executes_correctly() {
-        let mut dfs = example3_dfs();
+        let dfs = example3_dfs();
         let engine = Engine::new(EngineConfig::unscaled());
         let mut program = MrProgram::new();
         program.push_job(semi_join_job());
-        let stats = engine.execute(&mut dfs, &program).unwrap();
+        let stats = engine.execute(&dfs, &program).unwrap();
         let z = dfs.peek(&"Z".into()).unwrap();
         assert_eq!(z.len(), 1);
         assert!(z.contains(&Tuple::from_ints(&[1])));
@@ -313,9 +313,9 @@ mod tests {
 
     #[test]
     fn per_input_partitions_are_metered_separately() {
-        let mut dfs = example3_dfs();
+        let dfs = example3_dfs();
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = engine.execute_job(&mut dfs, &semi_join_job(), 0).unwrap();
+        let stats = engine.execute_job(&dfs, &semi_join_job(), 0).unwrap();
         assert_eq!(stats.profile.partitions.len(), 2);
         assert_eq!(stats.profile.partitions[0].label, "R");
         // R has 2 tuples of 20 B; S has 1.
@@ -325,8 +325,8 @@ mod tests {
 
     #[test]
     fn scale_multiplies_metrics_but_not_results() {
-        let mut dfs1 = example3_dfs();
-        let mut dfs2 = example3_dfs();
+        let dfs1 = example3_dfs();
+        let dfs2 = example3_dfs();
         let e1 = Engine::new(EngineConfig {
             scale: 1,
             ..EngineConfig::default()
@@ -335,8 +335,8 @@ mod tests {
             scale: 1_000_000,
             ..EngineConfig::default()
         });
-        let s1 = e1.execute_job(&mut dfs1, &semi_join_job(), 0).unwrap();
-        let s2 = e2.execute_job(&mut dfs2, &semi_join_job(), 0).unwrap();
+        let s1 = e1.execute_job(&dfs1, &semi_join_job(), 0).unwrap();
+        let s2 = e2.execute_job(&dfs2, &semi_join_job(), 0).unwrap();
         // Same logical result.
         assert_eq!(
             dfs1.peek(&"Z".into()).unwrap(),
@@ -355,7 +355,7 @@ mod tests {
                 emit(&"Nope".into(), Tuple::from_ints(&[1]));
             }
         }
-        let mut dfs = example3_dfs();
+        let dfs = example3_dfs();
         let job = Job {
             name: "bad".into(),
             inputs: vec!["R".into()],
@@ -366,16 +366,16 @@ mod tests {
             estimate: None,
         };
         let engine = Engine::new(EngineConfig::unscaled());
-        assert!(engine.execute_job(&mut dfs, &job, 0).is_err());
+        assert!(engine.execute_job(&dfs, &job, 0).is_err());
     }
 
     #[test]
     fn declared_outputs_exist_even_when_empty() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(Relation::new("R", 2));
         dfs.store(Relation::new("S", 2));
         let engine = Engine::new(EngineConfig::unscaled());
-        engine.execute_job(&mut dfs, &semi_join_job(), 0).unwrap();
+        engine.execute_job(&dfs, &semi_join_job(), 0).unwrap();
         assert!(dfs.exists(&"Z".into()));
         assert_eq!(dfs.peek(&"Z".into()).unwrap().len(), 0);
     }
@@ -387,10 +387,10 @@ mod tests {
         for i in 0..100 {
             rel.insert(Tuple::from_ints(&[i, 7])).unwrap();
         }
-        let mut dfs_packed = SimDfs::new();
+        let dfs_packed = SimDfs::new();
         dfs_packed.store(rel.clone());
         dfs_packed.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[7, 0])]).unwrap());
-        let mut dfs_plain = SimDfs::new();
+        let dfs_plain = SimDfs::new();
         dfs_plain.store(rel);
         dfs_plain.store(Relation::from_tuples("S", 2, vec![Tuple::from_ints(&[7, 0])]).unwrap());
 
@@ -400,8 +400,8 @@ mod tests {
         let mut plain_job = semi_join_job();
         plain_job.config.packing = false;
 
-        let packed = engine.execute_job(&mut dfs_packed, &packed_job, 0).unwrap();
-        let plain = engine.execute_job(&mut dfs_plain, &plain_job, 0).unwrap();
+        let packed = engine.execute_job(&dfs_packed, &packed_job, 0).unwrap();
+        let plain = engine.execute_job(&dfs_plain, &plain_job, 0).unwrap();
         assert!(packed.communication_bytes() < plain.communication_bytes());
         // Results identical.
         assert_eq!(
@@ -412,20 +412,20 @@ mod tests {
 
     #[test]
     fn fixed_reducer_policy_is_respected() {
-        let mut dfs = example3_dfs();
+        let dfs = example3_dfs();
         let mut job = semi_join_job();
         job.config.reducer_policy = ReducerPolicy::Fixed(7);
         let engine = Engine::new(EngineConfig::unscaled());
-        let stats = engine.execute_job(&mut dfs, &job, 0).unwrap();
+        let stats = engine.execute_job(&dfs, &job, 0).unwrap();
         assert_eq!(stats.profile.reducers, 7);
         assert_eq!(stats.reduce_task_durations.len(), 7);
     }
 
     #[test]
     fn missing_input_errors() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         let engine = Engine::new(EngineConfig::unscaled());
-        assert!(engine.execute_job(&mut dfs, &semi_join_job(), 0).is_err());
+        assert!(engine.execute_job(&dfs, &semi_join_job(), 0).is_err());
     }
 
     #[test]
@@ -433,7 +433,7 @@ mod tests {
         // Two identical independent jobs: one round of two jobs must have a
         // lower net time than two rounds of one (same total time).
         let make_dfs = || {
-            let mut dfs = example3_dfs();
+            let dfs = example3_dfs();
             dfs.store(
                 Relation::from_tuples(
                     "R2",
@@ -503,10 +503,10 @@ mod tests {
         sequential.push_job(semi_join_job());
         sequential.push_job(job2());
 
-        let mut d1 = make_dfs();
-        let p_stats = engine.execute(&mut d1, &parallel).unwrap();
-        let mut d2 = make_dfs();
-        let s_stats = engine.execute(&mut d2, &sequential).unwrap();
+        let d1 = make_dfs();
+        let p_stats = engine.execute(&d1, &parallel).unwrap();
+        let d2 = make_dfs();
+        let s_stats = engine.execute(&d2, &sequential).unwrap();
 
         assert!(p_stats.net_time() < s_stats.net_time());
         assert!((p_stats.total_time() - s_stats.total_time()).abs() < 1e-9);

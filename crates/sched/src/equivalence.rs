@@ -12,21 +12,21 @@
 //! they are verification tools, not control flow.
 
 use gumbo_mr::ProgramStats;
-use gumbo_storage::SimDfs;
+use gumbo_storage::Dfs;
 
 /// Assert two DFS instances are byte-identical: same file set, same
-/// relation contents and sizes, same metered I/O counters.
+/// relation contents and sizes, same metered I/O counters. The two sides
+/// may be *different backends* (a [`gumbo_storage::SimDfs`] versus a
+/// [`gumbo_storage::FileDfs`], say): the check is over the [`Dfs`]
+/// contract, which is exactly what makes the scheduler's guarantee
+/// backend-invariant.
 ///
 /// # Panics
 ///
 /// On the first divergence, naming `label` and the offending relation.
-pub fn assert_identical_dfs(label: &str, expected: &SimDfs, actual: &SimDfs) {
-    let names: Vec<_> = expected.file_names().cloned().collect();
-    assert_eq!(
-        names,
-        actual.file_names().cloned().collect::<Vec<_>>(),
-        "{label}: file sets differ"
-    );
+pub fn assert_identical_dfs(label: &str, expected: &dyn Dfs, actual: &dyn Dfs) {
+    let names = expected.file_names();
+    assert_eq!(names, actual.file_names(), "{label}: file sets differ");
     for name in &names {
         let (a, b) = (expected.peek(name).unwrap(), actual.peek(name).unwrap());
         assert_eq!(a, b, "{label}: relation {name} differs");

@@ -79,7 +79,7 @@ fn copy_job(name: &str, input: &str, output: &str, cost: f64) -> Job {
 }
 
 fn base_dfs() -> SimDfs {
-    let mut dfs = SimDfs::new();
+    let dfs = SimDfs::new();
     for i in 0..4i64 {
         dfs.store(
             Relation::from_tuples(
@@ -137,8 +137,8 @@ fn run_policy(
         placement: policy,
         ..SchedulerConfig::default()
     });
-    let mut dfs = base_dfs();
-    let stats = scheduler.execute_program(&executor, &mut dfs, random_program(spec))?;
+    let dfs = base_dfs();
+    let stats = scheduler.execute_program(&executor, &dfs, random_program(spec))?;
     Ok((dfs, stats))
 }
 

@@ -1,8 +1,8 @@
 //! The DAG scheduler: dependency-driven execution on a bounded worker
-//! pool over a shared, lock-guarded DFS.
+//! pool over a shared [`Dfs`].
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, RwLock};
+use std::sync::{Condvar, Mutex};
 use std::thread;
 use std::time::Instant;
 
@@ -13,7 +13,7 @@ use gumbo_mr::{
     commit_job, plan_job, Executor, ExecutorKind, JobDag, JobEstimate, JobStats, MrProgram,
     ProgramStats,
 };
-use gumbo_storage::SimDfs;
+use gumbo_storage::Dfs;
 
 use crate::placement::PlacementPolicy;
 use crate::submission::{Submission, SubmissionReport};
@@ -102,6 +102,19 @@ impl SchedulerConfig {
             (ExecutorKind::Parallel { .. }, t) if t > 0 => ExecutorKind::Parallel { threads: t },
             (kind, _) => kind,
         }
+    }
+
+    /// Builder-style: set the shuffle memory budget for scheduled
+    /// execution (shared by every concurrently running job).
+    pub fn with_mem_budget(mut self, budget: gumbo_mr::MemBudget) -> Self {
+        self.mem_budget = budget;
+        self
+    }
+
+    /// Builder-style: set the placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
     }
 
     /// Per-job worker-pool size under the total-core budget: the job's
@@ -195,11 +208,14 @@ impl SchedState {
 ///
 /// Jobs run the moment their inputs are materialized, on a pool of at
 /// most [`SchedulerConfig::max_concurrent_jobs`] workers. The DFS is
-/// shared behind an `RwLock`: planning reads under the read lock (byte
-/// metering is atomic, see [`SimDfs`]), the compute phases hold no lock,
-/// commits take the write lock. Per-job statistics are identical to
-/// round-barrier execution because the metering pipeline is untouched —
-/// the scheduler only decides *when* each job runs.
+/// shared directly between workers: every [`Dfs`] method takes `&self`
+/// and synchronizes internally (byte metering is atomic), so planning,
+/// the lock-free compute phases, and commits all run against the same
+/// `&dyn Dfs` with no scheduler-level lock. Per-job statistics are
+/// identical to round-barrier execution because the metering pipeline is
+/// untouched — the scheduler only decides *when* each job runs — and
+/// backend-invariant: a durable [`gumbo_storage::FileDfs`] meters the
+/// same logical bytes as the in-memory [`gumbo_storage::SimDfs`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DagScheduler {
     /// Sizing knobs.
@@ -217,7 +233,7 @@ impl DagScheduler {
     pub fn execute(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         dag: &JobDag,
     ) -> Result<ProgramStats> {
         let dags = [dag];
@@ -229,7 +245,7 @@ impl DagScheduler {
     pub fn execute_program(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         program: MrProgram,
     ) -> Result<ProgramStats> {
         self.execute(executor, dfs, &program.into_dag())
@@ -241,7 +257,7 @@ impl DagScheduler {
     pub fn execute_many(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         submissions: &[Submission],
     ) -> Result<Vec<SubmissionReport>> {
         let dags: Vec<&JobDag> = submissions.iter().map(|s| &s.dag).collect();
@@ -264,7 +280,7 @@ impl DagScheduler {
     fn run(
         &self,
         executor: &dyn Executor,
-        dfs: &mut SimDfs,
+        dfs: &dyn Dfs,
         dags: &[&JobDag],
         tenants: &[&str],
     ) -> Result<Vec<(ProgramStats, f64)>> {
@@ -378,10 +394,6 @@ impl DagScheduler {
             error: None,
         });
         let work_available = Condvar::new();
-
-        // Move the DFS behind the lock for the duration of the run; it is
-        // moved back (with all commits and metering applied) afterwards.
-        let shared = RwLock::new(std::mem::take(dfs));
         let started = Instant::now();
 
         let workers = self.config.effective_workers().max(1).min(total.max(1));
@@ -404,10 +416,10 @@ impl DagScheduler {
 
                         let j = jobs[gid];
                         let node = dags[j.sub].node(j.node);
-                        // plan (read lock) → compute (no lock) → commit
-                        // (write lock). The job's stats carry its original
-                        // round, keeping per-job accounting identical to
-                        // the barrier path. The per-job worker count comes
+                        // plan → compute → commit, all against the shared
+                        // `&dyn Dfs` (internally synchronized). The job's
+                        // stats carry its original round, keeping per-job
+                        // accounting identical to the barrier path. The per-job worker count comes
                         // from the job's estimate under the core budget
                         // (0 = the executor's own sizing); thread counts
                         // can never change answers or metered statistics.
@@ -435,19 +447,9 @@ impl DagScheduler {
                                     f.f64("estimated_cost", e.total_cost);
                                 }
                             });
-                            let plan = {
-                                let guard = shared.read().expect("unpoisoned DFS lock");
-                                plan_job(executor.config(), &guard, &node.job)?
-                            };
+                            let plan = plan_job(executor.config(), dfs, &node.job)?;
                             let computed = executor.run_phases_with(&node.job, plan, threads)?;
-                            let mut guard = shared.write().expect("unpoisoned DFS lock");
-                            commit_job(
-                                executor.config(),
-                                &mut guard,
-                                &node.job,
-                                node.round,
-                                computed,
-                            )
+                            commit_job(executor.config(), dfs, &node.job, node.round, computed)
                         })();
 
                         let mut st = state.lock().expect("unpoisoned scheduler state");
@@ -488,7 +490,6 @@ impl DagScheduler {
             }
         });
 
-        *dfs = shared.into_inner().expect("unpoisoned DFS lock");
         let state = state.into_inner().expect("unpoisoned scheduler state");
         if let Some(e) = state.error {
             return Err(e);
@@ -561,6 +562,7 @@ mod tests {
     use super::*;
     use gumbo_common::{Fact, Relation, RelationName, Tuple};
     use gumbo_mr::{EngineConfig, Job, JobConfig, Mapper, Message, Reducer, SimulatedExecutor};
+    use gumbo_storage::SimDfs;
 
     /// Copies every input tuple to the job's single output relation.
     struct Copy;
@@ -589,7 +591,7 @@ mod tests {
     }
 
     fn dfs_with(names: &[&str]) -> SimDfs {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         for (i, name) in names.iter().enumerate() {
             let base = 10 * i as i64;
             dfs.store(
@@ -616,16 +618,16 @@ mod tests {
     #[test]
     fn diamond_matches_round_barrier_exactly() {
         let exec = executor();
-        let mut barrier_dfs = dfs_with(&["R"]);
-        let barrier = exec.execute(&mut barrier_dfs, &diamond()).unwrap();
+        let barrier_dfs = dfs_with(&["R"]);
+        let barrier = exec.execute(&barrier_dfs, &diamond()).unwrap();
 
         for workers in [1usize, 2, 8] {
             let sched = DagScheduler::new(SchedulerConfig {
                 max_concurrent_jobs: workers,
                 ..SchedulerConfig::default()
             });
-            let mut dfs = dfs_with(&["R"]);
-            let stats = sched.execute_program(&exec, &mut dfs, diamond()).unwrap();
+            let dfs = dfs_with(&["R"]);
+            let stats = sched.execute_program(&exec, &dfs, diamond()).unwrap();
 
             let label = format!("diamond x{workers}");
             crate::equivalence::assert_identical_dfs(&label, &barrier_dfs, &dfs);
@@ -652,19 +654,19 @@ mod tests {
             config: JobConfig::default(),
             estimate: None,
         });
-        let mut dfs = dfs_with(&["R"]);
+        let dfs = dfs_with(&["R"]);
         let err = DagScheduler::default()
-            .execute_program(&executor(), &mut dfs, p)
+            .execute_program(&executor(), &dfs, p)
             .unwrap_err();
         assert!(err.to_string().contains("Undeclared"), "{err}");
-        // The DFS was moved back even though the run failed: the completed
-        // job's output is visible.
+        // The DFS is shared in place, so even though the run failed the
+        // completed job's output is visible.
         assert!(dfs.exists(&"X".into()));
     }
 
     #[test]
     fn multi_tenant_submissions_report_separately() {
-        let mut dfs = dfs_with(&["R", "S"]);
+        let dfs = dfs_with(&["R", "S"]);
         // Tenant a: R → A1 → A2 (a chain); tenant b: S → B1 (one job).
         let mut pa = MrProgram::new();
         pa.push_job(copy_job("a1", "R", "A1"));
@@ -674,7 +676,7 @@ mod tests {
 
         let subs = vec![Submission::new("a", pa), Submission::new("b", pb)];
         let reports = DagScheduler::default()
-            .execute_many(&executor(), &mut dfs, &subs)
+            .execute_many(&executor(), &dfs, &subs)
             .unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].tenant, "a");
@@ -691,14 +693,14 @@ mod tests {
     fn cross_submission_conflicts_serialize_in_admission_order() {
         // Both tenants write Out; admission order must win, exactly as if
         // the two programs had run back to back.
-        let mut dfs = dfs_with(&["R", "S"]);
+        let dfs = dfs_with(&["R", "S"]);
         let mut p1 = MrProgram::new();
         p1.push_job(copy_job("first", "R", "Out"));
         let mut p2 = MrProgram::new();
         p2.push_job(copy_job("second", "S", "Out"));
         let subs = vec![Submission::new("t1", p1), Submission::new("t2", p2)];
         DagScheduler::default()
-            .execute_many(&executor(), &mut dfs, &subs)
+            .execute_many(&executor(), &dfs, &subs)
             .unwrap();
         // S's tuples (base 10) won: the later submission overwrote.
         assert!(dfs
@@ -728,8 +730,8 @@ mod tests {
         };
 
         let unlimited = executor();
-        let mut dfs_barrier = dfs_with(&name_refs);
-        let barrier = unlimited.execute(&mut dfs_barrier, &program()).unwrap();
+        let dfs_barrier = dfs_with(&name_refs);
+        let barrier = unlimited.execute(&dfs_barrier, &program()).unwrap();
         assert_eq!(barrier.spilled_bytes(), 0, "unlimited run never spills");
         let budgeted = SimulatedExecutor::new(gumbo_mr::EngineConfig {
             mem_budget: MemBudget::bytes(512),
@@ -739,10 +741,8 @@ mod tests {
             max_concurrent_jobs: 4,
             ..SchedulerConfig::default()
         });
-        let mut dfs = dfs_with(&name_refs);
-        let stats = sched
-            .execute_program(&budgeted, &mut dfs, program())
-            .unwrap();
+        let dfs = dfs_with(&name_refs);
+        let stats = sched.execute_program(&budgeted, &dfs, program()).unwrap();
 
         // Same answers, same non-spill statistics — and the budget held.
         crate::equivalence::assert_identical_dfs("budgeted dag", &dfs_barrier, &dfs);
@@ -756,9 +756,9 @@ mod tests {
 
     #[test]
     fn empty_program_yields_empty_stats() {
-        let mut dfs = dfs_with(&["R"]);
+        let dfs = dfs_with(&["R"]);
         let stats = DagScheduler::default()
-            .execute_program(&executor(), &mut dfs, MrProgram::new())
+            .execute_program(&executor(), &dfs, MrProgram::new())
             .unwrap();
         assert_eq!(stats.num_jobs(), 0);
         assert_eq!(stats.num_rounds(), 0);
@@ -778,8 +778,8 @@ mod tests {
             max_concurrent_jobs: 1,
             ..SchedulerConfig::default()
         });
-        let mut dfs = dfs_with(&["R"]);
-        let stats = sched.execute_program(&executor(), &mut dfs, p).unwrap();
+        let dfs = dfs_with(&["R"]);
+        let stats = sched.execute_program(&executor(), &dfs, p).unwrap();
         let predicted = stats.predicted_net_time.expect("scheduled runs predict");
         assert!(
             (predicted - stats.net_time()).abs() < 1e-9,
@@ -799,12 +799,12 @@ mod tests {
             p
         };
         let run = |slots| {
-            let mut dfs = dfs_with(&["R"]);
+            let dfs = dfs_with(&["R"]);
             DagScheduler::new(SchedulerConfig {
                 max_concurrent_jobs: slots,
                 ..SchedulerConfig::default()
             })
-            .execute_program(&executor(), &mut dfs, wide())
+            .execute_program(&executor(), &dfs, wide())
             .unwrap()
         };
         let serial = run(1);
@@ -823,7 +823,7 @@ mod tests {
     /// if it ran alone on a free pool.
     #[test]
     fn multi_tenant_prediction_accounts_for_contention() {
-        let mut dfs = dfs_with(&["R", "S"]);
+        let dfs = dfs_with(&["R", "S"]);
         // Both tenants write Out: cross-submission conflict serializes
         // them in admission order, and the pool has one slot anyway.
         let mut p1 = MrProgram::new();
@@ -835,7 +835,7 @@ mod tests {
             max_concurrent_jobs: 1,
             ..SchedulerConfig::default()
         });
-        let reports = sched.execute_many(&executor(), &mut dfs, &subs).unwrap();
+        let reports = sched.execute_many(&executor(), &dfs, &subs).unwrap();
         let p_first = reports[0].stats.predicted_net_time.unwrap();
         let p_second = reports[1].stats.predicted_net_time.unwrap();
         assert!(
@@ -872,20 +872,20 @@ mod tests {
             p
         };
         let exec = executor();
-        let mut dfs_fifo = dfs_with(&["R"]);
+        let dfs_fifo = dfs_with(&["R"]);
         let fifo = DagScheduler::new(SchedulerConfig {
             placement: PlacementPolicy::Fifo,
             ..SchedulerConfig::default()
         })
-        .execute_program(&exec, &mut dfs_fifo, program())
+        .execute_program(&exec, &dfs_fifo, program())
         .unwrap();
         for policy in [PlacementPolicy::Sjf, PlacementPolicy::CriticalPath] {
-            let mut dfs = dfs_with(&["R"]);
+            let dfs = dfs_with(&["R"]);
             let stats = DagScheduler::new(SchedulerConfig {
                 placement: policy,
                 ..SchedulerConfig::default()
             })
-            .execute_program(&exec, &mut dfs, program())
+            .execute_program(&exec, &dfs, program())
             .unwrap();
             crate::equivalence::assert_identical_dfs(policy.label(), &dfs_fifo, &dfs);
             crate::equivalence::assert_identical_stats(policy.label(), &fifo, &stats);

@@ -1,14 +1,227 @@
-//! The simulated DFS: named relation files with byte accounting.
+//! The [`Dfs`] storage abstraction and its in-memory implementation.
+//!
+//! GUMBO's cost model (§5.1) meters every byte read from and written to
+//! the distributed file system; the engine only ever touches storage
+//! through a narrow interface — plan-time metadata, metered relation
+//! scans, and commits. [`Dfs`] pins that interface down as a trait so the
+//! execution layers (`gumbo-mr`, `gumbo-sched`, `gumbo-core`,
+//! `gumbo-baselines`) never depend on *where* relations live:
+//!
+//! * [`SimDfs`] — the in-memory simulated DFS, the historical backend and
+//!   still the default: deterministic, RAM-resident, nothing survives the
+//!   process.
+//! * [`crate::FileDfs`] — the durable backend: relations persist as
+//!   length-prefixed, versioned file segments under a root directory,
+//!   fronted by a byte-bounded LRU block cache (see
+//!   [`crate::file_dfs`]). Survives restarts.
+//!
+//! # Metering contract
+//!
+//! Implementations must meter **logical** bytes — the paper's 10 B/value
+//! layout ([`Relation::estimated_bytes`]) — never physical encoding
+//! sizes, so [`Dfs::bytes_read`] / [`Dfs::bytes_written`] are
+//! backend-invariant: the same program over the same database produces
+//! identical counters on every backend (the workspace's
+//! `dfs_backend_equivalence` suite enforces this). Specifically:
+//!
+//! * [`Dfs::read`] and [`Dfs::scan`] charge the stored relation's full
+//!   logical size, once per call, at call time;
+//! * [`Dfs::store`] charges the relation's logical size once;
+//! * [`Dfs::peek`], [`Dfs::file_bytes`], [`Dfs::exists`] and
+//!   [`Dfs::file_names`] are free (namenode metadata / planner access);
+//! * loading an initial database through a constructor is not metered.
+//!
+//! # Locking contract
+//!
+//! Every method takes `&self`: implementations use interior mutability
+//! (and must be [`Sync`]), so a scheduler can share one `&dyn Dfs` across
+//! worker threads with no external lock. Writers ([`Dfs::store`],
+//! [`Dfs::delete`]) may block readers briefly, but a [`Dfs::scan`] handle
+//! returned *before* a concurrent overwrite must keep yielding the
+//! snapshot it was opened on (both backends guarantee this: `SimDfs`
+//! hands out `Arc` snapshots, `FileDfs` segments are immutable files
+//! replaced — never mutated — on overwrite).
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use gumbo_common::{ByteSize, Database, GumboError, Relation, RelationName, Result};
+
+/// Block-cache observability counters, as reported by [`Dfs::cache_stats`].
+///
+/// All zeros for backends without a cache (the in-memory [`SimDfs`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Block lookups served from the cache.
+    pub hits: u64,
+    /// Block lookups that had to load from the backing store.
+    pub misses: u64,
+    /// Blocks evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Bytes currently held by the cache.
+    pub cached_bytes: u64,
+    /// The configured byte budget (0 = no cache).
+    pub capacity_bytes: u64,
+}
+
+/// A source of tuples for one opened scan: fetches any sub-range of the
+/// relation's canonical (sorted) tuple order, independently of the DFS
+/// instance's locks, so map tasks on worker threads can pull their splits
+/// concurrently. Backends decide what "fetch" costs: the in-memory DFS
+/// clones from an `Arc` snapshot; the file backend reads and decodes only
+/// the segment frames covering the range (through the block cache).
+pub trait TupleSource: Send + Sync {
+    /// The tuples at `range` of the relation's canonical order.
+    fn fetch(&self, range: Range<usize>) -> Result<Vec<gumbo_common::Tuple>>;
+}
+
+/// A metered streaming scan over one stored relation.
+///
+/// Opening the scan charges the relation's full logical size to the
+/// read counter (the paper meters whole-file input costs); the handle
+/// then yields tuples lazily, range by range, so callers never need the
+/// whole relation resident — the point of the durable backend.
+pub struct RelationScan {
+    name: RelationName,
+    arity: usize,
+    len: usize,
+    bytes: ByteSize,
+    source: Arc<dyn TupleSource>,
+}
+
+impl RelationScan {
+    /// Assemble a scan handle (backend constructors only).
+    pub fn new(
+        name: RelationName,
+        arity: usize,
+        len: usize,
+        bytes: ByteSize,
+        source: Arc<dyn TupleSource>,
+    ) -> RelationScan {
+        RelationScan {
+            name,
+            arity,
+            len,
+            bytes,
+            source,
+        }
+    }
+
+    /// The scanned relation's name.
+    pub fn name(&self) -> &RelationName {
+        &self.name
+    }
+
+    /// The scanned relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Total tuples in the relation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Logical size of the relation (already metered at open).
+    pub fn bytes(&self) -> ByteSize {
+        self.bytes
+    }
+
+    /// Fetch the tuples of `range` (canonical order). Out-of-bounds
+    /// ranges are clamped by the source.
+    pub fn fetch(&self, range: Range<usize>) -> Result<Vec<gumbo_common::Tuple>> {
+        self.source.fetch(range)
+    }
+}
+
+impl std::fmt::Debug for RelationScan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RelationScan")
+            .field("name", &self.name)
+            .field("len", &self.len)
+            .field("bytes", &self.bytes)
+            .finish()
+    }
+}
+
+/// The distributed-file-system contract every storage backend implements.
+///
+/// See the [module docs](self) for the metering and locking contracts.
+/// All methods take `&self`; implementations are `Send + Sync` and manage
+/// their own interior locking, so call sites share a `&dyn Dfs` freely
+/// across threads.
+pub trait Dfs: Send + Sync + std::fmt::Debug {
+    /// A short backend name (`"sim"`, `"file"`) for logs and reports.
+    fn backend(&self) -> &'static str;
+
+    /// Store a relation, overwriting any previous file of the same name
+    /// and counting the write (logical bytes).
+    fn store(&self, relation: Relation) -> Result<ByteSize>;
+
+    /// Read a whole relation, counting the read (logical bytes).
+    fn read(&self, name: &RelationName) -> Result<Arc<Relation>>;
+
+    /// Inspect a relation *without* counting a read (planner/sampling and
+    /// result-checking use).
+    fn peek(&self, name: &RelationName) -> Result<Arc<Relation>>;
+
+    /// Open a metered streaming scan: charges the full logical size at
+    /// open (same total as [`Dfs::read`]), then yields tuples lazily.
+    fn scan(&self, name: &RelationName) -> Result<RelationScan>;
+
+    /// Size of a file without reading it (namenode metadata access).
+    fn file_bytes(&self, name: &RelationName) -> Result<ByteSize>;
+
+    /// Whether a file exists.
+    fn exists(&self, name: &RelationName) -> bool;
+
+    /// Delete a file; returns whether it was present.
+    fn delete(&self, name: &RelationName) -> Result<bool>;
+
+    /// Names of all stored files, sorted.
+    fn file_names(&self) -> Vec<RelationName>;
+
+    /// Total metered bytes read so far (HDFS input-cost counter).
+    fn bytes_read(&self) -> ByteSize;
+
+    /// Total metered bytes written so far.
+    fn bytes_written(&self) -> ByteSize;
+
+    /// Reset the I/O counters (between experiments).
+    fn reset_counters(&self);
+
+    /// Export the current file set as a [`Database`] (result checking).
+    fn to_database(&self) -> Result<Database> {
+        let mut db = Database::new();
+        for name in self.file_names() {
+            db.add_relation(self.peek(&name)?.as_ref().clone());
+        }
+        Ok(db)
+    }
+
+    /// Block-cache counters; all zeros for cacheless backends.
+    fn cache_stats(&self) -> CacheStats {
+        CacheStats::default()
+    }
+
+    /// Durability barrier: after `flush` returns, committed relations
+    /// survive a process exit. No-op for volatile backends.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+}
 
 /// A file in the simulated DFS: one stored relation plus its size.
 #[derive(Debug, Clone)]
 pub struct DfsFile {
-    relation: Relation,
+    relation: Arc<Relation>,
     bytes: ByteSize,
 }
 
@@ -31,25 +244,45 @@ impl DfsFile {
 /// writes bump byte counters that back the paper's *input cost* metric
 /// ("number of bytes read from hdfs over the entire MR plan", §5.1).
 ///
-/// The byte counters are atomic, so a `SimDfs` is [`Sync`]: concurrently
-/// scheduled jobs (the DAG scheduler in `gumbo-sched`) can meter reads
-/// through a shared reference. Mutation of the *file map* (store/delete)
-/// still requires `&mut self`; concurrent runtimes guard the map with an
-/// `RwLock<SimDfs>` — reads under the read lock, commits under the write
-/// lock.
+/// The file map lives behind an internal `RwLock` and the byte counters
+/// are atomic, so a `SimDfs` is [`Sync`] and every operation takes
+/// `&self`: concurrently scheduled jobs (the DAG scheduler in
+/// `gumbo-sched`) plan, read and commit through one shared `&dyn Dfs`
+/// with no external lock. Relations are handed out as `Arc` snapshots —
+/// an overwrite replaces the stored `Arc`, it never mutates data a
+/// concurrent reader already holds.
 #[derive(Debug, Default)]
 pub struct SimDfs {
-    files: BTreeMap<RelationName, DfsFile>,
+    files: RwLock<BTreeMap<RelationName, DfsFile>>,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
 
-// The whole point of atomic counters: a shared DFS can serve concurrent,
-// metered reads. (Compile-time regression check.)
+// The whole point of interior locking + atomic counters: a shared DFS can
+// serve concurrent, metered traffic. (Compile-time regression check.)
 const _: () = {
     const fn assert_sync<T: Sync + Send>() {}
     assert_sync::<SimDfs>()
 };
+
+/// A scan source over an in-memory relation snapshot.
+struct SimScanSource {
+    relation: Arc<Relation>,
+}
+
+impl TupleSource for SimScanSource {
+    fn fetch(&self, range: Range<usize>) -> Result<Vec<gumbo_common::Tuple>> {
+        let end = range.end.min(self.relation.len());
+        let start = range.start.min(end);
+        Ok(self
+            .relation
+            .iter()
+            .skip(start)
+            .take(end - start)
+            .cloned()
+            .collect())
+    }
+}
 
 impl SimDfs {
     /// Create an empty DFS.
@@ -59,7 +292,7 @@ impl SimDfs {
 
     /// Create a DFS pre-loaded with every relation of a database.
     pub fn from_database(db: &Database) -> Self {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         for rel in db.relations() {
             dfs.store(rel.clone());
         }
@@ -69,38 +302,48 @@ impl SimDfs {
     }
 
     /// Store a relation, overwriting any previous file of the same name and
-    /// counting the write.
-    pub fn store(&mut self, relation: Relation) -> ByteSize {
+    /// counting the write. (Inherent twin of [`Dfs::store`]; infallible on
+    /// the in-memory backend.)
+    pub fn store(&self, relation: Relation) -> ByteSize {
         let bytes = ByteSize::bytes(relation.estimated_bytes());
         self.bytes_written
             .fetch_add(bytes.as_bytes(), Ordering::Relaxed);
-        self.files
-            .insert(relation.name().clone(), DfsFile { relation, bytes });
+        self.files.write().expect("unpoisoned DFS file map").insert(
+            relation.name().clone(),
+            DfsFile {
+                relation: Arc::new(relation),
+                bytes,
+            },
+        );
         bytes
     }
 
     /// Read a relation, counting the read.
-    pub fn read(&self, name: &RelationName) -> Result<&Relation> {
-        let file = self
-            .files
+    pub fn read(&self, name: &RelationName) -> Result<Arc<Relation>> {
+        let files = self.files.read().expect("unpoisoned DFS file map");
+        let file = files
             .get(name)
             .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))?;
         self.bytes_read
             .fetch_add(file.bytes.as_bytes(), Ordering::Relaxed);
-        Ok(&file.relation)
+        Ok(Arc::clone(&file.relation))
     }
 
     /// Inspect a relation *without* counting a read (planner/sampling use).
-    pub fn peek(&self, name: &RelationName) -> Result<&Relation> {
+    pub fn peek(&self, name: &RelationName) -> Result<Arc<Relation>> {
         self.files
+            .read()
+            .expect("unpoisoned DFS file map")
             .get(name)
-            .map(|f| &f.relation)
+            .map(|f| Arc::clone(&f.relation))
             .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))
     }
 
     /// Size of a file without reading it (namenode metadata access).
     pub fn file_bytes(&self, name: &RelationName) -> Result<ByteSize> {
         self.files
+            .read()
+            .expect("unpoisoned DFS file map")
             .get(name)
             .map(|f| f.bytes)
             .ok_or_else(|| GumboError::UnknownRelation(name.to_string()))
@@ -108,17 +351,29 @@ impl SimDfs {
 
     /// Whether a file exists.
     pub fn exists(&self, name: &RelationName) -> bool {
-        self.files.contains_key(name)
+        self.files
+            .read()
+            .expect("unpoisoned DFS file map")
+            .contains_key(name)
     }
 
     /// Delete a file, returning the relation if it was present.
-    pub fn delete(&mut self, name: &RelationName) -> Option<Relation> {
-        self.files.remove(name).map(|f| f.relation)
+    pub fn delete(&self, name: &RelationName) -> Option<Arc<Relation>> {
+        self.files
+            .write()
+            .expect("unpoisoned DFS file map")
+            .remove(name)
+            .map(|f| f.relation)
     }
 
     /// Names of all stored files, sorted.
-    pub fn file_names(&self) -> impl Iterator<Item = &RelationName> + '_ {
-        self.files.keys()
+    pub fn file_names(&self) -> Vec<RelationName> {
+        self.files
+            .read()
+            .expect("unpoisoned DFS file map")
+            .keys()
+            .cloned()
+            .collect()
     }
 
     /// Total bytes read so far (HDFS input-cost counter).
@@ -139,7 +394,75 @@ impl SimDfs {
 
     /// Export the current file set as a [`Database`] (for result checking).
     pub fn to_database(&self) -> Database {
-        self.files.values().map(|f| f.relation.clone()).collect()
+        self.files
+            .read()
+            .expect("unpoisoned DFS file map")
+            .values()
+            .map(|f| f.relation.as_ref().clone())
+            .collect()
+    }
+}
+
+impl Dfs for SimDfs {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn store(&self, relation: Relation) -> Result<ByteSize> {
+        Ok(SimDfs::store(self, relation))
+    }
+
+    fn read(&self, name: &RelationName) -> Result<Arc<Relation>> {
+        SimDfs::read(self, name)
+    }
+
+    fn peek(&self, name: &RelationName) -> Result<Arc<Relation>> {
+        SimDfs::peek(self, name)
+    }
+
+    fn scan(&self, name: &RelationName) -> Result<RelationScan> {
+        // A scan meters exactly like a whole-relation read; the handle
+        // then serves ranges from the Arc snapshot, lock-free.
+        let relation = SimDfs::read(self, name)?;
+        Ok(RelationScan::new(
+            name.clone(),
+            relation.arity(),
+            relation.len(),
+            ByteSize::bytes(relation.estimated_bytes()),
+            Arc::new(SimScanSource { relation }),
+        ))
+    }
+
+    fn file_bytes(&self, name: &RelationName) -> Result<ByteSize> {
+        SimDfs::file_bytes(self, name)
+    }
+
+    fn exists(&self, name: &RelationName) -> bool {
+        SimDfs::exists(self, name)
+    }
+
+    fn delete(&self, name: &RelationName) -> Result<bool> {
+        Ok(SimDfs::delete(self, name).is_some())
+    }
+
+    fn file_names(&self) -> Vec<RelationName> {
+        SimDfs::file_names(self)
+    }
+
+    fn bytes_read(&self) -> ByteSize {
+        SimDfs::bytes_read(self)
+    }
+
+    fn bytes_written(&self) -> ByteSize {
+        SimDfs::bytes_written(self)
+    }
+
+    fn reset_counters(&self) {
+        SimDfs::reset_counters(self)
+    }
+
+    fn to_database(&self) -> Result<Database> {
+        Ok(SimDfs::to_database(self))
     }
 }
 
@@ -154,7 +477,7 @@ mod tests {
 
     #[test]
     fn store_and_read_counts_bytes() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         let written = dfs.store(rel("R", 5));
         assert_eq!(written, ByteSize::bytes(5 * 20));
         assert_eq!(dfs.bytes_written(), written);
@@ -168,7 +491,7 @@ mod tests {
 
     #[test]
     fn peek_is_free() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(rel("R", 3));
         dfs.peek(&"R".into()).unwrap();
         assert_eq!(dfs.bytes_read(), ByteSize::ZERO);
@@ -193,7 +516,7 @@ mod tests {
 
     #[test]
     fn delete_removes() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(rel("R", 1));
         assert!(dfs.delete(&"R".into()).is_some());
         assert!(!dfs.exists(&"R".into()));
@@ -202,9 +525,44 @@ mod tests {
 
     #[test]
     fn overwrite_replaces_contents() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(rel("R", 5));
         dfs.store(rel("R", 2));
+        assert_eq!(dfs.peek(&"R".into()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scan_meters_once_and_fetches_ranges() {
+        let dfs = SimDfs::new();
+        let written = dfs.store(rel("R", 10));
+        let scan = Dfs::scan(&dfs, &"R".into()).unwrap();
+        assert_eq!(dfs.bytes_read(), written, "scan meters the whole file");
+        assert_eq!(scan.len(), 10);
+        assert_eq!(scan.arity(), 2);
+        // Ranges come back in canonical order and re-assemble the whole.
+        let head = scan.fetch(0..3).unwrap();
+        let tail = scan.fetch(3..10).unwrap();
+        assert_eq!(head.len(), 3);
+        assert_eq!(tail.len(), 7);
+        let all = scan.fetch(0..10).unwrap();
+        assert_eq!(
+            head.into_iter().chain(tail).collect::<Vec<_>>(),
+            all,
+            "range fetches concatenate to the full scan"
+        );
+        // No further metering from fetches.
+        assert_eq!(dfs.bytes_read(), written);
+        // Out-of-bounds is clamped, not an error.
+        assert!(scan.fetch(10..20).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_snapshot_survives_concurrent_overwrite() {
+        let dfs = SimDfs::new();
+        dfs.store(rel("R", 5));
+        let scan = Dfs::scan(&dfs, &"R".into()).unwrap();
+        dfs.store(rel("R", 2)); // overwrite while the scan is open
+        assert_eq!(scan.fetch(0..5).unwrap().len(), 5, "snapshot isolation");
         assert_eq!(dfs.peek(&"R".into()).unwrap().len(), 2);
     }
 
@@ -213,7 +571,7 @@ mod tests {
         // 8 threads × 200 metered reads each through a shared reference:
         // the atomic counters must account every single read, and the
         // relation contents must stay readable throughout.
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(rel("R", 4)); // 4 tuples × 20 B = 80 B per read
         dfs.store(rel("S", 2)); // 2 tuples × 20 B = 40 B per read
         let dfs = &dfs;
@@ -233,12 +591,56 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_stores_and_reads_are_safe() {
+        // Writers overwrite R while readers hold and use snapshots: no
+        // torn reads, every snapshot is a complete relation.
+        let dfs = SimDfs::new();
+        dfs.store(rel("R", 8));
+        let dfs = &dfs;
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                scope.spawn(move || {
+                    for n in 1..30 {
+                        dfs.store(rel("R", (w * 30 + n) % 9 + 1));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        let r = dfs.peek(&"R".into()).unwrap();
+                        let n = r.len();
+                        assert!((1..=9).contains(&n), "complete snapshot, got {n}");
+                        assert_eq!(r.iter().count(), n);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
     fn to_database_round_trip() {
-        let mut dfs = SimDfs::new();
+        let dfs = SimDfs::new();
         dfs.store(rel("A", 2));
         dfs.store(rel("B", 3));
         let db = dfs.to_database();
         assert_eq!(db.relation_count(), 2);
         assert_eq!(db.get("B").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn trait_object_round_trip() {
+        // The whole surface works through `&dyn Dfs`.
+        let sim = SimDfs::new();
+        let dfs: &dyn Dfs = &sim;
+        assert_eq!(dfs.backend(), "sim");
+        dfs.store(rel("R", 3)).unwrap();
+        assert!(dfs.exists(&"R".into()));
+        assert_eq!(dfs.read(&"R".into()).unwrap().len(), 3);
+        assert_eq!(dfs.file_names(), vec![RelationName::from("R")]);
+        assert_eq!(dfs.cache_stats(), CacheStats::default());
+        dfs.flush().unwrap();
+        assert!(dfs.delete(&"R".into()).unwrap());
+        assert!(!dfs.delete(&"R".into()).unwrap());
     }
 }

@@ -1,23 +1,32 @@
 //! # gumbo-storage
 //!
-//! A simulated distributed file system standing in for HDFS.
+//! The storage plane: a [`Dfs`] trait standing in for HDFS, with two
+//! backends, plus the local spill files the bounded-memory shuffle uses.
 //!
 //! The paper's algorithms interact with HDFS only through a narrow
-//! interface: reading relation files (at `hr` cost/MB), writing outputs (at
-//! `hw` cost/MB), the split structure that determines mapper counts, and
-//! **sampling** input relations to estimate map-output sizes (Gumbo
-//! optimization (3), §5.1). [`SimDfs`] implements exactly that interface
-//! over in-memory relations with deterministic byte accounting.
+//! interface: reading relation files (at `hr` cost/MB), writing outputs
+//! (at `hw` cost/MB), the split structure that determines mapper counts,
+//! and **sampling** input relations to estimate map-output sizes (Gumbo
+//! optimization (3), §5.1). The [`Dfs`] trait pins that interface down —
+//! metered reads/scans/stores, free metadata peeks, byte counters — and
+//! two backends implement it:
 //!
-//! Alongside the simulated DFS, the [`spill`] module provides the *local*
-//! storage the bounded-memory shuffle uses: job-scoped temporary
-//! directories of length-prefixed run files, removed via RAII on success
-//! and error paths alike.
+//! * [`SimDfs`] — in-memory, deterministic, the default;
+//! * [`FileDfs`] — durable file segments + manifest under a root
+//!   directory, fronted by a byte-bounded LRU block cache
+//!   ([`file_dfs`]).
+//!
+//! Alongside the DFS, the [`spill`] module provides the *local* storage
+//! the bounded-memory shuffle uses: job-scoped temporary directories of
+//! length-prefixed run files, removed via RAII on success and error
+//! paths alike. [`FileDfs`] segments reuse the same frame codec.
 
 pub mod dfs;
+pub mod file_dfs;
 pub mod sample;
 pub mod spill;
 
-pub use dfs::{DfsFile, SimDfs};
+pub use dfs::{CacheStats, Dfs, DfsFile, RelationScan, SimDfs, TupleSource};
+pub use file_dfs::{FileDfs, DEFAULT_CACHE_BYTES};
 pub use sample::reservoir_sample;
 pub use spill::{Compression, FrameFormat, RunReader, RunWriter, SpillDir};

@@ -181,8 +181,10 @@ fn rle_encode(data: &[u8]) -> Vec<u8> {
 
 /// Inverse of [`rle_encode`]. Rejects malformed input (odd length, zero
 /// run counts) instead of guessing — a corrupt run must surface as an
-/// error, never as silently different data.
-fn rle_decode(data: &[u8]) -> Result<Vec<u8>> {
+/// error, never as silently different data. Shared with the durable-DFS
+/// segment reader (`crate::file_dfs`), which random-accesses frames that
+/// a [`RunWriter`] stored.
+pub(crate) fn rle_decode(data: &[u8]) -> Result<Vec<u8>> {
     if data.len() % 2 != 0 {
         return Err(GumboError::Storage(
             "malformed RLE spill block (odd length)".into(),

@@ -51,8 +51,8 @@ fn main() -> Result<()> {
     println!("dependency levels: {:?}\n", graph.level_sort());
 
     let engine = GumboEngine::with_defaults();
-    let mut dfs = SimDfs::from_database(&db);
-    let (stats, releases) = engine.evaluate_with_output(&mut dfs, &query)?;
+    let dfs = SimDfs::from_database(&db);
+    let (stats, releases) = engine.eval().run_with_output(&dfs, &query)?;
 
     println!("safe upcoming releases (newtitle, author):");
     for t in releases.iter() {

@@ -41,10 +41,12 @@ fn main() -> Result<()> {
         parse_program("FlaggedSessions := SELECT (u, d) FROM Sessions(u, d) WHERE Flagged(u);")?;
 
     let engine = GumboEngine::with_defaults();
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = SimDfs::from_database(&db);
 
     // §4.7: one combined evaluation over the union of subqueries.
-    let stats = engine.evaluate_many(&mut dfs, &[audit.clone(), sessions.clone()])?;
+    let stats = engine
+        .eval()
+        .run_many(&dfs, &[audit.clone(), sessions.clone()])?;
 
     println!(
         "combined plan: {} jobs in {} rounds",
@@ -58,9 +60,9 @@ fn main() -> Result<()> {
     );
 
     // Compare against evaluating the two queries back to back.
-    let mut dfs2 = SimDfs::from_database(&db);
-    let mut separate = engine.evaluate(&mut dfs2, &audit)?;
-    separate.extend(engine.evaluate(&mut dfs2, &sessions)?);
+    let dfs2 = SimDfs::from_database(&db);
+    let mut separate = engine.evaluate(&dfs2, &audit)?;
+    separate.extend(engine.evaluate(&dfs2, &sessions)?);
     println!(
         "\nrounds: combined {} vs separate {}  |  net: {:.1}s vs {:.1}s",
         stats.num_rounds(),
@@ -79,7 +81,10 @@ fn main() -> Result<()> {
     let combined = SgfQuery::union(&[audit, sessions])?;
     let env = naive.evaluate_sgf_all(&combined, &db)?;
     for out in ["AuditList", "FlaggedSessions"] {
-        assert_eq!(dfs.peek(&out.into())?, env.relation(&out.into()).unwrap());
+        assert_eq!(
+            dfs.peek(&out.into())?.as_ref(),
+            env.relation(&out.into()).unwrap()
+        );
     }
     println!("verified against the naive evaluator ✓");
     Ok(())

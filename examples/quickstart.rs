@@ -37,8 +37,8 @@ fn main() -> Result<()> {
 
     // ---- plan and execute on the simulated cluster --------------------
     let engine = GumboEngine::with_defaults();
-    let mut dfs = SimDfs::from_database(&db);
-    let (stats, answer) = engine.evaluate_with_output(&mut dfs, &query)?;
+    let dfs = SimDfs::from_database(&db);
+    let (stats, answer) = engine.eval().run_with_output(&dfs, &query)?;
 
     println!("answer relation ({} tuples):", answer.len());
     for t in answer.iter() {

@@ -37,7 +37,7 @@ fn main() -> Result<()> {
     let expected = NaiveEvaluator::new().evaluate_sgf(&workload.query, &db)?;
     let report = |name: &str, stats: ProgramStats, dfs: &SimDfs| -> Result<()> {
         let out = dfs.peek(workload.query.output())?;
-        assert_eq!(out, &expected, "{name} produced a wrong result");
+        assert_eq!(out.as_ref(), &expected, "{name} produced a wrong result");
         println!(
             "{:<10} {:>10.0} {:>12.0} {:>12} {:>12} {:>7}",
             name,
@@ -51,27 +51,24 @@ fn main() -> Result<()> {
     };
 
     // SEQ: a chain of four semi-join jobs, pruning as it goes.
-    let mut dfs = SimDfs::from_database(&db);
-    let stats = SeqStrategy::default().evaluate(
-        &Engine::new(config),
-        &mut dfs,
-        workload.query.queries(),
-    )?;
+    let dfs = SimDfs::from_database(&db);
+    let stats =
+        SeqStrategy::default().evaluate(&Engine::new(config), &dfs, workload.query.queries())?;
     report("SEQ", stats, &dfs)?;
 
     // PAR: four ungrouped MSJ jobs + EVAL.
-    let mut dfs = SimDfs::from_database(&db);
-    let stats = par_engine(config).evaluate(&mut dfs, &workload.query)?;
+    let dfs = SimDfs::from_database(&db);
+    let stats = par_engine(config).evaluate(&dfs, &workload.query)?;
     report("PAR", stats, &dfs)?;
 
     // GREEDY: Greedy-BSGF groups the semi-joins (shared guard scan).
-    let mut dfs = SimDfs::from_database(&db);
-    let stats = greedy_engine(config).evaluate(&mut dfs, &workload.query)?;
+    let dfs = SimDfs::from_database(&db);
+    let stats = greedy_engine(config).evaluate(&dfs, &workload.query)?;
     report("GREEDY", stats, &dfs)?;
 
     // 1-ROUND: the fused MSJ+EVAL job (all conditionals share key x).
-    let mut dfs = SimDfs::from_database(&db);
-    let stats = one_round_engine(config).evaluate(&mut dfs, &workload.query)?;
+    let dfs = SimDfs::from_database(&db);
+    let stats = one_round_engine(config).evaluate(&dfs, &workload.query)?;
     report("1-ROUND", stats, &dfs)?;
 
     println!("\nall strategies verified against the naive evaluator ✓");

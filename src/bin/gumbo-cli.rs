@@ -8,6 +8,7 @@
 //!           [--placement fifo|sjf|cp] [--cores N]
 //!           [--mem-budget BYTES|unlimited] [--spill-compress]
 //!           [--data-plane pairs|columnar]
+//!           [--dfs sim|file:PATH] [--dfs-cache BYTES]
 //!           [--trace PATH] [--trace-format chrome|jsonl]
 //!           [--metrics-dump] [--stats-json PATH]
 //!           [--scale N] [--nodes N] [--out DIR] [--explain]
@@ -45,6 +46,17 @@
 //! shuffle-memory summary *before* exiting, so the evidence of the
 //! violation always reaches the log.
 //!
+//! `--dfs` selects the storage backend: `sim` (the default in-memory
+//! DFS) or `file:PATH` — a durable file-segment store rooted at `PATH`.
+//! A fresh directory is created and loaded from the inputs; an existing
+//! store is reopened and only missing relations are loaded, so a second
+//! run against the same `PATH` restarts from the durable state.
+//! `--dfs-cache` bounds the file backend's block cache (bytes, `k`/`m`/
+//! `g` suffix ok; default 64 MiB) — cache sizing never changes answers
+//! or the byte meters, which are logical and backend-invariant. A
+//! `dfs cache:` summary line (hits, misses, evictions) is printed after
+//! file-backed runs.
+//!
 //! `--trace PATH` records every phase span, scheduler event and budget
 //! event of the run to `PATH`; `--trace-format` picks the encoding —
 //! `chrome` (the default) writes a Chrome trace-event JSON array that
@@ -61,6 +73,14 @@ use std::process::ExitCode;
 
 use gumbo::prelude::*;
 
+/// Which storage backend `--dfs` selected.
+enum DfsSpec {
+    /// The in-memory simulated DFS (the default).
+    Sim,
+    /// The durable file-segment DFS rooted at the given directory.
+    File(PathBuf),
+}
+
 struct Args {
     data: PathBuf,
     query: PathBuf,
@@ -75,6 +95,8 @@ struct Args {
     mem_budget: gumbo::mr::MemBudget,
     spill_compress: bool,
     data_plane: gumbo::mr::DataPlane,
+    dfs: DfsSpec,
+    dfs_cache: Option<u64>,
     trace: Option<PathBuf>,
     trace_format: Option<gumbo::obs::TraceFormat>,
     metrics_dump: bool,
@@ -92,6 +114,7 @@ const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [-
                      [--placement fifo|sjf|cp] [--cores N] \
                      [--mem-budget BYTES|unlimited] [--spill-compress] \
                      [--data-plane pairs|columnar] \
+                     [--dfs sim|file:PATH] [--dfs-cache BYTES] \
                      [--trace PATH] [--trace-format chrome|jsonl] \
                      [--metrics-dump] [--stats-json PATH] \
                      [--scale N] [--nodes N] [--out DIR] [--explain]";
@@ -111,6 +134,8 @@ fn parse_args() -> Result<Args, String> {
         mem_budget: gumbo::mr::MemBudget::UNLIMITED,
         spill_compress: false,
         data_plane: gumbo::mr::DataPlane::default(),
+        dfs: DfsSpec::Sim,
+        dfs_cache: None,
         trace: None,
         trace_format: None,
         metrics_dump: false,
@@ -180,6 +205,29 @@ fn parse_args() -> Result<Args, String> {
                     format!("--mem-budget: BYTES (k/m/g suffix ok) or unlimited, got {spec}")
                 })?;
             }
+            "--dfs" => {
+                let spec = need(&mut i, &argv)?;
+                args.dfs = if spec == "sim" {
+                    DfsSpec::Sim
+                } else if let Some(path) = spec.strip_prefix("file:") {
+                    DfsSpec::File(PathBuf::from(path))
+                } else {
+                    return Err(format!("--dfs: sim|file:PATH, got {spec}"));
+                };
+            }
+            "--dfs-cache" => {
+                let spec = need(&mut i, &argv)?;
+                // MemBudget's byte grammar (k/m/g suffixes), minus the
+                // "unlimited" spelling — an unbounded cache is just a
+                // cache sized to the store.
+                args.dfs_cache = Some(
+                    gumbo::mr::MemBudget::parse(&spec)
+                        .and_then(|b| b.limit())
+                        .ok_or_else(|| {
+                            format!("--dfs-cache: BYTES (k/m/g suffix ok), got {spec}")
+                        })?,
+                );
+            }
             "--scale" => {
                 args.scale = need(&mut i, &argv)?
                     .parse()
@@ -224,6 +272,11 @@ fn parse_args() -> Result<Args, String> {
     if args.trace_format.is_some() && args.trace.is_none() {
         // A format without a destination would be a silent no-op.
         return Err("--trace-format requires --trace PATH".into());
+    }
+    if args.dfs_cache.is_some() && matches!(args.dfs, DfsSpec::Sim) {
+        // The in-memory DFS has no block cache; the flag would be a
+        // silent no-op.
+        return Err("--dfs-cache requires --dfs file:PATH".into());
     }
     Ok(args)
 }
@@ -402,12 +455,36 @@ fn load_inputs(args: &Args) -> Result<(Database, SgfQuery), String> {
     Ok((db, query))
 }
 
+/// Build the selected DFS backend, loaded with the input database.
+///
+/// The file backend reopens an existing store at `PATH` and loads only
+/// the relations it doesn't already hold, so a rerun against the same
+/// root restarts from the durable state. The initial load is unmetered,
+/// matching [`SimDfs::from_database`].
+fn build_dfs(args: &Args, db: &Database) -> Result<Box<dyn Dfs>, String> {
+    match &args.dfs {
+        DfsSpec::Sim => Ok(Box::new(SimDfs::from_database(db))),
+        DfsSpec::File(root) => {
+            let cache = args.dfs_cache.unwrap_or(DEFAULT_CACHE_BYTES);
+            let dfs = FileDfs::open_or_create(root, cache).map_err(|e| e.to_string())?;
+            for rel in db.relations() {
+                if !dfs.exists(rel.name()) {
+                    Dfs::store(&dfs, rel.clone()).map_err(|e| e.to_string())?;
+                }
+            }
+            dfs.reset_counters();
+            Ok(Box::new(dfs))
+        }
+    }
+}
+
 fn run(args: Args) -> Result<(), String> {
     let (db, query) = load_inputs(&args)?;
     eprintln!("\nquery:\n{query}\n");
 
     // Plan + run.
-    let options = options_for(&args)?;
+    let mut options = options_for(&args)?;
+    options.dfs_cache = args.dfs_cache;
     let engine = GumboEngine::with_executor(
         EngineConfig {
             scale: args.scale,
@@ -418,13 +495,14 @@ fn run(args: Args) -> Result<(), String> {
         args.executor,
         options,
     );
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = build_dfs(&args, &db)?;
+    let dfs: &dyn Dfs = &*dfs;
 
     if args.explain {
-        let sort = engine.sort_for(&dfs, &query).map_err(|e| e.to_string())?;
+        let sort = engine.sort_for(dfs, &query).map_err(|e| e.to_string())?;
         eprintln!("multiway topological sort: {sort:?}");
         let cost = engine
-            .sort_cost(&dfs, &query, &sort)
+            .sort_cost(dfs, &query, &sort)
             .map_err(|e| e.to_string())?;
         eprintln!("estimated plan cost      : {cost:.1}");
         if let Some(sched) = options.scheduler {
@@ -458,7 +536,7 @@ fn run(args: Args) -> Result<(), String> {
     }
 
     let runtime = engine.runtime();
-    let result = engine.evaluate_on(&*runtime, &mut dfs, &query);
+    let result = engine.eval().on(&*runtime).run(dfs, &query);
     // Uninstall *before* propagating errors so the trace file is always
     // finalized (the Chrome array closed) — a failed run's trace is
     // exactly the one worth loading into Perfetto.
@@ -472,7 +550,7 @@ fn run(args: Args) -> Result<(), String> {
         .evaluate_sgf(&query, &db)
         .map_err(|e| e.to_string())?;
     let got = dfs.peek(query.output()).map_err(|e| e.to_string())?;
-    if got != &expected {
+    if got.as_ref() != &expected {
         return Err("internal error: MapReduce result differs from reference evaluator".into());
     }
 
@@ -511,6 +589,14 @@ fn run(args: Args) -> Result<(), String> {
         stats.spill_merge_passes(),
     );
     budget_check(budget.peak(), budget.limit())?;
+    if matches!(args.dfs, DfsSpec::File(_)) {
+        let cache = dfs.cache_stats();
+        println!(
+            "dfs cache: capacity={} hits={} misses={} evictions={} cached_bytes={}",
+            cache.capacity_bytes, cache.hits, cache.misses, cache.evictions, cache.cached_bytes,
+        );
+        dfs.flush().map_err(|e| e.to_string())?;
+    }
     println!("output {} has {} tuples", query.output(), got.len());
 
     if let Some(path) = &args.stats_json {
@@ -534,7 +620,7 @@ fn run(args: Args) -> Result<(), String> {
         for name in query.output_names() {
             let rel = dfs.peek(&name).map_err(|e| e.to_string())?;
             let path = out_dir.join(format!("{name}.tsv"));
-            gumbo::common::io::write_tsv_file(rel, &path).map_err(|e| e.to_string())?;
+            gumbo::common::io::write_tsv_file(&rel, &path).map_err(|e| e.to_string())?;
             println!("wrote {path:?} ({} tuples)", rel.len());
         }
     }

@@ -30,10 +30,12 @@
 //!     "Answer := SELECT (x, y) FROM R(x, y) WHERE S(x) AND NOT T(y);",
 //! ).unwrap();
 //!
-//! // Plan + execute on the simulated MapReduce cluster.
+//! // Plan + execute on the simulated MapReduce cluster. Swap `SimDfs`
+//! // for `FileDfs::create(path, cache_bytes)` to persist every relation
+//! // to disk — answers and metered statistics are identical.
 //! let engine = GumboEngine::with_defaults();
-//! let mut dfs = SimDfs::from_database(&db);
-//! let (stats, answer) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
+//! let dfs = SimDfs::from_database(&db);
+//! let (stats, answer) = engine.eval().run_with_output(&dfs, &query).unwrap();
 //!
 //! assert_eq!(answer.len(), 1); // only R(1, 10) survives
 //! assert!(stats.net_time() > 0.0);
@@ -45,7 +47,7 @@
 //! |---|---|
 //! | [`gumbo_common`] | values, tuples, facts, relations, databases |
 //! | [`gumbo_sgf`] | SGF/BSGF ASTs, parser, dependency graphs, naive evaluator |
-//! | [`gumbo_storage`] | simulated DFS with byte accounting and sampling |
+//! | [`gumbo_storage`] | `Dfs` trait with simulated and durable file-segment backends, byte accounting, LRU block cache, sampling |
 //! | [`gumbo_obs`] | zero-dependency tracing and metrics: spans, events, counters, ring/JSONL/Chrome-trace sinks |
 //! | [`gumbo_mr`] | `Executor` trait with simulated + multi-threaded runtimes, job DAGs, cluster model, cost models |
 //! | [`gumbo_sched`] | dependency-driven DAG scheduler, multi-tenant submissions |
@@ -91,7 +93,8 @@ pub mod prelude {
     };
     pub use gumbo_common::{ByteSize, Database, Fact, GumboError, Relation, Result, Tuple, Value};
     pub use gumbo_core::{
-        BsgfSetPlan, EvalOptions, Grouping, GumboEngine, PayloadMode, QueryContext, SortStrategy,
+        BsgfSetPlan, EvalOptions, EvalRequest, Grouping, GumboEngine, PayloadMode, QueryContext,
+        SortStrategy,
     };
     pub use gumbo_datagen::{DataSpec, Workload};
     pub use gumbo_mr::{
@@ -109,5 +112,5 @@ pub mod prelude {
         parse_program, parse_query, Atom, BsgfQuery, Condition, DependencyGraph, NaiveEvaluator,
         SgfQuery, Term, Var,
     };
-    pub use gumbo_storage::SimDfs;
+    pub use gumbo_storage::{CacheStats, Dfs, FileDfs, RelationScan, SimDfs, DEFAULT_CACHE_BYTES};
 }

@@ -20,12 +20,13 @@ fn run_with(threads: usize, workload: &gumbo::datagen::Workload) -> (Vec<String>
         ExecutorKind::Parallel { threads },
         EvalOptions::default(),
     );
-    let mut dfs = SimDfs::from_database(&db);
-    let stats = engine.evaluate(&mut dfs, &workload.query).unwrap();
+    let dfs = SimDfs::from_database(&db);
+    let stats = engine.evaluate(&dfs, &workload.query).unwrap();
     // Render every stored relation to a canonical string so runs can be
     // compared wholesale.
     let rendered = dfs
         .file_names()
+        .iter()
         .map(|name| {
             let rel = dfs.peek(name).unwrap();
             let tuples: Vec<String> = rel.iter().map(|t| format!("{t:?}")).collect();
@@ -123,15 +124,15 @@ fn value_order_within_groups_is_deterministic_across_thread_counts() {
     };
     let mut first: Option<Relation> = None;
     for threads in [1usize, 4, 16] {
-        let mut dfs = mk_dfs();
+        let dfs = mk_dfs();
         ExecutorKind::Parallel { threads }
             .build(EngineConfig {
                 scale: 100_000,
                 ..EngineConfig::default()
             })
-            .execute_job(&mut dfs, &job(), 0)
+            .execute_job(&dfs, &job(), 0)
             .unwrap();
-        let got = dfs.peek(&"First".into()).unwrap().clone();
+        let got = dfs.peek(&"First".into()).unwrap().as_ref().clone();
         match &first {
             None => first = Some(got),
             Some(expected) => {

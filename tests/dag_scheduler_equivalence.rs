@@ -66,9 +66,9 @@ fn dag_scheduler_matches_round_barrier_on_every_datagen_preset() {
     for workload in presets() {
         let db = workload.spec.clone().with_tuples(300).database(7);
 
-        let mut dfs_rounds = SimDfs::from_database(&db);
+        let dfs_rounds = SimDfs::from_database(&db);
         let stats_rounds = engine(None, ExecutorKind::Simulated)
-            .evaluate(&mut dfs_rounds, &workload.query)
+            .evaluate(&dfs_rounds, &workload.query)
             .unwrap_or_else(|e| panic!("{} (rounds): {e}", workload.name));
 
         for max_jobs in [1usize, 4] {
@@ -76,9 +76,9 @@ fn dag_scheduler_matches_round_barrier_on_every_datagen_preset() {
                 max_concurrent_jobs: max_jobs,
                 ..SchedulerConfig::default()
             });
-            let mut dfs_dag = SimDfs::from_database(&db);
+            let dfs_dag = SimDfs::from_database(&db);
             let stats_dag = engine(scheduler, ExecutorKind::Simulated)
-                .evaluate(&mut dfs_dag, &workload.query)
+                .evaluate(&dfs_dag, &workload.query)
                 .unwrap_or_else(|e| panic!("{} (dag x{max_jobs}): {e}", workload.name));
             assert_equivalent(
                 &format!("{} (max_jobs={max_jobs})", workload.name),
@@ -101,9 +101,9 @@ fn dag_scheduler_with_tiny_budget_matches_unbudgeted_round_barrier() {
     for workload in presets() {
         let db = workload.spec.clone().with_tuples(300).database(7);
 
-        let mut dfs_rounds = SimDfs::from_database(&db);
+        let dfs_rounds = SimDfs::from_database(&db);
         let stats_rounds = engine(None, ExecutorKind::Simulated)
-            .evaluate(&mut dfs_rounds, &workload.query)
+            .evaluate(&dfs_rounds, &workload.query)
             .unwrap_or_else(|e| panic!("{} (rounds): {e}", workload.name));
 
         let scheduler = Some(SchedulerConfig {
@@ -113,9 +113,11 @@ fn dag_scheduler_with_tiny_budget_matches_unbudgeted_round_barrier() {
         });
         let budgeted = engine(scheduler, ExecutorKind::Simulated);
         let runtime = budgeted.runtime();
-        let mut dfs_dag = SimDfs::from_database(&db);
+        let dfs_dag = SimDfs::from_database(&db);
         let stats_dag = budgeted
-            .evaluate_on(&*runtime, &mut dfs_dag, &workload.query)
+            .eval()
+            .on(&*runtime)
+            .run(&dfs_dag, &workload.query)
             .unwrap_or_else(|e| panic!("{} (dag, budgeted): {e}", workload.name));
 
         let label = format!("{} (dag, budget {BUDGET})", workload.name);
@@ -143,9 +145,9 @@ fn placement_policies_match_round_barrier_on_every_preset() {
     for workload in presets() {
         let db = workload.spec.clone().with_tuples(120).database(11);
 
-        let mut dfs_rounds = SimDfs::from_database(&db);
+        let dfs_rounds = SimDfs::from_database(&db);
         let stats_rounds = engine(None, ExecutorKind::Simulated)
-            .evaluate(&mut dfs_rounds, &workload.query)
+            .evaluate(&dfs_rounds, &workload.query)
             .unwrap_or_else(|e| panic!("{} (rounds): {e}", workload.name));
         assert!(
             stats_rounds.predicted_net_time.is_none(),
@@ -166,9 +168,9 @@ fn placement_policies_match_round_barrier_on_every_preset() {
                             .unwrap_or(gumbo::mr::MemBudget::UNLIMITED),
                         ..SchedulerConfig::default()
                     });
-                    let mut dfs_dag = SimDfs::from_database(&db);
+                    let dfs_dag = SimDfs::from_database(&db);
                     let stats_dag = engine(scheduler, executor)
-                        .evaluate(&mut dfs_dag, &workload.query)
+                        .evaluate(&dfs_dag, &workload.query)
                         .unwrap_or_else(|e| {
                             panic!("{} ({} {:?}): {e}", workload.name, policy.label(), executor)
                         });
@@ -203,9 +205,9 @@ fn predicted_net_time_is_policy_invariant_and_positive() {
             placement: policy,
             ..SchedulerConfig::default()
         });
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         let stats = engine(scheduler, ExecutorKind::Simulated)
-            .evaluate(&mut dfs, &workload.query)
+            .evaluate(&dfs, &workload.query)
             .unwrap();
         let predicted = stats.predicted_net_time.unwrap();
         assert!(predicted > 0.0, "{}: {predicted}", policy.label());
@@ -224,12 +226,12 @@ fn dag_scheduler_composes_with_parallel_runtime() {
     let workload = queries::a3().with_tuples(300);
     let db = workload.spec.database(7);
 
-    let mut dfs_rounds = SimDfs::from_database(&db);
+    let dfs_rounds = SimDfs::from_database(&db);
     let stats_rounds = engine(None, ExecutorKind::Simulated)
-        .evaluate(&mut dfs_rounds, &workload.query)
+        .evaluate(&dfs_rounds, &workload.query)
         .unwrap();
 
-    let mut dfs_dag = SimDfs::from_database(&db);
+    let dfs_dag = SimDfs::from_database(&db);
     let stats_dag = engine(
         Some(SchedulerConfig {
             max_concurrent_jobs: 4,
@@ -238,7 +240,7 @@ fn dag_scheduler_composes_with_parallel_runtime() {
         }),
         ExecutorKind::Parallel { threads: 0 },
     )
-    .evaluate(&mut dfs_dag, &workload.query)
+    .evaluate(&dfs_dag, &workload.query)
     .unwrap();
 
     assert_equivalent(
@@ -260,13 +262,13 @@ fn dag_scheduler_matches_naive_reference_on_c2() {
         .evaluate_sgf_all(&workload.query, &db)
         .unwrap();
 
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = SimDfs::from_database(&db);
     engine(Some(SchedulerConfig::default()), ExecutorKind::Simulated)
-        .evaluate(&mut dfs, &workload.query)
+        .evaluate(&dfs, &workload.query)
         .unwrap();
     for q in workload.query.queries() {
         assert_eq!(
-            dfs.peek(q.output()).unwrap(),
+            dfs.peek(q.output()).unwrap().as_ref(),
             expected
                 .relation(q.output())
                 .expect("naive computed all outputs"),

@@ -69,9 +69,9 @@ fn check_matrix(dag: bool) {
     for workload in presets() {
         let db = workload.spec.clone().with_tuples(300).database(7);
 
-        let mut dfs_ref = SimDfs::from_database(&db);
+        let dfs_ref = SimDfs::from_database(&db);
         let stats_ref = engine(DataPlane::Pairs, ExecutorKind::Simulated, false, None)
-            .evaluate(&mut dfs_ref, &workload.query)
+            .evaluate(&dfs_ref, &workload.query)
             .unwrap_or_else(|e| panic!("{} (reference): {e}", workload.name));
 
         for plane in [DataPlane::Pairs, DataPlane::Columnar] {
@@ -82,7 +82,7 @@ fn check_matrix(dag: bool) {
                 for budget in [None, Some(BUDGET)] {
                     let subject = engine(plane, kind, dag, budget);
                     let runtime = subject.runtime();
-                    let mut dfs = SimDfs::from_database(&db);
+                    let dfs = SimDfs::from_database(&db);
                     let label = format!(
                         "{} ({}, {}, {}, budget {:?})",
                         workload.name,
@@ -92,7 +92,9 @@ fn check_matrix(dag: bool) {
                         budget
                     );
                     let stats = subject
-                        .evaluate_on(&*runtime, &mut dfs, &workload.query)
+                        .eval()
+                        .on(&*runtime)
+                        .run(&dfs, &workload.query)
                         .unwrap_or_else(|e| panic!("{label}: {e}"));
 
                     gumbo::sched::assert_identical_dfs(&label, &dfs_ref, &dfs);

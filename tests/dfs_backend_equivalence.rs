@@ -1,0 +1,198 @@
+//! Cross-backend equivalence: the durable file-segment DFS must be
+//! observationally identical to the in-memory simulated DFS.
+//!
+//! For every `datagen` query preset (A1–A5, B1/B2 and the nested C1–C4
+//! programs of Figure 6), a single reference run — sim backend, pair
+//! plane, round barrier — is compared against **both** backends across
+//!
+//! `{sim, file} × {round barrier, DAG scheduler} × {pairs, columnar}`
+//!
+//! requiring byte-identical answer relations (every file left in the
+//! DFS), identical logical I/O meters (`bytes_read` / `bytes_written`
+//! are charged per *logical* relation size, so they must not depend on
+//! the backend) and exact agreement on the paper's four metrics.
+//!
+//! Two more properties only the file backend has are covered here too:
+//! restart (a reopened store serves the exact relations a previous
+//! process committed) and cache pressure (a block cache far smaller
+//! than the input evicts — observably — without changing any answer).
+
+use std::path::PathBuf;
+
+use gumbo::datagen::queries;
+use gumbo::prelude::*;
+
+const TUPLES: usize = 250;
+const SEED: u64 = 7;
+
+fn presets() -> Vec<gumbo::datagen::Workload> {
+    let mut all = vec![
+        queries::a1(),
+        queries::a2(),
+        queries::a3(),
+        queries::a4(),
+        queries::a5(),
+        queries::b1(),
+        queries::b2(),
+    ];
+    all.extend(queries::figure6());
+    all
+}
+
+/// A fresh, empty temp root for one file-backed run.
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("gumbo-dfs-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+fn engine(plane: DataPlane, dag: bool) -> GumboEngine {
+    let mut options = EvalOptions::default();
+    if dag {
+        options.scheduler = Some(SchedulerConfig {
+            max_concurrent_jobs: 3,
+            ..SchedulerConfig::default()
+        });
+    }
+    GumboEngine::with_executor(
+        EngineConfig {
+            scale: 5_000,
+            data_plane: plane,
+            ..EngineConfig::default()
+        },
+        ExecutorKind::Simulated,
+        options,
+    )
+}
+
+/// Run every (backend, plane) combination on one scheduling path and
+/// compare each against the sim-backend reference run.
+fn check_matrix(dag: bool) {
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(TUPLES).database(SEED);
+
+        let dfs_ref = SimDfs::from_database(&db);
+        let stats_ref = engine(DataPlane::Pairs, false)
+            .evaluate(&dfs_ref, &workload.query)
+            .unwrap_or_else(|e| panic!("{} (reference): {e}", workload.name));
+
+        for backend in ["sim", "file"] {
+            for plane in [DataPlane::Pairs, DataPlane::Columnar] {
+                let label = format!(
+                    "{} ({backend}, {}, {})",
+                    workload.name,
+                    plane.label(),
+                    if dag { "dag" } else { "rounds" },
+                );
+                let root = temp_root(&format!(
+                    "{}-{backend}-{}-{dag}",
+                    workload.name,
+                    plane.label()
+                ));
+                let dfs: Box<dyn Dfs> = match backend {
+                    "sim" => Box::new(SimDfs::from_database(&db)),
+                    _ => Box::new(
+                        FileDfs::from_database(&root, DEFAULT_CACHE_BYTES, &db)
+                            .unwrap_or_else(|e| panic!("{label}: {e}")),
+                    ),
+                };
+                let stats = engine(plane, dag)
+                    .evaluate(&*dfs, &workload.query)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+
+                gumbo::sched::assert_identical_dfs(&label, &dfs_ref, &*dfs);
+                gumbo::sched::assert_identical_stats(&label, &stats_ref, &stats);
+                drop(dfs);
+                let _ = std::fs::remove_dir_all(&root);
+            }
+        }
+    }
+}
+
+#[test]
+fn both_backends_agree_on_every_preset_under_the_round_barrier() {
+    check_matrix(false);
+}
+
+#[test]
+fn both_backends_agree_on_every_preset_under_the_dag_scheduler() {
+    check_matrix(true);
+}
+
+/// Durability: evaluate into a file store, drop the handle, reopen the
+/// same root in a fresh instance and find the exact same relations —
+/// inputs, intermediates and answers — with zeroed I/O counters.
+#[test]
+fn file_dfs_restarts_from_durable_state() {
+    let workload = queries::a3();
+    let db = workload.spec.clone().with_tuples(TUPLES).database(SEED);
+    let root = temp_root("restart");
+
+    let snapshot: Vec<(gumbo::common::RelationName, std::sync::Arc<Relation>)> = {
+        let dfs = FileDfs::from_database(&root, DEFAULT_CACHE_BYTES, &db).unwrap();
+        engine(DataPlane::default(), false)
+            .evaluate(&dfs, &workload.query)
+            .unwrap();
+        dfs.flush().unwrap();
+        dfs.file_names()
+            .into_iter()
+            .map(|name| {
+                let rel = dfs.peek(&name).unwrap();
+                (name, rel)
+            })
+            .collect()
+    }; // handle dropped: only the on-disk state survives
+
+    let reopened = FileDfs::open(&root, DEFAULT_CACHE_BYTES).unwrap();
+    assert_eq!(
+        reopened.file_names().len(),
+        snapshot.len(),
+        "reopened store lost or grew relations"
+    );
+    for (name, expected) in &snapshot {
+        let got = reopened.peek(name).unwrap();
+        assert_eq!(&got, expected, "relation {name} changed across restart");
+        assert_eq!(
+            got.estimated_bytes(),
+            expected.estimated_bytes(),
+            "relation {name} byte size changed across restart"
+        );
+    }
+    assert_eq!(reopened.bytes_read().as_bytes(), 0);
+    assert_eq!(reopened.bytes_written().as_bytes(), 0);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Cache pressure: a block cache far smaller than the working set must
+/// evict (the counters prove it) while every answer and meter stays
+/// byte-identical to the in-memory backend.
+#[test]
+fn tiny_block_cache_evicts_without_changing_answers() {
+    let workload = queries::a1();
+    let db = workload.spec.clone().with_tuples(400).database(SEED);
+
+    let dfs_sim = SimDfs::from_database(&db);
+    let stats_sim = engine(DataPlane::default(), false)
+        .evaluate(&dfs_sim, &workload.query)
+        .unwrap();
+
+    let root = temp_root("evict");
+    // 2 KiB holds less than one decoded frame of most relations here.
+    let dfs_file = FileDfs::from_database(&root, 2048, &db).unwrap();
+    let stats_file = engine(DataPlane::default(), false)
+        .evaluate(&dfs_file, &workload.query)
+        .unwrap();
+
+    let cache = dfs_file.cache_stats();
+    assert!(
+        cache.evictions > 0,
+        "a 2 KiB cache must evict on this workload (stats: {cache:?})"
+    );
+    assert!(
+        cache.cached_bytes <= cache.capacity_bytes.max(cache.cached_bytes),
+        "cache accounting went negative: {cache:?}"
+    );
+    gumbo::sched::assert_identical_dfs("tiny cache", &dfs_sim, &dfs_file);
+    gumbo::sched::assert_identical_stats("tiny cache", &stats_sim, &stats_file);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -23,8 +23,8 @@ fn check(query_text: &str, d: &Database) -> Relation {
             GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default()),
         ),
     ] {
-        let mut dfs = SimDfs::from_database(d);
-        let (_, got) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
+        let dfs = SimDfs::from_database(d);
+        let (_, got) = engine.eval().run_with_output(&dfs, &query).unwrap();
         assert_eq!(got, expected, "{name} on {query_text}");
     }
     expected

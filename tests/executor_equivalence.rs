@@ -44,20 +44,20 @@ fn parallel_and_simulated_agree_on_every_datagen_preset() {
     for workload in presets() {
         let db = workload.spec.clone().with_tuples(300).database(7);
 
-        let mut dfs_sim = SimDfs::from_database(&db);
+        let dfs_sim = SimDfs::from_database(&db);
         let stats_sim = engine(ExecutorKind::Simulated)
-            .evaluate(&mut dfs_sim, &workload.query)
+            .evaluate(&dfs_sim, &workload.query)
             .unwrap_or_else(|e| panic!("{} (simulated): {e}", workload.name));
 
-        let mut dfs_par = SimDfs::from_database(&db);
+        let dfs_par = SimDfs::from_database(&db);
         let stats_par = engine(ExecutorKind::Parallel { threads: 4 })
-            .evaluate(&mut dfs_par, &workload.query)
+            .evaluate(&dfs_par, &workload.query)
             .unwrap_or_else(|e| panic!("{} (parallel): {e}", workload.name));
 
         // Byte-identical answer relations: same files, same contents,
         // same estimated sizes.
-        let names_sim: Vec<_> = dfs_sim.file_names().cloned().collect();
-        let names_par: Vec<_> = dfs_par.file_names().cloned().collect();
+        let names_sim = dfs_sim.file_names();
+        let names_par = dfs_par.file_names();
         assert_eq!(names_sim, names_par, "{}: file sets differ", workload.name);
         for name in &names_sim {
             let (a, b) = (dfs_sim.peek(name).unwrap(), dfs_par.peek(name).unwrap());
@@ -135,9 +135,9 @@ fn tiny_budget_spilling_is_observationally_identical_on_every_preset() {
     for workload in presets() {
         let db = workload.spec.clone().with_tuples(300).database(7);
 
-        let mut dfs_ref = SimDfs::from_database(&db);
+        let dfs_ref = SimDfs::from_database(&db);
         let stats_ref = engine(ExecutorKind::Simulated)
-            .evaluate(&mut dfs_ref, &workload.query)
+            .evaluate(&dfs_ref, &workload.query)
             .unwrap_or_else(|e| panic!("{} (unlimited): {e}", workload.name));
         assert_eq!(stats_ref.spilled_bytes(), 0, "{}", workload.name);
 
@@ -148,9 +148,11 @@ fn tiny_budget_spilling_is_observationally_identical_on_every_preset() {
             let mut budgeted = engine(kind);
             budgeted.options.mem_budget = gumbo::mr::MemBudget::bytes(BUDGET);
             let runtime = budgeted.runtime();
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let stats = budgeted
-                .evaluate_on(&*runtime, &mut dfs, &workload.query)
+                .eval()
+                .on(&*runtime)
+                .run(&dfs, &workload.query)
                 .unwrap_or_else(|e| panic!("{} ({}, budgeted): {e}", workload.name, kind.label()));
 
             let label = format!("{} ({}, budget {BUDGET})", workload.name, kind.label());
@@ -179,13 +181,13 @@ fn parallel_runtime_matches_naive_reference_on_a3() {
         .evaluate_sgf_all(&workload.query, &db)
         .unwrap();
 
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = SimDfs::from_database(&db);
     engine(ExecutorKind::Parallel { threads: 0 })
-        .evaluate(&mut dfs, &workload.query)
+        .evaluate(&dfs, &workload.query)
         .unwrap();
     for q in workload.query.queries() {
         assert_eq!(
-            dfs.peek(q.output()).unwrap(),
+            dfs.peek(q.output()).unwrap().as_ref(),
             expected
                 .relation(q.output())
                 .expect("naive computed all outputs"),

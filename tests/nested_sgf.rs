@@ -35,13 +35,13 @@ fn check_workload(w: &gumbo::datagen::Workload, tuples: usize, seed: u64) {
         .evaluate_sgf_all(&w.query, &db)
         .unwrap();
     for (name, engine) in engines() {
-        let mut dfs = SimDfs::from_database(&db);
-        engine.evaluate(&mut dfs, &w.query).unwrap();
+        let dfs = SimDfs::from_database(&db);
+        engine.evaluate(&dfs, &w.query).unwrap();
         for q in w.query.queries() {
             let expected = naive.relation(q.output()).unwrap();
             let got = dfs.peek(q.output()).unwrap();
             assert_eq!(
-                got,
+                got.as_ref(),
                 expected,
                 "workload {} strategy {name} output {}",
                 w.name,
@@ -79,11 +79,11 @@ fn table2_workloads_with_default_engine() {
             .evaluate_sgf_all(&w.query, &db)
             .unwrap();
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-        let mut dfs = SimDfs::from_database(&db);
-        engine.evaluate(&mut dfs, &w.query).unwrap();
+        let dfs = SimDfs::from_database(&db);
+        engine.evaluate(&dfs, &w.query).unwrap();
         for q in w.query.queries() {
             assert_eq!(
-                dfs.peek(q.output()).unwrap(),
+                dfs.peek(q.output()).unwrap().as_ref(),
                 naive.relation(q.output()).unwrap(),
                 "workload {}",
                 w.name
@@ -99,8 +99,8 @@ fn cost_model_stress_query_is_correct() {
     let db = w.spec.database(3);
     let naive = NaiveEvaluator::new().evaluate_sgf(&w.query, &db).unwrap();
     let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-    let mut dfs = SimDfs::from_database(&db);
-    let (_, got) = engine.evaluate_with_output(&mut dfs, &w.query).unwrap();
+    let dfs = SimDfs::from_database(&db);
+    let (_, got) = engine.eval().run_with_output(&dfs, &w.query).unwrap();
     assert_eq!(got, naive);
     // With selectivity-style filtering, the answer is (almost surely) empty.
     assert!(got.len() <= 1);
@@ -113,8 +113,8 @@ fn query_size_family_is_correct_at_each_size() {
         let db = w.spec.database(k as u64);
         let naive = NaiveEvaluator::new().evaluate_sgf(&w.query, &db).unwrap();
         let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-        let mut dfs = SimDfs::from_database(&db);
-        let (stats, got) = engine.evaluate_with_output(&mut dfs, &w.query).unwrap();
+        let dfs = SimDfs::from_database(&db);
+        let (stats, got) = engine.eval().run_with_output(&dfs, &w.query).unwrap();
         assert_eq!(got, naive, "k = {k}");
         // Same-key family always fuses to a single job.
         assert_eq!(stats.num_jobs(), 1, "k = {k}");
@@ -146,8 +146,8 @@ fn deep_chain_program() {
     let expected = NaiveEvaluator::new().evaluate_sgf(&query, &db).unwrap();
     for (name, engine) in engines() {
         // Brute-force sort enumeration over a 6-chain is fine (1 sort).
-        let mut dfs = SimDfs::from_database(&db);
-        let (_, got) = engine.evaluate_with_output(&mut dfs, &query).unwrap();
+        let dfs = SimDfs::from_database(&db);
+        let (_, got) = engine.eval().run_with_output(&dfs, &query).unwrap();
         assert_eq!(got, expected, "strategy {name}");
     }
 }
@@ -157,8 +157,8 @@ fn stats_invariants_hold() {
     let w = queries::c3();
     let db = w.spec.clone().with_tuples(400).database(5);
     let engine = GumboEngine::new(EngineConfig::default(), EvalOptions::default());
-    let mut dfs = SimDfs::from_database(&db);
-    let stats = engine.evaluate(&mut dfs, &w.query).unwrap();
+    let dfs = SimDfs::from_database(&db);
+    let stats = engine.evaluate(&dfs, &w.query).unwrap();
     // Net time never exceeds total time (total sums all tasks + overheads;
     // net schedules them onto >= 1 slots with shared per-round overhead).
     assert!(stats.net_time() <= stats.total_time() + 1e-6);

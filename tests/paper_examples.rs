@@ -21,8 +21,8 @@ fn eval_all_strategies(query: &SgfQuery, database: &Database) -> Relation {
         ("par", par_engine(cfg)),
         ("sequnit", sequnit_engine(cfg)),
     ] {
-        let mut dfs = SimDfs::from_database(database);
-        let (_, got) = engine.evaluate_with_output(&mut dfs, query).unwrap();
+        let dfs = SimDfs::from_database(database);
+        let (_, got) = engine.eval().run_with_output(&dfs, query).unwrap();
         assert_eq!(got, expected, "strategy {name}");
     }
     expected
@@ -170,9 +170,9 @@ fn example4_all_figure2_plans() {
         for mode in [PayloadMode::Full, PayloadMode::Reference] {
             let plan = BsgfSetPlan::two_round(groups.clone(), mode, JobConfig::default());
             let program = plan.build_program(&ctx).unwrap();
-            let mut dfs = SimDfs::from_database(&d);
-            engine.execute(&mut dfs, &program).unwrap();
-            assert_eq!(dfs.peek(&"Z".into()).unwrap(), &expected);
+            let dfs = SimDfs::from_database(&d);
+            engine.execute(&dfs, &program).unwrap();
+            assert_eq!(dfs.peek(&"Z".into()).unwrap().as_ref(), &expected);
         }
     }
 }
@@ -206,9 +206,9 @@ fn example5_greedy_sort_matches_paper() {
     ]);
     let expected = NaiveEvaluator::new().evaluate_sgf(&q, &d).unwrap();
     let engine = GumboEngine::new(EngineConfig::unscaled(), EvalOptions::default());
-    let mut dfs = SimDfs::from_database(&d);
-    let stats = engine.evaluate_with_sort(&mut dfs, &q, &sort).unwrap();
-    assert_eq!(dfs.peek(&"Z5".into()).unwrap(), &expected);
+    let dfs = SimDfs::from_database(&d);
+    let stats = engine.eval().with_sort(&sort).run(&dfs, &q).unwrap();
+    assert_eq!(dfs.peek(&"Z5".into()).unwrap().as_ref(), &expected);
     // 4 groups of fused single-semijoin queries.
     assert_eq!(stats.num_rounds(), 4);
 }

@@ -38,12 +38,9 @@ fn estimates_track_measured_costs() {
         let estimated = est
             .msj_cost(&ctx, &group, PayloadMode::Reference, &JobConfig::default())
             .unwrap();
-        let mut run_dfs = SimDfs::from_database(&dfs.to_database());
+        let run_dfs = SimDfs::from_database(&dfs.to_database());
         let job = build_msj_job(&ctx, &group, PayloadMode::Reference, JobConfig::default());
-        let measured = engine
-            .execute_job(&mut run_dfs, &job, 0)
-            .unwrap()
-            .total_cost;
+        let measured = engine.execute_job(&run_dfs, &job, 0).unwrap().total_cost;
         let ratio = estimated / measured;
         assert!(
             (0.5..=2.0).contains(&ratio),
@@ -130,12 +127,9 @@ fn pairwise_ranking_accuracy_is_high() {
             let estimated = est
                 .msj_cost(&ctx, &group, PayloadMode::Reference, &JobConfig::default())
                 .unwrap();
-            let mut run_dfs = SimDfs::from_database(&dfs.to_database());
+            let run_dfs = SimDfs::from_database(&dfs.to_database());
             let job = build_msj_job(&ctx, &group, PayloadMode::Reference, JobConfig::default());
-            let measured = engine
-                .execute_job(&mut run_dfs, &job, 0)
-                .unwrap()
-                .total_cost;
+            let measured = engine.execute_job(&run_dfs, &job, 0).unwrap().total_cost;
             observations.push((estimated, measured));
         }
     }

@@ -29,14 +29,14 @@ fn ctx() -> QueryContext {
 
 fn run(salts: u32, reducers: usize) -> (SimDfs, gumbo::mr::JobStats) {
     let db = skewed_db(400);
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = SimDfs::from_database(&db);
     let config = JobConfig {
         reducer_policy: gumbo::mr::ReducerPolicy::Fixed(reducers),
         ..JobConfig::default()
     };
     let job = build_msj_job_salted(&ctx(), &[0], PayloadMode::Full, config, salts);
     let engine = Engine::new(EngineConfig::unscaled());
-    let stats = engine.execute_job(&mut dfs, &job, 0).unwrap();
+    let stats = engine.execute_job(&dfs, &job, 0).unwrap();
     (dfs, stats)
 }
 
@@ -104,13 +104,13 @@ fn salting_costs_assert_replication() {
 #[test]
 fn default_builder_is_unsalted() {
     let db = skewed_db(50);
-    let mut d1 = SimDfs::from_database(&db);
-    let mut d2 = SimDfs::from_database(&db);
+    let d1 = SimDfs::from_database(&db);
+    let d2 = SimDfs::from_database(&db);
     let engine = Engine::new(EngineConfig::unscaled());
     let j1 = build_msj_job(&ctx(), &[0], PayloadMode::Full, JobConfig::default());
     let j2 = build_msj_job_salted(&ctx(), &[0], PayloadMode::Full, JobConfig::default(), 1);
-    let s1 = engine.execute_job(&mut d1, &j1, 0).unwrap();
-    let s2 = engine.execute_job(&mut d2, &j2, 0).unwrap();
+    let s1 = engine.execute_job(&d1, &j1, 0).unwrap();
+    let s2 = engine.execute_job(&d2, &j2, 0).unwrap();
     assert_eq!(s1.communication_bytes(), s2.communication_bytes());
     assert_eq!(
         d1.peek(&"Z#X0".into()).unwrap(),

@@ -183,21 +183,21 @@ proptest! {
 
         for (name, stats_and_result) in [
             ("greedy", {
-                let mut dfs = SimDfs::from_database(&db);
-                greedy_engine(cfg).evaluate(&mut dfs, &query).map(|_| {
-                    dfs.peek(&"Zout".into()).unwrap().clone()
+                let dfs = SimDfs::from_database(&db);
+                greedy_engine(cfg).evaluate(&dfs, &query).map(|_| {
+                    dfs.peek(&"Zout".into()).unwrap().as_ref().clone()
                 })
             }),
             ("one_round", {
-                let mut dfs = SimDfs::from_database(&db);
-                one_round_engine(cfg).evaluate(&mut dfs, &query).map(|_| {
-                    dfs.peek(&"Zout".into()).unwrap().clone()
+                let dfs = SimDfs::from_database(&db);
+                one_round_engine(cfg).evaluate(&dfs, &query).map(|_| {
+                    dfs.peek(&"Zout".into()).unwrap().as_ref().clone()
                 })
             }),
             ("par", {
-                let mut dfs = SimDfs::from_database(&db);
-                par_engine(cfg).evaluate(&mut dfs, &query).map(|_| {
-                    dfs.peek(&"Zout".into()).unwrap().clone()
+                let dfs = SimDfs::from_database(&db);
+                par_engine(cfg).evaluate(&dfs, &query).map(|_| {
+                    dfs.peek(&"Zout".into()).unwrap().as_ref().clone()
                 })
             }),
         ] {
@@ -208,26 +208,26 @@ proptest! {
         // Baseline system simulators agree too.
         let queries = query.queries().to_vec();
         for name in ["hpar", "hpars", "ppar"] {
-            let mut dfs = SimDfs::from_database(&db);
+            let dfs = SimDfs::from_database(&db);
             let engine = Engine::new(cfg);
             match name {
-                "hpar" => HiveSim::hpar().evaluate(&engine, &mut dfs, &queries).map(|_| ()),
-                "hpars" => HiveSim::hpars().evaluate(&engine, &mut dfs, &queries).map(|_| ()),
-                _ => PigSim::ppar().evaluate(&engine, &mut dfs, &queries).map(|_| ()),
+                "hpar" => HiveSim::hpar().evaluate(&engine, &dfs, &queries).map(|_| ()),
+                "hpars" => HiveSim::hpars().evaluate(&engine, &dfs, &queries).map(|_| ()),
+                _ => PigSim::ppar().evaluate(&engine, &dfs, &queries).map(|_| ()),
             }
             .unwrap();
             let got = dfs.peek(&"Zout".into()).unwrap();
-            prop_assert_eq!(got, &expected, "system {} on {}", name, &text);
+            prop_assert_eq!(got.as_ref(), &expected, "system {} on {}", name, &text);
         }
 
         // SEQ where the condition is in DNF (skip otherwise).
-        let mut dfs = SimDfs::from_database(&db);
+        let dfs = SimDfs::from_database(&db);
         if SeqStrategy::default()
-            .evaluate(&Engine::new(cfg), &mut dfs, &queries)
+            .evaluate(&Engine::new(cfg), &dfs, &queries)
             .is_ok()
         {
             let got = dfs.peek(&"Zout".into()).unwrap();
-            prop_assert_eq!(got, &expected, "SEQ on {}", &text);
+            prop_assert_eq!(got.as_ref(), &expected, "SEQ on {}", &text);
         }
     }
 }

@@ -127,10 +127,10 @@ fn traced_run(
             ..EvalOptions::default()
         },
     );
-    let mut dfs = SimDfs::from_database(&db);
+    let dfs = SimDfs::from_database(&db);
     let ring = Arc::new(RingSink::new(1 << 20));
     gumbo::obs::install(ring.clone());
-    let result = engine.evaluate(&mut dfs, &workload.query);
+    let result = engine.evaluate(&dfs, &workload.query);
     gumbo::obs::uninstall();
     let stats = result.unwrap_or_else(|e| panic!("{}: {e}", workload.name));
     assert_eq!(ring.dropped(), 0, "{}: ring sink overflowed", workload.name);
@@ -352,8 +352,8 @@ fn panicking_reducer_leaves_closed_spans_and_valid_chrome_json() {
     gumbo::obs::install(Arc::new(chrome));
     let executor = ExecutorKind::Simulated.build(EngineConfig::default());
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut dfs = SimDfs::from_database(&db);
-        executor.execute(&mut dfs, &program)
+        let dfs = SimDfs::from_database(&db);
+        executor.execute(&dfs, &program)
     }));
     gumbo::obs::uninstall();
     assert!(outcome.is_err(), "the bomb must actually go off");
