@@ -149,6 +149,7 @@ pub fn build_join_job(
         reducer: Box::new(JoinReducer { routes }),
         config,
         estimate: None,
+        filter: None,
     }
 }
 

@@ -216,6 +216,7 @@ impl SeqStrategy {
             }),
             config: self.job_config,
             estimate: None,
+            filter: None,
         }))
     }
 }

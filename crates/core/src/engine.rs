@@ -98,6 +98,13 @@ pub struct EvalOptions {
     /// [`gumbo_storage::DEFAULT_CACHE_BYTES`]. Cache sizing can change
     /// wall clock and cache counters only, never answers or byte meters.
     pub dfs_cache: Option<u64>,
+    /// Bloom-filtered semijoin shuffle (`--shuffle-filter` on the CLI).
+    /// `Off` shuffles every message; `Bloom` filters every MSJ job;
+    /// `Auto` filters only jobs whose planner prediction says the
+    /// suppressed bytes exceed the filter broadcast. Answers are
+    /// byte-identical either way — filtering changes byte meters and wall
+    /// clock only.
+    pub shuffle_filter: gumbo_mr::ShuffleFilterMode,
 }
 
 impl Default for EvalOptions {
@@ -114,6 +121,7 @@ impl Default for EvalOptions {
             scheduler: None,
             mem_budget: gumbo_mr::MemBudget::UNLIMITED,
             dfs_cache: None,
+            shuffle_filter: gumbo_mr::ShuffleFilterMode::Off,
         }
     }
 }
@@ -134,6 +142,12 @@ impl EvalOptions {
     /// Builder-style: set the durable-DFS block-cache budget in bytes.
     pub fn with_dfs_cache(mut self, bytes: u64) -> Self {
         self.dfs_cache = Some(bytes);
+        self
+    }
+
+    /// Builder-style: set the Bloom-filtered shuffle mode.
+    pub fn with_shuffle_filter(mut self, mode: gumbo_mr::ShuffleFilterMode) -> Self {
+        self.shuffle_filter = mode;
         self
     }
 }
@@ -189,6 +203,9 @@ impl GumboEngine {
         let mut config = self.config;
         if self.options.mem_budget.is_limited() {
             config.mem_budget = self.options.mem_budget;
+        }
+        if self.options.shuffle_filter != gumbo_mr::ShuffleFilterMode::Off {
+            config.shuffle_filter = self.options.shuffle_filter;
         }
         let kind = match self.options.scheduler {
             Some(sched) => {
@@ -284,6 +301,7 @@ impl GumboEngine {
                 return Ok(BsgfSetPlan::one_round(OneRoundKind::Disjunctive, cfg));
             }
         }
+        let shuffle_filter = self.options.shuffle_filter;
         let n = ctx.semijoins().len();
         let mode = self.options.mode;
         let groups: Vec<Vec<usize>> = match self.options.grouping {
@@ -321,7 +339,7 @@ impl GumboEngine {
                     .collect()
             }
         };
-        Ok(BsgfSetPlan::two_round(groups, mode, cfg))
+        Ok(BsgfSetPlan::two_round(groups, mode, cfg).with_shuffle_filter(shuffle_filter))
     }
 
     /// Start a builder-style evaluation request — the one entrypoint
@@ -351,56 +369,6 @@ impl GumboEngine {
     /// `self.eval().run(dfs, query)`.
     pub fn evaluate(&self, dfs: &dyn Dfs, query: &SgfQuery) -> Result<ProgramStats> {
         self.eval().run(dfs, query)
-    }
-
-    /// Deprecated shim for [`GumboEngine::eval`]`().on(runtime).run(..)`.
-    #[deprecated(note = "use engine.eval().on(runtime).run(dfs, query)")]
-    pub fn evaluate_on(
-        &self,
-        runtime: &dyn Executor,
-        dfs: &dyn Dfs,
-        query: &SgfQuery,
-    ) -> Result<ProgramStats> {
-        self.eval().on(runtime).run(dfs, query)
-    }
-
-    /// Deprecated shim for [`GumboEngine::eval`]`().run_many(..)`.
-    #[deprecated(note = "use engine.eval().run_many(dfs, queries)")]
-    pub fn evaluate_many(&self, dfs: &dyn Dfs, queries: &[SgfQuery]) -> Result<ProgramStats> {
-        self.eval().run_many(dfs, queries)
-    }
-
-    /// Deprecated shim for [`GumboEngine::eval`]`().dynamic().run(..)`.
-    #[deprecated(note = "use engine.eval().dynamic().run(dfs, query)")]
-    pub fn evaluate_dynamic(&self, dfs: &dyn Dfs, query: &SgfQuery) -> Result<ProgramStats> {
-        self.eval().dynamic().run(dfs, query)
-    }
-
-    /// Deprecated shim for [`GumboEngine::eval`]`().with_sort(sort).run(..)`.
-    #[deprecated(note = "use engine.eval().with_sort(sort).run(dfs, query)")]
-    pub fn evaluate_with_sort(
-        &self,
-        dfs: &dyn Dfs,
-        query: &SgfQuery,
-        sort: &MultiwayTopoSort,
-    ) -> Result<ProgramStats> {
-        self.eval().with_sort(sort).run(dfs, query)
-    }
-
-    /// Deprecated shim for [`GumboEngine::eval`]`().run_with_output(..)`.
-    #[deprecated(note = "use engine.eval().run_with_output(dfs, query)")]
-    pub fn evaluate_with_output(
-        &self,
-        dfs: &dyn Dfs,
-        query: &SgfQuery,
-    ) -> Result<(ProgramStats, Relation)> {
-        self.eval().run_with_output(dfs, query)
-    }
-
-    /// Deprecated shim for [`GumboEngine::eval`]`().run_bsgf(..)`.
-    #[deprecated(note = "use engine.eval().run_bsgf(dfs, query)")]
-    pub fn evaluate_bsgf(&self, dfs: &dyn Dfs, query: &BsgfQuery) -> Result<ProgramStats> {
-        self.eval().run_bsgf(dfs, query)
     }
 
     /// Dynamic `Greedy-SGF` (§4.6, closing remark): after each group is

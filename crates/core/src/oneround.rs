@@ -331,6 +331,7 @@ fn build_job(
         reducer,
         config,
         estimate: None,
+        filter: None,
     }
 }
 

@@ -76,6 +76,7 @@ pub mod parallel;
 pub mod profile;
 pub mod program;
 pub mod shuffle;
+pub mod shuffle_filter;
 pub mod simulated;
 
 pub use batch_shuffle::{BatchGroupStream, BatchPartition, PairBatch, TupleStore};
@@ -96,6 +97,10 @@ pub use profile::{InputPartition, JobProfile};
 pub use program::MrProgram;
 pub use shuffle::{
     GroupStream, MemBudget, MemoryBudget, ShuffleSpill, SpillStats, SpillingPartition,
+};
+pub use shuffle_filter::{
+    filter_bytes_for, predicted_fp_rate_for, FilterSpec, FilterStats, ShuffleFilterMode,
+    SplitBlockBloom,
 };
 pub use simulated::{Engine, SimulatedExecutor};
 

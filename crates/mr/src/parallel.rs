@@ -37,8 +37,8 @@ use gumbo_common::{Relation, RelationName, Result, Tuple};
 
 use crate::batch_shuffle::{BatchPartition, PairBatch};
 use crate::executor::{
-    run_map_task, run_map_task_batch, run_reduce_stream, ComputedJob, DataPlane, EngineConfig,
-    Executor, Groups, MapPlan,
+    build_job_filters, run_map_task, run_map_task_batch, run_reduce_stream, ComputedJob, DataPlane,
+    EngineConfig, Executor, Groups, MapPlan,
 };
 use crate::hash::{partition, partition_view};
 use crate::job::Job;
@@ -171,10 +171,13 @@ impl ParallelExecutor {
         mut plan: MapPlan,
         workers: usize,
     ) -> Result<ComputedJob> {
+        // ---- filter build (optional): serial, before map fan-out --------
+        let filters = build_job_filters(&self.config, job, &plan)?;
         // ---- map phase: tasks fan out over the pool ---------------------
         // Planning (and its DFS read metering) happened on the caller's
         // thread; the tasks own their fact slices, so workers never touch
-        // the DFS.
+        // the DFS. The sealed filters are immutable and probed from every
+        // worker.
         let map_span = gumbo_obs::span_with("map", |f| {
             f.str("job", &job.name);
             f.u64("tasks", plan.tasks.len() as u64);
@@ -182,7 +185,7 @@ impl ParallelExecutor {
         });
         let results: Vec<_> = parallel_for(plan.tasks.len(), workers, |i| {
             plan.task_facts(&plan.tasks[i])
-                .map(|facts| run_map_task(job, &facts))
+                .map(|facts| run_map_task(job, &facts, filters.as_ref()))
         })
         .into_iter()
         .collect::<Result<_>>()?;
@@ -262,6 +265,7 @@ impl ParallelExecutor {
             reducer_bytes,
             partition_outputs,
             spill: spill_stats,
+            filter: filters.map(|f| f.stats()).unwrap_or_default(),
         })
     }
 
@@ -278,6 +282,8 @@ impl ParallelExecutor {
         mut plan: MapPlan,
         workers: usize,
     ) -> Result<ComputedJob> {
+        // ---- filter build (optional): serial, before map fan-out --------
+        let filters = build_job_filters(&self.config, job, &plan)?;
         // ---- map phase: tasks fan out over the pool ---------------------
         let map_span = gumbo_obs::span_with("map", |f| {
             f.str("job", &job.name);
@@ -286,7 +292,7 @@ impl ParallelExecutor {
         });
         let results: Vec<_> = parallel_for(plan.tasks.len(), workers, |i| {
             plan.task_facts(&plan.tasks[i])
-                .map(|facts| run_map_task_batch(job, &facts))
+                .map(|facts| run_map_task_batch(job, &facts, filters.as_ref()))
         })
         .into_iter()
         .collect::<Result<_>>()?;
@@ -366,6 +372,7 @@ impl ParallelExecutor {
             reducer_bytes,
             partition_outputs,
             spill: spill_stats,
+            filter: filters.map(|f| f.stats()).unwrap_or_default(),
         })
     }
 }
@@ -434,6 +441,7 @@ mod tests {
                 ..JobConfig::default()
             },
             estimate: None,
+            filter: None,
         }
     }
 
@@ -525,6 +533,7 @@ mod tests {
             reducer: Box::new(BadReducer),
             config: JobConfig::default(),
             estimate: None,
+            filter: None,
         };
         let d = dfs(50);
         let par = ParallelExecutor::with_threads(EngineConfig::unscaled(), 4);

@@ -14,8 +14,8 @@ use gumbo_common::Result;
 
 use crate::batch_shuffle::BatchPartition;
 use crate::executor::{
-    run_map_task, run_map_task_batch, run_reduce_stream, ComputedJob, DataPlane, EngineConfig,
-    Executor, Groups, MapPlan,
+    build_job_filters, run_map_task, run_map_task_batch, run_reduce_stream, ComputedJob, DataPlane,
+    EngineConfig, Executor, Groups, MapPlan,
 };
 use crate::hash::{partition, partition_view};
 use crate::job::Job;
@@ -73,6 +73,8 @@ impl SimulatedExecutor {
     /// The pair-plane pipeline: owned `(Tuple, Message)` pairs scattered
     /// one at a time.
     fn run_phases_pairs(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
+        // ---- filter build (optional) -----------------------------------
+        let filters = build_job_filters(&self.config, job, &plan)?;
         // ---- map phase -------------------------------------------------
         let map_span = gumbo_obs::span_with("map", |f| {
             f.str("job", &job.name);
@@ -81,7 +83,7 @@ impl SimulatedExecutor {
         let results: Vec<_> = plan
             .tasks
             .iter()
-            .map(|t| Ok(run_map_task(job, &plan.task_facts(t)?)))
+            .map(|t| Ok(run_map_task(job, &plan.task_facts(t)?, filters.as_ref())))
             .collect::<Result<_>>()?;
         plan.apply(self.config.scale.max(1), &results);
         drop(map_span);
@@ -132,6 +134,7 @@ impl SimulatedExecutor {
             reducer_bytes,
             partition_outputs,
             spill: spill_stats,
+            filter: filters.map(|f| f.stats()).unwrap_or_default(),
         })
     }
 
@@ -141,6 +144,8 @@ impl SimulatedExecutor {
     /// in task order with ascending row indices, which is exactly the
     /// pair plane's per-partition emission order.
     fn run_phases_columnar(&self, job: &Job, mut plan: MapPlan) -> Result<ComputedJob> {
+        // ---- filter build (optional) -----------------------------------
+        let filters = build_job_filters(&self.config, job, &plan)?;
         // ---- map phase -------------------------------------------------
         let map_span = gumbo_obs::span_with("map", |f| {
             f.str("job", &job.name);
@@ -149,7 +154,13 @@ impl SimulatedExecutor {
         let results: Vec<_> = plan
             .tasks
             .iter()
-            .map(|t| Ok(run_map_task_batch(job, &plan.task_facts(t)?)))
+            .map(|t| {
+                Ok(run_map_task_batch(
+                    job,
+                    &plan.task_facts(t)?,
+                    filters.as_ref(),
+                ))
+            })
             .collect::<Result<_>>()?;
         let counts: Vec<(u64, u64)> = results
             .iter()
@@ -206,6 +217,7 @@ impl SimulatedExecutor {
             reducer_bytes,
             partition_outputs,
             spill: spill_stats,
+            filter: filters.map(|f| f.stats()).unwrap_or_default(),
         })
     }
 }
@@ -278,6 +290,7 @@ mod tests {
             reducer: Box::new(SemiJoinReducer),
             config: JobConfig::default(),
             estimate: None,
+            filter: None,
         }
     }
 
@@ -364,6 +377,7 @@ mod tests {
             reducer: Box::new(BadReducer),
             config: JobConfig::default(),
             estimate: None,
+            filter: None,
         };
         let engine = Engine::new(EngineConfig::unscaled());
         assert!(engine.execute_job(&dfs, &job, 0).is_err());
@@ -453,6 +467,7 @@ mod tests {
             reducer: Box::new(SemiJoinReducer2),
             config: JobConfig::default(),
             estimate: None,
+            filter: None,
         };
 
         struct SemiJoinMapper2;

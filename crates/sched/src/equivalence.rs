@@ -88,6 +88,28 @@ pub fn assert_identical_stats(label: &str, expected: &ProgramStats, actual: &Pro
             "{label}: job {} estimated cost",
             a.name
         );
+        // The shuffle filter is deterministic: same spec, same keys, same
+        // filter bytes and the exact same suppression decisions.
+        assert_eq!(
+            a.filter_bytes, b.filter_bytes,
+            "{label}: job {} filter bytes",
+            a.name
+        );
+        assert_eq!(
+            a.suppressed_messages, b.suppressed_messages,
+            "{label}: job {} suppressed messages",
+            a.name
+        );
+        assert_eq!(
+            a.filter_probes, b.filter_probes,
+            "{label}: job {} filter probes",
+            a.name
+        );
+        assert_eq!(
+            a.filter_false_positives, b.filter_false_positives,
+            "{label}: job {} filter false positives",
+            a.name
+        );
     }
     assert!(
         (expected.net_time() - actual.net_time()).abs() < 1e-9,

@@ -587,6 +587,7 @@ mod tests {
             reducer: Box::new(CopyTo(output.into())),
             config: JobConfig::default(),
             estimate: None,
+            filter: None,
         }
     }
 
@@ -653,6 +654,7 @@ mod tests {
             reducer: Box::new(Bad),
             config: JobConfig::default(),
             estimate: None,
+            filter: None,
         });
         let dfs = dfs_with(&["R"]);
         let err = DagScheduler::default()

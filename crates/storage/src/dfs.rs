@@ -66,6 +66,16 @@ pub struct CacheStats {
     pub capacity_bytes: u64,
 }
 
+impl CacheStats {
+    /// Fraction of block lookups served from the cache, `None` when no
+    /// lookups happened (so a cold or cacheless backend reads as "n/a"
+    /// rather than a perfect or zero rate).
+    pub fn hit_rate(&self) -> Option<f64> {
+        let lookups = self.hits + self.misses;
+        (lookups > 0).then(|| self.hits as f64 / lookups as f64)
+    }
+}
+
 /// A source of tuples for one opened scan: fetches any sub-range of the
 /// relation's canonical (sorted) tuple order, independently of the DFS
 /// instance's locks, so map tasks on worker threads can pull their splits

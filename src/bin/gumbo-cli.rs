@@ -8,6 +8,7 @@
 //!           [--placement fifo|sjf|cp] [--cores N]
 //!           [--mem-budget BYTES|unlimited] [--spill-compress]
 //!           [--data-plane pairs|columnar]
+//!           [--shuffle-filter off|bloom[:BITS]|auto[:BITS]]
 //!           [--dfs sim|file:PATH] [--dfs-cache BYTES]
 //!           [--trace PATH] [--trace-format chrome|jsonl]
 //!           [--metrics-dump] [--stats-json PATH]
@@ -41,6 +42,12 @@
 //! default — batch arenas, dictionary-encoded strings, columnar spill
 //! frames) or `pairs` (the historical owned-pair plane). Answers and
 //! statistics are byte-identical either way.
+//! `--shuffle-filter` engages the Bloom-filtered semijoin shuffle:
+//! `bloom[:BITS]` filters every MSJ job (BITS bits per key, default 10),
+//! `auto[:BITS]` filters only jobs the planner predicts save more bytes
+//! than the filter broadcast costs. Answers are byte-identical to `off`;
+//! a `shuffle filter:` summary line reports suppressed messages, filter
+//! bytes and the observed false-positive rate.
 //! Results are byte-identical to an unlimited run; the CLI exits nonzero
 //! if the tracked peak ever exceeded the budget — printing the
 //! shuffle-memory summary *before* exiting, so the evidence of the
@@ -95,6 +102,7 @@ struct Args {
     mem_budget: gumbo::mr::MemBudget,
     spill_compress: bool,
     data_plane: gumbo::mr::DataPlane,
+    shuffle_filter: gumbo::mr::ShuffleFilterMode,
     dfs: DfsSpec,
     dfs_cache: Option<u64>,
     trace: Option<PathBuf>,
@@ -114,6 +122,7 @@ const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [-
                      [--placement fifo|sjf|cp] [--cores N] \
                      [--mem-budget BYTES|unlimited] [--spill-compress] \
                      [--data-plane pairs|columnar] \
+                     [--shuffle-filter off|bloom[:BITS]|auto[:BITS]] \
                      [--dfs sim|file:PATH] [--dfs-cache BYTES] \
                      [--trace PATH] [--trace-format chrome|jsonl] \
                      [--metrics-dump] [--stats-json PATH] \
@@ -134,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
         mem_budget: gumbo::mr::MemBudget::UNLIMITED,
         spill_compress: false,
         data_plane: gumbo::mr::DataPlane::default(),
+        shuffle_filter: gumbo::mr::ShuffleFilterMode::Off,
         dfs: DfsSpec::Sim,
         dfs_cache: None,
         trace: None,
@@ -198,6 +208,13 @@ fn parse_args() -> Result<Args, String> {
                 let spec = need(&mut i, &argv)?;
                 args.data_plane = gumbo::mr::DataPlane::parse(&spec)
                     .ok_or_else(|| format!("--data-plane: pairs|columnar, got {spec}"))?;
+            }
+            "--shuffle-filter" => {
+                let spec = need(&mut i, &argv)?;
+                args.shuffle_filter =
+                    gumbo::mr::ShuffleFilterMode::parse(&spec).ok_or_else(|| {
+                        format!("--shuffle-filter: off|bloom[:BITS]|auto[:BITS], got {spec}")
+                    })?;
             }
             "--mem-budget" => {
                 let spec = need(&mut i, &argv)?;
@@ -321,6 +338,7 @@ fn options_for(args: &Args) -> Result<EvalOptions, String> {
     }
     let budget = args.mem_budget.compressed(args.spill_compress);
     options.mem_budget = budget;
+    options.shuffle_filter = args.shuffle_filter;
     if args.scheduler != "dag"
         && (args.placement != gumbo::sched::PlacementPolicy::Fifo || args.cores != 0)
     {
@@ -354,9 +372,13 @@ fn budget_check(peak: u64, limit: Option<u64>) -> Result<(), String> {
 }
 
 /// Lower a [`ProgramStats`] to one JSON document: the paper's four
-/// metrics, the spill counters, the predicted DAG net time, and the
-/// per-job calibration ledger (estimated vs observed cost).
-fn stats_to_json(stats: &ProgramStats) -> gumbo::obs::json::Json {
+/// metrics, the spill and shuffle-filter counters, the predicted DAG net
+/// time, the per-job calibration ledger (estimated vs observed cost),
+/// and — for file-backed runs — the DFS block-cache counters.
+fn stats_to_json(
+    stats: &ProgramStats,
+    cache: Option<&gumbo::storage::CacheStats>,
+) -> gumbo::obs::json::Json {
     use gumbo::obs::json::Json;
     let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
     let jobs: Vec<Json> = stats
@@ -377,12 +399,20 @@ fn stats_to_json(stats: &ProgramStats) -> gumbo::obs::json::Json {
                 ("spilled_disk_bytes", Json::Int(j.spilled_disk_bytes)),
                 ("spill_files", Json::Int(j.spill_files)),
                 ("spill_merge_passes", Json::Int(j.spill_merge_passes)),
+                ("filter_bytes", Json::Int(j.filter_bytes)),
+                ("suppressed_messages", Json::Int(j.suppressed_messages)),
+                ("filter_probes", Json::Int(j.filter_probes)),
+                (
+                    "filter_false_positives",
+                    Json::Int(j.filter_false_positives),
+                ),
+                ("observed_fp_rate", opt(j.observed_fp_rate())),
                 ("estimated_cost", opt(j.estimated_cost)),
                 ("estimate_error", opt(j.estimate_error())),
             ])
         })
         .collect();
-    Json::obj([
+    let mut fields = vec![
         ("net_time", Json::Num(stats.net_time())),
         ("total_time", Json::Num(stats.total_time())),
         ("input_bytes", Json::Int(stats.input_bytes().0)),
@@ -397,9 +427,34 @@ fn stats_to_json(stats: &ProgramStats) -> gumbo::obs::json::Json {
         ("spilled_disk_bytes", Json::Int(stats.spilled_disk_bytes())),
         ("spill_files", Json::Int(stats.spill_files())),
         ("spill_merge_passes", Json::Int(stats.spill_merge_passes())),
+        ("filter_bytes", Json::Int(stats.filter_bytes())),
+        (
+            "suppressed_messages",
+            Json::Int(stats.suppressed_messages()),
+        ),
+        ("filter_probes", Json::Int(stats.filter_probes())),
+        (
+            "filter_false_positives",
+            Json::Int(stats.filter_false_positives()),
+        ),
+        ("observed_fp_rate", opt(stats.observed_fp_rate())),
         ("mean_estimate_error", opt(stats.mean_estimate_error())),
         ("jobs", Json::Arr(jobs)),
-    ])
+    ];
+    if let Some(c) = cache {
+        fields.push((
+            "dfs_cache",
+            Json::obj([
+                ("capacity_bytes", Json::Int(c.capacity_bytes)),
+                ("hits", Json::Int(c.hits)),
+                ("misses", Json::Int(c.misses)),
+                ("evictions", Json::Int(c.evictions)),
+                ("cached_bytes", Json::Int(c.cached_bytes)),
+                ("hit_rate", opt(c.hit_rate())),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 /// Resolve one of the paper's generated workloads by name.
@@ -589,18 +644,41 @@ fn run(args: Args) -> Result<(), String> {
         stats.spill_merge_passes(),
     );
     budget_check(budget.peak(), budget.limit())?;
-    if matches!(args.dfs, DfsSpec::File(_)) {
+    if args.shuffle_filter != gumbo::mr::ShuffleFilterMode::Off {
+        let fp = stats
+            .observed_fp_rate()
+            .map_or("n/a".to_string(), |r| format!("{r:.4}"));
+        println!(
+            "shuffle filter: mode={} filter_bytes={} suppressed_messages={} probes={} false_positives={} observed_fp_rate={fp}",
+            args.shuffle_filter.label(),
+            stats.filter_bytes(),
+            stats.suppressed_messages(),
+            stats.filter_probes(),
+            stats.filter_false_positives(),
+        );
+    }
+    let cache = if matches!(args.dfs, DfsSpec::File(_)) {
         let cache = dfs.cache_stats();
         println!(
-            "dfs cache: capacity={} hits={} misses={} evictions={} cached_bytes={}",
-            cache.capacity_bytes, cache.hits, cache.misses, cache.evictions, cache.cached_bytes,
+            "dfs cache: capacity={} hits={} misses={} evictions={} cached_bytes={} hit_rate={}",
+            cache.capacity_bytes,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.cached_bytes,
+            cache
+                .hit_rate()
+                .map_or("n/a".to_string(), |r| format!("{r:.4}")),
         );
         dfs.flush().map_err(|e| e.to_string())?;
-    }
+        Some(cache)
+    } else {
+        None
+    };
     println!("output {} has {} tuples", query.output(), got.len());
 
     if let Some(path) = &args.stats_json {
-        let json = stats_to_json(&stats);
+        let json = stats_to_json(&stats, cache.as_ref());
         std::fs::write(path, format!("{json}\n"))
             .map_err(|e| format!("--stats-json {path:?}: {e}"))?;
         println!("wrote {path:?} (program stats)");

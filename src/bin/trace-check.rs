@@ -3,10 +3,13 @@
 //! Usage: `trace-check PATH [--format chrome|jsonl]`
 //!
 //! For Chrome traces the whole file must parse as a JSON array of
-//! trace events, and within every `tid` lane the `B`/`E` phase events
-//! must balance like brackets (each `E` closes the most recent open `B`
-//! with the same name). For JSONL traces every line must parse as a
-//! JSON object carrying `ts_ns`, `lane`, `ph`, and `name`.
+//! trace events, within every `tid` lane the `B`/`E` phase events must
+//! balance like brackets (each `E` closes the most recent open `B` with
+//! the same name), and every event name must come from the known span/
+//! instant vocabulary below — a renamed or typo'd emitter fails here
+//! instead of silently producing an unrecognizable trace. For JSONL
+//! traces every line must parse as a JSON object carrying `ts_ns`,
+//! `lane`, `ph`, and `name`, with the same name validation.
 //!
 //! Exits 0 and prints a one-line summary on success; prints the first
 //! problem to stderr and exits 1 otherwise. CI runs this against the
@@ -65,8 +68,57 @@ fn run(args: &[String]) -> Result<String, String> {
     }
 }
 
+/// Every span name the engine emits (`B`/`E` pairs). Grown alongside the
+/// emitters — an unknown name in a trace means an emitter changed without
+/// updating the checker (or the file is not a gumbo trace).
+const KNOWN_SPANS: &[&str] = &[
+    "execute",
+    "job",
+    "plan",
+    "map",
+    "map:task",
+    "filter:build",
+    "filter:probe",
+    "shuffle:flush",
+    "reduce",
+    "reduce:task",
+    "commit",
+    "spill:run",
+    "spill:merge",
+    "dfs.store",
+];
+
+/// Every instant-event name (`i` phase): scheduler lifecycle, budget and
+/// DFS scan markers.
+const KNOWN_INSTANTS: &[&str] = &[
+    "sched:submit",
+    "sched:admit",
+    "sched:ready",
+    "sched:claim",
+    "sched:complete",
+    "sched:threads_assigned",
+    "budget:exhausted",
+    "spill:run",
+    "dfs.scan",
+];
+
+fn check_name(idx: usize, ph: &str, name: &str) -> Result<(), String> {
+    let known = match ph {
+        "i" => KNOWN_INSTANTS,
+        _ => KNOWN_SPANS,
+    };
+    if known.contains(&name) {
+        Ok(())
+    } else {
+        Err(format!(
+            "event {idx}: unknown {} name {name:?}",
+            if ph == "i" { "instant" } else { "span" }
+        ))
+    }
+}
+
 /// Validate a Chrome trace-event file: one JSON array, balanced `B`/`E`
-/// per `tid` lane with matching names, LIFO order.
+/// per `tid` lane with matching names, LIFO order, known names only.
 fn check_chrome(text: &str) -> Result<String, String> {
     let root = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = root.as_arr().ok_or("top-level value is not an array")?;
@@ -90,6 +142,7 @@ fn check_chrome(text: &str) -> Result<String, String> {
         if event.get("ts").and_then(Json::as_f64).is_none() {
             return Err(format!("event {idx}: missing \"ts\""));
         }
+        check_name(idx, ph, name)?;
         let stack = match stacks.iter_mut().find(|(lane, _)| *lane == tid) {
             Some((_, stack)) => stack,
             None => {
@@ -140,7 +193,55 @@ fn check_jsonl(text: &str) -> Result<String, String> {
                 return Err(format!("line {}: missing {key:?}", idx + 1));
             }
         }
+        let ph = event.get("ph").and_then(Json::as_str).unwrap_or("");
+        let name = event.get("name").and_then(Json::as_str).unwrap_or("");
+        check_name(idx + 1, ph, name)?;
         lines += 1;
     }
     Ok(format!("ok: {lines} events"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ph: &str, name: &str) -> String {
+        format!(r#"{{"ph":"{ph}","name":"{name}","tid":1,"ts":1.0}}"#)
+    }
+
+    #[test]
+    fn chrome_accepts_filter_spans() {
+        let text = format!(
+            "[{},{},{},{},{},{}]",
+            ev("B", "job"),
+            ev("B", "filter:build"),
+            ev("E", "filter:build"),
+            ev("B", "filter:probe"),
+            ev("E", "filter:probe"),
+            ev("E", "job"),
+        );
+        assert!(check_chrome(&text).is_ok());
+    }
+
+    #[test]
+    fn chrome_rejects_unknown_span_names() {
+        let text = format!("[{},{}]", ev("B", "filter:warp"), ev("E", "filter:warp"));
+        let err = check_chrome(&text).unwrap_err();
+        assert!(err.contains("unknown span name"), "{err}");
+    }
+
+    #[test]
+    fn chrome_rejects_span_name_as_instant() {
+        let err = check_chrome(&format!("[{}]", ev("i", "filter:build"))).unwrap_err();
+        assert!(err.contains("unknown instant name"), "{err}");
+    }
+
+    #[test]
+    fn jsonl_validates_names_too() {
+        let good = r#"{"ts_ns":1,"lane":1,"ph":"B","name":"filter:build"}
+{"ts_ns":2,"lane":1,"ph":"E","name":"filter:build"}"#;
+        assert!(check_jsonl(good).is_ok());
+        let bad = r#"{"ts_ns":1,"lane":1,"ph":"B","name":"mystery"}"#;
+        assert!(check_jsonl(bad).unwrap_err().contains("unknown span name"));
+    }
 }
