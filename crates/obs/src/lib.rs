@@ -167,7 +167,12 @@ pub fn lane() -> u64 {
     })
 }
 
-fn now_ns() -> u64 {
+/// Monotonic nanoseconds since the shared tracing epoch (the process's
+/// first observability touch). Every trace event's `ts_ns` and the
+/// scheduler's submission timestamps (`queued_ns`/`admitted_ns`/
+/// `completed_ns`) come from this one clock, so they are directly
+/// comparable.
+pub fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 

@@ -25,7 +25,16 @@
 //!   DAG net-time metric ([`gumbo_mr::ProgramStats::predicted_net_time`]);
 //! * [`Submission`] / [`SubmissionReport`] — a multi-tenant front door:
 //!   many independent `MrProgram`s admitted concurrently onto one
-//!   cluster, with fair-share admission and per-submission statistics.
+//!   cluster, with fair-share admission and per-submission statistics
+//!   (including `queued_ns`/`admitted_ns`/`completed_ns` on the obs
+//!   monotonic clock);
+//! * [`admission`] — the resident-service layer on top: a bounded
+//!   [`AdmissionQueue`] with **estimate-weighted fair-share** admission
+//!   ([`FairShareLedger`]): each tenant carries a weight and a running
+//!   account of admitted estimated cost, and the pending entry whose
+//!   tenant has the least weight-normalized cost is admitted next — so
+//!   under contention a weight-4 tenant receives ~4× the admitted
+//!   estimated cost of a weight-1 tenant, deterministically.
 //!
 //! Execution is *observationally identical* to the round barrier: answer
 //! relations are byte-identical and per-job [`gumbo_mr::JobStats`] (and
@@ -34,11 +43,15 @@
 //! `tests/dag_scheduler_equivalence.rs` enforces this over every datagen
 //! preset.
 
+pub mod admission;
 pub mod equivalence;
 pub mod placement;
 pub mod scheduler;
 pub mod submission;
 
+pub use admission::{
+    AdmissionConfig, AdmissionQueue, FairShareLedger, QueuedEntry, SubmitError, TenantAccount,
+};
 pub use equivalence::{assert_identical_dfs, assert_identical_stats};
 pub use placement::PlacementPolicy;
 pub use scheduler::{DagScheduler, SchedulerConfig};

@@ -141,6 +141,14 @@ struct JobRef {
     node: usize,
 }
 
+/// What [`DagScheduler::run`] reports per DAG.
+struct DagRun {
+    stats: ProgramStats,
+    wall_seconds: f64,
+    /// obs-epoch timestamp of the DAG's last commit.
+    completed_ns: u64,
+}
+
 /// Shared scheduling state, guarded by one mutex + condvar.
 struct SchedState {
     /// Unmet-dependency counts, indexed by global job id.
@@ -156,6 +164,9 @@ struct SchedState {
     results: Vec<Option<JobStats>>,
     /// Per-submission completion instants (set when the last job commits).
     finished_at: Vec<Option<Instant>>,
+    /// Per-submission completion timestamps on the obs monotonic clock
+    /// ([`gumbo_obs::now_ns`]), for [`SubmissionReport::completed_ns`].
+    finished_ns: Vec<Option<u64>>,
     /// Jobs not yet completed.
     remaining: usize,
     /// First failure; stops admission of further jobs.
@@ -238,7 +249,7 @@ impl DagScheduler {
     ) -> Result<ProgramStats> {
         let dags = [dag];
         let mut stats = self.run(executor, dfs, &dags, &["default"])?;
-        Ok(stats.pop().expect("one dag in, one stats out").0)
+        Ok(stats.pop().expect("one dag in, one stats out").stats)
     }
 
     /// Lower a program and execute it as a DAG.
@@ -262,28 +273,36 @@ impl DagScheduler {
     ) -> Result<Vec<SubmissionReport>> {
         let dags: Vec<&JobDag> = submissions.iter().map(|s| &s.dag).collect();
         let tenants: Vec<&str> = submissions.iter().map(|s| s.tenant.as_str()).collect();
+        // Direct execute_many calls skip any admission queue, so the
+        // whole batch queues and admits at the scheduler's start; a
+        // front-end with a real queue (gumbo-serve) builds its reports
+        // from the queue's own timestamps instead.
+        let admitted_ns = gumbo_obs::now_ns();
         let stats = self.run(executor, dfs, &dags, &tenants)?;
         Ok(submissions
             .iter()
             .zip(stats)
-            .map(|(sub, (stats, wall_seconds))| SubmissionReport {
+            .map(|(sub, dag_run)| SubmissionReport {
                 tenant: sub.tenant.clone(),
-                stats,
-                wall_seconds,
+                stats: dag_run.stats,
+                wall_seconds: dag_run.wall_seconds,
+                queued_ns: admitted_ns,
+                admitted_ns,
+                completed_ns: dag_run.completed_ns,
             })
             .collect())
     }
 
     /// The scheduling core: run every job of every DAG, respecting
     /// intra-DAG dependency edges and serializing cross-DAG conflicts in
-    /// admission order. Returns per-DAG `(stats, wall seconds)`.
+    /// admission order. Returns per-DAG statistics and completion times.
     fn run(
         &self,
         executor: &dyn Executor,
         dfs: &dyn Dfs,
         dags: &[&JobDag],
         tenants: &[&str],
-    ) -> Result<Vec<(ProgramStats, f64)>> {
+    ) -> Result<Vec<DagRun>> {
         debug_assert_eq!(dags.len(), tenants.len());
         // Global ids: DAGs flattened in admission order.
         let mut jobs: Vec<JobRef> = Vec::new();
@@ -390,11 +409,13 @@ impl DagScheduler {
             completed: vec![0; dags.len()],
             results: (0..total).map(|_| None).collect(),
             finished_at: vec![None; dags.len()],
+            finished_ns: vec![None; dags.len()],
             remaining: total,
             error: None,
         });
         let work_available = Condvar::new();
         let started = Instant::now();
+        let started_ns = gumbo_obs::now_ns();
 
         let workers = self.config.effective_workers().max(1).min(total.max(1));
         thread::scope(|scope| {
@@ -466,6 +487,7 @@ impl DagScheduler {
                                 st.remaining -= 1;
                                 if st.completed[j.sub] == dags[j.sub].len() {
                                     st.finished_at[j.sub] = Some(Instant::now());
+                                    st.finished_ns[j.sub] = Some(gumbo_obs::now_ns());
                                 }
                                 for &dep in &dependents[gid] {
                                     st.indegree[dep] -= 1;
@@ -551,7 +573,12 @@ impl DagScheduler {
             let wall = state.finished_at[s]
                 .map(|t| t.duration_since(started).as_secs_f64())
                 .unwrap_or(0.0);
-            out.push((stats, wall));
+            out.push(DagRun {
+                stats,
+                wall_seconds: wall,
+                // Empty DAGs complete the moment the scheduler starts.
+                completed_ns: state.finished_ns[s].unwrap_or(started_ns),
+            });
         }
         Ok(out)
     }

@@ -53,6 +53,17 @@ pub struct SubmissionReport {
     /// Real elapsed time from admission (scheduler start) to the last
     /// committed job of this submission, in seconds.
     pub wall_seconds: f64,
+    /// When the submission entered the admission queue (monotonic ns
+    /// since the obs epoch — [`gumbo_obs::now_ns`]). For direct
+    /// `execute_many` calls, which have no queue, this equals
+    /// `admitted_ns`.
+    pub queued_ns: u64,
+    /// When the submission was admitted onto the scheduler (monotonic
+    /// ns since the obs epoch).
+    pub admitted_ns: u64,
+    /// When the submission's last job committed (monotonic ns since the
+    /// obs epoch).
+    pub completed_ns: u64,
 }
 
 impl SubmissionReport {
@@ -72,5 +83,15 @@ impl SubmissionReport {
     /// estimated jobs; `None` when no job carried an estimate.
     pub fn mean_estimate_error(&self) -> Option<f64> {
         self.stats.mean_estimate_error()
+    }
+
+    /// Time spent waiting in the admission queue, in nanoseconds.
+    pub fn queue_wait_ns(&self) -> u64 {
+        self.admitted_ns.saturating_sub(self.queued_ns)
+    }
+
+    /// Time from admission to completion, in nanoseconds.
+    pub fn service_ns(&self) -> u64 {
+        self.completed_ns.saturating_sub(self.admitted_ns)
     }
 }

@@ -1,4 +1,33 @@
-//! `gumbo-cli` — run SGF queries over TSV relations from the command line.
+//! `gumbo-cli` — run SGF queries over TSV relations from the command line,
+//! or serve them to concurrent tenants over TCP.
+//!
+//! Three subcommands wrap the resident query service (`gumbo::service`):
+//!
+//! ```text
+//! gumbo-cli serve    [--listen ADDR] (--preset NAME [--tuples N] | --data DIR)
+//!                    [--dfs sim|file:PATH] [--dfs-cache BYTES]
+//!                    [--executor sim|parallel|parallel:N] [--max-jobs N]
+//!                    [--mem-budget BYTES|unlimited] [--data-plane pairs|columnar]
+//!                    [--queue-cap N] [--inflight N] [--default-weight W]
+//!                    [--trace PATH] [--trace-format chrome|jsonl] [--metrics-dump]
+//! gumbo-cli query    [--addr ADDR] [--tenant NAME] [--weight W]
+//!                    (--query FILE | --sgf TEXT | --preset NAME)
+//!                    [--out DIR] [--stats-json PATH]
+//! gumbo-cli shutdown [--addr ADDR]
+//! ```
+//!
+//! `serve` loads the database once (preset or TSV directory), binds a
+//! TCP listener, and answers line-delimited JSON query requests with
+//! estimate-weighted fair-share admission between tenants; answers are
+//! byte-identical to one-shot evaluation. SIGTERM/SIGINT (or a client's
+//! `shutdown` request) triggers a graceful drain: every accepted
+//! submission finishes and streams out before the process exits, and
+//! the exit code is nonzero if any accepted work was lost. `query`
+//! submits one program and writes the streamed relations/stats exactly
+//! like the one-shot flags of the same name. `shutdown` asks a running
+//! server to drain.
+//!
+//! Without a subcommand, the classic one-shot mode:
 //!
 //! ```text
 //! gumbo-cli --data DIR --query FILE | --preset NAME [--tuples N]
@@ -115,7 +144,8 @@ struct Args {
     explain: bool,
 }
 
-const USAGE: &str = "usage: gumbo-cli --data DIR --query FILE | --preset NAME [--tuples N] \
+const USAGE: &str = "usage: gumbo-cli [serve|query|shutdown] ... (see --help per subcommand) | \
+                     gumbo-cli --data DIR --query FILE | --preset NAME [--tuples N] \
                      [--strategy greedy|par|sequnit|parunit|one-round|dynamic] \
                      [--executor sim|parallel|parallel:N] \
                      [--scheduler rounds|dag] [--max-jobs N] \
@@ -371,91 +401,9 @@ fn budget_check(peak: u64, limit: Option<u64>) -> Result<(), String> {
     }
 }
 
-/// Lower a [`ProgramStats`] to one JSON document: the paper's four
-/// metrics, the spill and shuffle-filter counters, the predicted DAG net
-/// time, the per-job calibration ledger (estimated vs observed cost),
-/// and — for file-backed runs — the DFS block-cache counters.
-fn stats_to_json(
-    stats: &ProgramStats,
-    cache: Option<&gumbo::storage::CacheStats>,
-) -> gumbo::obs::json::Json {
-    use gumbo::obs::json::Json;
-    let opt = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
-    let jobs: Vec<Json> = stats
-        .jobs
-        .iter()
-        .map(|j| {
-            Json::obj([
-                ("name", Json::Str(j.name.clone())),
-                ("round", Json::Int(j.round as u64)),
-                ("total_cost", Json::Num(j.total_cost)),
-                ("map_cost", Json::Num(j.map_cost)),
-                ("reduce_cost", Json::Num(j.reduce_cost)),
-                ("output_tuples", Json::Int(j.output_tuples)),
-                ("input_bytes", Json::Int(j.input_bytes().0)),
-                ("communication_bytes", Json::Int(j.communication_bytes().0)),
-                ("output_bytes", Json::Int(j.output_bytes().0)),
-                ("spilled_bytes", Json::Int(j.spilled_bytes)),
-                ("spilled_disk_bytes", Json::Int(j.spilled_disk_bytes)),
-                ("spill_files", Json::Int(j.spill_files)),
-                ("spill_merge_passes", Json::Int(j.spill_merge_passes)),
-                ("filter_bytes", Json::Int(j.filter_bytes)),
-                ("suppressed_messages", Json::Int(j.suppressed_messages)),
-                ("filter_probes", Json::Int(j.filter_probes)),
-                (
-                    "filter_false_positives",
-                    Json::Int(j.filter_false_positives),
-                ),
-                ("observed_fp_rate", opt(j.observed_fp_rate())),
-                ("estimated_cost", opt(j.estimated_cost)),
-                ("estimate_error", opt(j.estimate_error())),
-            ])
-        })
-        .collect();
-    let mut fields = vec![
-        ("net_time", Json::Num(stats.net_time())),
-        ("total_time", Json::Num(stats.total_time())),
-        ("input_bytes", Json::Int(stats.input_bytes().0)),
-        (
-            "communication_bytes",
-            Json::Int(stats.communication_bytes().0),
-        ),
-        ("num_jobs", Json::Int(stats.num_jobs() as u64)),
-        ("num_rounds", Json::Int(stats.num_rounds() as u64)),
-        ("predicted_net_time", opt(stats.predicted_net_time)),
-        ("spilled_bytes", Json::Int(stats.spilled_bytes())),
-        ("spilled_disk_bytes", Json::Int(stats.spilled_disk_bytes())),
-        ("spill_files", Json::Int(stats.spill_files())),
-        ("spill_merge_passes", Json::Int(stats.spill_merge_passes())),
-        ("filter_bytes", Json::Int(stats.filter_bytes())),
-        (
-            "suppressed_messages",
-            Json::Int(stats.suppressed_messages()),
-        ),
-        ("filter_probes", Json::Int(stats.filter_probes())),
-        (
-            "filter_false_positives",
-            Json::Int(stats.filter_false_positives()),
-        ),
-        ("observed_fp_rate", opt(stats.observed_fp_rate())),
-        ("mean_estimate_error", opt(stats.mean_estimate_error())),
-        ("jobs", Json::Arr(jobs)),
-    ];
-    if let Some(c) = cache {
-        fields.push((
-            "dfs_cache",
-            Json::obj([
-                ("capacity_bytes", Json::Int(c.capacity_bytes)),
-                ("hits", Json::Int(c.hits)),
-                ("misses", Json::Int(c.misses)),
-                ("evictions", Json::Int(c.evictions)),
-                ("cached_bytes", Json::Int(c.cached_bytes)),
-                ("hit_rate", opt(c.hit_rate())),
-            ]),
-        ));
-    }
-    Json::obj(fields)
-}
+// The stats vocabulary is shared with the query service so `--stats-json`
+// documents and streamed `stats` frames speak identical JSON.
+use gumbo::service::protocol::stats_to_json;
 
 /// Resolve one of the paper's generated workloads by name.
 fn preset(name: &str) -> Option<gumbo::datagen::Workload> {
@@ -516,11 +464,15 @@ fn load_inputs(args: &Args) -> Result<(Database, SgfQuery), String> {
 /// the relations it doesn't already hold, so a rerun against the same
 /// root restarts from the durable state. The initial load is unmetered,
 /// matching [`SimDfs::from_database`].
-fn build_dfs(args: &Args, db: &Database) -> Result<Box<dyn Dfs>, String> {
-    match &args.dfs {
+fn build_dfs(
+    spec: &DfsSpec,
+    dfs_cache: Option<u64>,
+    db: &Database,
+) -> Result<Box<dyn Dfs>, String> {
+    match spec {
         DfsSpec::Sim => Ok(Box::new(SimDfs::from_database(db))),
         DfsSpec::File(root) => {
-            let cache = args.dfs_cache.unwrap_or(DEFAULT_CACHE_BYTES);
+            let cache = dfs_cache.unwrap_or(DEFAULT_CACHE_BYTES);
             let dfs = FileDfs::open_or_create(root, cache).map_err(|e| e.to_string())?;
             for rel in db.relations() {
                 if !dfs.exists(rel.name()) {
@@ -550,7 +502,7 @@ fn run(args: Args) -> Result<(), String> {
         args.executor,
         options,
     );
-    let dfs = build_dfs(&args, &db)?;
+    let dfs = build_dfs(&args.dfs, args.dfs_cache, &db)?;
     let dfs: &dyn Dfs = &*dfs;
 
     if args.explain {
@@ -573,18 +525,7 @@ fn run(args: Args) -> Result<(), String> {
     }
 
     if let Some(path) = &args.trace {
-        let format = args.trace_format.unwrap_or(gumbo::obs::TraceFormat::Chrome);
-        let sink: std::sync::Arc<dyn gumbo::obs::TraceSink> = match format {
-            gumbo::obs::TraceFormat::Chrome => std::sync::Arc::new(
-                gumbo::obs::ChromeTraceSink::create(path)
-                    .map_err(|e| format!("--trace {path:?}: {e}"))?,
-            ),
-            gumbo::obs::TraceFormat::Jsonl => std::sync::Arc::new(
-                gumbo::obs::JsonlSink::create(path)
-                    .map_err(|e| format!("--trace {path:?}: {e}"))?,
-            ),
-        };
-        gumbo::obs::install(sink);
+        install_trace_sink(path, args.trace_format)?;
     }
     if args.metrics_dump {
         gumbo::obs::set_metrics_enabled(true);
@@ -705,8 +646,381 @@ fn run(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Install the process-global trace sink for `--trace PATH`.
+fn install_trace_sink(
+    path: &PathBuf,
+    format: Option<gumbo::obs::TraceFormat>,
+) -> Result<(), String> {
+    let format = format.unwrap_or(gumbo::obs::TraceFormat::Chrome);
+    let sink: std::sync::Arc<dyn gumbo::obs::TraceSink> = match format {
+        gumbo::obs::TraceFormat::Chrome => std::sync::Arc::new(
+            gumbo::obs::ChromeTraceSink::create(path)
+                .map_err(|e| format!("--trace {path:?}: {e}"))?,
+        ),
+        gumbo::obs::TraceFormat::Jsonl => std::sync::Arc::new(
+            gumbo::obs::JsonlSink::create(path).map_err(|e| format!("--trace {path:?}: {e}"))?,
+        ),
+    };
+    gumbo::obs::install(sink);
+    Ok(())
+}
+
+/// Shared positional-value helper for the subcommand parsers.
+fn need(i: &mut usize, argv: &[String]) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+}
+
+/// Load the database a server will hold resident: a generated preset
+/// (seeded exactly like one-shot `--preset`, so service answers diff
+/// clean against one-shot output) or a TSV directory.
+fn load_service_db(
+    preset_name: Option<&str>,
+    tuples: Option<usize>,
+    data: Option<&PathBuf>,
+) -> Result<Database, String> {
+    match (preset_name, data) {
+        (Some(name), None) => {
+            let workload = preset(name)
+                .ok_or_else(|| format!("unknown preset {name} (a1-a5, b1, b2, c1-c4)"))?;
+            let tuples = tuples.unwrap_or(1000);
+            let db = workload.spec.clone().with_tuples(tuples).database(1);
+            eprintln!(
+                "preset {}: {} relations, {tuples} guard tuples",
+                workload.name,
+                db.relation_count(),
+            );
+            Ok(db)
+        }
+        (None, Some(dir)) => {
+            if tuples.is_some() {
+                return Err("--tuples only applies to --preset workloads".into());
+            }
+            let relations = gumbo::common::io::read_tsv_dir(dir).map_err(|e| e.to_string())?;
+            if relations.is_empty() {
+                return Err(format!("no .tsv relations found in {dir:?}"));
+            }
+            let mut db = Database::new();
+            for rel in relations {
+                db.add_relation(rel);
+            }
+            Ok(db)
+        }
+        _ => Err("serve needs exactly one of --preset NAME or --data DIR".into()),
+    }
+}
+
+const SERVE_USAGE: &str = "usage: gumbo-cli serve [--listen ADDR] \
+                           (--preset NAME [--tuples N] | --data DIR) \
+                           [--dfs sim|file:PATH] [--dfs-cache BYTES] \
+                           [--executor sim|parallel|parallel:N] [--max-jobs N] \
+                           [--mem-budget BYTES|unlimited] [--data-plane pairs|columnar] \
+                           [--queue-cap N] [--inflight N] [--default-weight W] \
+                           [--trace PATH] [--trace-format chrome|jsonl] [--metrics-dump]";
+
+fn run_serve(argv: &[String]) -> Result<(), String> {
+    let mut listen = "127.0.0.1:7421".to_string();
+    let mut preset_name: Option<String> = None;
+    let mut tuples: Option<usize> = None;
+    let mut data: Option<PathBuf> = None;
+    let mut dfs_spec = DfsSpec::Sim;
+    let mut dfs_cache: Option<u64> = None;
+    let mut executor = gumbo::mr::ExecutorKind::Simulated;
+    let mut max_jobs = 4usize;
+    let mut mem_budget = gumbo::mr::MemBudget::UNLIMITED;
+    let mut data_plane = gumbo::mr::DataPlane::default();
+    let mut queue_cap = 64usize;
+    let mut inflight = 2usize;
+    let mut default_weight = 1.0f64;
+    let mut trace: Option<PathBuf> = None;
+    let mut trace_format: Option<gumbo::obs::TraceFormat> = None;
+    let mut metrics_dump = false;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => listen = need(&mut i, argv)?,
+            "--preset" => preset_name = Some(need(&mut i, argv)?),
+            "--tuples" => {
+                tuples = Some(
+                    need(&mut i, argv)?
+                        .parse()
+                        .map_err(|e| format!("--tuples: {e}"))?,
+                )
+            }
+            "--data" => data = Some(PathBuf::from(need(&mut i, argv)?)),
+            "--dfs" => {
+                let spec = need(&mut i, argv)?;
+                dfs_spec = if spec == "sim" {
+                    DfsSpec::Sim
+                } else if let Some(path) = spec.strip_prefix("file:") {
+                    DfsSpec::File(PathBuf::from(path))
+                } else {
+                    return Err(format!("--dfs: sim|file:PATH, got {spec}"));
+                };
+            }
+            "--dfs-cache" => {
+                let spec = need(&mut i, argv)?;
+                dfs_cache = Some(
+                    gumbo::mr::MemBudget::parse(&spec)
+                        .and_then(|b| b.limit())
+                        .ok_or_else(|| {
+                            format!("--dfs-cache: BYTES (k/m/g suffix ok), got {spec}")
+                        })?,
+                );
+            }
+            "--executor" => {
+                let spec = need(&mut i, argv)?;
+                executor = gumbo::mr::ExecutorKind::parse(&spec)
+                    .ok_or_else(|| format!("--executor: unknown runtime {spec}"))?;
+            }
+            "--max-jobs" => {
+                max_jobs = need(&mut i, argv)?
+                    .parse()
+                    .map_err(|e| format!("--max-jobs: {e}"))?
+            }
+            "--mem-budget" => {
+                let spec = need(&mut i, argv)?;
+                mem_budget = gumbo::mr::MemBudget::parse(&spec).ok_or_else(|| {
+                    format!("--mem-budget: BYTES (k/m/g suffix ok) or unlimited, got {spec}")
+                })?;
+            }
+            "--data-plane" => {
+                let spec = need(&mut i, argv)?;
+                data_plane = gumbo::mr::DataPlane::parse(&spec)
+                    .ok_or_else(|| format!("--data-plane: pairs|columnar, got {spec}"))?;
+            }
+            "--queue-cap" => {
+                queue_cap = need(&mut i, argv)?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--inflight" => {
+                inflight = need(&mut i, argv)?
+                    .parse()
+                    .map_err(|e| format!("--inflight: {e}"))?
+            }
+            "--default-weight" => {
+                default_weight = need(&mut i, argv)?
+                    .parse()
+                    .map_err(|e| format!("--default-weight: {e}"))?
+            }
+            "--trace" => trace = Some(PathBuf::from(need(&mut i, argv)?)),
+            "--trace-format" => {
+                let spec = need(&mut i, argv)?;
+                trace_format = Some(
+                    gumbo::obs::TraceFormat::parse(&spec)
+                        .map_err(|e| format!("--trace-format: {e}"))?,
+                );
+            }
+            "--metrics-dump" => metrics_dump = true,
+            "--help" | "-h" => return Err(SERVE_USAGE.into()),
+            other => return Err(format!("serve: unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    if dfs_cache.is_some() && matches!(dfs_spec, DfsSpec::Sim) {
+        return Err("--dfs-cache requires --dfs file:PATH".into());
+    }
+    if trace_format.is_some() && trace.is_none() {
+        return Err("--trace-format requires --trace PATH".into());
+    }
+    let db = load_service_db(preset_name.as_deref(), tuples, data.as_ref())?;
+    let dfs: std::sync::Arc<dyn Dfs> = std::sync::Arc::from(build_dfs(&dfs_spec, dfs_cache, &db)?);
+    // Match the one-shot default (strategy "greedy"): the service must
+    // produce byte-identical relations — intermediates included — to a
+    // default one-shot run over the same inputs.
+    let options = EvalOptions {
+        enable_one_round: false,
+        mem_budget,
+        dfs_cache,
+        scheduler: Some(SchedulerConfig {
+            max_concurrent_jobs: max_jobs,
+            threads_per_job: 0,
+            mem_budget,
+            placement: gumbo::sched::PlacementPolicy::Fifo,
+            core_budget: 0,
+        }),
+        ..EvalOptions::default()
+    };
+    let engine = GumboEngine::with_executor(
+        EngineConfig {
+            data_plane,
+            ..EngineConfig::default()
+        },
+        executor,
+        options,
+    );
+    gumbo::service::install_signal_drain();
+    if let Some(path) = &trace {
+        install_trace_sink(path, trace_format)?;
+    }
+    if metrics_dump {
+        gumbo::obs::set_metrics_enabled(true);
+    }
+    let listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let handle = serve(
+        listener,
+        dfs,
+        engine,
+        ServeConfig {
+            queue_capacity: queue_cap,
+            max_in_flight: inflight,
+            default_weight,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    println!("gumbo-serve listening on {}", handle.addr());
+    let summary = handle.join();
+    // Finalize the trace (close the Chrome array) before any exit path.
+    if trace.is_some() {
+        gumbo::obs::uninstall();
+    }
+    println!(
+        "gumbo-serve drained: connections={} accepted={} completed={}",
+        summary.connections, summary.accepted, summary.completed,
+    );
+    if metrics_dump {
+        for (name, kind, value) in gumbo::obs::metrics_snapshot() {
+            let kind = match kind {
+                gumbo::obs::MetricKind::Counter => "counter",
+                gumbo::obs::MetricKind::Gauge => "gauge",
+            };
+            println!("metric {kind} {name}={value}");
+        }
+    }
+    if summary.accepted != summary.completed {
+        return Err(format!(
+            "drain lost work: accepted {} != completed {}",
+            summary.accepted, summary.completed,
+        ));
+    }
+    Ok(())
+}
+
+const QUERY_USAGE: &str = "usage: gumbo-cli query [--addr ADDR] [--tenant NAME] [--weight W] \
+                           (--query FILE | --sgf TEXT | --preset NAME) \
+                           [--out DIR] [--stats-json PATH]";
+
+fn run_query(argv: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut tenant = "default".to_string();
+    let mut weight: Option<f64> = None;
+    let mut query_file: Option<PathBuf> = None;
+    let mut sgf_text: Option<String> = None;
+    let mut preset_name: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut stats_json: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = need(&mut i, argv)?,
+            "--tenant" => tenant = need(&mut i, argv)?,
+            "--weight" => {
+                weight = Some(
+                    need(&mut i, argv)?
+                        .parse()
+                        .map_err(|e| format!("--weight: {e}"))?,
+                )
+            }
+            "--query" => query_file = Some(PathBuf::from(need(&mut i, argv)?)),
+            "--sgf" => sgf_text = Some(need(&mut i, argv)?),
+            "--preset" => preset_name = Some(need(&mut i, argv)?),
+            "--out" => out = Some(PathBuf::from(need(&mut i, argv)?)),
+            "--stats-json" => stats_json = Some(PathBuf::from(need(&mut i, argv)?)),
+            "--help" | "-h" => return Err(QUERY_USAGE.into()),
+            other => return Err(format!("query: unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    let sgf = match (query_file, sgf_text, preset_name) {
+        (Some(path), None, None) => {
+            std::fs::read_to_string(&path).map_err(|e| format!("reading {path:?}: {e}"))?
+        }
+        (None, Some(text), None) => text,
+        (None, None, Some(name)) => preset(&name)
+            .ok_or_else(|| format!("unknown preset {name} (a1-a5, b1, b2, c1-c4)"))?
+            .query
+            .to_string(),
+        _ => return Err("query needs exactly one of --query, --sgf, --preset".into()),
+    };
+    // Retry the connect: CI starts the server in the background and the
+    // first client may race the bind.
+    let mut client =
+        ServiceClient::connect_retry(addr.as_str(), 40, std::time::Duration::from_millis(250))
+            .map_err(|e| format!("connect {addr}: {e}"))?;
+    let reply = client
+        .query(&tenant, weight, &sgf)
+        .map_err(|e| e.to_string())?;
+    for rel in &reply.relations {
+        println!("relation {} has {} tuples", rel.name(), rel.len());
+    }
+    println!(
+        "report: tenant={tenant} queue_wait_ns={} service_ns={} estimated_cost={}",
+        reply.queue_wait_ns().unwrap_or(0),
+        reply
+            .report
+            .get("service_ns")
+            .and_then(gumbo::obs::json::Json::as_u64)
+            .unwrap_or(0),
+        reply
+            .report
+            .get("estimated_cost")
+            .and_then(gumbo::obs::json::Json::as_f64)
+            .unwrap_or(0.0),
+    );
+    if let Some(dir) = out {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("creating {dir:?}: {e}"))?;
+        for rel in &reply.relations {
+            let path = dir.join(format!("{}.tsv", rel.name()));
+            gumbo::common::io::write_tsv_file(rel, &path).map_err(|e| e.to_string())?;
+            println!("wrote {path:?} ({} tuples)", rel.len());
+        }
+    }
+    if let Some(path) = stats_json {
+        std::fs::write(&path, format!("{}\n", reply.report))
+            .map_err(|e| format!("--stats-json {path:?}: {e}"))?;
+        println!("wrote {path:?} (submission report)");
+    }
+    Ok(())
+}
+
+const SHUTDOWN_USAGE: &str = "usage: gumbo-cli shutdown [--addr ADDR]";
+
+fn run_shutdown(argv: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7421".to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => addr = need(&mut i, argv)?,
+            "--help" | "-h" => return Err(SHUTDOWN_USAGE.into()),
+            other => return Err(format!("shutdown: unknown flag {other} (try --help)")),
+        }
+        i += 1;
+    }
+    let mut client =
+        ServiceClient::connect(addr.as_str()).map_err(|e| format!("connect {addr}: {e}"))?;
+    let (accepted, completed) = client.shutdown().map_err(|e| e.to_string())?;
+    println!("server drained: accepted={accepted} completed={completed}");
+    if accepted != completed {
+        return Err(format!(
+            "drain lost work: accepted {accepted} != completed {completed}"
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    match parse_args().and_then(run) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("serve") => run_serve(&argv[1..]),
+        Some("query") => run_query(&argv[1..]),
+        Some("shutdown") => run_shutdown(&argv[1..]),
+        _ => parse_args().and_then(run),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("{msg}");

@@ -100,6 +100,12 @@ const KNOWN_INSTANTS: &[&str] = &[
     "budget:exhausted",
     "spill:run",
     "dfs.scan",
+    "svc:accept",
+    "svc:submit",
+    "svc:admit",
+    "svc:stream",
+    "svc:complete",
+    "svc:drain",
 ];
 
 fn check_name(idx: usize, ph: &str, name: &str) -> Result<(), String> {

@@ -52,6 +52,7 @@
 //! | [`gumbo_mr`] | `Executor` trait with simulated + multi-threaded runtimes, job DAGs, cluster model, cost models |
 //! | [`gumbo_sched`] | dependency-driven DAG scheduler, multi-tenant submissions |
 //! | [`gumbo_core`] | MSJ, EVAL, 1-ROUND fusion, plans, greedy + optimal planners |
+//! | [`gumbo_service`] | resident multi-tenant query service: TCP protocol, fair-share admission, streaming client |
 //! | [`gumbo_baselines`] | SEQ chains, PAR presets, Pig/Hive simulators |
 //! | [`gumbo_datagen`] | the paper's workloads (A1–A5, B1/B2, C1–C4, sweeps) |
 //!
@@ -82,6 +83,7 @@ pub use gumbo_datagen as datagen;
 pub use gumbo_mr as mr;
 pub use gumbo_obs as obs;
 pub use gumbo_sched as sched;
+pub use gumbo_service as service;
 pub use gumbo_sgf as sgf;
 pub use gumbo_storage as storage;
 
@@ -106,7 +108,11 @@ pub mod prelude {
         ChromeTraceSink, Counter, Gauge, JsonlSink, RingSink, TraceFormat, TraceSink,
     };
     pub use gumbo_sched::{
-        DagScheduler, PlacementPolicy, SchedulerConfig, Submission, SubmissionReport,
+        AdmissionConfig, AdmissionQueue, DagScheduler, FairShareLedger, PlacementPolicy,
+        SchedulerConfig, Submission, SubmissionReport,
+    };
+    pub use gumbo_service::{
+        serve, QueryReply, ServeConfig, ServeSummary, ServerHandle, ServiceClient, ServiceError,
     };
     pub use gumbo_sgf::{
         parse_program, parse_query, Atom, BsgfQuery, Condition, DependencyGraph, NaiveEvaluator,

@@ -1,0 +1,312 @@
+//! Service-level equivalence: answers streamed by the resident query
+//! service (`gumbo::service`) must be **byte-identical** to direct
+//! engine evaluation, for every query preset, both storage backends,
+//! both data planes, and under concurrent multi-tenant load.
+//!
+//! Also covered here: the drain invariant (a shutdown mid-workload
+//! loses zero accepted submissions), restart durability for a
+//! file-backed service, and the per-submission timestamp chain
+//! (`queued_ns <= admitted_ns <= completed_ns`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gumbo::datagen::queries;
+use gumbo::prelude::*;
+
+const TUPLES: usize = 150;
+const SEED: u64 = 7;
+
+fn presets() -> Vec<gumbo::datagen::Workload> {
+    let mut all = vec![
+        queries::a1(),
+        queries::a2(),
+        queries::a3(),
+        queries::a4(),
+        queries::a5(),
+        queries::b1(),
+        queries::b2(),
+    ];
+    all.extend(queries::figure6());
+    all
+}
+
+fn temp_root(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("gumbo-svc-eq-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    root
+}
+
+/// The engine both sides of every comparison use: DAG scheduler (the
+/// service's production path), selectable data plane.
+fn engine(plane: DataPlane) -> GumboEngine {
+    GumboEngine::with_executor(
+        EngineConfig {
+            data_plane: plane,
+            ..EngineConfig::default()
+        },
+        ExecutorKind::Simulated,
+        EvalOptions {
+            scheduler: Some(SchedulerConfig {
+                max_concurrent_jobs: 3,
+                ..SchedulerConfig::default()
+            }),
+            ..EvalOptions::default()
+        },
+    )
+}
+
+/// Direct evaluation: every output relation (intermediates included),
+/// in the query's output order.
+fn direct_answers(db: &Database, query: &SgfQuery, plane: DataPlane) -> Vec<Relation> {
+    let dfs = SimDfs::from_database(db);
+    engine(plane).evaluate(&dfs, query).unwrap();
+    query
+        .output_names()
+        .iter()
+        .map(|name| (*dfs.peek(name).unwrap()).clone())
+        .collect()
+}
+
+fn start_server(dfs: Arc<dyn Dfs>, plane: DataPlane, config: ServeConfig) -> ServerHandle {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    serve(listener, dfs, engine(plane), config).unwrap()
+}
+
+fn assert_same_relations(label: &str, got: &[Relation], want: &[Relation]) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{label}: streamed {} relations, direct evaluation produced {}",
+        got.len(),
+        want.len(),
+    );
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.name(), w.name(), "{label}: relation order differs");
+        assert_eq!(
+            g,
+            w,
+            "{label}: relation {} differs from direct eval",
+            g.name()
+        );
+    }
+}
+
+/// Every preset, three concurrent tenants each: streamed answers equal
+/// direct evaluation, and the reports carry a monotonic timestamp chain.
+#[test]
+fn streamed_answers_match_direct_evaluation_for_every_preset() {
+    for workload in presets() {
+        let db = workload.spec.clone().with_tuples(TUPLES).database(SEED);
+        let want = direct_answers(&db, &workload.query, DataPlane::default());
+
+        let dfs: Arc<dyn Dfs> = Arc::new(SimDfs::from_database(&db));
+        let handle = start_server(dfs, DataPlane::default(), ServeConfig::default());
+        let addr = handle.addr();
+        let sgf = workload.query.to_string();
+
+        std::thread::scope(|scope| {
+            for t in 0..3 {
+                let sgf = &sgf;
+                let want = &want;
+                let name = &workload.name;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    let reply = client
+                        .query(&format!("tenant-{t}"), None, sgf)
+                        .unwrap_or_else(|e| panic!("{name} tenant-{t}: {e}"));
+                    assert_same_relations(&format!("{name} tenant-{t}"), &reply.relations, want);
+                    let queued = reply.queued_ns().unwrap();
+                    let admitted = reply.admitted_ns().unwrap();
+                    let completed = reply.completed_ns().unwrap();
+                    assert!(
+                        queued <= admitted && admitted <= completed,
+                        "{name}: timestamps not monotonic: {queued} {admitted} {completed}"
+                    );
+                    assert_eq!(reply.queue_wait_ns().unwrap(), admitted - queued);
+                });
+            }
+        });
+
+        handle.shutdown();
+        let summary = handle.join();
+        assert_eq!(summary.accepted, 3, "{}: accepted", workload.name);
+        assert_eq!(summary.completed, 3, "{}: completed", workload.name);
+        assert_eq!(summary.connections, 3, "{}: connections", workload.name);
+    }
+}
+
+/// Backend × data-plane matrix on representative presets (one flat, one
+/// nested): the service serves byte-identical answers from the durable
+/// file store and from both shuffle planes.
+#[test]
+fn both_backends_and_planes_serve_identical_answers() {
+    for workload in [queries::a1(), queries::c1()] {
+        let db = workload.spec.clone().with_tuples(TUPLES).database(SEED);
+        // One reference: answers are backend- and plane-invariant.
+        let want = direct_answers(&db, &workload.query, DataPlane::Pairs);
+        let sgf = workload.query.to_string();
+
+        for backend in ["sim", "file"] {
+            for plane in [DataPlane::Pairs, DataPlane::Columnar] {
+                let label = format!("{} ({backend}, {})", workload.name, plane.label());
+                let root = temp_root(&format!("{}-{backend}-{}", workload.name, plane.label()));
+                let dfs: Arc<dyn Dfs> = match backend {
+                    "sim" => Arc::new(SimDfs::from_database(&db)),
+                    _ => Arc::new(FileDfs::from_database(&root, DEFAULT_CACHE_BYTES, &db).unwrap()),
+                };
+                let handle = start_server(dfs, plane, ServeConfig::default());
+                let mut client = ServiceClient::connect(handle.addr()).unwrap();
+                let reply = client
+                    .query("matrix", None, &sgf)
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_same_relations(&label, &reply.relations, &want);
+                let (accepted, completed) = client.shutdown().unwrap();
+                assert_eq!((accepted, completed), (1, 1), "{label}");
+                handle.join();
+                let _ = std::fs::remove_dir_all(&root);
+            }
+        }
+    }
+}
+
+/// The drain invariant: shut the server down while a backlog is queued
+/// behind a single dispatcher — every accepted submission still
+/// completes and streams its full reply. Zero lost work.
+#[test]
+fn drain_mid_workload_completes_every_accepted_submission() {
+    const CLIENTS: usize = 6;
+    let workload = queries::a2();
+    let db = workload.spec.clone().with_tuples(TUPLES).database(SEED);
+    let want = direct_answers(&db, &workload.query, DataPlane::default());
+
+    let dfs: Arc<dyn Dfs> = Arc::new(SimDfs::from_database(&db));
+    // One dispatcher: submissions queue up behind each other, so the
+    // shutdown below genuinely races a non-empty backlog.
+    let handle = start_server(
+        dfs,
+        DataPlane::default(),
+        ServeConfig {
+            max_in_flight: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = handle.addr();
+    let sgf = workload.query.to_string();
+
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let sgf = &sgf;
+                let want = &want;
+                scope.spawn(move || {
+                    let mut client = ServiceClient::connect(addr).unwrap();
+                    let reply = client
+                        .query(&format!("tenant-{}", t % 3), None, sgf)
+                        .unwrap_or_else(|e| panic!("client {t}: {e}"));
+                    assert_same_relations(&format!("client {t}"), &reply.relations, want);
+                })
+            })
+            .collect();
+
+        // Wait until the queue has accepted the full workload, then pull
+        // the plug while most of it is still pending.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while handle.accepted() < CLIENTS as u64 {
+            assert!(Instant::now() < deadline, "submissions never all arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        handle.shutdown();
+
+        for w in workers {
+            w.join().unwrap();
+        }
+    });
+
+    let summary = handle.join();
+    assert_eq!(summary.accepted, CLIENTS as u64);
+    assert_eq!(
+        summary.completed, summary.accepted,
+        "drain lost accepted work: {summary:?}"
+    );
+}
+
+/// Restart durability: a file-backed service is shut down, the root
+/// reopened cold, and a fresh server must serve the exact same answers
+/// from the durable state alone.
+#[test]
+fn file_backed_service_survives_restart() {
+    let workload = queries::a3();
+    let db = workload.spec.clone().with_tuples(TUPLES).database(SEED);
+    let root = temp_root("restart");
+    let sgf = workload.query.to_string();
+
+    let first = {
+        let dfs: Arc<dyn Dfs> =
+            Arc::new(FileDfs::from_database(&root, DEFAULT_CACHE_BYTES, &db).unwrap());
+        let handle = start_server(dfs, DataPlane::default(), ServeConfig::default());
+        let mut client = ServiceClient::connect(handle.addr()).unwrap();
+        let reply = client.query("durable", None, &sgf).unwrap();
+        client.shutdown().unwrap();
+        handle.join();
+        reply.relations
+    }; // server gone; only the on-disk state survives
+
+    assert!(
+        root.join("MANIFEST").is_file(),
+        "drained file-backed server must leave a MANIFEST"
+    );
+
+    // Cold reopen: no database reload — the durable store alone must
+    // already hold the base relations and the committed answers.
+    let reopened: Arc<dyn Dfs> = Arc::new(FileDfs::open(&root, DEFAULT_CACHE_BYTES).unwrap());
+    for rel in &first {
+        assert_eq!(
+            reopened.peek(rel.name()).unwrap().as_ref(),
+            rel,
+            "relation {} changed across restart",
+            rel.name(),
+        );
+    }
+    let handle = start_server(reopened, DataPlane::default(), ServeConfig::default());
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    let reply = client.query("durable", None, &sgf).unwrap();
+    assert_same_relations("after restart", &reply.relations, &first);
+    client.shutdown().unwrap();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Protocol edges that don't deserve their own server: ping, a bad SGF
+/// program, and a submission refused after the drain began.
+#[test]
+fn protocol_errors_and_liveness() {
+    let workload = queries::a1();
+    let db = workload.spec.clone().with_tuples(50).database(SEED);
+    let dfs: Arc<dyn Dfs> = Arc::new(SimDfs::from_database(&db));
+    let handle = start_server(dfs, DataPlane::default(), ServeConfig::default());
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+
+    client.ping().unwrap();
+    let err = client.query("edge", None, "THIS IS NOT SGF").unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Remote(ref m) if m.contains("bad SGF")),
+        "expected a remote parse error, got {err}"
+    );
+    // The connection survives a rejected program.
+    client.ping().unwrap();
+
+    handle.shutdown();
+    let err = client
+        .query("edge", None, &workload.query.to_string())
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Remote(ref m) if m.contains("draining")),
+        "expected a draining refusal, got {err}"
+    );
+    drop(client);
+    let summary = handle.join();
+    assert_eq!(summary.accepted, 0);
+    assert_eq!(summary.completed, 0);
+}
